@@ -1,0 +1,64 @@
+// Command jnifuzz runs the differential fuzzer: random JNI operation
+// sequences executed under each protection scheme and validated against an
+// architectural oracle (see internal/fuzz). A mismatch prints the seed and
+// step needed to replay it.
+//
+//	jnifuzz -seeds 200 -steps 1000 [-scheme mte4jni-sync] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mte4jni/internal/fuzz"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 100, "number of consecutive seeds to run per scheme")
+	steps := flag.Int("steps", 1000, "operations per run")
+	firstSeed := flag.Int64("seed", 1, "first seed (replay a failure by passing its seed with -seeds 1)")
+	schemeName := flag.String("scheme", "", "restrict to one scheme (no-protection, guarded-copy, mte4jni-sync)")
+	flag.Parse()
+
+	schemes := fuzz.Schemes()
+	if *schemeName != "" {
+		schemes = nil
+		for _, s := range fuzz.Schemes() {
+			if s.String() == *schemeName {
+				schemes = []fuzz.SchemeID{s}
+			}
+		}
+		if schemes == nil {
+			fmt.Fprintf(os.Stderr, "jnifuzz: unknown scheme %q\n", *schemeName)
+			os.Exit(2)
+		}
+	}
+
+	failures := 0
+	for _, scheme := range schemes {
+		var total fuzz.Report
+		for seed := *firstSeed; seed < *firstSeed+int64(*seeds); seed++ {
+			rep, err := fuzz.Run(seed, *steps, scheme)
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "FAIL %v\n", err)
+				continue
+			}
+			total.Steps += rep.Steps
+			total.Allocs += rep.Allocs
+			total.Gets += rep.Gets
+			total.Releases += rep.Releases
+			total.InBounds += rep.InBounds
+			total.OOBs += rep.OOBs
+			total.FaultsObserved += rep.FaultsObserved
+		}
+		fmt.Printf("%-14s %d runs: %d steps, %d allocs, %d gets, %d releases, %d in-bounds, %d OOB accesses, %d detections\n",
+			scheme, *seeds, total.Steps, total.Allocs, total.Gets, total.Releases, total.InBounds, total.OOBs, total.FaultsObserved)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "jnifuzz: %d oracle violations\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("jnifuzz: all runs consistent with the oracle")
+}

@@ -1,0 +1,187 @@
+package mte4jni
+
+import (
+	"errors"
+	"fmt"
+
+	"mte4jni/internal/bench"
+	"mte4jni/internal/guardedcopy"
+	"mte4jni/internal/jni"
+	"mte4jni/internal/report"
+)
+
+// newSummaryTable adapts a header slice to the bench table constructor.
+func newSummaryTable(title string, headers []string) *bench.Table {
+	return bench.NewTable(title, headers...)
+}
+
+// This file drives the paper's §5.2 effectiveness experiment (Figures 3
+// and 4): the test_ofb program — a Java int[18] whose raw pointer a native
+// method misuses — run under all four schemes, recording whether the
+// violation is detected and where the resulting report points.
+
+// Detection re-exports the per-scheme verdict type.
+type Detection = report.Detection
+
+// Scenario enumerates the fault-injection programs.
+type Scenario int
+
+const (
+	// ScenarioOOBWrite is the paper's Figure 3 program: the native method
+	// writes index 21 of an int[18] obtained via GetPrimitiveArrayCritical.
+	ScenarioOOBWrite Scenario = iota
+	// ScenarioOOBRead reads index 21 instead — the access guarded copy
+	// structurally cannot detect (§2.3 limitation 1).
+	ScenarioOOBRead
+	// ScenarioFarOOBWrite writes far past the array, beyond any red zone —
+	// §2.3 limitation 2.
+	ScenarioFarOOBWrite
+	// ScenarioUseAfterRelease stores through the raw pointer after the JNI
+	// release interface has run — the temporal hazard that timely tag
+	// release (§3.2) turns into a detectable mismatch.
+	ScenarioUseAfterRelease
+	// ScenarioUnderflowWrite writes just before the array payload — inside
+	// guarded copy's front red zone, and (in place) into the object header.
+	// Both guarded copy and MTE detect this one, with their respective
+	// localities.
+	ScenarioUnderflowWrite
+)
+
+// Scenarios lists all fault-injection scenarios.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioOOBWrite, ScenarioOOBRead, ScenarioFarOOBWrite, ScenarioUseAfterRelease, ScenarioUnderflowWrite}
+}
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioOOBWrite:
+		return "OOB write (int[18], index 21)"
+	case ScenarioOOBRead:
+		return "OOB read (int[18], index 21)"
+	case ScenarioFarOOBWrite:
+		return "far OOB write (past red zones)"
+	case ScenarioUseAfterRelease:
+		return "use after release"
+	case ScenarioUnderflowWrite:
+		return "underflow write (index -1)"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// RunDetection executes one scenario under one scheme and classifies the
+// outcome. The returned error reports harness problems (not detections).
+func RunDetection(scheme Scheme, sc Scenario) (Detection, error) {
+	rt, err := New(Config{Scheme: scheme, HeapSize: 4 << 20})
+	if err != nil {
+		return Detection{}, err
+	}
+	env, err := rt.AttachEnv("main")
+	if err != nil {
+		return Detection{}, err
+	}
+	arr, err := env.NewIntArray(18)
+	if err != nil {
+		return Detection{}, err
+	}
+
+	var releaseErr error
+	fault, err := env.CallNative("test_ofb", Regular, func(e *Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		switch sc {
+		case ScenarioOOBWrite:
+			e.StoreInt(p.Add(21*4), 0xBAD)
+			e.Syscall("getuid") // where Figure 4c's deferred report lands
+			releaseErr = e.ReleasePrimitiveArrayCritical(arr, p, ReleaseDefault)
+		case ScenarioOOBRead:
+			_ = e.LoadInt(p.Add(21 * 4))
+			e.Syscall("getuid")
+			releaseErr = e.ReleasePrimitiveArrayCritical(arr, p, ReleaseDefault)
+		case ScenarioFarOOBWrite:
+			// 72-byte payload + red zone + slack: skips the canaries.
+			e.StoreInt(p.Add(72+guardedcopy.RedZoneSize+32), 0xBAD)
+			e.Syscall("getuid")
+			releaseErr = e.ReleasePrimitiveArrayCritical(arr, p, ReleaseDefault)
+		case ScenarioUseAfterRelease:
+			releaseErr = e.ReleasePrimitiveArrayCritical(arr, p, ReleaseDefault)
+			e.StoreInt(p, 0xBAD) // stale pointer
+			e.Syscall("getuid")
+		case ScenarioUnderflowWrite:
+			e.StoreInt(p.Add(-4), 0xBAD) // index -1
+			e.Syscall("getuid")
+			releaseErr = e.ReleasePrimitiveArrayCritical(arr, p, ReleaseDefault)
+		}
+		return nil
+	})
+	if err != nil {
+		return Detection{}, err
+	}
+
+	name := scheme.String()
+	if fault != nil {
+		return report.FromFault(name, fault), nil
+	}
+	var viol *guardedcopy.Violation
+	if errors.As(releaseErr, &viol) {
+		return report.FromViolation(name, viol), nil
+	}
+	if releaseErr != nil {
+		return Detection{}, fmt.Errorf("unexpected release error under %s: %w", name, releaseErr)
+	}
+	return report.Undetected(name), nil
+}
+
+// EffectivenessMatrix is the full §5.2 comparison: one Detection per
+// (scenario, scheme) pair, in Scenarios() × Schemes() order.
+type EffectivenessMatrix struct {
+	// Scenarios and Schemes give the axes.
+	Scenarios []Scenario
+	Schemes   []Scheme
+	// Results is indexed [scenario][scheme].
+	Results [][]Detection
+}
+
+// RunEffectiveness runs every scenario under every scheme.
+func RunEffectiveness() (*EffectivenessMatrix, error) {
+	m := &EffectivenessMatrix{Scenarios: Scenarios(), Schemes: Schemes()}
+	for _, sc := range m.Scenarios {
+		row := make([]Detection, 0, len(m.Schemes))
+		for _, scheme := range m.Schemes {
+			d, err := RunDetection(scheme, sc)
+			if err != nil {
+				return nil, fmt.Errorf("%v under %v: %w", sc, scheme, err)
+			}
+			row = append(row, d)
+		}
+		m.Results = append(m.Results, row)
+	}
+	return m, nil
+}
+
+// Summary renders the matrix as a table of "detected where" verdicts.
+func (m *EffectivenessMatrix) Summary() string {
+	headers := []string{"scenario"}
+	for _, s := range m.Schemes {
+		headers = append(headers, s.String())
+	}
+	t := newSummaryTable("Effectiveness of out-of-bounds checking (paper §5.2)", headers)
+	for i, sc := range m.Scenarios {
+		row := []string{sc.String()}
+		for _, d := range m.Results[i] {
+			if d.Detected {
+				row = append(row, "DETECTED "+string(d.Where))
+			} else {
+				row = append(row, "missed")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// compile-time guard: the native body type matches the jni package's.
+var _ jni.NativeFunc = func(*Env) error { return nil }

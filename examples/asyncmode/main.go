@@ -1,0 +1,63 @@
+// Asyncmode: the paper's Figure 4 locality comparison, side by side.
+//
+// The same out-of-bounds write is detected at three very different places:
+// guarded copy aborts at the JNI release, MTE sync faults at the exact
+// store, and MTE async defers the report to the next system call — the
+// program keeps running in between. The full logcat-style crash reports are
+// printed for each.
+//
+//	go run ./examples/asyncmode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mte4jni"
+)
+
+func main() {
+	for _, scheme := range []mte4jni.Scheme{mte4jni.GuardedCopy, mte4jni.MTESync, mte4jni.MTEAsync} {
+		d, err := mte4jni.RunDetection(scheme, mte4jni.ScenarioOOBWrite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s: detected %s ===\n", scheme, d.Where)
+		fmt.Println(d.Report)
+	}
+
+	// The async property, step by step: the bad store goes through, work
+	// continues, and the signal arrives at the next syscall.
+	rt, err := mte4jni.New(mte4jni.Config{Scheme: mte4jni.MTEAsync})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := rt.AttachEnv("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr, err := env.NewIntArray(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fault, err := env.CallNative("timeline", mte4jni.Regular, func(e *mte4jni.Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		e.StoreInt(p.Add(64), 1) // out of bounds — latched, not fatal yet
+		fmt.Println("1. out-of-bounds store executed (async mode: no fault yet)")
+		e.StoreInt(p, 7) // in-bounds work continues
+		fmt.Println("2. more native work ran after the corruption")
+		fmt.Println("3. calling getuid()...")
+		e.Syscall("getuid") // panics with the deferred fault
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fault == nil {
+		log.Fatal("deferred fault never surfaced")
+	}
+	fmt.Printf("4. deferred SIGSEGV delivered at %q (async=%v)\n", fault.PC, fault.Async)
+}

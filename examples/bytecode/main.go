@@ -1,0 +1,102 @@
+// Bytecode: the paper's §1 asymmetry, end to end.
+//
+// The same out-of-bounds write — index 21 of an int[18] — is attempted
+// twice against the same runtime:
+//
+//  1. from MANAGED bytecode: the interpreter's bounds check throws
+//     ArrayIndexOutOfBoundsException and no memory is touched;
+//
+//  2. from NATIVE code via GetPrimitiveArrayCritical: with no protection it
+//     silently corrupts the heap, and under MTE4JNI+Sync it dies with a
+//     precise SEGV_MTESERR.
+//
+//     go run ./examples/bytecode
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"mte4jni"
+	"mte4jni/internal/interp"
+	"mte4jni/internal/jni"
+	"mte4jni/internal/vm"
+)
+
+// managedOOB is the bytecode program: new int[18]; a[21] = 0xBAD.
+var managedOOB = &interp.Method{
+	Name: "managedWrite", MaxLocals: 1, MaxRefs: 1,
+	Code: []interp.Inst{
+		{Op: interp.OpConst, A: 18},
+		{Op: interp.OpNewArray, A: 0},
+		{Op: interp.OpConst, A: 21},
+		{Op: interp.OpConst, A: 0xBAD},
+		{Op: interp.OpArrayPut, A: 0},
+		{Op: interp.OpConst, A: 0},
+		{Op: interp.OpReturn},
+	},
+}
+
+// nativeOOB calls into native code that does the same write via a raw
+// pointer.
+var nativeOOB = &interp.Method{
+	Name: "nativeWrite", MaxLocals: 1, MaxRefs: 1,
+	NativeNames: []string{"test_ofb"},
+	Code: []interp.Inst{
+		{Op: interp.OpConst, A: 18},
+		{Op: interp.OpNewArray, A: 0},
+		{Op: interp.OpCallNative, A: 0, B: 0},
+		{Op: interp.OpConst, A: 0},
+		{Op: interp.OpReturn},
+	},
+}
+
+func demo(scheme mte4jni.Scheme) {
+	fmt.Printf("--- scheme: %s ---\n", scheme)
+	rt, err := mte4jni.New(mte4jni.Config{Scheme: scheme})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := rt.AttachEnv("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ip := interp.New(env)
+	ip.RegisterNative("test_ofb", interp.NativeMethod{
+		Kind: jni.Regular,
+		Body: func(e *jni.Env, arr *vm.Object) error {
+			p, err := e.GetPrimitiveArrayCritical(arr)
+			if err != nil {
+				return err
+			}
+			e.StoreInt(p.Add(21*4), 0xBAD)
+			return e.ReleasePrimitiveArrayCritical(arr, p, mte4jni.ReleaseDefault)
+		},
+	})
+
+	// 1. Managed write: always safely rejected, regardless of scheme.
+	_, fault, err := ip.Invoke(managedOOB)
+	var thrown *interp.ThrownException
+	if errors.As(err, &thrown) {
+		fmt.Printf("managed bytecode: thrown %s\n", thrown.Kind)
+	} else {
+		log.Fatalf("managed write did not throw: fault=%v err=%v", fault, err)
+	}
+
+	// 2. Native write through JNI: scheme decides.
+	_, fault, err = ip.Invoke(nativeOOB)
+	switch {
+	case err != nil:
+		fmt.Printf("native via JNI:   release-time detection: %v\n\n", err)
+	case fault != nil:
+		fmt.Printf("native via JNI:   process crash: %v\n\n", fault)
+	default:
+		fmt.Printf("native via JNI:   terminated normally — heap silently corrupted!\n\n")
+	}
+}
+
+func main() {
+	demo(mte4jni.NoProtection)
+	demo(mte4jni.MTESync)
+}

@@ -1,0 +1,96 @@
+// GCConcurrent: the paper's §3.3 challenge, live.
+//
+// While a native thread holds a tagged raw pointer, the garbage collector
+// scans the heap through UNTAGGED pointers (GC pointers never pass through
+// JNI). With the naive process-level MTE enable (prctl-style), the GC
+// faults on the first tagged object. With the paper's thread-level TCO
+// control — checking is switched on only inside native code by the
+// trampolines — the GC scans freely.
+//
+//	go run ./examples/gcconcurrent
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"mte4jni"
+)
+
+// demo runs the scenario under one policy and reports what the GC saw.
+func demo(processLevel bool) {
+	policy := "thread-level TCO control (the paper's design)"
+	if processLevel {
+		policy = "naive process-level MTE (rejected in §3.3)"
+	}
+	fmt.Printf("--- %s ---\n", policy)
+
+	rt, err := mte4jni.New(mte4jni.Config{Scheme: mte4jni.MTESync, ProcessLevelMTE: processLevel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := rt.AttachEnv("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A populated heap for the GC to walk.
+	var arrays []*mte4jni.Object
+	for i := 0; i < 64; i++ {
+		a, err := env.NewIntArray(256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arrays = append(arrays, a)
+	}
+	gcThread, err := rt.VM().NewGCThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	acquired := make(chan struct{})
+	hold := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fault, err := env.CallNative("holdPointers", mte4jni.Regular, func(e *mte4jni.Env) error {
+			// Tag a batch of arrays by acquiring them.
+			var ptrs []mte4jni.Ptr
+			for _, a := range arrays[:16] {
+				p, err := e.GetPrimitiveArrayCritical(a)
+				if err != nil {
+					return err
+				}
+				ptrs = append(ptrs, p)
+			}
+			close(acquired) // tags are live; let the GC scan now
+			<-hold          // GC scans while we hold the tagged pointers
+			for i, a := range arrays[:16] {
+				if err := e.ReleasePrimitiveArrayCritical(a, ptrs[i], mte4jni.JNIAbort); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if fault != nil || err != nil {
+			log.Fatalf("native thread: fault=%v err=%v", fault, err)
+		}
+	}()
+
+	<-acquired
+	fault, scanned := rt.VM().ConcurrentScan(gcThread.Ctx())
+	close(hold)
+	wg.Wait()
+
+	if fault != nil {
+		fmt.Printf("GC crashed after scanning %d objects: %v\n\n", scanned, fault)
+	} else {
+		fmt.Printf("GC scanned all %d objects without faulting\n\n", scanned)
+	}
+}
+
+func main() {
+	demo(true)  // the problem
+	demo(false) // the paper's solution
+}

@@ -1,0 +1,168 @@
+package mte4jni
+
+import (
+	"fmt"
+
+	"mte4jni/internal/bench"
+)
+
+// This file drives the paper's §5.3.1 single-thread JNI overhead experiment
+// (Figure 5): a native method obtains raw pointers to two Java int arrays
+// via GetPrimitiveArrayCritical, copies one into the other, and releases
+// both; array lengths sweep 2^1..2^12 ints; each scheme's time is
+// normalized to the no-protection scheme.
+
+// Fig5Options parameterizes the sweep.
+type Fig5Options struct {
+	// MinPow and MaxPow bound the array-length exponents (default 1..12,
+	// the paper's range).
+	MinPow, MaxPow int
+	// Warmup and Reps control the timing harness (defaults 3 and 11).
+	Warmup, Reps int
+	// InnerIters repeats the native copy inside one timed run to lift tiny
+	// lengths above the timer resolution (default 64).
+	InnerIters int
+}
+
+func (o *Fig5Options) defaults() {
+	if o.MaxPow == 0 {
+		o.MinPow, o.MaxPow = 1, 12
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 3
+	}
+	if o.Reps == 0 {
+		o.Reps = 11
+	}
+	if o.InnerIters == 0 {
+		o.InnerIters = 64
+	}
+}
+
+// Fig5Result holds the normalized ratios per scheme and length.
+type Fig5Result struct {
+	// Lengths are the array lengths in ints.
+	Lengths []int
+	// Ratios maps scheme -> per-length slowdown vs no protection.
+	Ratios map[Scheme][]float64
+	// Average maps scheme -> arithmetic mean slowdown across lengths (the
+	// paper reports 26.58x / 2.36x / 2.24x here).
+	Average map[Scheme]float64
+}
+
+// Figure renders the result in the shape of the paper's Figure 5.
+func (r *Fig5Result) Figure() *bench.Figure {
+	fig := bench.NewFigure("Figure 5: single-thread copy time, normalized to no protection", "array length (ints)")
+	order := []Scheme{GuardedCopy, MTESync, MTEAsync}
+	for _, s := range order {
+		series := fig.AddSeries(s.String())
+		for i, n := range r.Lengths {
+			series.Add(fmt.Sprintf("2^%d=%d", i+log2(r.Lengths[0]), n), r.Ratios[s][i])
+		}
+	}
+	return fig
+}
+
+// log2 of a positive power of two.
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// copyNative is the Figure 5 native method: acquire both arrays, memcpy,
+// release both.
+func copyNative(env *Env, src, dst *Object, bytes int) error {
+	ps, err := env.GetPrimitiveArrayCritical(src)
+	if err != nil {
+		return err
+	}
+	pd, err := env.GetPrimitiveArrayCritical(dst)
+	if err != nil {
+		return err
+	}
+	env.Memcpy(pd, ps, bytes)
+	if err := env.ReleasePrimitiveArrayCritical(dst, pd, ReleaseDefault); err != nil {
+		return err
+	}
+	return env.ReleasePrimitiveArrayCritical(src, ps, ReleaseDefault)
+}
+
+// fig5Time measures the median duration of the native copy under one scheme
+// for one array length.
+func fig5Time(scheme Scheme, length int, o Fig5Options) (float64, error) {
+	rt, err := New(Config{Scheme: scheme, HeapSize: 16 << 20})
+	if err != nil {
+		return 0, err
+	}
+	env, err := rt.AttachEnv("main")
+	if err != nil {
+		return 0, err
+	}
+	src, err := env.NewIntArray(length)
+	if err != nil {
+		return 0, err
+	}
+	dst, err := env.NewIntArray(length)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < length; i++ {
+		if err := src.SetInt(i, int32(i)); err != nil {
+			return 0, err
+		}
+	}
+	var callErr error
+	d := bench.Measure(o.Warmup, o.Reps, func() {
+		fault, err := env.CallNative("copyArrays", Regular, func(e *Env) error {
+			for it := 0; it < o.InnerIters; it++ {
+				if err := copyNative(e, src, dst, length*4); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if fault != nil && callErr == nil {
+			callErr = fault
+		}
+		if err != nil && callErr == nil {
+			callErr = err
+		}
+	})
+	if callErr != nil {
+		return 0, fmt.Errorf("fig5 %v n=%d: %w", scheme, length, callErr)
+	}
+	return float64(d), nil
+}
+
+// RunFig5 runs the full sweep and returns normalized ratios.
+func RunFig5(o Fig5Options) (*Fig5Result, error) {
+	o.defaults()
+	res := &Fig5Result{
+		Ratios:  make(map[Scheme][]float64),
+		Average: make(map[Scheme]float64),
+	}
+	for pow := o.MinPow; pow <= o.MaxPow; pow++ {
+		res.Lengths = append(res.Lengths, 1<<pow)
+	}
+	times := make(map[Scheme][]float64)
+	for _, scheme := range Schemes() {
+		for _, n := range res.Lengths {
+			t, err := fig5Time(scheme, n, o)
+			if err != nil {
+				return nil, err
+			}
+			times[scheme] = append(times[scheme], t)
+		}
+	}
+	for _, scheme := range []Scheme{GuardedCopy, MTESync, MTEAsync} {
+		for i := range res.Lengths {
+			res.Ratios[scheme] = append(res.Ratios[scheme], times[scheme][i]/times[NoProtection][i])
+		}
+		res.Average[scheme] = bench.Mean(res.Ratios[scheme])
+	}
+	return res, nil
+}

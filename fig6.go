@@ -1,0 +1,262 @@
+package mte4jni
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mte4jni/internal/bench"
+)
+
+// This file drives the paper's §5.3.2 multi-thread JNI overhead experiment
+// (Figure 6): 64 threads concurrently run a native method that repeatedly
+// (10000 times) acquires, bulk-reads and releases an int[1024]. In the
+// "same array" test all threads hammer one array (contending on MTE4JNI's
+// per-object lock); in the "different arrays" test each thread has its own
+// (contending, at most, on the hash-table locks). Five protected schemes
+// are compared, each normalized to no protection: MTE4JNI two-tier
+// sync/async, MTE4JNI with a naive global lock sync/async, and guarded
+// copy.
+
+// Fig6Variant identifies one bar group of Figure 6.
+type Fig6Variant struct {
+	// Display is the legend name.
+	Display string
+	// Scheme is the base scheme.
+	Scheme Scheme
+	// Locking applies to MTE schemes.
+	Locking Locking
+}
+
+// Fig6Variants returns the five protected configurations of Figure 6 plus
+// the baseline (first entry).
+func Fig6Variants() []Fig6Variant {
+	return []Fig6Variant{
+		{"No protection", NoProtection, TwoTierLocking},
+		{"MTE4JNI+Sync", MTESync, TwoTierLocking},
+		{"MTE4JNI+Async", MTEAsync, TwoTierLocking},
+		{"MTE4JNI+Sync+global_lock", MTESync, GlobalLocking},
+		{"MTE4JNI+Async+global_lock", MTEAsync, GlobalLocking},
+		{"Guarded Copy", GuardedCopy, TwoTierLocking},
+	}
+}
+
+// Fig6Options parameterizes the experiment; zero values select the paper's
+// settings.
+type Fig6Options struct {
+	// Threads is the number of concurrent native threads (default 64).
+	Threads int
+	// Iters is the per-thread acquire/read/release count (default 10000).
+	Iters int
+	// ArrayLen is the array length in ints (default 1024).
+	ArrayLen int
+	// Reps and Warmup control the timing harness (defaults 5 and 1).
+	Reps, Warmup int
+}
+
+func (o *Fig6Options) defaults() {
+	if o.Threads == 0 {
+		o.Threads = 64
+	}
+	if o.Iters == 0 {
+		o.Iters = 10000
+	}
+	if o.ArrayLen == 0 {
+		o.ArrayLen = 1024
+	}
+	if o.Reps == 0 {
+		o.Reps = 5
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 1
+	}
+}
+
+// Contention captures the protector's lock statistics for one run: how
+// many table-lock and object-lock acquisitions found the lock held. On
+// hosts with little hardware parallelism the wall-clock gap between
+// two-tier and global locking collapses (only one thread runs at a time),
+// but these counters still expose the §5.3.2 difference.
+type Contention struct {
+	// Table and Object are contended-acquisition counts.
+	Table, Object int64
+}
+
+// Fig6Result holds normalized execution times for both tests.
+type Fig6Result struct {
+	// Variants lists the measured configurations (baseline excluded).
+	Variants []Fig6Variant
+	// SameArray and DifferentArrays are slowdown ratios vs no protection,
+	// index-aligned with Variants.
+	SameArray, DifferentArrays []float64
+	// SameArrayContention and DifferentArraysContention carry the lock
+	// statistics for the MTE variants (zero for guarded copy), index-
+	// aligned with Variants.
+	SameArrayContention, DifferentArraysContention []Contention
+}
+
+// Figure renders the result in the shape of the paper's Figure 6.
+func (r *Fig6Result) Figure() *bench.Figure {
+	fig := bench.NewFigure("Figure 6: multi-thread concurrent reads, normalized to no protection", "test")
+	for i, v := range r.Variants {
+		s := fig.AddSeries(v.Display)
+		s.Add("Same Array", r.SameArray[i])
+		s.Add("Different Array", r.DifferentArrays[i])
+	}
+	return fig
+}
+
+// fig6Run measures the wall-clock time for all threads to finish under one
+// configuration. sameArray selects the contention pattern.
+func fig6Run(v Fig6Variant, sameArray bool, o Fig6Options) (time.Duration, Contention, error) {
+	return fig6RunConfigured(v, sameArray, o, 0)
+}
+
+// fig6RunConfigured additionally overrides the protector's hash-table count
+// (0 keeps the paper's 16); the hash-table ablation sweeps it.
+func fig6RunConfigured(v Fig6Variant, sameArray bool, o Fig6Options, hashTables int) (time.Duration, Contention, error) {
+	rt, err := New(Config{
+		Scheme:     v.Scheme,
+		Locking:    v.Locking,
+		HashTables: hashTables,
+		HeapSize:   uint64(64<<20) + uint64(o.Threads*o.ArrayLen*8),
+	})
+	if err != nil {
+		return 0, Contention{}, err
+	}
+
+	// Arrays and environments are created once; the timed section is the
+	// native work itself, as on the device.
+	arrays := make([]*Object, o.Threads)
+	envs := make([]*Env, o.Threads)
+	var shared *Object
+	for i := 0; i < o.Threads; i++ {
+		envs[i], err = rt.AttachEnv(fmt.Sprintf("native-%d", i))
+		if err != nil {
+			return 0, Contention{}, err
+		}
+		if sameArray {
+			if shared == nil {
+				shared, err = envs[i].NewIntArray(o.ArrayLen)
+				if err != nil {
+					return 0, Contention{}, err
+				}
+			}
+			arrays[i] = shared
+		} else {
+			arrays[i], err = envs[i].NewIntArray(o.ArrayLen)
+			if err != nil {
+				return 0, Contention{}, err
+			}
+		}
+	}
+
+	scratchBytes := o.ArrayLen * 4
+	var firstErr error
+	var errMu sync.Mutex
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	run := func() {
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(o.Threads)
+		for i := 0; i < o.Threads; i++ {
+			go func(id int) {
+				defer done.Done()
+				env, arr := envs[id], arrays[id]
+				scratch := make([]byte, scratchBytes)
+				start.Wait()
+				var sink int64
+				fault, err := env.CallNative("readArray", Regular, func(e *Env) error {
+					for it := 0; it < o.Iters; it++ {
+						p, err := e.GetPrimitiveArrayCritical(arr)
+						if err != nil {
+							return err
+						}
+						e.CopyToNative(scratch, p)
+						// The "read": sum the elements natively, the work
+						// the paper's native method exists to do.
+						for i := 0; i+4 <= len(scratch); i += 4 {
+							sink += int64(int32(uint32(scratch[i]) | uint32(scratch[i+1])<<8 |
+								uint32(scratch[i+2])<<16 | uint32(scratch[i+3])<<24))
+						}
+						if err := e.ReleasePrimitiveArrayCritical(arr, p, JNIAbort); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				_ = sink
+				if fault != nil {
+					setErr(fault)
+				}
+				if err != nil {
+					setErr(err)
+				}
+			}(i)
+		}
+		start.Done()
+		done.Wait()
+	}
+
+	d := bench.Measure(o.Warmup, o.Reps, run)
+	if firstErr != nil {
+		return 0, Contention{}, fmt.Errorf("fig6 %s: %w", v.Display, firstErr)
+	}
+	var cont Contention
+	if p := rt.Protector(); p != nil {
+		st := p.Stats()
+		cont = Contention{Table: st.TableLockContended, Object: st.ObjectLockContended}
+	}
+	return d, cont, nil
+}
+
+// RunFig6 runs both tests across all configurations and normalizes.
+func RunFig6(o Fig6Options) (*Fig6Result, error) {
+	o.defaults()
+	variants := Fig6Variants()
+	res := &Fig6Result{Variants: variants[1:]}
+
+	var baseSame, baseDiff time.Duration
+	for i, v := range variants {
+		same, sameCont, err := fig6Run(v, true, o)
+		if err != nil {
+			return nil, err
+		}
+		diff, diffCont, err := fig6Run(v, false, o)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseSame, baseDiff = same, diff
+			continue
+		}
+		res.SameArray = append(res.SameArray, float64(same)/float64(baseSame))
+		res.DifferentArrays = append(res.DifferentArrays, float64(diff)/float64(baseDiff))
+		res.SameArrayContention = append(res.SameArrayContention, sameCont)
+		res.DifferentArraysContention = append(res.DifferentArraysContention, diffCont)
+	}
+	return res, nil
+}
+
+// ContentionTable renders the per-variant lock statistics.
+func (r *Fig6Result) ContentionTable() *bench.Table {
+	t := bench.NewTable("Figure 6 auxiliary: contended lock acquisitions (counts per full run)",
+		"variant", "same array (table/object)", "different arrays (table/object)")
+	for i, v := range r.Variants {
+		if i >= len(r.SameArrayContention) {
+			break
+		}
+		sc, dc := r.SameArrayContention[i], r.DifferentArraysContention[i]
+		t.AddRow(v.Display,
+			fmt.Sprintf("%d / %d", sc.Table, sc.Object),
+			fmt.Sprintf("%d / %d", dc.Table, dc.Object))
+	}
+	return t
+}

@@ -1,0 +1,3 @@
+module mte4jni
+
+go 1.22

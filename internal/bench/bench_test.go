@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []time.Duration
+		want time.Duration
+	}{
+		{nil, 0},
+		{[]time.Duration{5}, 5},
+		{[]time.Duration{3, 1, 2}, 2},
+		{[]time.Duration{4, 1, 3, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := Median(append([]time.Duration(nil), c.in...)); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeasureRunsWarmupAndReps(t *testing.T) {
+	count := 0
+	d := Measure(3, 5, func() { count++ })
+	if count != 8 {
+		t.Fatalf("fn ran %d times, want 8", count)
+	}
+	if d < 0 {
+		t.Fatal("negative duration")
+	}
+	count = 0
+	Measure(0, 0, func() { count++ })
+	if count != 1 {
+		t.Fatalf("reps<1 must clamp to one recorded run, got %d", count)
+	}
+}
+
+func TestStats(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty/degenerate inputs")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("GeoMean with non-positive input must be 0")
+	}
+	if got := StdDev([]float64{2, 4}); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 2.5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile([]float64{10}, 75); got != 10 {
+		t.Fatalf("single-sample percentile = %v", got)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if m, hw := CI95([]float64{5}); m != 5 || hw != 0 {
+		t.Fatalf("degenerate CI = %v ± %v", m, hw)
+	}
+	m, hw := CI95([]float64{2, 4})
+	if m != 3 || hw <= 0 {
+		t.Fatalf("CI = %v ± %v", m, hw)
+	}
+	// Wider spread → wider interval.
+	_, hw2 := CI95([]float64{0, 6})
+	if hw2 <= hw {
+		t.Fatal("CI width not monotone in spread")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ratio(26.578) != "26.58x" {
+		t.Fatalf("Ratio = %q", Ratio(26.578))
+	}
+	if Percent(-5.9) != "-5.90%" || Percent(1.13) != "+1.13%" {
+		t.Fatal("Percent format wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table X", "scheme", "ratio")
+	tab.AddRow("guarded-copy", "26.58x")
+	tab.AddRow("mte")
+	if tab.Rows() != 2 {
+		t.Fatal("row count")
+	}
+	out := tab.String()
+	for _, want := range []string{"Table X", "scheme", "guarded-copy", "26.58x", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := NewFigure("Figure 5", "length")
+	a := fig.AddSeries("Guarded_Copy")
+	b := fig.AddSeries("MTE4JNI+Sync")
+	a.Add("2^1", 50.0)
+	a.Add("2^2", 40.0)
+	b.Add("2^1", 3.0)
+	out := fig.String()
+	for _, want := range []string{"Figure 5", "Guarded_Copy", "MTE4JNI+Sync", "50.00x", "3.00x", "2^2", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	if len(fig.Series()) != 2 {
+		t.Fatal("series count")
+	}
+}

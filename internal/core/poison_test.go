@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+)
+
+func TestPoisonOnReleaseMarksMemory(t *testing.T) {
+	p, th, v := setup(t, Config{PoisonOnRelease: true})
+	if !p.Config().Exclude.Excludes(mte.PoisonTag) {
+		t.Fatal("poison tag must be excluded from generation")
+	}
+	arr, _ := v.NewIntArray(16)
+	begin, end := arr.DataBegin(), arr.DataEnd()
+	ptr, err := p.Acquire(th, arr, begin, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptr.Tag() == mte.PoisonTag {
+		t.Fatal("generated tag equals the poison tag")
+	}
+	if err := p.Release(th, arr, ptr, begin, end, jni.ReleaseDefault); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.JavaHeap.Mapping().TagAt(begin); got != mte.PoisonTag {
+		t.Fatalf("released memory tag = %v, want poison %v", got, mte.PoisonTag)
+	}
+
+	// A stale access now faults with the poison tag as memory tag —
+	// self-identifying use-after-release.
+	ctx := th.Ctx()
+	ctx.SetTCO(false)
+	_, fault := v.Space.Load32(ctx, ptr)
+	if fault == nil || fault.MemTag != mte.PoisonTag {
+		t.Fatalf("stale access fault = %v, want poison mem tag", fault)
+	}
+
+	// Re-acquire overwrites the poison with a fresh tag.
+	ptr2, err := p.Acquire(th, arr, begin, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.JavaHeap.Mapping().TagAt(begin); got != ptr2.Tag() || got == mte.PoisonTag {
+		t.Fatalf("re-acquire tag = %v", got)
+	}
+	if err := p.Release(th, arr, ptr2, begin, end, jni.ReleaseDefault); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyIntegrityCleanAndDirty(t *testing.T) {
+	for _, lock := range []LockScheme{LockTwoTier, LockGlobal} {
+		p, th, v := setup(t, Config{Lock: lock})
+		arr, _ := v.NewIntArray(8)
+		begin, end := arr.DataBegin(), arr.DataEnd()
+		ptr, _ := p.Acquire(th, arr, begin, end)
+		if err := p.VerifyIntegrity(); err != nil {
+			t.Fatalf("%v: clean state flagged: %v", lock, err)
+		}
+		// Corrupt the tag behind the protector's back: integrity must fail.
+		if _, err := v.JavaHeap.Mapping().SetTagRange(begin, begin+16, ptr.Tag()^0x3); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.VerifyIntegrity(); err == nil {
+			t.Fatalf("%v: corrupted live tag not flagged", lock)
+		}
+		// Restore and release: clean again.
+		if _, err := v.JavaHeap.Mapping().SetTagRange(begin, begin+16, ptr.Tag()); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Release(th, arr, ptr, begin, end, jni.ReleaseDefault); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.VerifyIntegrity(); err != nil {
+			t.Fatalf("%v: post-release state flagged: %v", lock, err)
+		}
+	}
+}

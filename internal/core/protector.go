@@ -1,0 +1,492 @@
+// Package core implements MTE4JNI, the paper's contribution: memory tag
+// allocation and release for Java heap objects handed to native code
+// through JNI, built on reference counting with a two-tier locking scheme
+// (paper §3).
+//
+// The Protector plugs under the JNI Get/Release interfaces (as a
+// jni.Checker). On acquire it runs Algorithm 1: find the object's slot in
+// one of k hash tables, take a reference, and either load the existing tag
+// (another native thread already holds this object) or generate a fresh
+// random tag and apply it to both the memory granules and the returned
+// pointer. On release it runs Algorithm 2: drop the reference and, when the
+// count hits zero, zero the memory tags so stale pointers stop matching.
+//
+// Whether a mismatch faults synchronously or asynchronously is a property
+// of the accessing thread (its TCF mode), not of the Protector; see package
+// cpu.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mem"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+// LockScheme selects the synchronization design evaluated in §5.3.2.
+type LockScheme int
+
+const (
+	// LockTwoTier is the paper's design: one short-lived lock per hash
+	// table plus one lock per object entry (§3.1.2).
+	LockTwoTier LockScheme = iota
+	// LockGlobal is the naive baseline: a single lock serializing all tag
+	// allocation and release.
+	LockGlobal
+)
+
+// String names the scheme as in Figure 6's legend.
+func (s LockScheme) String() string {
+	if s == LockGlobal {
+		return "global-lock"
+	}
+	return "two-tier"
+}
+
+// DefaultHashTables is the paper's evaluation setting: "we use 16 hash
+// tables in the MTE4JNI method" (§5.1). It also matches Algorithm 1's
+// "mod 16".
+const DefaultHashTables = 16
+
+// Config parameterizes a Protector.
+type Config struct {
+	// HashTables is k, the number of hash tables (shards). Zero selects
+	// DefaultHashTables. The ablation in DESIGN.md Extra B sweeps this.
+	HashTables int
+	// Lock selects two-tier (default) or the naive global lock.
+	Lock LockScheme
+	// Exclude removes tag values from random generation. The zero value
+	// excludes tag 0, as Android's MTE integration does, so tagged pointers
+	// are always distinguishable from untagged ones.
+	Exclude mte.ExcludeMask
+	// PruneEntries erases hash-table entries once their reference count
+	// reaches zero. The default (false) follows Algorithm 2 as written in
+	// the paper — entries persist, so repeated handouts of the same object
+	// pay only a lookup — at the cost of the table growing with the number
+	// of distinct objects ever passed to native code. Enable pruning for
+	// long-running processes that hand out many short-lived objects.
+	PruneEntries bool
+	// PoisonOnRelease retags released objects with mte.PoisonTag instead of
+	// zero. Stale tagged pointers then fault with a memory tag that
+	// unambiguously reads as use-after-release in crash reports, instead of
+	// being indistinguishable from an access to never-tagged memory. The
+	// poison value is excluded from random generation automatically.
+	PoisonOnRelease bool
+	// ExcludeNeighbors additionally excludes the current tags of the
+	// granules immediately before and after the object from random
+	// generation, guaranteeing adjacent allocations never share a tag.
+	// This is the deterministic-adjacent-OOB hardening Android's scudo
+	// allocator applies to native MTE heaps; the paper's design (random
+	// tags, §3.1.1) leaves a 1-in-15 collision chance that DESIGN.md
+	// Extra C measures.
+	ExcludeNeighbors bool
+}
+
+// Stats counts Protector activity for tests and the benchmark harness.
+type Stats struct {
+	// TagAllocs counts fresh tag generations (irg + stg path).
+	TagAllocs int64
+	// SharedAcquires counts acquisitions satisfied by an existing tag
+	// (refs > 1 path, the ldg branch of Algorithm 1).
+	SharedAcquires int64
+	// TagReleases counts tag zeroings (refcount reached zero).
+	TagReleases int64
+	// GranulesTagged counts granule tag writes, a proxy for stg/st2g
+	// instruction count.
+	GranulesTagged int64
+	// TableLockContended and ObjectLockContended count lock acquisitions
+	// that found the lock already held (table locks vs per-object locks;
+	// the single lock of the global scheme counts as a table lock). They
+	// make the §5.3.2 contention comparison observable even on hosts whose
+	// limited parallelism hides it from wall-clock time.
+	TableLockContended, ObjectLockContended int64
+}
+
+// entry is the per-object value stored in a hash table: the paper's
+// (referenceNum, mutexAddr) tuple plus the tag itself.
+type entry struct {
+	mu   sync.Mutex
+	refs int
+	tag  mte.Tag
+	// dead is set once the entry has been unlinked from its shard; an
+	// acquirer that raced with the unlink must retry its table lookup.
+	dead bool
+}
+
+// shard is one hash table plus its table lock.
+type shard struct {
+	mu      sync.Mutex
+	entries map[mte.Addr]*entry
+}
+
+// Protector is the MTE4JNI checker.
+type Protector struct {
+	vm     *vm.VM
+	cfg    Config
+	shards []shard
+
+	// global is the lock used when cfg.Lock == LockGlobal; the shard and
+	// entry locks are bypassed entirely in that mode.
+	global sync.Mutex
+
+	tagAllocs       atomic.Int64
+	sharedAcquires  atomic.Int64
+	tagReleases     atomic.Int64
+	granulesTagged  atomic.Int64
+	tableContended  atomic.Int64
+	objectContended atomic.Int64
+}
+
+// lockCounting acquires mu, counting into contended when the lock was
+// already held. TryLock failing is exactly "found it held", the signal the
+// contention statistics want.
+func lockCounting(mu *sync.Mutex, contended *atomic.Int64) {
+	if mu.TryLock() {
+		return
+	}
+	contended.Add(1)
+	mu.Lock()
+}
+
+// New creates a Protector for v. The VM must have MTE enabled (a tagged
+// Java heap); protecting an untagged heap is a configuration error.
+func New(v *vm.VM, cfg Config) (*Protector, error) {
+	if !v.MTEEnabled() {
+		return nil, fmt.Errorf("core: VM has no MTE heap; construct it with Options.MTE")
+	}
+	if cfg.HashTables == 0 {
+		cfg.HashTables = DefaultHashTables
+	}
+	if cfg.HashTables < 1 {
+		return nil, fmt.Errorf("core: invalid hash table count %d", cfg.HashTables)
+	}
+	if cfg.Exclude == 0 {
+		cfg.Exclude = mte.ExcludeMask(0).Exclude(0)
+	}
+	if cfg.PoisonOnRelease {
+		cfg.Exclude = cfg.Exclude.Exclude(mte.PoisonTag)
+	}
+	p := &Protector{vm: v, cfg: cfg, shards: make([]shard, cfg.HashTables)}
+	for i := range p.shards {
+		p.shards[i].entries = make(map[mte.Addr]*entry)
+	}
+	return p, nil
+}
+
+// Name implements jni.Checker.
+func (p *Protector) Name() string { return "mte4jni(" + p.cfg.Lock.String() + ")" }
+
+// Config returns the configuration in force.
+func (p *Protector) Config() Config { return p.cfg }
+
+// shardFor implements Algorithm 1 step 1: the hash table index is the
+// granule number of the begin address modulo k.
+func (p *Protector) shardFor(begin mte.Addr) *shard {
+	return &p.shards[int(begin.GranuleIndex())%p.cfg.HashTables]
+}
+
+// mappingFor resolves the tagged mapping containing [begin, end).
+func (p *Protector) mappingFor(begin mte.Addr) (*mem.Mapping, error) {
+	m, ok := p.vm.Space.Resolve(begin)
+	if !ok {
+		return nil, fmt.Errorf("core: address %v is not mapped", begin)
+	}
+	if !m.Tagged() {
+		return nil, fmt.Errorf("core: mapping %q lacks PROT_MTE", m.Name())
+	}
+	return m, nil
+}
+
+// Acquire implements jni.Checker with Algorithm 1.
+func (p *Protector) Acquire(t *vm.Thread, obj *vm.Object, begin, end mte.Addr) (mte.Ptr, error) {
+	m, err := p.mappingFor(begin)
+	if err != nil {
+		return 0, err
+	}
+
+	if p.cfg.Lock == LockGlobal {
+		lockCounting(&p.global, &p.tableContended)
+		defer p.global.Unlock()
+		return p.acquireLocked(p.shardFor(begin), m, begin, end)
+	}
+
+	for {
+		// Step 2: retrieve or create the reference count under the table
+		// lock, which is released as soon as the entry is in hand.
+		sh := p.shardFor(begin)
+		lockCounting(&sh.mu, &p.tableContended)
+		en, ok := sh.entries[begin]
+		if !ok {
+			en = &entry{}
+			sh.entries[begin] = en
+		}
+		sh.mu.Unlock()
+
+		// Step 3: retrieve or create the memory tag under the object lock.
+		lockCounting(&en.mu, &p.objectContended)
+		if en.dead {
+			// Lost a race with a concurrent release that unlinked the
+			// entry; retry the table lookup.
+			en.mu.Unlock()
+			continue
+		}
+		ptr, err := p.tagUnderEntryLock(en, m, begin, end)
+		en.mu.Unlock()
+		return ptr, err
+	}
+}
+
+// acquireLocked is the global-lock variant: the caller already holds the
+// single lock, so shard and entry locks are unnecessary.
+func (p *Protector) acquireLocked(sh *shard, m *mem.Mapping, begin, end mte.Addr) (mte.Ptr, error) {
+	en, ok := sh.entries[begin]
+	if !ok {
+		en = &entry{}
+		sh.entries[begin] = en
+	}
+	return p.tagUnderEntryLock(en, m, begin, end)
+}
+
+// tagUnderEntryLock performs the reference-counting core of Algorithm 1.
+// The caller holds the entry's lock (or the global lock).
+func (p *Protector) tagUnderEntryLock(en *entry, m *mem.Mapping, begin, end mte.Addr) (mte.Ptr, error) {
+	en.refs++
+	if en.refs > 1 {
+		// Another native thread already tagged this object: share its tag
+		// (the ldg branch).
+		p.sharedAcquires.Add(1)
+		return mte.MakePtr(begin, en.tag), nil
+	}
+	// First holder: generate a random tag (irg) and apply it to every
+	// granule of the object (stg/st2g loop).
+	mask := p.cfg.Exclude
+	if p.cfg.ExcludeNeighbors {
+		// Scan two granules on each side: one for the 16-byte object header
+		// that sits between neighbouring payloads, one for the neighbour's
+		// own memory. Whatever tags are live there cannot be chosen, so an
+		// off-by-small OOB access into an adjacent object always mismatches.
+		gb, ge := mte.GranuleRange(begin, end)
+		for i := 1; i <= 2; i++ {
+			if before := gb - mte.Addr(i*mte.GranuleSize); before >= m.Base() {
+				mask = mask.Exclude(m.TagAt(before))
+			}
+			if after := ge + mte.Addr((i-1)*mte.GranuleSize); after+mte.GranuleSize <= m.End() {
+				mask = mask.Exclude(m.TagAt(after))
+			}
+		}
+	}
+	tag := p.vm.RandomTag(mask)
+	n, err := m.SetTagRange(begin, end, tag)
+	if err != nil {
+		en.refs--
+		return 0, fmt.Errorf("core: tagging [%v,%v): %w", begin, end, err)
+	}
+	en.tag = tag
+	p.tagAllocs.Add(1)
+	p.granulesTagged.Add(int64(n))
+	return mte.MakePtr(begin, tag), nil
+}
+
+// Release implements jni.Checker with Algorithm 2.
+func (p *Protector) Release(t *vm.Thread, obj *vm.Object, ptr mte.Ptr, begin, end mte.Addr, mode jni.ReleaseMode) error {
+	m, err := p.mappingFor(begin)
+	if err != nil {
+		return err
+	}
+
+	if p.cfg.Lock == LockGlobal {
+		lockCounting(&p.global, &p.tableContended)
+		defer p.global.Unlock()
+		sh := p.shardFor(begin)
+		en, ok := sh.entries[begin]
+		if !ok {
+			// "If no entry exists, nothing needs to be done."
+			return nil
+		}
+		return p.releaseUnderEntryLock(sh, en, m, ptr, begin, end)
+	}
+
+	// Step 2: retrieve the reference count under the table lock.
+	sh := p.shardFor(begin)
+	lockCounting(&sh.mu, &p.tableContended)
+	en, ok := sh.entries[begin]
+	sh.mu.Unlock()
+	if !ok {
+		return nil
+	}
+
+	// Step 3: optionally release the memory tag under the object lock.
+	lockCounting(&en.mu, &p.objectContended)
+	if en.dead {
+		en.mu.Unlock()
+		return nil
+	}
+	err = p.releaseUnderEntryLock(sh, en, m, ptr, begin, end)
+	unlink := p.cfg.PruneEntries && en.refs == 0
+	if unlink {
+		en.dead = true
+	}
+	en.mu.Unlock()
+
+	if unlink {
+		sh.mu.Lock()
+		if sh.entries[begin] == en {
+			delete(sh.entries, begin)
+		}
+		sh.mu.Unlock()
+	}
+	return err
+}
+
+// releaseUnderEntryLock performs the reference-counting core of Algorithm 2.
+// The caller holds the entry's lock (or the global lock).
+func (p *Protector) releaseUnderEntryLock(sh *shard, en *entry, m *mem.Mapping, ptr mte.Ptr, begin, end mte.Addr) error {
+	if en.refs <= 0 {
+		return fmt.Errorf("core: release of %v with no outstanding acquisition (refs=%d)", begin, en.refs)
+	}
+	if ptr.Tag() != en.tag {
+		return fmt.Errorf("core: release pointer tag %s does not match allocation tag %s for %v",
+			ptr.Tag(), en.tag, begin)
+	}
+	en.refs--
+	if en.refs > 0 {
+		return nil
+	}
+	// Reference count reached zero: retire the memory tags so the released
+	// pointer (and any stale copies of it) no longer match — this is what
+	// bounds tag-reuse confusion (§3.2). With poisoning enabled the range
+	// gets the reserved poison tag so stale-pointer faults self-identify.
+	retireTag := mte.Tag(0)
+	if p.cfg.PoisonOnRelease {
+		retireTag = mte.PoisonTag
+	}
+	if _, err := m.SetTagRange(begin, end, retireTag); err != nil {
+		return fmt.Errorf("core: releasing tags for [%v,%v): %w", begin, end, err)
+	}
+	p.tagReleases.Add(1)
+	if p.cfg.Lock == LockGlobal && p.cfg.PruneEntries {
+		delete(sh.entries, begin)
+	}
+	return nil
+}
+
+// Refs returns the current reference count for the object payload starting
+// at begin, for tests and diagnostics.
+func (p *Protector) Refs(begin mte.Addr) int {
+	if p.cfg.Lock == LockGlobal {
+		p.global.Lock()
+		defer p.global.Unlock()
+		if en, ok := p.shardFor(begin).entries[begin]; ok {
+			return en.refs
+		}
+		return 0
+	}
+	sh := p.shardFor(begin)
+	sh.mu.Lock()
+	en, ok := sh.entries[begin]
+	sh.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.refs
+}
+
+// Entries returns the total number of live hash-table entries across all
+// shards.
+func (p *Protector) Entries() int {
+	if p.cfg.Lock == LockGlobal {
+		p.global.Lock()
+		defer p.global.Unlock()
+		n := 0
+		for i := range p.shards {
+			n += len(p.shards[i].entries)
+		}
+		return n
+	}
+	n := 0
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+		n += len(p.shards[i].entries)
+		p.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the activity counters.
+func (p *Protector) Stats() Stats {
+	return Stats{
+		TagAllocs:           p.tagAllocs.Load(),
+		SharedAcquires:      p.sharedAcquires.Load(),
+		TagReleases:         p.tagReleases.Load(),
+		GranulesTagged:      p.granulesTagged.Load(),
+		TableLockContended:  p.tableContended.Load(),
+		ObjectLockContended: p.objectContended.Load(),
+	}
+}
+
+// verify interface compliance at compile time.
+var _ jni.Checker = (*Protector)(nil)
+
+// VerifyIntegrity walks every hash table and checks the protector's
+// invariants: no entry with a negative reference count, no live (refs > 0)
+// entry whose object memory lost its tag, and no dead entry still linked.
+// Tests and the fuzzer call it at teardown; a non-nil error indicates a bug
+// in the tag lifecycle.
+func (p *Protector) VerifyIntegrity() error {
+	if p.cfg.Lock == LockGlobal {
+		p.global.Lock()
+		defer p.global.Unlock()
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		if p.cfg.Lock != LockGlobal {
+			sh.mu.Lock()
+		}
+		for begin, en := range sh.entries {
+			if p.cfg.Lock != LockGlobal {
+				en.mu.Lock()
+			}
+			refs, tag, dead := en.refs, en.tag, en.dead
+			if p.cfg.Lock != LockGlobal {
+				en.mu.Unlock()
+			}
+			if dead {
+				if p.cfg.Lock != LockGlobal {
+					sh.mu.Unlock()
+				}
+				return fmt.Errorf("core: dead entry still linked at %v", begin)
+			}
+			if refs < 0 {
+				if p.cfg.Lock != LockGlobal {
+					sh.mu.Unlock()
+				}
+				return fmt.Errorf("core: negative refcount %d at %v", refs, begin)
+			}
+			if refs > 0 {
+				m, err := p.mappingFor(begin)
+				if err != nil {
+					if p.cfg.Lock != LockGlobal {
+						sh.mu.Unlock()
+					}
+					return err
+				}
+				if got := m.TagAt(begin); got != tag {
+					if p.cfg.Lock != LockGlobal {
+						sh.mu.Unlock()
+					}
+					return fmt.Errorf("core: live entry at %v has memory tag %s, entry tag %s", begin, got, tag)
+				}
+			}
+		}
+		if p.cfg.Lock != LockGlobal {
+			sh.mu.Unlock()
+		}
+	}
+	return nil
+}

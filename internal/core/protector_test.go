@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+func setup(t *testing.T, cfg Config) (*Protector, *vm.Thread, *vm.VM) {
+	t.Helper()
+	v, err := vm.New(vm.Options{HeapSize: 16 << 20, MTE: true, CheckMode: mte.TCFSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := v.AttachThread("native-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, th, v
+}
+
+func TestRequiresMTEHeap(t *testing.T) {
+	v, _ := vm.New(vm.Options{HeapSize: 1 << 20})
+	if _, err := New(v, Config{}); err == nil {
+		t.Fatal("Protector must reject a VM without MTE")
+	}
+	vMTE, _ := vm.New(vm.Options{HeapSize: 1 << 20, MTE: true})
+	if _, err := New(vMTE, Config{HashTables: -3}); err == nil {
+		t.Fatal("negative hash table count accepted")
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	p, _, _ := setup(t, Config{})
+	if p.Config().HashTables != 16 {
+		t.Fatalf("default k = %d, want 16 (§5.1)", p.Config().HashTables)
+	}
+	if p.Config().Lock != LockTwoTier {
+		t.Fatal("default locking must be two-tier")
+	}
+	if !p.Config().Exclude.Excludes(0) {
+		t.Fatal("tag 0 must be excluded by default")
+	}
+	if p.Name() != "mte4jni(two-tier)" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestAcquireTagsMemoryAndPointer(t *testing.T) {
+	for _, lock := range []LockScheme{LockTwoTier, LockGlobal} {
+		p, th, v := setup(t, Config{Lock: lock})
+		arr, _ := v.NewIntArray(18)
+		ptr, err := p.Acquire(th, arr, arr.DataBegin(), arr.DataEnd())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ptr.Tag() == 0 {
+			t.Fatalf("%v: pointer not tagged", lock)
+		}
+		m := v.JavaHeap.Mapping()
+		// Every granule of the payload carries the tag (int[18] = 72 bytes
+		// = 5 granules from an aligned start).
+		for a := arr.DataBegin(); a < arr.DataEnd(); a += 16 {
+			if got := m.TagAt(a); got != ptr.Tag() {
+				t.Fatalf("%v: granule %v tag %v != %v", lock, a, got, ptr.Tag())
+			}
+		}
+		st := p.Stats()
+		if st.TagAllocs != 1 || st.GranulesTagged != 5 {
+			t.Fatalf("%v: stats %+v", lock, st)
+		}
+		if err := p.Release(th, arr, ptr, arr.DataBegin(), arr.DataEnd(), jni.ReleaseDefault); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.TagAt(arr.DataBegin()); got != 0 {
+			t.Fatalf("%v: tag not zeroed on release", lock)
+		}
+		if p.Stats().TagReleases != 1 {
+			t.Fatalf("%v: release not counted", lock)
+		}
+		if p.Entries() != 1 {
+			t.Fatalf("%v: entry count %d, want 1 (Algorithm 2 keeps entries)", lock, p.Entries())
+		}
+	}
+}
+
+func TestSharedTagAcrossConcurrentHolders(t *testing.T) {
+	// §3.1.1: a second acquire while the first is outstanding must share
+	// the same tag, and the tag must survive until the LAST release.
+	p, th, v := setup(t, Config{})
+	arr, _ := v.NewIntArray(64)
+	begin, end := arr.DataBegin(), arr.DataEnd()
+
+	p1, _ := p.Acquire(th, arr, begin, end)
+	p2, _ := p.Acquire(th, arr, begin, end)
+	if p1 != p2 {
+		t.Fatalf("concurrent holders got different pointers: %v vs %v", p1, p2)
+	}
+	if p.Refs(begin) != 2 {
+		t.Fatalf("refs = %d", p.Refs(begin))
+	}
+	if p.Stats().SharedAcquires != 1 {
+		t.Fatal("shared acquire not counted")
+	}
+
+	if err := p.Release(th, arr, p1, begin, end, jni.ReleaseDefault); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.JavaHeap.Mapping().TagAt(begin); got != p2.Tag() {
+		t.Fatal("tag released while a holder remains")
+	}
+	if err := p.Release(th, arr, p2, begin, end, jni.ReleaseDefault); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.JavaHeap.Mapping().TagAt(begin); got != 0 {
+		t.Fatal("tag not released after last holder")
+	}
+}
+
+func TestReleaseWithoutAcquireIsNoop(t *testing.T) {
+	p, th, v := setup(t, Config{})
+	arr, _ := v.NewIntArray(4)
+	// Algorithm 2: "If no entry exists, nothing needs to be done."
+	if err := p.Release(th, arr, mte.MakePtr(arr.DataBegin(), 5), arr.DataBegin(), arr.DataEnd(), jni.ReleaseDefault); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseTagMismatchRejected(t *testing.T) {
+	p, th, v := setup(t, Config{})
+	arr, _ := v.NewIntArray(4)
+	ptr, _ := p.Acquire(th, arr, arr.DataBegin(), arr.DataEnd())
+	bad := ptr.WithTag(ptr.Tag() ^ 0xF)
+	if err := p.Release(th, arr, bad, arr.DataBegin(), arr.DataEnd(), jni.ReleaseDefault); err == nil {
+		t.Fatal("release with corrupted pointer tag accepted")
+	}
+	if err := p.Release(th, arr, ptr, arr.DataBegin(), arr.DataEnd(), jni.ReleaseDefault); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruneEntriesMode(t *testing.T) {
+	for _, lock := range []LockScheme{LockTwoTier, LockGlobal} {
+		p, th, v := setup(t, Config{PruneEntries: true, Lock: lock})
+		arr, _ := v.NewIntArray(4)
+		ptr, _ := p.Acquire(th, arr, arr.DataBegin(), arr.DataEnd())
+		p.Release(th, arr, ptr, arr.DataBegin(), arr.DataEnd(), jni.ReleaseDefault)
+		if p.Entries() != 0 {
+			t.Fatalf("%v: PruneEntries left %d entries", lock, p.Entries())
+		}
+		// Re-acquire creates a fresh entry; refcounting still works.
+		ptr2, _ := p.Acquire(th, arr, arr.DataBegin(), arr.DataEnd())
+		if p.Refs(arr.DataBegin()) != 1 {
+			t.Fatal("refs after reacquire wrong")
+		}
+		p.Release(th, arr, ptr2, arr.DataBegin(), arr.DataEnd(), jni.ReleaseDefault)
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	// Consecutive 16-byte-aligned objects must hash to different tables
+	// (the index is granule-number mod k), spreading table-lock contention.
+	p, _, v := setup(t, Config{})
+	seen := make(map[*shard]bool)
+	for i := 0; i < 16; i++ {
+		arr, _ := v.NewIntArray(1) // 16-byte header + 16-byte payload slot
+		seen[p.shardFor(arr.DataBegin())] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("16 consecutive objects landed in only %d shards", len(seen))
+	}
+}
+
+func TestRefcountNeverNegativeProperty(t *testing.T) {
+	p, th, v := setup(t, Config{})
+	arr, _ := v.NewIntArray(32)
+	begin, end := arr.DataBegin(), arr.DataEnd()
+	var ptrs []mte.Ptr
+	f := func(acquire bool) bool {
+		if acquire && len(ptrs) < 64 {
+			ptr, err := p.Acquire(th, arr, begin, end)
+			if err != nil {
+				return false
+			}
+			ptrs = append(ptrs, ptr)
+		} else if len(ptrs) > 0 {
+			ptr := ptrs[len(ptrs)-1]
+			ptrs = ptrs[:len(ptrs)-1]
+			if err := p.Release(th, arr, ptr, begin, end, jni.ReleaseDefault); err != nil {
+				return false
+			}
+		}
+		refs := p.Refs(begin)
+		if refs != len(ptrs) || refs < 0 {
+			return false
+		}
+		// Invariant: tag is live iff refs > 0.
+		tag := v.JavaHeap.Mapping().TagAt(begin)
+		if refs > 0 && tag == 0 {
+			return false
+		}
+		if refs == 0 && tag != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSameObject(t *testing.T) {
+	for _, lock := range []LockScheme{LockTwoTier, LockGlobal} {
+		t.Run(lock.String(), func(t *testing.T) {
+			p, _, v := setup(t, Config{Lock: lock})
+			arr, _ := v.NewIntArray(1024)
+			begin, end := arr.DataBegin(), arr.DataEnd()
+			var wg sync.WaitGroup
+			for i := 0; i < 32; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th, err := v.AttachThread(fmt.Sprintf("t-%d", id))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for j := 0; j < 200; j++ {
+						ptr, err := p.Acquire(th, arr, begin, end)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						// While held, memory tag must match the pointer.
+						if got := v.JavaHeap.Mapping().TagAt(begin); got != ptr.Tag() {
+							t.Errorf("tag mismatch while held: mem %v ptr %v", got, ptr.Tag())
+							return
+						}
+						if err := p.Release(th, arr, ptr, begin, end, jni.ReleaseDefault); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			if p.Refs(begin) != 0 {
+				t.Fatalf("refs = %d after all releases", p.Refs(begin))
+			}
+			if got := v.JavaHeap.Mapping().TagAt(begin); got != 0 {
+				t.Fatal("tag leaked")
+			}
+		})
+	}
+}
+
+func TestConcurrentDistinctObjects(t *testing.T) {
+	for _, lock := range []LockScheme{LockTwoTier, LockGlobal} {
+		t.Run(lock.String(), func(t *testing.T) {
+			p, _, v := setup(t, Config{Lock: lock})
+			const threads = 16
+			arrs := make([]*vm.Object, threads)
+			for i := range arrs {
+				arrs[i], _ = v.NewIntArray(256)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < threads; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th, err := v.AttachThread(fmt.Sprintf("d-%d", id))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					arr := arrs[id]
+					for j := 0; j < 300; j++ {
+						ptr, err := p.Acquire(th, arr, arr.DataBegin(), arr.DataEnd())
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if err := p.Release(th, arr, ptr, arr.DataBegin(), arr.DataEnd(), jni.ReleaseDefault); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			if p.Entries() != threads {
+				t.Fatalf("entries = %d, want %d retained", p.Entries(), threads)
+			}
+		})
+	}
+}
+
+func TestHashTableCountSweepWorks(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
+		p, th, v := setup(t, Config{HashTables: k})
+		arr, _ := v.NewIntArray(8)
+		ptr, err := p.Acquire(th, arr, arr.DataBegin(), arr.DataEnd())
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := p.Release(th, arr, ptr, arr.DataBegin(), arr.DataEnd(), jni.ReleaseDefault); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestLockSchemeString(t *testing.T) {
+	if LockTwoTier.String() != "two-tier" || LockGlobal.String() != "global-lock" {
+		t.Fatal("LockScheme strings wrong")
+	}
+}

@@ -1,0 +1,130 @@
+package cpu
+
+import (
+	"sync"
+	"testing"
+
+	"mte4jni/internal/mte"
+)
+
+func TestNewStartsSuppressed(t *testing.T) {
+	c := New("main", mte.TCFSync)
+	if !c.TCO() {
+		t.Fatal("new context should start with TCO=1 (checks suppressed)")
+	}
+	if c.Checking() {
+		t.Fatal("Checking() must be false while TCO=1")
+	}
+	c.SetTCO(false)
+	if !c.Checking() {
+		t.Fatal("Checking() must be true in sync mode with TCO=0")
+	}
+}
+
+func TestCheckingRequiresMode(t *testing.T) {
+	c := New("t", mte.TCFNone)
+	c.SetTCO(false)
+	if c.Checking() {
+		t.Fatal("TCFNone must never check, regardless of TCO")
+	}
+	c.SetCheckMode(mte.TCFAsync)
+	if !c.Checking() {
+		t.Fatal("async mode with TCO=0 must check")
+	}
+}
+
+func TestFrameStack(t *testing.T) {
+	c := New("t", mte.TCFSync)
+	pop1 := c.Enter("Java_MainActivity_mteTest+0")
+	pop2 := c.Enter("test_ofb+0")
+	c.SetPC("test_ofb+124")
+	if got := c.PC(); got != "test_ofb+124" {
+		t.Fatalf("PC = %q", got)
+	}
+	bt := c.Backtrace()
+	if len(bt) != 2 || bt[0] != "test_ofb+124" || bt[1] != "Java_MainActivity_mteTest+0" {
+		t.Fatalf("Backtrace = %v", bt)
+	}
+	pop2()
+	pop1()
+	if got := c.PC(); got != "<unknown>" {
+		t.Fatalf("PC after popping all frames = %q", got)
+	}
+}
+
+func TestSetPCWithEmptyStackPushes(t *testing.T) {
+	c := New("t", mte.TCFSync)
+	c.SetPC("somewhere+8")
+	if c.PC() != "somewhere+8" {
+		t.Fatalf("PC = %q", c.PC())
+	}
+}
+
+func TestAsyncLatchAndTake(t *testing.T) {
+	c := New("t", mte.TCFAsync)
+	f1 := &mte.Fault{Kind: mte.FaultTagMismatch, PtrTag: 5, MemTag: 2}
+	f2 := &mte.Fault{Kind: mte.FaultTagMismatch, PtrTag: 6, MemTag: 2}
+	c.LatchAsyncFault(f1)
+	c.LatchAsyncFault(f2)
+	if !c.PendingAsyncFault() {
+		t.Fatal("fault should be pending")
+	}
+	got := c.TakeAsyncFault("getuid+4")
+	if got == nil || got.PtrTag != 5 {
+		t.Fatalf("TakeAsyncFault returned %+v, want first fault", got)
+	}
+	if !got.Async || got.PC != "getuid+4" {
+		t.Fatalf("fault not stamped as async at report site: %+v", got)
+	}
+	if c.PendingAsyncFault() {
+		t.Fatal("TFSR should be clear after take")
+	}
+	if c.TakeAsyncFault("x") != nil {
+		t.Fatal("second take must return nil")
+	}
+	if c.AsyncFaultCount() != 2 {
+		t.Fatalf("AsyncFaultCount = %d, want 2", c.AsyncFaultCount())
+	}
+}
+
+func TestSyscallDeliversOnlyInAsyncMode(t *testing.T) {
+	sync := New("s", mte.TCFSync)
+	sync.LatchAsyncFault(&mte.Fault{})
+	if sync.Syscall("getuid") != nil {
+		t.Fatal("sync-mode thread must not deliver async faults at syscalls")
+	}
+
+	async := New("a", mte.TCFAsync)
+	if async.Syscall("getuid") != nil {
+		t.Fatal("no fault pending, Syscall must return nil")
+	}
+	async.LatchAsyncFault(&mte.Fault{Kind: mte.FaultTagMismatch})
+	f := async.Syscall("getuid")
+	if f == nil {
+		t.Fatal("async fault must surface at the next syscall")
+	}
+	if f.PC != "getuid+4 (libc.so)" {
+		t.Fatalf("async fault PC = %q, want the syscall site", f.PC)
+	}
+}
+
+func TestConcurrentLatchIsSafe(t *testing.T) {
+	c := New("t", mte.TCFAsync)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.LatchAsyncFault(&mte.Fault{})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.AsyncFaultCount() != 3200 {
+		t.Fatalf("AsyncFaultCount = %d, want 3200", c.AsyncFaultCount())
+	}
+	if c.TakeAsyncFault("sync") == nil {
+		t.Fatal("one fault must be latched")
+	}
+}

@@ -1,0 +1,88 @@
+package cpu
+
+import (
+	"sync"
+	"testing"
+
+	"mte4jni/internal/mte"
+)
+
+func TestNameAndModeAccessors(t *testing.T) {
+	c := New("JNI-thread-7", mte.TCFAsync)
+	if c.Name() != "JNI-thread-7" {
+		t.Fatal("Name wrong")
+	}
+	if c.CheckMode() != mte.TCFAsync {
+		t.Fatal("CheckMode wrong")
+	}
+	c.SetCheckMode(mte.TCFSync)
+	if c.CheckMode() != mte.TCFSync {
+		t.Fatal("SetCheckMode lost")
+	}
+}
+
+func TestTCOToggle(t *testing.T) {
+	c := New("t", mte.TCFSync)
+	for i := 0; i < 4; i++ {
+		c.SetTCO(false)
+		if c.TCO() || !c.Checking() {
+			t.Fatal("TCO clear not observed")
+		}
+		c.SetTCO(true)
+		if !c.TCO() || c.Checking() {
+			t.Fatal("TCO set not observed")
+		}
+	}
+}
+
+func TestBacktraceEmptyAndDeep(t *testing.T) {
+	c := New("t", mte.TCFSync)
+	if len(c.Backtrace()) != 0 {
+		t.Fatal("fresh context has frames")
+	}
+	var pops []func()
+	for i := 0; i < 8; i++ {
+		pops = append(pops, c.Enter("frame"))
+	}
+	if len(c.Backtrace()) != 8 {
+		t.Fatal("deep stack lost frames")
+	}
+	for i := len(pops) - 1; i >= 0; i-- {
+		pops[i]()
+	}
+	if len(c.Backtrace()) != 0 {
+		t.Fatal("frames not fully popped")
+	}
+	// Popping past empty is harmless.
+	pop := c.Enter("x")
+	pop()
+	pop()
+}
+
+func TestConcurrentFrameReadsDuringMutation(t *testing.T) {
+	// Fault reporting reads the backtrace from another goroutine while the
+	// owner pushes/pops; both must be safe.
+	c := New("t", mte.TCFSync)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Backtrace()
+				_ = c.PC()
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		pop := c.Enter("f")
+		c.SetPC("f+4")
+		pop()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,517 @@
+// Package fuzz implements a differential fuzzer for the protection
+// schemes: it generates random but replayable sequences of JNI operations
+// and raw-pointer accesses, runs them under a scheme, and checks every
+// outcome against an architectural oracle.
+//
+// The oracle encodes what each scheme *must* and *must never* do:
+//
+//   - No scheme may ever report a fault for an in-bounds access, and
+//     in-bounds writes must be visible to managed code afterwards
+//     (immediately for in-place schemes, after release for guarded copy).
+//   - MTE4JNI in sync mode must fault on any access that touches a granule
+//     outside the object's tag-rounded payload (adjacent-object collisions
+//     are eliminated by running the protector with neighbour exclusion, so
+//     the oracle is deterministic).
+//   - Accesses inside the payload's granule rounding but outside the
+//     payload itself are architectural false negatives (§4.1): the oracle
+//     requires them NOT to fault.
+//   - Guarded copy must report a violation at release exactly when some
+//     earlier OOB write landed inside a red zone, and can never detect
+//     reads.
+//   - No protection must never detect anything.
+//
+// Any divergence is returned as a Mismatch with the seed and step to
+// replay.
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mte4jni/internal/core"
+	"mte4jni/internal/guardedcopy"
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+// SchemeID selects the scheme under test.
+type SchemeID int
+
+const (
+	// SchemeNone is the no-protection baseline.
+	SchemeNone SchemeID = iota
+	// SchemeGuarded is guarded copy.
+	SchemeGuarded
+	// SchemeMTESync is MTE4JNI in synchronous mode (with neighbour
+	// exclusion, for a deterministic oracle).
+	SchemeMTESync
+)
+
+// String names the scheme.
+func (s SchemeID) String() string {
+	switch s {
+	case SchemeNone:
+		return "no-protection"
+	case SchemeGuarded:
+		return "guarded-copy"
+	case SchemeMTESync:
+		return "mte4jni-sync"
+	default:
+		return fmt.Sprintf("SchemeID(%d)", int(s))
+	}
+}
+
+// Schemes lists all fuzzable schemes.
+func Schemes() []SchemeID { return []SchemeID{SchemeNone, SchemeGuarded, SchemeMTESync} }
+
+// opKind enumerates generated operations.
+type opKind int
+
+const (
+	opAlloc opKind = iota
+	opGet
+	opRelease
+	opInRead
+	opInWrite
+	opOOBRead
+	opOOBWrite
+	opGC
+	numOps
+)
+
+// Mismatch describes one oracle violation.
+type Mismatch struct {
+	// Seed and Step identify the failing operation for replay.
+	Seed int64
+	Step int
+	// Scheme is the scheme under test.
+	Scheme SchemeID
+	// What happened vs what the oracle required.
+	Got, Want string
+}
+
+// Error implements the error interface.
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("fuzz: seed %d step %d under %s: got %s, want %s",
+		m.Seed, m.Step, m.Scheme, m.Got, m.Want)
+}
+
+// Report summarizes one fuzzing run.
+type Report struct {
+	// Steps is the number of operations executed.
+	Steps int
+	// Allocs, Gets, Releases, InBounds, OOBs count operation kinds.
+	Allocs, Gets, Releases, InBounds, OOBs int
+	// FaultsObserved counts scheme detections (sync faults + guarded
+	// violations).
+	FaultsObserved int
+}
+
+// hold is one outstanding acquisition.
+type hold struct {
+	arr *vm.Object
+	ptr mte.Ptr
+	// zoneWrites tracks the LAST value written at each payload-relative
+	// offset inside the guarded-copy red zones. Corruption must be judged
+	// against the final zone contents, not write events: a later write can
+	// restore the canary byte and erase earlier damage — a canary-scheme
+	// blind spot this fuzzer itself surfaced (twice).
+	zoneWrites map[int64]byte
+	// pendingWrites maps payload offsets to values written through the raw
+	// pointer but (under guarded copy) not yet copied back.
+	pendingWrites map[int]byte
+}
+
+// corrupted reports whether the hold's red zones differ from the canary.
+func (h *hold) corrupted() bool {
+	for off, val := range h.zoneWrites {
+		var idx int
+		if off < 0 {
+			idx = int(off) + guardedcopy.RedZoneSize
+		} else {
+			idx = int(off) - h.arr.Len()
+		}
+		if val != guardedcopy.CanaryAt(idx) {
+			return true
+		}
+	}
+	return false
+}
+
+// runner executes one fuzz sequence.
+type runner struct {
+	seed   int64
+	scheme SchemeID
+	rng    *rand.Rand
+	vm     *vm.VM
+	env    *jni.Env
+
+	arrays []*vm.Object
+	shadow map[*vm.Object][]byte
+	holds  []*hold
+	rep    Report
+}
+
+// Run executes steps random operations under scheme, validating against the
+// oracle. It returns the run report and the first mismatch, if any.
+func Run(seed int64, steps int, scheme SchemeID) (Report, error) {
+	v, err := vm.New(vm.Options{
+		HeapSize: 32 << 20, NativeHeapSize: 32 << 20,
+		MTE:       scheme == SchemeMTESync,
+		CheckMode: checkModeFor(scheme),
+		Seed:      seed ^ 0x5EED,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	th, err := v.AttachThread("fuzzer")
+	if err != nil {
+		return Report{}, err
+	}
+	var checker jni.Checker
+	switch scheme {
+	case SchemeNone:
+		checker = jni.DirectChecker{}
+	case SchemeGuarded:
+		checker = guardedcopy.New(v)
+	case SchemeMTESync:
+		p, err := core.New(v, core.Config{ExcludeNeighbors: true})
+		if err != nil {
+			return Report{}, err
+		}
+		checker = p
+	}
+	r := &runner{
+		seed:   seed,
+		scheme: scheme,
+		rng:    rand.New(rand.NewSource(seed)),
+		vm:     v,
+		env:    jni.NewEnv(th, checker, true),
+		shadow: make(map[*vm.Object][]byte),
+	}
+	for i := 0; i < steps; i++ {
+		if err := r.step(i); err != nil {
+			return r.rep, err
+		}
+	}
+	// Drain outstanding holds so release-time checks all run.
+	for len(r.holds) > 0 {
+		if err := r.release(steps, len(r.holds)-1); err != nil {
+			return r.rep, err
+		}
+		r.rep.Steps++
+	}
+	// Teardown invariant check on the tag lifecycle.
+	if p, ok := checker.(*core.Protector); ok {
+		if err := p.VerifyIntegrity(); err != nil {
+			return r.rep, r.mismatch(steps, err.Error(), "protector integrity at teardown")
+		}
+	}
+	return r.rep, nil
+}
+
+func checkModeFor(s SchemeID) mte.CheckMode {
+	if s == SchemeMTESync {
+		return mte.TCFSync
+	}
+	return mte.TCFNone
+}
+
+// mismatch builds a Mismatch error for the current step.
+func (r *runner) mismatch(step int, got, want string) error {
+	return &Mismatch{Seed: r.seed, Step: step, Scheme: r.scheme, Got: got, Want: want}
+}
+
+// step executes one random operation.
+func (r *runner) step(i int) error {
+	r.rep.Steps++
+	switch op := opKind(r.rng.Intn(int(numOps))); op {
+	case opAlloc:
+		return r.alloc(i)
+	case opGet:
+		return r.get(i)
+	case opRelease:
+		if len(r.holds) == 0 {
+			return r.alloc(i)
+		}
+		return r.release(i, r.rng.Intn(len(r.holds)))
+	case opInRead, opInWrite:
+		if len(r.holds) == 0 {
+			return r.get(i)
+		}
+		return r.accessInBounds(i, op == opInWrite)
+	case opOOBRead, opOOBWrite:
+		if len(r.holds) == 0 {
+			return r.get(i)
+		}
+		return r.accessOOB(i, op == opOOBWrite)
+	case opGC:
+		r.vm.GC()
+		return nil
+	default:
+		return nil
+	}
+}
+
+// alloc creates a byte array with random contents and a shadow copy.
+func (r *runner) alloc(i int) error {
+	if len(r.arrays) >= 32 {
+		return nil
+	}
+	n := r.rng.Intn(64) + 1
+	arr, err := r.vm.NewArray(vm.KindByte, n)
+	if err != nil {
+		return err
+	}
+	r.env.Thread().AddLocalRef(arr)
+	sh := make([]byte, n)
+	for j := range sh {
+		sh[j] = byte(r.rng.Intn(256))
+		if err := arr.SetElem(j, uint64(sh[j])); err != nil {
+			return err
+		}
+	}
+	r.arrays = append(r.arrays, arr)
+	r.shadow[arr] = sh
+	r.rep.Allocs++
+	return nil
+}
+
+// get acquires a random array. Under guarded copy each array is held at
+// most once at a time: concurrent holds own independent copies whose
+// write-backs clobber each other, which is real (and documented) JNI
+// behaviour but makes a byte-exact oracle ill-defined.
+func (r *runner) get(i int) error {
+	if len(r.arrays) == 0 {
+		return r.alloc(i)
+	}
+	arr := r.arrays[r.rng.Intn(len(r.arrays))]
+	if r.scheme == SchemeGuarded {
+		for _, h := range r.holds {
+			if h.arr == arr {
+				return nil
+			}
+		}
+	}
+	var ptr mte.Ptr
+	fault, err := r.env.CallNative("fuzz_get", jni.Regular, func(e *jni.Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		ptr = p
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if fault != nil {
+		return r.mismatch(i, "fault during Get: "+fault.Error(), "no fault")
+	}
+	r.holds = append(r.holds, &hold{arr: arr, ptr: ptr, zoneWrites: make(map[int64]byte), pendingWrites: make(map[int]byte)})
+	r.rep.Gets++
+	return nil
+}
+
+// release releases the hold at index hi, validating guarded-copy semantics.
+func (r *runner) release(i, hi int) error {
+	h := r.holds[hi]
+	r.holds = append(r.holds[:hi], r.holds[hi+1:]...)
+	var relErr error
+	fault, err := r.env.CallNative("fuzz_release", jni.Regular, func(e *jni.Env) error {
+		relErr = e.ReleasePrimitiveArrayCritical(h.arr, h.ptr, jni.ReleaseDefault)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if fault != nil {
+		return r.mismatch(i, "hardware fault during Release: "+fault.Error(), "no fault")
+	}
+	r.rep.Releases++
+
+	if h.corrupted() {
+		var viol *guardedcopy.Violation
+		if !errors.As(relErr, &viol) {
+			return r.mismatch(i, fmt.Sprintf("release returned %v", relErr),
+				"guarded-copy violation for corrupted red zone")
+		}
+		r.rep.FaultsObserved++
+		// The copy-back was suppressed; the shadow keeps its old values.
+		return nil
+	}
+	if relErr != nil {
+		return r.mismatch(i, "unexpected release error: "+relErr.Error(), "clean release")
+	}
+	// Clean release: pending writes are committed (they were already live
+	// for in-place schemes; guarded copy's copy-back commits them now —
+	// the generator holds each array at most once under guarded copy, see
+	// get(), so copy-backs never clobber each other).
+	if r.scheme == SchemeGuarded {
+		sh := r.shadow[h.arr]
+		for off, val := range h.pendingWrites {
+			sh[off] = val
+		}
+	}
+	return r.verifyShadow(i, h.arr)
+}
+
+// verifyShadow compares managed-visible array contents with the shadow.
+func (r *runner) verifyShadow(i int, arr *vm.Object) error {
+	sh := r.shadow[arr]
+	for j := range sh {
+		bits, err := arr.GetElem(j)
+		if err != nil {
+			return err
+		}
+		if byte(bits) != sh[j] {
+			return r.mismatch(i,
+				fmt.Sprintf("%s[%d] = %#x", arr, j, byte(bits)),
+				fmt.Sprintf("%#x (shadow)", sh[j]))
+		}
+	}
+	return nil
+}
+
+// accessInBounds performs a 1-byte access at a random in-payload offset.
+// The oracle: never a fault; writes become visible per scheme semantics.
+func (r *runner) accessInBounds(i int, write bool) error {
+	h := r.holds[r.rng.Intn(len(r.holds))]
+	off := r.rng.Intn(h.arr.Len())
+	val := byte(r.rng.Intn(256))
+	var got byte
+	fault, err := r.env.CallNative("fuzz_access", jni.Regular, func(e *jni.Env) error {
+		p := h.ptr.Add(int64(off))
+		if write {
+			e.StoreByte(p, val)
+		} else {
+			got = e.LoadByte(p)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if fault != nil {
+		return r.mismatch(i, "fault on in-bounds access: "+fault.Error(), "no fault (false positive)")
+	}
+	r.rep.InBounds++
+	sh := r.shadow[h.arr]
+	if write {
+		if r.scheme == SchemeGuarded {
+			h.pendingWrites[off] = val
+		} else {
+			sh[off] = val
+			return r.verifyShadow(i, h.arr)
+		}
+		return nil
+	}
+	// Reads must observe the scheme-visible value.
+	want := sh[off]
+	if r.scheme == SchemeGuarded {
+		if v, ok := h.pendingWrites[off]; ok {
+			want = v
+		}
+	}
+	if got != want {
+		return r.mismatch(i, fmt.Sprintf("read %#x at offset %d", got, off),
+			fmt.Sprintf("%#x", want))
+	}
+	return nil
+}
+
+// accessOOB performs a 1-byte access at a random out-of-payload offset in
+// (-2 granules, +2 granules] around the payload and checks the scheme's
+// verdict against the oracle.
+func (r *runner) accessOOB(i int, write bool) error {
+	h := r.holds[r.rng.Intn(len(r.holds))]
+	begin, end := h.arr.DataBegin(), h.arr.DataEnd()
+	// Pick an OOB delta: past the end (positive, up to 32 bytes) or before
+	// the begin (negative, up to 16 bytes — stays inside the header).
+	var addr mte.Addr
+	if r.rng.Intn(4) > 0 {
+		addr = end + mte.Addr(r.rng.Intn(32))
+	} else {
+		addr = begin - mte.Addr(r.rng.Intn(16)+1)
+	}
+	off := int64(addr) - int64(begin)
+	val := byte(r.rng.Intn(256))
+
+	fault, err := r.env.CallNative("fuzz_oob", jni.Regular, func(e *jni.Env) error {
+		p := h.ptr.Add(off)
+		if write {
+			e.StoreByte(p, val)
+		} else {
+			_ = e.LoadByte(p)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	r.rep.OOBs++
+
+	switch r.scheme {
+	case SchemeMTESync:
+		// Oracle: fault iff the access leaves the tag-rounded payload.
+		gb, ge := mte.GranuleRange(begin, end)
+		outside := addr < gb || addr >= ge
+		if outside && fault == nil {
+			return r.mismatch(i, "no fault", fmt.Sprintf("tag-check fault for access at %v outside [%v,%v)", addr, gb, ge))
+		}
+		if !outside && fault != nil {
+			return r.mismatch(i, "fault: "+fault.Error(),
+				"no fault (within-granule access, architectural false negative)")
+		}
+		if fault != nil {
+			r.rep.FaultsObserved++
+			if fault.Kind != mte.FaultTagMismatch {
+				return r.mismatch(i, fault.Kind.String(), "SEGV_MTESERR")
+			}
+			// The faulting store was suppressed; nothing to track.
+		} else if write && !outside {
+			// Within-granule OOB write really lands: it hits padding between
+			// payload end and granule end, which no object owns (the heap
+			// rounds blocks to 16), so the shadow is unaffected.
+			if addr < begin || addr >= end {
+				// padding only — nothing to do
+				_ = addr
+			}
+		}
+	case SchemeGuarded:
+		if fault != nil {
+			return r.mismatch(i, "hardware fault: "+fault.Error(), "guarded copy never faults at access time")
+		}
+		// Writes into the red zones must be reported at release iff the
+		// FINAL zone contents differ from the canary; reads never. Two
+		// blind spots the fuzzer itself surfaced have to be modelled: a
+		// write whose value equals the canary byte is invisible, and a
+		// later write can restore a byte an earlier write corrupted.
+		if write {
+			inRear := off >= int64(h.arr.Len()) && off < int64(h.arr.Len()+guardedcopy.RedZoneSize)
+			inFront := off < 0 && off >= -guardedcopy.RedZoneSize
+			if inRear || inFront {
+				h.zoneWrites[off] = val
+			}
+		}
+	case SchemeNone:
+		// The access lands somewhere in the heap mapping: no detection, but
+		// also no crash (the region around small test objects is mapped).
+		if fault != nil && fault.Kind == mte.FaultTagMismatch {
+			return r.mismatch(i, "tag fault: "+fault.Error(), "no protection cannot tag-fault")
+		}
+		if write && fault == nil {
+			// The write really corrupted memory: if it landed inside another
+			// array's payload, mirror the damage in that array's shadow —
+			// silent corruption is exactly what "no protection" means.
+			for _, victim := range r.arrays {
+				if addr >= victim.DataBegin() && addr < victim.DataEnd() {
+					r.shadow[victim][int(addr-victim.DataBegin())] = val
+				}
+			}
+		}
+	}
+	return nil
+}

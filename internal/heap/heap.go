@@ -1,0 +1,213 @@
+// Package heap implements the Java-heap allocator of the simulated runtime.
+//
+// It plays the role of ART's RosAlloc in the paper: a thread-safe allocator
+// carving objects out of one large mapping. Two properties the paper
+// modifies in ART (§4.1) are first-class here:
+//
+//   - Alignment. ART's default is 8 bytes; MTE requires 16 so that no two
+//     objects share a tag granule. The alignment is a constructor parameter
+//     so the §4.1 hazard can be reproduced and measured (DESIGN.md Extra A).
+//   - PROT_MTE. The heap mapping is created with tag storage when the
+//     runtime enables MTE.
+//
+// The allocator itself is a segregated free list over a bump region — small
+// and predictable, because allocation throughput is not what the paper
+// measures; what matters is that guarded copy's per-call buffer allocation
+// and the tag machinery run against a realistic, locked heap.
+package heap
+
+import (
+	"fmt"
+	"sync"
+
+	"mte4jni/internal/mem"
+	"mte4jni/internal/mte"
+)
+
+// Config describes a heap instance.
+type Config struct {
+	// Name labels the underlying mapping (e.g. "main space" or
+	// "native alloc space").
+	Name string
+	// Size is the heap capacity in bytes.
+	Size uint64
+	// Alignment is the allocation alignment: 8 for stock ART, 16 for
+	// MTE-consistent allocation (§4.1). Must be a power of two ≥ 8.
+	Alignment uint64
+	// MTE maps the heap with PROT_MTE, allocating tag storage.
+	MTE bool
+}
+
+// DefaultSize is the heap capacity used when Config.Size is zero (64 MiB).
+const DefaultSize = 64 << 20
+
+// Stats is a snapshot of allocator counters.
+type Stats struct {
+	// Allocs and Frees count successful operations.
+	Allocs, Frees uint64
+	// BytesInUse is the sum of live allocation sizes (after rounding).
+	BytesInUse uint64
+	// BytesPeak is the high-water mark of BytesInUse.
+	BytesPeak uint64
+	// BumpUsed is how far the bump cursor has advanced.
+	BumpUsed uint64
+}
+
+// Heap is a thread-safe allocator over one simulated mapping.
+type Heap struct {
+	mapping *mem.Mapping
+	align   uint64
+
+	mu     sync.Mutex
+	cursor mte.Addr
+	// free maps a rounded size class to a LIFO of recycled blocks.
+	free map[uint64][]mte.Addr
+	// live maps each live allocation's base address to its rounded size; it
+	// doubles as the GC's allocation registry and as double-free detection.
+	live  map[mte.Addr]uint64
+	stats Stats
+}
+
+// New creates a heap inside space according to cfg.
+func New(space *mem.Space, cfg Config) (*Heap, error) {
+	if cfg.Size == 0 {
+		cfg.Size = DefaultSize
+	}
+	if cfg.Alignment == 0 {
+		cfg.Alignment = 8
+	}
+	if cfg.Alignment < 8 || cfg.Alignment&(cfg.Alignment-1) != 0 {
+		return nil, fmt.Errorf("heap: invalid alignment %d", cfg.Alignment)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "main space"
+	}
+	prot := mem.ProtRead | mem.ProtWrite
+	if cfg.MTE {
+		prot |= mem.ProtMTE
+	}
+	m, err := space.Map(cfg.Name, cfg.Size, prot)
+	if err != nil {
+		return nil, err
+	}
+	return &Heap{
+		mapping: m,
+		align:   cfg.Alignment,
+		cursor:  m.Base(),
+		free:    make(map[uint64][]mte.Addr),
+		live:    make(map[mte.Addr]uint64),
+	}, nil
+}
+
+// Mapping returns the heap's underlying mapping (for tag operations and raw
+// access by the runtime).
+func (h *Heap) Mapping() *mem.Mapping { return h.mapping }
+
+// Alignment returns the allocation alignment in force.
+func (h *Heap) Alignment() uint64 { return h.align }
+
+// roundSize rounds a request up to the allocation alignment, with a minimum
+// of one alignment unit so that zero-length arrays still get a distinct
+// address.
+func (h *Heap) roundSize(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	return (size + h.align - 1) &^ (h.align - 1)
+}
+
+// Alloc returns the zeroed, aligned base address of a fresh block of at
+// least size bytes.
+func (h *Heap) Alloc(size uint64) (mte.Addr, error) {
+	rounded := h.roundSize(size)
+	h.mu.Lock()
+	var addr mte.Addr
+	if list := h.free[rounded]; len(list) > 0 {
+		addr = list[len(list)-1]
+		h.free[rounded] = list[:len(list)-1]
+	} else {
+		if uint64(h.cursor-h.mapping.Base())+rounded > h.mapping.Size() {
+			h.mu.Unlock()
+			return 0, fmt.Errorf("heap: out of memory allocating %d bytes (in use %d of %d)",
+				size, h.stats.BytesInUse, h.mapping.Size())
+		}
+		addr = h.cursor
+		h.cursor += mte.Addr(rounded)
+		h.stats.BumpUsed = uint64(h.cursor - h.mapping.Base())
+	}
+	h.live[addr] = rounded
+	h.stats.Allocs++
+	h.stats.BytesInUse += rounded
+	if h.stats.BytesInUse > h.stats.BytesPeak {
+		h.stats.BytesPeak = h.stats.BytesInUse
+	}
+	h.mu.Unlock()
+
+	// Zero the block outside the lock; the block is owned exclusively by
+	// the caller from here on.
+	zero, err := h.mapping.Bytes(addr, int(rounded))
+	if err != nil {
+		return 0, err
+	}
+	for i := range zero {
+		zero[i] = 0
+	}
+	return addr, nil
+}
+
+// Free recycles a block previously returned by Alloc. Freeing an unknown or
+// already-freed address is an error (the runtime equivalent of heap
+// corruption, surfaced instead of ignored).
+func (h *Heap) Free(addr mte.Addr) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rounded, ok := h.live[addr]
+	if !ok {
+		return fmt.Errorf("heap: free of unknown address %v", addr)
+	}
+	delete(h.live, addr)
+	h.free[rounded] = append(h.free[rounded], addr)
+	h.stats.Frees++
+	h.stats.BytesInUse -= rounded
+	return nil
+}
+
+// SizeOf returns the rounded size of the live allocation at addr.
+func (h *Heap) SizeOf(addr mte.Addr) (uint64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	size, ok := h.live[addr]
+	return size, ok
+}
+
+// Live reports the number of live allocations.
+func (h *Heap) Live() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.live)
+}
+
+// ForEach calls fn for every live allocation under a snapshot taken at call
+// time. The GC uses this as its allocation registry walk.
+func (h *Heap) ForEach(fn func(addr mte.Addr, size uint64)) {
+	h.mu.Lock()
+	type rec struct {
+		addr mte.Addr
+		size uint64
+	}
+	snap := make([]rec, 0, len(h.live))
+	for a, s := range h.live {
+		snap = append(snap, rec{a, s})
+	}
+	h.mu.Unlock()
+	for _, r := range snap {
+		fn(r.addr, r.size)
+	}
+}
+
+// Stats returns a snapshot of the allocator counters.
+func (h *Heap) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}

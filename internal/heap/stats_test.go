@@ -1,0 +1,49 @@
+package heap
+
+import (
+	"testing"
+
+	"mte4jni/internal/mem"
+)
+
+func TestBumpUsedAndFreeListSeparation(t *testing.T) {
+	h := newHeap(t, Config{Size: 1 << 20, Alignment: 16})
+	a, _ := h.Alloc(16)
+	b, _ := h.Alloc(32)
+	st := h.Stats()
+	if st.BumpUsed != 16+32 {
+		t.Fatalf("BumpUsed = %d", st.BumpUsed)
+	}
+	// Freeing and reallocating a different size class must not reuse the
+	// wrong block.
+	h.Free(a)
+	c, _ := h.Alloc(32)
+	if c == a {
+		t.Fatal("32-byte alloc reused a 16-byte block")
+	}
+	d, _ := h.Alloc(16)
+	if d != a {
+		t.Fatal("16-byte alloc did not reuse the freed 16-byte block")
+	}
+	// Bump cursor advanced only for the un-recycled allocations.
+	if got := h.Stats().BumpUsed; got != 16+32+32 {
+		t.Fatalf("BumpUsed after reuse = %d", got)
+	}
+	_ = b
+}
+
+func TestMappingNameAndConfigDefaults(t *testing.T) {
+	h, err := New(mem.NewSpace(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Mapping().Name() != "main space" {
+		t.Fatalf("default name %q", h.Mapping().Name())
+	}
+	if h.Alignment() != 8 {
+		t.Fatalf("default alignment %d", h.Alignment())
+	}
+	if h.Mapping().Size() != DefaultSize {
+		t.Fatalf("default size %d", h.Mapping().Size())
+	}
+}

@@ -1,0 +1,64 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a method's bytecode in a javap-like listing, for
+// debugging and for golden tests of generated programs.
+func Disassemble(m *Method) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "method %s (locals=%d, refs=%d)\n", m.Name, m.MaxLocals, m.MaxRefs)
+	for i, in := range m.Code {
+		switch in.Op {
+		case OpConst, OpLoad, OpStore, OpJmp, OpJmpIfZero, OpJmpIfNeg,
+			OpNewArray, OpArrayGet, OpArrayPut, OpArrayLength:
+			fmt.Fprintf(&b, "  %3d: %-12s %d\n", i, in.Op, in.A)
+		case OpCallNative:
+			name := fmt.Sprintf("#%d", in.A)
+			if in.A >= 0 && int(in.A) < len(m.NativeNames) {
+				name = m.NativeNames[in.A]
+			}
+			fmt.Fprintf(&b, "  %3d: %-12s %s, ref=%d\n", i, in.Op, name, in.B)
+		default:
+			fmt.Fprintf(&b, "  %3d: %s\n", i, in.Op)
+		}
+	}
+	return b.String()
+}
+
+// Validate performs the static checks a class verifier would: jump targets
+// in range, local/ref indices in range, native indices resolvable. Invoke
+// performs the same checks dynamically; Validate lets tools reject bad
+// bytecode up front.
+func Validate(m *Method) error {
+	for i, in := range m.Code {
+		switch in.Op {
+		case OpJmp, OpJmpIfZero, OpJmpIfNeg:
+			if in.A < 0 || in.A > int64(len(m.Code)) {
+				return fmt.Errorf("interp: %s pc %d: jump target %d out of range", m.Name, i, in.A)
+			}
+		case OpLoad, OpStore:
+			if in.A < 0 || in.A >= int64(m.MaxLocals) {
+				return fmt.Errorf("interp: %s pc %d: local %d out of range", m.Name, i, in.A)
+			}
+		case OpNewArray, OpArrayGet, OpArrayPut, OpArrayLength:
+			if in.A < 0 || in.A >= int64(m.MaxRefs) {
+				return fmt.Errorf("interp: %s pc %d: ref slot %d out of range", m.Name, i, in.A)
+			}
+		case OpCallNative:
+			if in.A < 0 || in.A >= int64(len(m.NativeNames)) {
+				return fmt.Errorf("interp: %s pc %d: native index %d out of range", m.Name, i, in.A)
+			}
+			if in.B < 0 || in.B >= int64(m.MaxRefs) {
+				return fmt.Errorf("interp: %s pc %d: ref slot %d out of range", m.Name, i, in.B)
+			}
+		case OpConst, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpReturn:
+			// No static operands to check.
+		default:
+			return fmt.Errorf("interp: %s pc %d: unknown opcode %d", m.Name, i, int(in.Op))
+		}
+	}
+	return nil
+}

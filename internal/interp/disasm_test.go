@@ -1,0 +1,43 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"mte4jni/internal/interp"
+)
+
+func TestDisassemble(t *testing.T) {
+	m := figure3Method()
+	out := interp.Disassemble(m)
+	for _, want := range []string{"method mteTestGetPrimitiveArray", "newarray", "callnative   test_ofb, ref=0", "return"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateAcceptsGoodBytecode(t *testing.T) {
+	for _, m := range []*interp.Method{figure3Method(), sumLoop()} {
+		if err := interp.Validate(m); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadBytecode(t *testing.T) {
+	cases := []*interp.Method{
+		{Name: "badjump", Code: []interp.Inst{{Op: interp.OpJmp, A: 99}}},
+		{Name: "badlocal", MaxLocals: 1, Code: []interp.Inst{{Op: interp.OpLoad, A: 5}}},
+		{Name: "badref", MaxRefs: 1, Code: []interp.Inst{{Op: interp.OpNewArray, A: 3}}},
+		{Name: "badnative", MaxRefs: 1, Code: []interp.Inst{{Op: interp.OpCallNative, A: 0}}},
+		{Name: "badop", Code: []interp.Inst{{Op: interp.Opcode(77)}}},
+		{Name: "badnativeref", MaxRefs: 1, NativeNames: []string{"x"},
+			Code: []interp.Inst{{Op: interp.OpCallNative, A: 0, B: 5}}},
+	}
+	for _, m := range cases {
+		if err := interp.Validate(m); err == nil {
+			t.Fatalf("%s accepted", m.Name)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package interp implements a miniature stack-based bytecode interpreter —
+// the "managed code" side of the runtime.
+//
+// The paper's threat model rests on an asymmetry: Java code runs under the
+// JVM's safety checks (array bounds above all), while native code reached
+// through JNI touches the same heap through raw pointers with no checks at
+// all (§1, §2.2). This package makes the managed half of that asymmetry
+// executable: programs written in its bytecode get
+// ArrayIndexOutOfBoundsException on a bad index, and they can invoke native
+// methods — at which point the active protection scheme is all that stands
+// between a buggy native and the heap.
+//
+// The instruction set is deliberately small (a dalvik-flavoured toy): 64-bit
+// integer locals and operand stack, arithmetic, comparisons, branches,
+// array allocation/access, and native invocation.
+package interp
+
+import (
+	"fmt"
+
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+// Opcode enumerates the instructions.
+type Opcode int
+
+const (
+	// OpConst pushes immediate A.
+	OpConst Opcode = iota
+	// OpLoad pushes local #A.
+	OpLoad
+	// OpStore pops into local #A.
+	OpStore
+	// OpAdd, OpSub, OpMul, OpDiv, OpRem pop two values and push the result
+	// (left operand is pushed first). OpDiv and OpRem throw
+	// ArithmeticException on division by zero, like the JVM.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	// OpJmp jumps to instruction index A unconditionally.
+	OpJmp
+	// OpJmpIfZero and OpJmpIfNeg pop a value and jump to A when it is zero
+	// (resp. negative).
+	OpJmpIfZero
+	OpJmpIfNeg
+	// OpNewArray pops a length and pushes a reference to a new int array
+	// stored in local reference slot #A (references live in a separate
+	// table, like dalvik's object registers).
+	OpNewArray
+	// OpArrayGet pops an index and pushes ref[#A][index], bounds-checked.
+	OpArrayGet
+	// OpArrayPut pops a value then an index and stores into ref[#A][index],
+	// bounds-checked.
+	OpArrayPut
+	// OpArrayLength pushes the length of ref slot #A.
+	OpArrayLength
+	// OpCallNative invokes the registered native method named by the
+	// method's NativeNames[A], passing ref slot #B as its array argument.
+	OpCallNative
+	// OpReturn pops the return value and ends execution.
+	OpReturn
+)
+
+// String names the opcode.
+func (o Opcode) String() string {
+	names := [...]string{"const", "load", "store", "add", "sub", "mul", "div", "rem",
+		"jmp", "jz", "jneg", "newarray", "aget", "aput", "arraylength", "callnative", "return"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("Opcode(%d)", int(o))
+}
+
+// Inst is one instruction. The meaning of A/B depends on the opcode.
+type Inst struct {
+	Op   Opcode
+	A, B int64
+}
+
+// operandNeeds is the minimum operand-stack depth per opcode.
+var operandNeeds = map[Opcode]int{
+	OpStore: 1, OpAdd: 2, OpSub: 2, OpMul: 2, OpDiv: 2, OpRem: 2,
+	OpJmpIfZero: 1, OpJmpIfNeg: 1, OpNewArray: 1, OpArrayGet: 1,
+	OpArrayPut: 2, OpReturn: 1,
+}
+
+// Method is an executable bytecode method.
+type Method struct {
+	// Name appears in exceptions and traces.
+	Name string
+	// Code is the instruction sequence.
+	Code []Inst
+	// MaxLocals and MaxRefs size the integer-local and reference tables.
+	MaxLocals, MaxRefs int
+	// NativeNames maps OpCallNative's A index to a registered native name.
+	NativeNames []string
+}
+
+// ThrownException models a managed exception (bounds, arithmetic, stack).
+type ThrownException struct {
+	// Kind is the Java exception class name.
+	Kind string
+	// Detail is the message.
+	Detail string
+	// Method and PC locate the throwing instruction.
+	Method string
+	PC     int
+}
+
+// Error implements the error interface in the JVM's message style.
+func (t *ThrownException) Error() string {
+	return fmt.Sprintf("%s: %s (at %s, pc %d)", t.Kind, t.Detail, t.Method, t.PC)
+}
+
+// NativeMethod couples a body with its annotation kind.
+type NativeMethod struct {
+	// Kind selects the trampoline (regular/@FastNative/@CriticalNative).
+	Kind jni.NativeKind
+	// Body receives the env and the array argument's raw handle.
+	Body func(env *jni.Env, arr *vm.Object) error
+}
+
+// Interp executes methods against one JNI environment.
+type Interp struct {
+	env     *jni.Env
+	natives map[string]NativeMethod
+
+	// maxStack bounds the operand stack, standing in for StackOverflowError.
+	maxStack int
+
+	// Steps counts executed instructions, for tests and runaway detection.
+	Steps int64
+	// MaxSteps aborts execution when exceeded (0 = 1<<24).
+	MaxSteps int64
+}
+
+// New creates an interpreter bound to env.
+func New(env *jni.Env) *Interp {
+	return &Interp{
+		env:      env,
+		natives:  make(map[string]NativeMethod),
+		maxStack: 1024,
+		MaxSteps: 1 << 24,
+	}
+}
+
+// RegisterNative binds a native method name, as RegisterNatives does.
+func (ip *Interp) RegisterNative(name string, m NativeMethod) {
+	ip.natives[name] = m
+}
+
+// Invoke executes m with the given integer arguments in its first locals.
+// It returns the method's return value. A managed exception surfaces as a
+// *ThrownException error; a native memory fault surfaces as the *mte.Fault
+// (the process "crash").
+func (ip *Interp) Invoke(m *Method, args ...int64) (int64, *mte.Fault, error) {
+	if len(args) > m.MaxLocals {
+		return 0, nil, fmt.Errorf("interp: %s: %d args exceed %d locals", m.Name, len(args), m.MaxLocals)
+	}
+	locals := make([]int64, m.MaxLocals)
+	copy(locals, args)
+	refs := make([]*vm.Object, m.MaxRefs)
+	stack := make([]int64, 0, 16)
+
+	throw := func(pc int, kind, detail string) *ThrownException {
+		return &ThrownException{Kind: kind, Detail: detail, Method: m.Name, PC: pc}
+	}
+	pop := func() int64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	maxSteps := ip.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1 << 24
+	}
+
+	for pc := 0; pc < len(m.Code); pc++ {
+		ip.Steps++
+		if ip.Steps > maxSteps {
+			return 0, nil, fmt.Errorf("interp: %s: exceeded %d steps", m.Name, maxSteps)
+		}
+		in := m.Code[pc]
+
+		// Operand-count validation, the verifier's job in a real VM.
+		needs := operandNeeds[in.Op]
+		if len(stack) < needs {
+			return 0, nil, fmt.Errorf("interp: %s pc %d: %v needs %d operands, stack has %d",
+				m.Name, pc, in.Op, needs, len(stack))
+		}
+		if len(stack) >= ip.maxStack {
+			return 0, nil, throw(pc, "java.lang.StackOverflowError", "operand stack limit")
+		}
+
+		switch in.Op {
+		case OpConst:
+			stack = append(stack, in.A)
+		case OpLoad:
+			if in.A < 0 || int(in.A) >= len(locals) {
+				return 0, nil, fmt.Errorf("interp: %s pc %d: bad local %d", m.Name, pc, in.A)
+			}
+			stack = append(stack, locals[in.A])
+		case OpStore:
+			if in.A < 0 || int(in.A) >= len(locals) {
+				return 0, nil, fmt.Errorf("interp: %s pc %d: bad local %d", m.Name, pc, in.A)
+			}
+			locals[in.A] = pop()
+		case OpAdd, OpSub, OpMul, OpDiv, OpRem:
+			b, a := pop(), pop()
+			var v int64
+			switch in.Op {
+			case OpAdd:
+				v = a + b
+			case OpSub:
+				v = a - b
+			case OpMul:
+				v = a * b
+			case OpDiv, OpRem:
+				if b == 0 {
+					return 0, nil, throw(pc, "java.lang.ArithmeticException", "/ by zero")
+				}
+				if in.Op == OpDiv {
+					v = a / b
+				} else {
+					v = a % b
+				}
+			}
+			stack = append(stack, v)
+		case OpJmp:
+			pc = ip.target(m, in.A) - 1
+		case OpJmpIfZero:
+			if pop() == 0 {
+				pc = ip.target(m, in.A) - 1
+			}
+		case OpJmpIfNeg:
+			if pop() < 0 {
+				pc = ip.target(m, in.A) - 1
+			}
+		case OpNewArray:
+			n := pop()
+			if n < 0 {
+				return 0, nil, throw(pc, "java.lang.NegativeArraySizeException", fmt.Sprintf("%d", n))
+			}
+			arr, err := ip.env.NewIntArray(int(n))
+			if err != nil {
+				return 0, nil, throw(pc, "java.lang.OutOfMemoryError", err.Error())
+			}
+			if err := ip.setRef(refs, in.A, arr, m, pc); err != nil {
+				return 0, nil, err
+			}
+		case OpArrayGet:
+			idx := pop()
+			arr, err := ip.getRef(refs, in.A, m, pc)
+			if err != nil {
+				return 0, nil, err
+			}
+			v, gerr := arr.GetInt(int(idx))
+			if gerr != nil {
+				return 0, nil, throw(pc, "java.lang.ArrayIndexOutOfBoundsException",
+					fmt.Sprintf("Index %d out of bounds for length %d", idx, arr.Len()))
+			}
+			stack = append(stack, int64(v))
+		case OpArrayPut:
+			v := pop()
+			idx := pop()
+			arr, err := ip.getRef(refs, in.A, m, pc)
+			if err != nil {
+				return 0, nil, err
+			}
+			if perr := arr.SetInt(int(idx), int32(v)); perr != nil {
+				return 0, nil, throw(pc, "java.lang.ArrayIndexOutOfBoundsException",
+					fmt.Sprintf("Index %d out of bounds for length %d", idx, arr.Len()))
+			}
+		case OpArrayLength:
+			arr, err := ip.getRef(refs, in.A, m, pc)
+			if err != nil {
+				return 0, nil, err
+			}
+			stack = append(stack, int64(arr.Len()))
+		case OpCallNative:
+			if in.A < 0 || int(in.A) >= len(m.NativeNames) {
+				return 0, nil, fmt.Errorf("interp: %s pc %d: bad native index %d", m.Name, pc, in.A)
+			}
+			name := m.NativeNames[in.A]
+			nm, ok := ip.natives[name]
+			if !ok {
+				return 0, nil, throw(pc, "java.lang.UnsatisfiedLinkError", name)
+			}
+			arr, err := ip.getRef(refs, in.B, m, pc)
+			if err != nil {
+				return 0, nil, err
+			}
+			fault, nerr := ip.env.CallNative(name, nm.Kind, func(e *jni.Env) error {
+				return nm.Body(e, arr)
+			})
+			if fault != nil {
+				// The native crashed: the whole "process" goes down, which
+				// is exactly what distinguishes this from a managed throw.
+				return 0, fault, nil
+			}
+			if nerr != nil {
+				return 0, nil, throw(pc, "java.lang.RuntimeException", nerr.Error())
+			}
+		case OpReturn:
+			return pop(), nil, nil
+		default:
+			return 0, nil, fmt.Errorf("interp: %s pc %d: unknown opcode %d", m.Name, pc, int(in.Op))
+		}
+	}
+	return 0, nil, fmt.Errorf("interp: %s: fell off the end of the bytecode", m.Name)
+}
+
+// target clamps a jump target into [0, len(code)].
+func (ip *Interp) target(m *Method, a int64) int {
+	if a < 0 {
+		return 0
+	}
+	if a > int64(len(m.Code)) {
+		return len(m.Code)
+	}
+	return int(a)
+}
+
+// getRef fetches a reference slot.
+func (ip *Interp) getRef(refs []*vm.Object, a int64, m *Method, pc int) (*vm.Object, error) {
+	if a < 0 || int(a) >= len(refs) {
+		return nil, fmt.Errorf("interp: %s pc %d: bad ref slot %d", m.Name, pc, a)
+	}
+	if refs[a] == nil {
+		return nil, &ThrownException{Kind: "java.lang.NullPointerException",
+			Detail: fmt.Sprintf("ref slot %d", a), Method: m.Name, PC: pc}
+	}
+	return refs[a], nil
+}
+
+// setRef stores a reference slot.
+func (ip *Interp) setRef(refs []*vm.Object, a int64, obj *vm.Object, m *Method, pc int) error {
+	if a < 0 || int(a) >= len(refs) {
+		return fmt.Errorf("interp: %s pc %d: bad ref slot %d", m.Name, pc, a)
+	}
+	refs[a] = obj
+	return nil
+}

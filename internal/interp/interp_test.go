@@ -1,0 +1,339 @@
+package interp_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mte4jni/internal/core"
+	"mte4jni/internal/interp"
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+// newInterp builds a VM + env + interpreter; mteOn selects MTE4JNI+Sync vs
+// no protection.
+func newInterp(t *testing.T, mteOn bool) (*interp.Interp, *jni.Env) {
+	t.Helper()
+	opts := vm.Options{HeapSize: 8 << 20}
+	if mteOn {
+		opts.MTE = true
+		opts.CheckMode = mte.TCFSync
+	}
+	v, err := vm.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := v.AttachThread("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checker jni.Checker = jni.DirectChecker{}
+	if mteOn {
+		p, err := core.New(v, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checker = p
+	}
+	env := jni.NewEnv(th, checker, true)
+	return interp.New(env), env
+}
+
+func run(t *testing.T, ip *interp.Interp, m *interp.Method, args ...int64) int64 {
+	t.Helper()
+	v, fault, err := ip.Invoke(m, args...)
+	if fault != nil || err != nil {
+		t.Fatalf("%s: fault=%v err=%v", m.Name, fault, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	m := &interp.Method{
+		Name: "calc", MaxLocals: 2,
+		// return (a + b) * (a - b) / 2
+		Code: []interp.Inst{
+			{Op: interp.OpLoad, A: 0},
+			{Op: interp.OpLoad, A: 1},
+			{Op: interp.OpAdd},
+			{Op: interp.OpLoad, A: 0},
+			{Op: interp.OpLoad, A: 1},
+			{Op: interp.OpSub},
+			{Op: interp.OpMul},
+			{Op: interp.OpConst, A: 2},
+			{Op: interp.OpDiv},
+			{Op: interp.OpReturn},
+		},
+	}
+	if got := run(t, ip, m, 7, 3); got != 20 {
+		t.Fatalf("calc(7,3) = %d, want 20", got)
+	}
+	if got := run(t, ip, m, 10, 10); got != 0 {
+		t.Fatalf("calc(10,10) = %d", got)
+	}
+}
+
+func TestDivByZeroThrows(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	m := &interp.Method{
+		Name: "div", MaxLocals: 2,
+		Code: []interp.Inst{
+			{Op: interp.OpLoad, A: 0},
+			{Op: interp.OpLoad, A: 1},
+			{Op: interp.OpDiv},
+			{Op: interp.OpReturn},
+		},
+	}
+	_, fault, err := ip.Invoke(m, 1, 0)
+	var thrown *interp.ThrownException
+	if fault != nil || !errors.As(err, &thrown) {
+		t.Fatalf("fault=%v err=%v", fault, err)
+	}
+	if thrown.Kind != "java.lang.ArithmeticException" {
+		t.Fatalf("exception %v", thrown)
+	}
+	// Remainder too.
+	m.Code[2].Op = interp.OpRem
+	if _, _, err := ip.Invoke(m, 1, 0); !errors.As(err, &thrown) {
+		t.Fatalf("rem by zero: %v", err)
+	}
+}
+
+// sumLoop returns a method computing sum(1..n) with a branch loop.
+func sumLoop() *interp.Method {
+	return &interp.Method{
+		Name: "sum", MaxLocals: 3, // 0: n, 1: i, 2: acc
+		Code: []interp.Inst{
+			// i = n
+			{Op: interp.OpLoad, A: 0},
+			{Op: interp.OpStore, A: 1},
+			// loop: if i == 0 -> done(9)
+			{Op: interp.OpLoad, A: 1},
+			{Op: interp.OpJmpIfZero, A: 9},
+			// acc += i; i -= 1
+			{Op: interp.OpLoad, A: 2},
+			{Op: interp.OpLoad, A: 1},
+			{Op: interp.OpAdd},
+			{Op: interp.OpStore, A: 2},
+			// i-- then jump back: i = i - 1
+			{Op: interp.OpJmp, A: 10},
+			// done: return acc
+			{Op: interp.OpLoad, A: 2},
+			// decrement block (10..13)
+			{Op: interp.OpLoad, A: 1},
+			{Op: interp.OpConst, A: 1},
+			{Op: interp.OpSub},
+			{Op: interp.OpStore, A: 1},
+			{Op: interp.OpJmp, A: 2},
+		},
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// Note: the "done" path at pc 9 loads acc then falls into the decrement
+	// block — rewrite with an explicit return instead.
+	m := sumLoop()
+	m.Code = append(m.Code[:10], append([]interp.Inst{{Op: interp.OpReturn}}, m.Code[10:]...)...)
+	// Fix jump targets shifted by the insertion: decrement block is now 11.
+	m.Code[8].A = 11
+	ip, _ := newInterp(t, false)
+	if got := run(t, ip, m, 10); got != 55 {
+		t.Fatalf("sum(10) = %d, want 55", got)
+	}
+	if got := run(t, ip, m, 0); got != 0 {
+		t.Fatalf("sum(0) = %d", got)
+	}
+}
+
+func TestRunawayLoopAborts(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	ip.MaxSteps = 1000
+	m := &interp.Method{
+		Name: "spin", MaxLocals: 1,
+		Code: []interp.Inst{{Op: interp.OpJmp, A: 0}},
+	}
+	if _, _, err := ip.Invoke(m); err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Fatalf("runaway loop: %v", err)
+	}
+}
+
+func TestManagedArrayBoundsCheck(t *testing.T) {
+	// The managed half of the paper's asymmetry: writing index 21 of an
+	// int[18] from BYTECODE throws; no memory is touched.
+	ip, _ := newInterp(t, false)
+	m := &interp.Method{
+		Name: "managedOOB", MaxLocals: 1, MaxRefs: 1,
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 18},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpConst, A: 21},   // index
+			{Op: interp.OpConst, A: 0xBA}, // value
+			{Op: interp.OpArrayPut, A: 0},
+			{Op: interp.OpConst, A: 0},
+			{Op: interp.OpReturn},
+		},
+	}
+	_, fault, err := ip.Invoke(m)
+	var thrown *interp.ThrownException
+	if fault != nil || !errors.As(err, &thrown) {
+		t.Fatalf("fault=%v err=%v", fault, err)
+	}
+	if thrown.Kind != "java.lang.ArrayIndexOutOfBoundsException" {
+		t.Fatalf("exception %v", thrown)
+	}
+	if !strings.Contains(thrown.Error(), "Index 21 out of bounds for length 18") {
+		t.Fatalf("message %q", thrown.Error())
+	}
+}
+
+func TestArrayGetPutLength(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	m := &interp.Method{
+		Name: "arrays", MaxLocals: 1, MaxRefs: 1,
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 5},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpConst, A: 2},  // index
+			{Op: interp.OpConst, A: 42}, // value
+			{Op: interp.OpArrayPut, A: 0},
+			{Op: interp.OpConst, A: 2},
+			{Op: interp.OpArrayGet, A: 0},
+			{Op: interp.OpArrayLength, A: 0},
+			{Op: interp.OpMul}, // 42 * 5
+			{Op: interp.OpReturn},
+		},
+	}
+	if got := run(t, ip, m); got != 210 {
+		t.Fatalf("arrays() = %d, want 210", got)
+	}
+}
+
+func TestNegativeArraySizeThrows(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	m := &interp.Method{
+		Name: "neg", MaxLocals: 1, MaxRefs: 1,
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: -3},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpConst, A: 0},
+			{Op: interp.OpReturn},
+		},
+	}
+	var thrown *interp.ThrownException
+	if _, _, err := ip.Invoke(m); !errors.As(err, &thrown) || thrown.Kind != "java.lang.NegativeArraySizeException" {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestNullRefThrowsNPE(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	m := &interp.Method{
+		Name: "npe", MaxLocals: 1, MaxRefs: 1,
+		Code: []interp.Inst{
+			{Op: interp.OpArrayLength, A: 0}, // ref slot never assigned
+			{Op: interp.OpReturn},
+		},
+	}
+	var thrown *interp.ThrownException
+	if _, _, err := ip.Invoke(m); !errors.As(err, &thrown) || thrown.Kind != "java.lang.NullPointerException" {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+// figure3Method builds the paper's Figure 3 program as bytecode: allocate
+// int[18], then invoke a native that writes index 21 through the raw
+// pointer.
+func figure3Method() *interp.Method {
+	return &interp.Method{
+		Name: "mteTestGetPrimitiveArray", MaxLocals: 1, MaxRefs: 1,
+		NativeNames: []string{"test_ofb"},
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 18},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpCallNative, A: 0, B: 0},
+			{Op: interp.OpConst, A: 0},
+			{Op: interp.OpReturn},
+		},
+	}
+}
+
+// registerTestOFB installs the Figure 3 native method body.
+func registerTestOFB(ip *interp.Interp) {
+	ip.RegisterNative("test_ofb", interp.NativeMethod{
+		Kind: jni.Regular,
+		Body: func(env *jni.Env, arr *vm.Object) error {
+			p, err := env.GetPrimitiveArrayCritical(arr)
+			if err != nil {
+				return err
+			}
+			env.StoreInt(p.Add(21*4), 0xBAD) // the unchecked native write
+			return env.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault)
+		},
+	})
+}
+
+func TestNativeOOBFromBytecodeUnprotected(t *testing.T) {
+	// Same index-21 write, but through JNI with no protection: no managed
+	// exception, no fault — silent corruption, the paper's motivating gap.
+	ip, _ := newInterp(t, false)
+	registerTestOFB(ip)
+	v, fault, err := ip.Invoke(figure3Method())
+	if fault != nil || err != nil {
+		t.Fatalf("fault=%v err=%v", fault, err)
+	}
+	if v != 0 {
+		t.Fatalf("return %d", v)
+	}
+}
+
+func TestNativeOOBFromBytecodeUnderMTE(t *testing.T) {
+	// With MTE4JNI the same program dies with a precise hardware fault.
+	ip, _ := newInterp(t, true)
+	registerTestOFB(ip)
+	_, fault, err := ip.Invoke(figure3Method())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fault == nil || fault.Kind != mte.FaultTagMismatch {
+		t.Fatalf("fault = %v", fault)
+	}
+}
+
+func TestUnsatisfiedLink(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	m := figure3Method() // test_ofb not registered
+	var thrown *interp.ThrownException
+	if _, _, err := ip.Invoke(m); !errors.As(err, &thrown) || thrown.Kind != "java.lang.UnsatisfiedLinkError" {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestVerifierStyleErrors(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	cases := []*interp.Method{
+		{Name: "underflow", Code: []interp.Inst{{Op: interp.OpAdd}}},
+		{Name: "badlocal", MaxLocals: 1, Code: []interp.Inst{{Op: interp.OpLoad, A: 9}}},
+		{Name: "felloff", MaxLocals: 1, Code: []interp.Inst{{Op: interp.OpConst, A: 1}}},
+		{Name: "badref", MaxLocals: 1, MaxRefs: 0, Code: []interp.Inst{{Op: interp.OpArrayLength, A: 0}}},
+	}
+	for _, m := range cases {
+		if _, _, err := ip.Invoke(m); err == nil {
+			t.Fatalf("%s: invalid bytecode accepted", m.Name)
+		}
+	}
+	if _, _, err := ip.Invoke(&interp.Method{Name: "argc"}, 1, 2); err == nil {
+		t.Fatal("too many args accepted")
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if interp.OpConst.String() != "const" || interp.OpCallNative.String() != "callnative" {
+		t.Fatal("opcode strings wrong")
+	}
+	if !strings.Contains(interp.Opcode(99).String(), "99") {
+		t.Fatal("unknown opcode string")
+	}
+}

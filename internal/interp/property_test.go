@@ -1,0 +1,56 @@
+package interp_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mte4jni/internal/interp"
+)
+
+// TestPropertyStraightLineArithmetic generates random straight-line
+// arithmetic bytecode over two arguments and checks the interpreter against
+// direct Go evaluation of the same expression tree.
+func TestPropertyStraightLineArithmetic(t *testing.T) {
+	ip, _ := newInterp(t, false)
+
+	f := func(a, b int16, ops []uint8) bool {
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		// Build: start with a, then repeatedly apply (op, operand) where the
+		// operand alternates between b and a small constant.
+		code := []interp.Inst{{Op: interp.OpLoad, A: 0}}
+		acc := int64(a)
+		for i, raw := range ops {
+			var operand int64
+			if i%2 == 0 {
+				operand = int64(b)
+				code = append(code, interp.Inst{Op: interp.OpLoad, A: 1})
+			} else {
+				operand = int64(i + 1)
+				code = append(code, interp.Inst{Op: interp.OpConst, A: operand})
+			}
+			switch raw % 3 {
+			case 0:
+				code = append(code, interp.Inst{Op: interp.OpAdd})
+				acc += operand
+			case 1:
+				code = append(code, interp.Inst{Op: interp.OpSub})
+				acc -= operand
+			case 2:
+				code = append(code, interp.Inst{Op: interp.OpMul})
+				acc *= operand
+			}
+		}
+		code = append(code, interp.Inst{Op: interp.OpReturn})
+		m := &interp.Method{Name: "gen", MaxLocals: 2, Code: code}
+		if err := interp.Validate(m); err != nil {
+			return false
+		}
+		got, fault, err := ip.Invoke(m, int64(a), int64(b))
+		return fault == nil && err == nil && got == acc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,19 @@
+package jni
+
+import "math"
+
+// Bit-cast helpers for the float/double access helpers; thin named wrappers
+// keep the call sites aligned with how AArch64 moves FP registers through
+// integer loads/stores.
+
+// float32bits returns the IEEE-754 bit pattern of f.
+func float32bits(f float32) uint32 { return math.Float32bits(f) }
+
+// float32frombits reinterprets bits as a float32.
+func float32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// float64bits returns the IEEE-754 bit pattern of f.
+func float64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// float64frombits reinterprets bits as a float64.
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,75 @@
+package jni
+
+import (
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+// ReleaseMode is the third argument of the JNI Release* interfaces.
+type ReleaseMode int
+
+const (
+	// ReleaseDefault (mode 0): copy back the content (if a copy was made)
+	// and free the buffer.
+	ReleaseDefault ReleaseMode = 0
+	// JNICommit: copy back the content but do not free the buffer.
+	JNICommit ReleaseMode = 1
+	// JNIAbort: free the buffer without copying back possible changes.
+	JNIAbort ReleaseMode = 2
+)
+
+// String names the mode with the JNI constant names.
+func (m ReleaseMode) String() string {
+	switch m {
+	case ReleaseDefault:
+		return "0"
+	case JNICommit:
+		return "JNI_COMMIT"
+	case JNIAbort:
+		return "JNI_ABORT"
+	default:
+		return "ReleaseMode(?)"
+	}
+}
+
+// Checker is the protection scheme plugged under the JNI Get/Release
+// interfaces of Table 1. The four schemes the paper compares are four
+// implementations:
+//
+//   - no protection: DirectChecker (this package),
+//   - guarded copy: guardedcopy.Checker,
+//   - MTE4JNI sync/async: core.Protector (the mode lives in the VM's
+//     thread contexts, not the checker).
+type Checker interface {
+	// Name identifies the scheme in reports and benchmarks.
+	Name() string
+	// Acquire runs inside a Get interface about to expose the object
+	// payload [begin, end) and returns the raw pointer handed to native
+	// code. The pointer may address the original memory (tagged or not) or
+	// a guarded copy.
+	Acquire(t *vm.Thread, obj *vm.Object, begin, end mte.Addr) (mte.Ptr, error)
+	// Release runs inside the corresponding Release interface. It must
+	// validate and tear down whatever Acquire established. For copying
+	// checkers, mode selects whether the copy content is written back.
+	// A returned error of type *guardedcopy.Violation (or any error)
+	// surfaces to the caller as the scheme's detection verdict.
+	Release(t *vm.Thread, obj *vm.Object, p mte.Ptr, begin, end mte.Addr, mode ReleaseMode) error
+}
+
+// DirectChecker is the "no protection" scheme: JNI hands out the raw,
+// untagged address of the object payload and release is a no-op. This is
+// Android's production default (the paper's baseline for normalization).
+type DirectChecker struct{}
+
+// Name implements Checker.
+func (DirectChecker) Name() string { return "no-protection" }
+
+// Acquire implements Checker by returning the untagged payload address.
+func (DirectChecker) Acquire(t *vm.Thread, obj *vm.Object, begin, end mte.Addr) (mte.Ptr, error) {
+	return mte.MakePtr(begin, 0), nil
+}
+
+// Release implements Checker as a no-op.
+func (DirectChecker) Release(t *vm.Thread, obj *vm.Object, p mte.Ptr, begin, end mte.Addr, mode ReleaseMode) error {
+	return nil
+}

@@ -1,0 +1,662 @@
+package jni_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mte4jni/internal/core"
+	"mte4jni/internal/guardedcopy"
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+// newEnv builds a VM + attached thread + env under the named scheme.
+func newEnv(t *testing.T, scheme string) (*jni.Env, *vm.VM) {
+	t.Helper()
+	var opts vm.Options
+	switch scheme {
+	case "none", "guarded":
+		opts = vm.Options{HeapSize: 8 << 20, NativeHeapSize: 8 << 20}
+	case "mte-sync":
+		opts = vm.Options{HeapSize: 8 << 20, NativeHeapSize: 8 << 20, MTE: true, CheckMode: mte.TCFSync}
+	case "mte-async":
+		opts = vm.Options{HeapSize: 8 << 20, NativeHeapSize: 8 << 20, MTE: true, CheckMode: mte.TCFAsync}
+	default:
+		t.Fatalf("unknown scheme %q", scheme)
+	}
+	v, err := vm.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := v.AttachThread("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checker jni.Checker
+	switch scheme {
+	case "none":
+		checker = jni.DirectChecker{}
+	case "guarded":
+		checker = guardedcopy.New(v)
+	default:
+		p, err := core.New(v, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checker = p
+	}
+	return jni.NewEnv(th, checker, true), v
+}
+
+func TestDirectGetReleaseRoundTrip(t *testing.T) {
+	env, _ := newEnv(t, "none")
+	arr, err := env.NewIntArray(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault, err := env.CallNative("copyTest", jni.Regular, func(e *jni.Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		if p.Tag() != 0 || p.Addr() != arr.DataBegin() {
+			t.Errorf("direct scheme must return the raw untagged payload address, got %v", p)
+		}
+		for i := 0; i < 18; i++ {
+			e.StoreInt(p.Add(int64(i*4)), int32(i))
+		}
+		return e.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault)
+	})
+	if fault != nil || err != nil {
+		t.Fatalf("fault=%v err=%v", fault, err)
+	}
+	for i := 0; i < 18; i++ {
+		if got, _ := arr.GetInt(i); got != int32(i) {
+			t.Fatalf("element %d = %d", i, got)
+		}
+	}
+	if env.OutstandingAcquisitions() != 0 {
+		t.Fatal("acquisition leaked")
+	}
+	if arr.Pinned() {
+		t.Fatal("array still pinned after release")
+	}
+}
+
+func TestGuardedCopyReturnsCopyAndWritesBack(t *testing.T) {
+	env, v := newEnv(t, "guarded")
+	arr, _ := env.NewIntArray(8)
+	arr.SetInt(3, 77)
+	fault, err := env.CallNative("copyBack", jni.Regular, func(e *jni.Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		if p.Addr() == arr.DataBegin() {
+			t.Error("guarded copy must hand out a copy, not the original")
+		}
+		if got := e.LoadInt(p.Add(12)); got != 77 {
+			t.Errorf("copy content wrong: %d", got)
+		}
+		e.StoreInt(p.Add(12), 88)
+		// Original must be untouched until release.
+		if got, _ := arr.GetInt(3); got != 77 {
+			t.Errorf("original modified before release: %d", got)
+		}
+		return e.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault)
+	})
+	if fault != nil || err != nil {
+		t.Fatalf("fault=%v err=%v", fault, err)
+	}
+	if got, _ := arr.GetInt(3); got != 88 {
+		t.Fatalf("write-back failed: %d", got)
+	}
+	if v.NativeHeap.Live() != 0 {
+		t.Fatal("guarded buffer leaked")
+	}
+}
+
+func TestGuardedCopyJNIAbortDiscards(t *testing.T) {
+	env, _ := newEnv(t, "guarded")
+	arr, _ := env.NewIntArray(4)
+	arr.SetInt(0, 5)
+	env.CallNative("abortTest", jni.Regular, func(e *jni.Env) error {
+		p, _ := e.GetPrimitiveArrayCritical(arr)
+		e.StoreInt(p, 99)
+		return e.ReleasePrimitiveArrayCritical(arr, p, jni.JNIAbort)
+	})
+	if got, _ := arr.GetInt(0); got != 5 {
+		t.Fatalf("JNI_ABORT must discard changes, got %d", got)
+	}
+}
+
+func TestMTETaggedPointerAndTagLifecycle(t *testing.T) {
+	env, v := newEnv(t, "mte-sync")
+	arr, _ := env.NewIntArray(18)
+	mapping := v.JavaHeap.Mapping()
+	fault, err := env.CallNative("tagTest", jni.Regular, func(e *jni.Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		if p.Tag() == 0 {
+			t.Error("MTE4JNI must return a tagged pointer (tag 0 is excluded)")
+		}
+		if p.Addr() != arr.DataBegin() {
+			t.Error("MTE4JNI operates on the original object")
+		}
+		if got := mapping.TagAt(arr.DataBegin()); got != p.Tag() {
+			t.Errorf("memory tag %v != pointer tag %v", got, p.Tag())
+		}
+		e.StoreInt(p, 42) // in-bounds tagged access works
+		return e.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault)
+	})
+	if fault != nil || err != nil {
+		t.Fatalf("fault=%v err=%v", fault, err)
+	}
+	if got := mapping.TagAt(arr.DataBegin()); got != 0 {
+		t.Fatalf("tags not released: %v", got)
+	}
+	if got, _ := arr.GetInt(0); got != 42 {
+		t.Fatalf("in-place write lost: %d", got)
+	}
+}
+
+// TestOFBScenario reproduces the paper's Figure 3 program under all four
+// schemes: an int[18] array written at index 21.
+func TestOFBScenario(t *testing.T) {
+	testOFB := func(e *jni.Env, arr *vm.Object) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		e.StoreInt(p.Add(21*4), 0xBAD) // out-of-bounds write (index 21 of 18)
+		return e.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault)
+	}
+
+	t.Run("no-protection", func(t *testing.T) {
+		env, _ := newEnv(t, "none")
+		arr, _ := env.NewIntArray(18)
+		fault, err := env.CallNative("test_ofb", jni.Regular, func(e *jni.Env) error { return testOFB(e, arr) })
+		if fault != nil || err != nil {
+			t.Fatalf("no-protection must terminate normally, got fault=%v err=%v", fault, err)
+		}
+	})
+
+	t.Run("guarded-copy", func(t *testing.T) {
+		env, _ := newEnv(t, "guarded")
+		arr, _ := env.NewIntArray(18)
+		var relErr error
+		fault, _ := env.CallNative("test_ofb", jni.Regular, func(e *jni.Env) error {
+			relErr = testOFB(e, arr)
+			return nil
+		})
+		if fault != nil {
+			t.Fatalf("guarded copy produces no hardware fault, got %v", fault)
+		}
+		var v *guardedcopy.Violation
+		if !errors.As(relErr, &v) {
+			t.Fatalf("expected red-zone violation at release, got %v", relErr)
+		}
+		// The reported offset is payload-relative: index 21 of an int array
+		// is byte offset 84, 12 bytes past the 72-byte payload.
+		if v.Offset != 21*4 {
+			t.Fatalf("violation offset = %d, want %d", v.Offset, 21*4)
+		}
+		if len(v.Backtrace) == 0 || !strings.Contains(v.Backtrace[0], "abort") {
+			t.Fatalf("guarded copy must report at the abort site, got %v", v.Backtrace)
+		}
+	})
+
+	t.Run("mte-sync", func(t *testing.T) {
+		env, _ := newEnv(t, "mte-sync")
+		arr, _ := env.NewIntArray(18)
+		fault, err := env.CallNative("test_ofb", jni.Regular, func(e *jni.Env) error { return testOFB(e, arr) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fault == nil {
+			t.Fatal("sync MTE must fault at the OOB store")
+		}
+		if fault.Kind != mte.FaultTagMismatch || fault.Access != mte.AccessStore {
+			t.Fatalf("fault = %v", fault)
+		}
+		if fault.Async {
+			t.Fatal("sync fault marked async")
+		}
+		// Precise report: the PC is inside the native method, with the Go
+		// source location of the faulting store appended.
+		if !strings.Contains(fault.PC, "jni_test.go") {
+			t.Fatalf("sync fault PC %q does not pinpoint the faulting line", fault.PC)
+		}
+		found := false
+		for _, f := range fault.Backtrace {
+			if strings.Contains(f, "Java_com_example_app_MainActivity_test_ofb") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("backtrace lacks the native frame: %v", fault.Backtrace)
+		}
+	})
+
+	t.Run("mte-async", func(t *testing.T) {
+		env, _ := newEnv(t, "mte-async")
+		arr, _ := env.NewIntArray(18)
+		fault, err := env.CallNative("test_ofb", jni.Regular, func(e *jni.Env) error {
+			p, err := e.GetPrimitiveArrayCritical(arr)
+			if err != nil {
+				return err
+			}
+			e.StoreInt(p.Add(21*4), 0xBAD) // proceeds: async mode
+			e.Syscall("getuid")            // deferred fault surfaces here
+			t.Error("unreachable: Syscall must deliver the latched fault")
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fault == nil || !fault.Async {
+			t.Fatalf("expected deferred async fault, got %v", fault)
+		}
+		if !strings.Contains(fault.PC, "getuid") {
+			t.Fatalf("async fault must be reported at the syscall, got PC %q", fault.PC)
+		}
+	})
+}
+
+func TestAsyncFaultSurfacesAtTrampolineExit(t *testing.T) {
+	env, _ := newEnv(t, "mte-async")
+	arr, _ := env.NewIntArray(8)
+	fault, err := env.CallNative("silent_oob", jni.Regular, func(e *jni.Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		_ = e.LoadInt(p.Add(64)) // OOB read, no syscall afterwards
+		return e.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fault == nil || !fault.Async {
+		t.Fatalf("async fault must surface at trampoline exit, got %v", fault)
+	}
+	if !strings.Contains(fault.PC, "trampoline") {
+		t.Fatalf("fault PC %q, want the trampoline synchronization point", fault.PC)
+	}
+}
+
+func TestMTEDetectsOOBReads(t *testing.T) {
+	// Guarded copy cannot detect reads (§2.3 limitation 1); MTE can.
+	envG, _ := newEnv(t, "guarded")
+	arrG, _ := envG.NewIntArray(8)
+	var relErr error
+	fault, _ := envG.CallNative("oob_read", jni.Regular, func(e *jni.Env) error {
+		p, _ := e.GetPrimitiveArrayCritical(arrG)
+		_ = e.LoadInt(p.Add(36)) // read past the end, inside the red zone
+		relErr = e.ReleasePrimitiveArrayCritical(arrG, p, jni.ReleaseDefault)
+		return nil
+	})
+	if fault != nil || relErr != nil {
+		t.Fatalf("guarded copy wrongly detected an OOB read: fault=%v err=%v", fault, relErr)
+	}
+
+	envM, _ := newEnv(t, "mte-sync")
+	arrM, _ := envM.NewIntArray(8)
+	fault, err := envM.CallNative("oob_read", jni.Regular, func(e *jni.Env) error {
+		p, _ := e.GetPrimitiveArrayCritical(arrM)
+		_ = e.LoadInt(p.Add(36))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fault == nil || fault.Access != mte.AccessLoad {
+		t.Fatalf("MTE sync must detect the OOB read, got %v", fault)
+	}
+}
+
+func TestGuardedCopyMissesFarOOB(t *testing.T) {
+	// §2.3 limitation 2: a write that skips past the red zones is missed by
+	// guarded copy but caught by MTE.
+	far := int64(guardedcopy.RedZoneSize) + 64
+
+	envG, _ := newEnv(t, "guarded")
+	arrG, _ := envG.NewIntArray(8)
+	var relErr error
+	fault, _ := envG.CallNative("far_oob", jni.Regular, func(e *jni.Env) error {
+		p, _ := e.GetPrimitiveArrayCritical(arrG)
+		e.StoreInt(p.Add(32+far), 1) // past payload end + past the red zone
+		relErr = e.ReleasePrimitiveArrayCritical(arrG, p, jni.ReleaseDefault)
+		return nil
+	})
+	if fault != nil || relErr != nil {
+		t.Fatalf("guarded copy should MISS the far OOB write: fault=%v err=%v", fault, relErr)
+	}
+
+	envM, _ := newEnv(t, "mte-sync")
+	arrM, _ := envM.NewIntArray(8)
+	fault, err := envM.CallNative("far_oob", jni.Regular, func(e *jni.Env) error {
+		p, _ := e.GetPrimitiveArrayCritical(arrM)
+		e.StoreInt(p.Add(32+far), 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fault == nil {
+		t.Fatal("MTE sync must catch the far OOB write")
+	}
+}
+
+func TestCheckJNIDoubleRelease(t *testing.T) {
+	env, _ := newEnv(t, "none")
+	arr, _ := env.NewIntArray(4)
+	env.CallNative("dr", jni.Regular, func(e *jni.Env) error {
+		p, _ := e.GetPrimitiveArrayCritical(arr)
+		if err := e.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault); err != nil {
+			t.Fatal(err)
+		}
+		err := e.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault)
+		if err == nil || !strings.Contains(err.Error(), "CheckJNI") {
+			t.Fatalf("double release not flagged: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestCheckJNIWrongPointer(t *testing.T) {
+	env, _ := newEnv(t, "none")
+	arr, _ := env.NewIntArray(4)
+	env.CallNative("wp", jni.Regular, func(e *jni.Env) error {
+		p, _ := e.GetPrimitiveArrayCritical(arr)
+		if err := e.ReleasePrimitiveArrayCritical(arr, p.Add(4), jni.ReleaseDefault); err == nil {
+			t.Fatal("wrong release pointer not flagged")
+		}
+		return e.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault)
+	})
+}
+
+func TestCheckJNITypeErrors(t *testing.T) {
+	env, _ := newEnv(t, "none")
+	arr, _ := env.NewIntArray(4)
+	str, _ := env.NewString("s")
+
+	if _, err := env.GetPrimitiveArrayCritical(str); err == nil {
+		t.Fatal("string accepted as primitive array")
+	}
+	if _, err := env.GetStringCritical(arr); err == nil {
+		t.Fatal("array accepted as string")
+	}
+	if _, err := env.GetPrimitiveArrayCritical(nil); err == nil {
+		t.Fatal("null array accepted")
+	}
+	if _, err := env.GetArrayElements(vm.KindLong, arr); err == nil {
+		t.Fatal("GetLongArrayElements on int[] accepted")
+	}
+	if _, err := env.GetArrayLength(str); err == nil {
+		t.Fatal("GetArrayLength on string accepted")
+	}
+	if _, err := env.GetStringLength(arr); err == nil {
+		t.Fatal("GetStringLength on array accepted")
+	}
+}
+
+func TestAllElementFamiliesAcrossSchemes(t *testing.T) {
+	for _, scheme := range []string{"none", "guarded", "mte-sync"} {
+		env, _ := newEnv(t, scheme)
+		for _, k := range vm.Kinds {
+			arr, err := env.NewArray(k, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fault, err := env.CallNative("fam", jni.Regular, func(e *jni.Env) error {
+				p, err := e.GetArrayElements(k, arr)
+				if err != nil {
+					return err
+				}
+				e.StoreByte(p, 0x5A)
+				return e.ReleaseArrayElements(k, arr, p, jni.ReleaseDefault)
+			})
+			if fault != nil || err != nil {
+				t.Fatalf("%s %v: fault=%v err=%v", scheme, k, fault, err)
+			}
+			if bits, _ := arr.GetElem(0); byte(bits) != 0x5A {
+				t.Fatalf("%s %v: write-back lost", scheme, k)
+			}
+		}
+	}
+}
+
+func TestNamedElementWrappers(t *testing.T) {
+	env, _ := newEnv(t, "none")
+	type pair struct {
+		get func(*vm.Object) (mte.Ptr, error)
+		rel func(*vm.Object, mte.Ptr, jni.ReleaseMode) error
+		k   vm.Kind
+	}
+	pairs := []pair{
+		{env.GetByteArrayElements, env.ReleaseByteArrayElements, vm.KindByte},
+		{env.GetCharArrayElements, env.ReleaseCharArrayElements, vm.KindChar},
+		{env.GetShortArrayElements, env.ReleaseShortArrayElements, vm.KindShort},
+		{env.GetIntArrayElements, env.ReleaseIntArrayElements, vm.KindInt},
+		{env.GetLongArrayElements, env.ReleaseLongArrayElements, vm.KindLong},
+		{env.GetFloatArrayElements, env.ReleaseFloatArrayElements, vm.KindFloat},
+		{env.GetDoubleArrayElements, env.ReleaseDoubleArrayElements, vm.KindDouble},
+	}
+	for _, pr := range pairs {
+		arr, _ := env.NewArray(pr.k, 3)
+		p, err := pr.get(arr)
+		if err != nil {
+			t.Fatalf("%v: %v", pr.k, err)
+		}
+		if err := pr.rel(arr, p, jni.ReleaseDefault); err != nil {
+			t.Fatalf("%v: %v", pr.k, err)
+		}
+	}
+}
+
+func TestStringInterfaces(t *testing.T) {
+	for _, scheme := range []string{"none", "guarded", "mte-sync"} {
+		env, v := newEnv(t, scheme)
+		str, err := env.NewString("héllo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveBefore := v.LiveObjects()
+
+		fault, err := env.CallNative("strings", jni.Regular, func(e *jni.Env) error {
+			// UTF-16 via GetStringChars.
+			p, err := e.GetStringChars(str)
+			if err != nil {
+				return err
+			}
+			if got := e.LoadChar(p); got != 'h' {
+				t.Errorf("%s: first char %c", scheme, rune(got))
+			}
+			if got := e.LoadChar(p.Add(2)); got != 'é' {
+				t.Errorf("%s: second char %c", scheme, rune(got))
+			}
+			if err := e.ReleaseStringChars(str, p); err != nil {
+				return err
+			}
+
+			// Critical variant.
+			pc, err := e.GetStringCritical(str)
+			if err != nil {
+				return err
+			}
+			if err := e.ReleaseStringCritical(str, pc); err != nil {
+				return err
+			}
+
+			// Modified UTF-8 via GetStringUTFChars.
+			pu, n, err := e.GetStringUTFChars(str)
+			if err != nil {
+				return err
+			}
+			if n != 6 { // h,é(2 bytes),l,l,o
+				t.Errorf("%s: UTF length %d, want 6", scheme, n)
+			}
+			buf := make([]byte, n)
+			e.CopyToNative(buf, pu)
+			if s, _ := jni.StringFromModifiedUTF8(buf); s != "héllo" {
+				t.Errorf("%s: UTF content %q", scheme, s)
+			}
+			if e.LoadByte(pu.Add(int64(n))) != 0 {
+				t.Errorf("%s: missing NUL terminator", scheme)
+			}
+			return e.ReleaseStringUTFChars(str, pu)
+		})
+		if fault != nil || err != nil {
+			t.Fatalf("%s: fault=%v err=%v", scheme, fault, err)
+		}
+		if v.LiveObjects() != liveBefore {
+			t.Fatalf("%s: UTF buffer leaked (%d -> %d objects)", scheme, liveBefore, v.LiveObjects())
+		}
+	}
+}
+
+func TestGetStringUTFLength(t *testing.T) {
+	env, _ := newEnv(t, "none")
+	str, _ := env.NewString("a\x00é\U0001F600")
+	n, err := env.GetStringUTFLength(str)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=1, NUL=2 (modified), é=2, emoji=6 (CESU-8 surrogate pair).
+	if n != 11 {
+		t.Fatalf("UTF length = %d, want 11", n)
+	}
+}
+
+func TestArrayRegions(t *testing.T) {
+	env, _ := newEnv(t, "none")
+	arr, _ := env.NewIntArray(10)
+	for i := 0; i < 10; i++ {
+		arr.SetInt(i, int32(i+1))
+	}
+	buf := make([]byte, 3*4)
+	if err := env.GetArrayRegion(vm.KindInt, arr, 2, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 3 || buf[4] != 4 || buf[8] != 5 {
+		t.Fatalf("region content %v", buf)
+	}
+	buf[0] = 99
+	if err := env.SetArrayRegion(vm.KindInt, arr, 2, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := arr.GetInt(2); got != 99 {
+		t.Fatalf("SetArrayRegion lost: %d", got)
+	}
+	// Bounds checking.
+	if err := env.GetArrayRegion(vm.KindInt, arr, 8, 3, buf); err == nil {
+		t.Fatal("region past end accepted")
+	}
+	if err := env.GetArrayRegion(vm.KindInt, arr, -1, 3, buf); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if err := env.SetArrayRegion(vm.KindInt, arr, 0, 3, buf[:8]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestTrampolineTCOControl(t *testing.T) {
+	env, _ := newEnv(t, "mte-sync")
+	th := env.Thread()
+
+	if th.Ctx().Checking() {
+		t.Fatal("checking must be off before any native call")
+	}
+	for _, kind := range []jni.NativeKind{jni.Regular, jni.FastNative} {
+		env.CallNative("probe", kind, func(e *jni.Env) error {
+			if !th.Ctx().Checking() {
+				t.Errorf("%v: checking must be ON inside native code", kind)
+			}
+			if kind == jni.Regular && th.State() != vm.StateNative {
+				t.Errorf("regular native must transition the thread state")
+			}
+			if kind == jni.FastNative && th.State() != vm.StateRunnable {
+				t.Errorf("@FastNative must not transition the thread state")
+			}
+			return nil
+		})
+		if th.Ctx().Checking() {
+			t.Fatalf("%v: checking must be restored OFF after return", kind)
+		}
+	}
+	env.CallNative("crit", jni.CriticalNative, func(e *jni.Env) error {
+		if th.Ctx().Checking() {
+			t.Error("@CriticalNative must never enable checking")
+		}
+		return nil
+	})
+	if th.State() != vm.StateRunnable {
+		t.Fatal("thread state not restored")
+	}
+}
+
+func TestNonFaultPanicsPropagate(t *testing.T) {
+	env, _ := newEnv(t, "none")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ordinary panics must not be swallowed by the trampoline")
+		}
+	}()
+	env.CallNative("boom", jni.Regular, func(e *jni.Env) error {
+		panic("programming error")
+	})
+}
+
+func TestModifiedUTF8Properties(t *testing.T) {
+	f := func(units []uint16) bool {
+		enc := jni.EncodeModifiedUTF8(units)
+		// Modified UTF-8 never contains NUL bytes (key property).
+		for _, b := range enc {
+			if b == 0 {
+				return false
+			}
+		}
+		dec, err := jni.DecodeModifiedUTF8(enc)
+		if err != nil || len(dec) != len(units) {
+			return false
+		}
+		for i := range dec {
+			if dec[i] != units[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModifiedUTF8DecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		{0xC0},             // truncated 2-byte
+		{0xE0, 0x80},       // truncated 3-byte
+		{0xC0, 0x00},       // bad continuation
+		{0xF0, 0x90, 0x80}, // 4-byte form is invalid in modified UTF-8
+	}
+	for _, b := range bad {
+		if _, err := jni.DecodeModifiedUTF8(b); err == nil {
+			t.Fatalf("decode of %v succeeded", b)
+		}
+	}
+}
+
+func TestReleaseModeString(t *testing.T) {
+	if jni.ReleaseDefault.String() != "0" || jni.JNICommit.String() != "JNI_COMMIT" || jni.JNIAbort.String() != "JNI_ABORT" {
+		t.Fatal("ReleaseMode strings wrong")
+	}
+	if jni.Regular.String() != "regular" || jni.FastNative.String() != "@FastNative" || jni.CriticalNative.String() != "@CriticalNative" {
+		t.Fatal("NativeKind strings wrong")
+	}
+}

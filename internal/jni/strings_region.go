@@ -1,0 +1,100 @@
+package jni
+
+import (
+	"fmt"
+
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+// The string-region interfaces complete the JNI string surface: like the
+// array regions they copy into caller buffers under runtime bounds
+// checking, so they are safe by construction and need no protection scheme
+// involvement — they are here so code ported from real JNI has the full
+// vocabulary.
+
+// GetStringRegion copies count UTF-16 code units starting at start into
+// dst.
+func (e *Env) GetStringRegion(str *vm.Object, start, count int, dst []uint16) error {
+	if err := e.requireString(str, "GetStringRegion"); err != nil {
+		return err
+	}
+	if start < 0 || count < 0 || start+count > str.Len() {
+		return fmt.Errorf("jni: GetStringRegion: StringIndexOutOfBoundsException: region [%d,%d) of length %d",
+			start, start+count, str.Len())
+	}
+	if len(dst) != count {
+		return fmt.Errorf("jni: GetStringRegion: buffer holds %d units, want %d", len(dst), count)
+	}
+	for i := 0; i < count; i++ {
+		bits, err := str.GetElem(start + i)
+		if err != nil {
+			return err
+		}
+		dst[i] = uint16(bits)
+	}
+	return nil
+}
+
+// GetStringUTFRegion copies the Modified UTF-8 encoding of count UTF-16
+// units starting at start into dst, returning the number of bytes written.
+// dst must be large enough (3 bytes per unit is always sufficient).
+func (e *Env) GetStringUTFRegion(str *vm.Object, start, count int, dst []byte) (int, error) {
+	if err := e.requireString(str, "GetStringUTFRegion"); err != nil {
+		return 0, err
+	}
+	if start < 0 || count < 0 || start+count > str.Len() {
+		return 0, fmt.Errorf("jni: GetStringUTFRegion: StringIndexOutOfBoundsException: region [%d,%d) of length %d",
+			start, start+count, str.Len())
+	}
+	units := make([]uint16, count)
+	if err := e.GetStringRegion(str, start, count, units); err != nil {
+		return 0, err
+	}
+	utf := EncodeModifiedUTF8(units)
+	if len(dst) < len(utf) {
+		return 0, fmt.Errorf("jni: GetStringUTFRegion: buffer is %d bytes, need %d", len(dst), len(utf))
+	}
+	copy(dst, utf)
+	return len(utf), nil
+}
+
+// --- Remaining typed access helpers -----------------------------------------
+
+// LoadShort performs a checked 16-bit load interpreted as a Java short.
+func (e *Env) LoadShort(p mte.Ptr) int16 { return int16(e.LoadChar(p)) }
+
+// StoreShort performs a checked 16-bit store of a Java short.
+func (e *Env) StoreShort(p mte.Ptr, v int16) { e.StoreChar(p, uint16(v)) }
+
+// LoadFloat performs a checked 32-bit load interpreted as a Java float.
+func (e *Env) LoadFloat(p mte.Ptr) float32 {
+	return float32frombits(uint32(e.LoadInt(p)))
+}
+
+// StoreFloat performs a checked 32-bit store of a Java float.
+func (e *Env) StoreFloat(p mte.Ptr, v float32) {
+	e.StoreInt(p, int32(float32bits(v)))
+}
+
+// LoadDouble performs a checked 64-bit load interpreted as a Java double.
+func (e *Env) LoadDouble(p mte.Ptr) float64 {
+	return float64frombits(uint64(e.LoadLong(p)))
+}
+
+// StoreDouble performs a checked 64-bit store of a Java double.
+func (e *Env) StoreDouble(p mte.Ptr, v float64) {
+	e.StoreLong(p, int64(float64bits(v)))
+}
+
+// NewGlobalRef promotes an object to a process-wide GC root, like JNI
+// NewGlobalRef.
+func (e *Env) NewGlobalRef(obj *vm.Object) *vm.Object {
+	e.vm.AddGlobalRef(obj)
+	return obj
+}
+
+// DeleteGlobalRef drops a global reference created by NewGlobalRef.
+func (e *Env) DeleteGlobalRef(obj *vm.Object) {
+	e.vm.DeleteGlobalRef(obj)
+}

@@ -1,0 +1,122 @@
+package jni_test
+
+import (
+	"math"
+	"testing"
+
+	"mte4jni/internal/jni"
+	"mte4jni/internal/vm"
+)
+
+func TestGetStringRegion(t *testing.T) {
+	env, _ := newEnv(t, "none")
+	str, _ := env.NewString("hello world")
+	dst := make([]uint16, 5)
+	if err := env.GetStringRegion(str, 6, 5, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(rune(dst[0]))+string(rune(dst[4])) != "wd" {
+		t.Fatalf("region content %v", dst)
+	}
+	if err := env.GetStringRegion(str, 8, 5, dst); err == nil {
+		t.Fatal("region past end accepted")
+	}
+	if err := env.GetStringRegion(str, -1, 2, dst[:2]); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if err := env.GetStringRegion(str, 0, 3, dst); err == nil {
+		t.Fatal("wrong buffer size accepted")
+	}
+	arr, _ := env.NewIntArray(1)
+	if err := env.GetStringRegion(arr, 0, 0, nil); err == nil {
+		t.Fatal("array accepted as string")
+	}
+}
+
+func TestGetStringUTFRegion(t *testing.T) {
+	env, _ := newEnv(t, "none")
+	str, _ := env.NewString("héllo")
+	dst := make([]byte, 32)
+	n, err := env.GetStringUTFRegion(str, 1, 2, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := jni.StringFromModifiedUTF8(dst[:n]); s != "él" {
+		t.Fatalf("UTF region = %q", s)
+	}
+	if _, err := env.GetStringUTFRegion(str, 4, 3, dst); err == nil {
+		t.Fatal("region past end accepted")
+	}
+	if _, err := env.GetStringUTFRegion(str, 0, 5, dst[:2]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestTypedAccessHelpers(t *testing.T) {
+	for _, scheme := range []string{"none", "mte-sync"} {
+		env, _ := newEnv(t, scheme)
+		fa, _ := env.NewArray(vm.KindFloat, 4)
+		da, _ := env.NewArray(vm.KindDouble, 4)
+		sa, _ := env.NewArray(vm.KindShort, 4)
+
+		fault, err := env.CallNative("typed", jni.Regular, func(e *jni.Env) error {
+			pf, err := e.GetFloatArrayElements(fa)
+			if err != nil {
+				return err
+			}
+			e.StoreFloat(pf.Add(4), 3.25)
+			if got := e.LoadFloat(pf.Add(4)); got != 3.25 {
+				t.Errorf("%s: float roundtrip %v", scheme, got)
+			}
+			if err := e.ReleaseFloatArrayElements(fa, pf, jni.ReleaseDefault); err != nil {
+				return err
+			}
+
+			pd, err := e.GetDoubleArrayElements(da)
+			if err != nil {
+				return err
+			}
+			e.StoreDouble(pd.Add(8), math.Pi)
+			if got := e.LoadDouble(pd.Add(8)); got != math.Pi {
+				t.Errorf("%s: double roundtrip %v", scheme, got)
+			}
+			if err := e.ReleaseDoubleArrayElements(da, pd, jni.ReleaseDefault); err != nil {
+				return err
+			}
+
+			ps, err := e.GetShortArrayElements(sa)
+			if err != nil {
+				return err
+			}
+			e.StoreShort(ps, -1234)
+			if got := e.LoadShort(ps); got != -1234 {
+				t.Errorf("%s: short roundtrip %v", scheme, got)
+			}
+			return e.ReleaseShortArrayElements(sa, ps, jni.ReleaseDefault)
+		})
+		if fault != nil || err != nil {
+			t.Fatalf("%s: fault=%v err=%v", scheme, fault, err)
+		}
+		// Managed view agrees: float bits of element 1.
+		bits, _ := fa.GetElem(1)
+		if math.Float32frombits(uint32(bits)) != 3.25 {
+			t.Fatalf("%s: managed float view disagrees", scheme)
+		}
+	}
+}
+
+func TestGlobalRefsKeepObjectsAlive(t *testing.T) {
+	env, v := newEnv(t, "none")
+	arr, _ := env.NewIntArray(4)
+	g := env.NewGlobalRef(arr)
+	env.DeleteLocalRef(arr) // drop the only local root
+	v.GC()
+	if _, ok := v.ObjectAt(arr.Addr()); !ok {
+		t.Fatal("global ref did not keep the object alive")
+	}
+	env.DeleteGlobalRef(g)
+	v.GC()
+	if _, ok := v.ObjectAt(arr.Addr()); ok {
+		t.Fatal("object survived with no roots")
+	}
+}

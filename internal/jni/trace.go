@@ -1,0 +1,157 @@
+package jni
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"mte4jni/internal/mte"
+)
+
+// JNI call tracing, the development-phase diagnostic channel the paper
+// motivates MTE4JNI with: every raw-pointer handout, release, native-method
+// transition and detected fault can be streamed to a Tracer, so a developer
+// can see which interface produced the pointer a later fault report points
+// at. Tracing is off by default and costs one atomic load per event site
+// when disabled.
+
+// TraceEventKind classifies trace events.
+type TraceEventKind int
+
+const (
+	// TraceGet is a successful raw-pointer acquisition.
+	TraceGet TraceEventKind = iota
+	// TraceRelease is a release (clean or not).
+	TraceRelease
+	// TraceNativeEnter and TraceNativeExit bracket native-method execution.
+	TraceNativeEnter
+	TraceNativeExit
+	// TraceFault is a detected memory fault surfacing from a native method.
+	TraceFault
+)
+
+// String names the kind.
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceGet:
+		return "get"
+	case TraceRelease:
+		return "release"
+	case TraceNativeEnter:
+		return "native-enter"
+	case TraceNativeExit:
+		return "native-exit"
+	case TraceFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("TraceEventKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one traced occurrence.
+type TraceEvent struct {
+	// Kind classifies the event.
+	Kind TraceEventKind
+	// Thread is the thread name.
+	Thread string
+	// Iface is the JNI interface or native-method name involved.
+	Iface string
+	// Object describes the Java object, when one is involved.
+	Object string
+	// Ptr is the raw pointer involved, when one exists.
+	Ptr mte.Ptr
+	// Err carries the error/violation/fault text for failing events.
+	Err string
+}
+
+// Tracer consumes trace events. Implementations must be safe for
+// concurrent use; events from different threads interleave.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// SetTracer installs (or, with nil, removes) the env's tracer.
+func (e *Env) SetTracer(tr Tracer) {
+	if tr == nil {
+		e.tracer.Store(nil)
+		return
+	}
+	e.tracer.Store(&tr)
+}
+
+// trace emits an event if a tracer is installed.
+func (e *Env) trace(ev TraceEvent) {
+	p := e.tracer.Load()
+	if p == nil {
+		return
+	}
+	ev.Thread = e.thread.Name()
+	(*p).Event(ev)
+}
+
+// tracing reports whether a tracer is installed (to avoid building event
+// payloads for nothing on hot paths).
+func (e *Env) tracing() bool { return e.tracer.Load() != nil }
+
+// WriterTracer streams events to an io.Writer, one line each, in a format
+// reminiscent of ART's -verbose:jni logging.
+type WriterTracer struct {
+	mu sync.Mutex
+	w  io.Writer
+	n  atomic.Int64
+}
+
+// NewWriterTracer wraps w.
+func NewWriterTracer(w io.Writer) *WriterTracer { return &WriterTracer{w: w} }
+
+// Event implements Tracer.
+func (t *WriterTracer) Event(ev TraceEvent) {
+	t.n.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch ev.Kind {
+	case TraceGet:
+		fmt.Fprintf(t.w, "JNI: [%s] %s(%s) -> %v\n", ev.Thread, ev.Iface, ev.Object, ev.Ptr)
+	case TraceRelease:
+		if ev.Err != "" {
+			fmt.Fprintf(t.w, "JNI: [%s] %s(%s, %v) FAILED: %s\n", ev.Thread, ev.Iface, ev.Object, ev.Ptr, ev.Err)
+		} else {
+			fmt.Fprintf(t.w, "JNI: [%s] %s(%s, %v)\n", ev.Thread, ev.Iface, ev.Object, ev.Ptr)
+		}
+	case TraceNativeEnter:
+		fmt.Fprintf(t.w, "JNI: [%s] -> %s\n", ev.Thread, ev.Iface)
+	case TraceNativeExit:
+		fmt.Fprintf(t.w, "JNI: [%s] <- %s\n", ev.Thread, ev.Iface)
+	case TraceFault:
+		fmt.Fprintf(t.w, "JNI: [%s] !! %s: %s\n", ev.Thread, ev.Iface, ev.Err)
+	}
+}
+
+// Events returns the number of events received.
+func (t *WriterTracer) Events() int64 { return t.n.Load() }
+
+// CountingTracer counts events by kind, for tests and statistics.
+type CountingTracer struct {
+	mu     sync.Mutex
+	counts map[TraceEventKind]int
+}
+
+// NewCountingTracer creates an empty counter.
+func NewCountingTracer() *CountingTracer {
+	return &CountingTracer{counts: make(map[TraceEventKind]int)}
+}
+
+// Event implements Tracer.
+func (t *CountingTracer) Event(ev TraceEvent) {
+	t.mu.Lock()
+	t.counts[ev.Kind]++
+	t.mu.Unlock()
+}
+
+// Count returns the number of events of kind k seen.
+func (t *CountingTracer) Count(k TraceEventKind) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[k]
+}

@@ -1,0 +1,87 @@
+package jni_test
+
+import (
+	"strings"
+	"testing"
+
+	"mte4jni/internal/jni"
+)
+
+func TestWriterTracerOutput(t *testing.T) {
+	env, _ := newEnv(t, "mte-sync")
+	var sb strings.Builder
+	tr := jni.NewWriterTracer(&sb)
+	env.SetTracer(tr)
+
+	arr, _ := env.NewIntArray(8)
+	fault, err := env.CallNative("traced", jni.Regular, func(e *jni.Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		return e.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault)
+	})
+	if fault != nil || err != nil {
+		t.Fatalf("fault=%v err=%v", fault, err)
+	}
+	out := sb.String()
+	for _, want := range []string{"-> traced", "GetPrimitiveArrayCritical(int[]", "ReleasePrimitiveArrayCritical(", "<- traced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if tr.Events() != 4 {
+		t.Fatalf("events = %d, want 4 (enter, get, release, exit)", tr.Events())
+	}
+
+	// Tracing can be turned off again.
+	env.SetTracer(nil)
+	env.CallNative("silent", jni.Regular, func(*jni.Env) error { return nil })
+	if tr.Events() != 4 {
+		t.Fatal("events recorded after tracer removed")
+	}
+}
+
+func TestTracerSeesFaults(t *testing.T) {
+	env, _ := newEnv(t, "mte-sync")
+	ct := jni.NewCountingTracer()
+	env.SetTracer(ct)
+	arr, _ := env.NewIntArray(8)
+	fault, _ := env.CallNative("oob", jni.Regular, func(e *jni.Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		e.StoreInt(p.Add(64), 1)
+		return nil
+	})
+	if fault == nil {
+		t.Fatal("expected fault")
+	}
+	if ct.Count(jni.TraceFault) != 1 {
+		t.Fatalf("fault events = %d", ct.Count(jni.TraceFault))
+	}
+	if ct.Count(jni.TraceGet) != 1 || ct.Count(jni.TraceNativeEnter) != 1 {
+		t.Fatal("get/enter events missing")
+	}
+	// The trampoline unwinds before NativeExit on a sync fault, matching a
+	// real SIGSEGV (no orderly exit event).
+	if ct.Count(jni.TraceNativeExit) != 0 {
+		t.Fatal("sync fault should not produce an orderly native-exit event")
+	}
+}
+
+func TestTraceEventKindString(t *testing.T) {
+	kinds := map[jni.TraceEventKind]string{
+		jni.TraceGet:         "get",
+		jni.TraceRelease:     "release",
+		jni.TraceNativeEnter: "native-enter",
+		jni.TraceNativeExit:  "native-exit",
+		jni.TraceFault:       "fault",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%v != %s", k, want)
+		}
+	}
+}

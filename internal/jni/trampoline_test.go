@@ -1,0 +1,97 @@
+package jni_test
+
+import (
+	"testing"
+
+	"mte4jni/internal/jni"
+	"mte4jni/internal/vm"
+)
+
+// TestNestedNativeCallsKeepProtection models native → Java → native
+// re-entrancy: when the inner native method returns, the outer native frame
+// must still have tag checking enabled (and the thread must still be in the
+// Native state).
+func TestNestedNativeCallsKeepProtection(t *testing.T) {
+	env, _ := newEnv(t, "mte-sync")
+	th := env.Thread()
+	arr, _ := env.NewIntArray(8)
+
+	fault, err := env.CallNative("outer", jni.Regular, func(e *jni.Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		// Call back into "Java", which invokes another native method.
+		innerFault, innerErr := e.CallNative("inner", jni.Regular, func(e2 *jni.Env) error {
+			if !th.Ctx().Checking() {
+				t.Error("checking off inside inner native")
+			}
+			if th.State() != vm.StateNative {
+				t.Error("inner state not Native")
+			}
+			return nil
+		})
+		if innerFault != nil || innerErr != nil {
+			t.Errorf("inner: fault=%v err=%v", innerFault, innerErr)
+		}
+		// Back in the outer native frame: protection must still be live.
+		if !th.Ctx().Checking() {
+			t.Error("checking lost after inner native returned")
+		}
+		if th.State() != vm.StateNative {
+			t.Errorf("outer state corrupted: %v", th.State())
+		}
+		// A tagged access still works — and an OOB one still faults.
+		e.StoreInt(p, 7)
+		return e.ReleasePrimitiveArrayCritical(arr, p, jni.ReleaseDefault)
+	})
+	if fault != nil || err != nil {
+		t.Fatalf("fault=%v err=%v", fault, err)
+	}
+	if th.Ctx().Checking() {
+		t.Fatal("checking must be off after the outermost return")
+	}
+	if th.State() != vm.StateRunnable {
+		t.Fatalf("final state %v", th.State())
+	}
+
+	// The OOB-in-outer-after-inner variant: the fault must still fire.
+	fault, err = env.CallNative("outer2", jni.Regular, func(e *jni.Env) error {
+		p, err := e.GetPrimitiveArrayCritical(arr)
+		if err != nil {
+			return err
+		}
+		e.CallNative("inner2", jni.FastNative, func(*jni.Env) error { return nil })
+		e.StoreInt(p.Add(64), 1) // OOB after the nested call returned
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fault == nil {
+		t.Fatal("OOB after nested native call went undetected — TCO restore broken")
+	}
+}
+
+// TestCriticalNativeNestedInRegular: a @CriticalNative call inside a
+// regular native must not disturb the outer protection (it never touches
+// TCO at all).
+func TestCriticalNativeNestedInRegular(t *testing.T) {
+	env, _ := newEnv(t, "mte-sync")
+	th := env.Thread()
+	fault, err := env.CallNative("outer", jni.Regular, func(e *jni.Env) error {
+		e.CallNative("crit", jni.CriticalNative, func(*jni.Env) error {
+			if !th.Ctx().Checking() {
+				t.Error("@CriticalNative must leave the outer TCO untouched")
+			}
+			return nil
+		})
+		if !th.Ctx().Checking() {
+			t.Error("checking lost after @CriticalNative")
+		}
+		return nil
+	})
+	if fault != nil || err != nil {
+		t.Fatalf("fault=%v err=%v", fault, err)
+	}
+}

@@ -1,0 +1,208 @@
+package mem
+
+import (
+	"encoding/binary"
+
+	"mte4jni/internal/cpu"
+	"mte4jni/internal/mte"
+)
+
+// This file is the tag-check engine: the simulated load/store unit that
+// native code uses to touch Java heap memory through raw (possibly tagged)
+// pointers. Faults are reported the way the corresponding hardware + kernel
+// combination reports them:
+//
+//   - Unmapped or protection violations are always synchronous.
+//   - Tag mismatches in sync mode return a *mte.Fault carrying the precise
+//     faulting PC and backtrace; the access does not take effect (a store is
+//     suppressed, a load returns zero).
+//   - Tag mismatches in async mode are latched on the thread's TFSR and the
+//     access proceeds; the fault surfaces later at a synchronization point
+//     (cpu.Context.Syscall or the JNI trampoline exit).
+//   - With checking disabled (mode none, or TCO set, or an untagged
+//     mapping) accesses are performed directly.
+
+// checkAccess validates one access and returns (mapping, fault). A non-nil
+// fault means the access must not take effect. Async tag mismatches are
+// latched here and reported as nil so the caller proceeds.
+func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.AccessKind) (*Mapping, *mte.Fault) {
+	addr := p.Addr()
+	m, ok := s.Resolve(addr)
+	if !ok || !m.contains(addr, size) {
+		return nil, s.newFault(ctx, mte.FaultUnmapped, kind, p, size, p.Tag(), 0)
+	}
+	var need Prot = ProtRead
+	if kind == mte.AccessStore {
+		need = ProtWrite
+	}
+	if m.prot&need == 0 {
+		return nil, s.newFault(ctx, mte.FaultProtection, kind, p, size, p.Tag(), 0)
+	}
+	if m.tags == nil || !ctx.Checking() {
+		return m, nil
+	}
+	// Compare the pointer tag against every covered granule's tag. The scan
+	// is a plain byte loop over the tag array — cheap relative to the data
+	// access, as the hardware check is.
+	gb, ge := mte.GranuleRange(addr, addr+mte.Addr(size))
+	want := uint8(p.Tag())
+	span := m.tags[m.granuleIndex(gb):m.granuleIndex(ge)]
+	for _, got := range span {
+		if got == want {
+			continue
+		}
+		f := s.newFault(ctx, mte.FaultTagMismatch, kind, p, size, p.Tag(), mte.Tag(got))
+		if ctx.CheckMode() == mte.TCFAsync {
+			// Asynchronous mode: latch and let the access proceed
+			// (paper §2.1: "allows the program to continue execution
+			// even after detecting a tag mismatch").
+			ctx.LatchAsyncFault(f)
+			return m, nil
+		}
+		return nil, f
+	}
+	return m, nil
+}
+
+// newFault builds a fault record stamped with the thread's current simulated
+// PC and backtrace.
+func (s *Space) newFault(ctx *cpu.Context, kind mte.FaultKind, access mte.AccessKind, p mte.Ptr, size int, ptrTag, memTag mte.Tag) *mte.Fault {
+	return &mte.Fault{
+		Kind:      kind,
+		Access:    access,
+		Ptr:       p,
+		Size:      size,
+		PtrTag:    ptrTag,
+		MemTag:    memTag,
+		PC:        ctx.PC(),
+		Backtrace: ctx.Backtrace(),
+		Thread:    ctx.Name(),
+	}
+}
+
+// Load8 reads one byte through a checked access.
+func (s *Space) Load8(ctx *cpu.Context, p mte.Ptr) (uint8, *mte.Fault) {
+	m, f := s.checkAccess(ctx, p, 1, mte.AccessLoad)
+	if f != nil {
+		return 0, f
+	}
+	return m.data[p.Addr()-m.base], nil
+}
+
+// Store8 writes one byte through a checked access.
+func (s *Space) Store8(ctx *cpu.Context, p mte.Ptr, v uint8) *mte.Fault {
+	m, f := s.checkAccess(ctx, p, 1, mte.AccessStore)
+	if f != nil {
+		return f
+	}
+	m.data[p.Addr()-m.base] = v
+	return nil
+}
+
+// Load16 reads a little-endian 16-bit value.
+func (s *Space) Load16(ctx *cpu.Context, p mte.Ptr) (uint16, *mte.Fault) {
+	m, f := s.checkAccess(ctx, p, 2, mte.AccessLoad)
+	if f != nil {
+		return 0, f
+	}
+	off := p.Addr() - m.base
+	return binary.LittleEndian.Uint16(m.data[off:]), nil
+}
+
+// Store16 writes a little-endian 16-bit value.
+func (s *Space) Store16(ctx *cpu.Context, p mte.Ptr, v uint16) *mte.Fault {
+	m, f := s.checkAccess(ctx, p, 2, mte.AccessStore)
+	if f != nil {
+		return f
+	}
+	binary.LittleEndian.PutUint16(m.data[p.Addr()-m.base:], v)
+	return nil
+}
+
+// Load32 reads a little-endian 32-bit value.
+func (s *Space) Load32(ctx *cpu.Context, p mte.Ptr) (uint32, *mte.Fault) {
+	m, f := s.checkAccess(ctx, p, 4, mte.AccessLoad)
+	if f != nil {
+		return 0, f
+	}
+	off := p.Addr() - m.base
+	return binary.LittleEndian.Uint32(m.data[off:]), nil
+}
+
+// Store32 writes a little-endian 32-bit value.
+func (s *Space) Store32(ctx *cpu.Context, p mte.Ptr, v uint32) *mte.Fault {
+	m, f := s.checkAccess(ctx, p, 4, mte.AccessStore)
+	if f != nil {
+		return f
+	}
+	binary.LittleEndian.PutUint32(m.data[p.Addr()-m.base:], v)
+	return nil
+}
+
+// Load64 reads a little-endian 64-bit value.
+func (s *Space) Load64(ctx *cpu.Context, p mte.Ptr) (uint64, *mte.Fault) {
+	m, f := s.checkAccess(ctx, p, 8, mte.AccessLoad)
+	if f != nil {
+		return 0, f
+	}
+	off := p.Addr() - m.base
+	return binary.LittleEndian.Uint64(m.data[off:]), nil
+}
+
+// Store64 writes a little-endian 64-bit value.
+func (s *Space) Store64(ctx *cpu.Context, p mte.Ptr, v uint64) *mte.Fault {
+	m, f := s.checkAccess(ctx, p, 8, mte.AccessStore)
+	if f != nil {
+		return f
+	}
+	binary.LittleEndian.PutUint64(m.data[p.Addr()-m.base:], v)
+	return nil
+}
+
+// CopyOut performs a checked bulk read of len(dst) bytes starting at p into
+// dst, the simulated equivalent of an unrolled load loop (or memcpy out of
+// the Java heap). Tag checking is done per covered granule, matching how the
+// hardware checks a sequence of loads.
+func (s *Space) CopyOut(ctx *cpu.Context, p mte.Ptr, dst []byte) *mte.Fault {
+	m, f := s.checkAccess(ctx, p, len(dst), mte.AccessLoad)
+	if f != nil {
+		return f
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	copy(dst, m.data[p.Addr()-m.base:])
+	return nil
+}
+
+// CopyIn performs a checked bulk write of src to simulated memory at p.
+func (s *Space) CopyIn(ctx *cpu.Context, p mte.Ptr, src []byte) *mte.Fault {
+	m, f := s.checkAccess(ctx, p, len(src), mte.AccessStore)
+	if f != nil {
+		return f
+	}
+	if len(src) == 0 {
+		return nil
+	}
+	copy(m.data[p.Addr()-m.base:], src)
+	return nil
+}
+
+// Move copies n bytes from src to dst inside simulated memory, with checked
+// access on both sides. It models native memcpy between two raw Java heap
+// pointers — the workload of the paper's Figure 5 experiment.
+func (s *Space) Move(ctx *cpu.Context, dst, src mte.Ptr, n int) *mte.Fault {
+	sm, f := s.checkAccess(ctx, src, n, mte.AccessLoad)
+	if f != nil {
+		return f
+	}
+	dm, f := s.checkAccess(ctx, dst, n, mte.AccessStore)
+	if f != nil {
+		return f
+	}
+	if n == 0 {
+		return nil
+	}
+	copy(dm.data[dst.Addr()-dm.base:dst.Addr()-dm.base+mte.Addr(n)], sm.data[src.Addr()-sm.base:])
+	return nil
+}

@@ -1,0 +1,254 @@
+// Package mem implements the simulated 64-bit address space that stands in
+// for the device RAM of the paper's testbed.
+//
+// Memory is organised as mappings (the moral equivalent of mmap regions).
+// A mapping created with ProtMTE carries one 4-bit allocation tag per
+// 16-byte granule, mirroring how Linux exposes MTE: the paper's §4.1
+// modifies ART to map the Java heap with PROT_MTE, and this package is where
+// that flag takes effect.
+//
+// All native-code access to Java heap memory in this reproduction goes
+// through the checked Load/Store/Copy entry points, which consult the
+// accessing thread's cpu.Context exactly as the hardware consults
+// SCTLR.TCF and PSTATE.TCO: checking happens only when the thread's mode is
+// sync or async and TCO is clear. Tag mismatches either return a synchronous
+// fault (sync mode) or are latched on the thread and the access proceeds
+// (async mode).
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mte4jni/internal/mte"
+)
+
+// Prot is a mapping protection mask, following the PROT_* naming.
+type Prot uint8
+
+const (
+	// ProtRead permits loads.
+	ProtRead Prot = 1 << iota
+	// ProtWrite permits stores.
+	ProtWrite
+	// ProtMTE allocates tag storage for the mapping and enables tag
+	// checking on accesses to it, like PROT_MTE on Linux.
+	ProtMTE
+)
+
+// String renders the mask in mmap style, e.g. "rw+mte".
+func (p Prot) String() string {
+	s := ""
+	if p&ProtRead != 0 {
+		s += "r"
+	} else {
+		s += "-"
+	}
+	if p&ProtWrite != 0 {
+		s += "w"
+	} else {
+		s += "-"
+	}
+	if p&ProtMTE != 0 {
+		s += "+mte"
+	}
+	return s
+}
+
+// pageSize is the simulated page granularity for mapping placement.
+const pageSize = 4096
+
+// guardGap is the unmapped slack left between consecutive mappings so that a
+// wild out-of-bounds access past a mapping's end faults as SEGV_MAPERR
+// instead of silently landing in a neighbour.
+const guardGap = 1 << 20
+
+// spaceBase is where the first mapping is placed. The value keeps simulated
+// pointers looking like plausible AArch64 userspace addresses.
+const spaceBase = mte.Addr(0x7000_0000_0000)
+
+// Mapping is one contiguous region of simulated memory.
+type Mapping struct {
+	base mte.Addr
+	prot Prot
+	name string
+	data []byte
+	// tags holds one allocation tag per granule when the mapping is
+	// ProtMTE; nil otherwise.
+	//
+	// Storage is plain bytes, not atomics, mirroring how cheap hardware tag
+	// operations are relative to data accesses. This is race-safe under the
+	// system's synchronization discipline: a granule's tag is only written
+	// while its object's entry lock (package core) is held with no other
+	// holder (refs 0->1 and 1->0 transitions), every reader's acquire of
+	// the same entry lock establishes the happens-before edge, and threads
+	// with checking disabled (TCO set) never read tags at all.
+	tags []uint8
+}
+
+// Base returns the first address of the mapping.
+func (m *Mapping) Base() mte.Addr { return m.base }
+
+// Size returns the mapping length in bytes.
+func (m *Mapping) Size() uint64 { return uint64(len(m.data)) }
+
+// End returns one past the last address of the mapping.
+func (m *Mapping) End() mte.Addr { return m.base + mte.Addr(len(m.data)) }
+
+// Prot returns the mapping's protection mask.
+func (m *Mapping) Prot() Prot { return m.prot }
+
+// Name returns the human-readable label given at Map time.
+func (m *Mapping) Name() string { return m.name }
+
+// Tagged reports whether the mapping carries MTE tag storage.
+func (m *Mapping) Tagged() bool { return m.tags != nil }
+
+// contains reports whether [addr, addr+size) lies fully inside the mapping.
+func (m *Mapping) contains(addr mte.Addr, size int) bool {
+	if addr < m.base {
+		return false
+	}
+	off := uint64(addr - m.base)
+	return off+uint64(size) <= uint64(len(m.data))
+}
+
+// granuleIndex converts an in-mapping address to a tag-array index.
+func (m *Mapping) granuleIndex(addr mte.Addr) int {
+	return int(uint64(addr-m.base) >> mte.GranuleShift)
+}
+
+// TagAt returns the allocation tag of the granule containing addr. It
+// reports tag 0 for untagged mappings, which matches hardware behaviour for
+// non-PROT_MTE pages (they behave as tag-0 memory).
+func (m *Mapping) TagAt(addr mte.Addr) mte.Tag {
+	if m.tags == nil {
+		return 0
+	}
+	return mte.Tag(m.tags[m.granuleIndex(addr)])
+}
+
+// SetTagRange applies tag to every granule overlapping [begin, end),
+// simulating a loop of stg/st2g instructions (Algorithm 1 step 3). It
+// returns the number of granules written. Addresses outside the mapping are
+// an error: tagging is a VM-internal operation, so this is a bug, not a
+// recoverable fault.
+func (m *Mapping) SetTagRange(begin, end mte.Addr, tag mte.Tag) (int, error) {
+	if m.tags == nil {
+		return 0, fmt.Errorf("mem: SetTagRange on non-MTE mapping %q", m.name)
+	}
+	gb, ge := mte.GranuleRange(begin, end)
+	if gb < m.base || ge > m.End() {
+		return 0, fmt.Errorf("mem: SetTagRange [%v,%v) outside mapping %q [%v,%v)", begin, end, m.name, m.base, m.End())
+	}
+	span := m.tags[m.granuleIndex(gb):m.granuleIndex(ge)]
+	b := uint8(tag & 0xF)
+	for i := range span {
+		span[i] = b
+	}
+	return len(span), nil
+}
+
+// ZeroTagRange clears the tags of every granule overlapping [begin, end),
+// used by tag release (Algorithm 2 step 3).
+func (m *Mapping) ZeroTagRange(begin, end mte.Addr) (int, error) {
+	return m.SetTagRange(begin, end, 0)
+}
+
+// ReadRaw copies mapping bytes starting at addr into dst without any tag or
+// protection checking. It is the runtime-internal view of memory (the
+// allocator, the GC and the guarded-copy machinery use it) — the moral
+// equivalent of ART touching its own heap from managed code paths.
+func (m *Mapping) ReadRaw(addr mte.Addr, dst []byte) error {
+	if !m.contains(addr, len(dst)) {
+		return fmt.Errorf("mem: ReadRaw [%v,+%d) outside mapping %q", addr, len(dst), m.name)
+	}
+	copy(dst, m.data[addr-m.base:])
+	return nil
+}
+
+// WriteRaw copies src into the mapping at addr without checking.
+func (m *Mapping) WriteRaw(addr mte.Addr, src []byte) error {
+	if !m.contains(addr, len(src)) {
+		return fmt.Errorf("mem: WriteRaw [%v,+%d) outside mapping %q", addr, len(src), m.name)
+	}
+	copy(m.data[addr-m.base:], src)
+	return nil
+}
+
+// Bytes returns the raw backing slice for [addr, addr+size), bypassing all
+// checking. Intended for runtime internals and tests only.
+func (m *Mapping) Bytes(addr mte.Addr, size int) ([]byte, error) {
+	if !m.contains(addr, size) {
+		return nil, fmt.Errorf("mem: Bytes [%v,+%d) outside mapping %q", addr, size, m.name)
+	}
+	off := addr - m.base
+	return m.data[off : off+mte.Addr(size) : off+mte.Addr(size)], nil
+}
+
+// Space is a simulated process address space: an ordered set of mappings.
+// Mapping creation is rare and locked; address resolution on the access hot
+// path reads an immutable snapshot, so concurrent native threads never
+// serialize on the Space itself.
+type Space struct {
+	mu       sync.Mutex
+	nextBase mte.Addr
+	snapshot atomic.Pointer[[]*Mapping]
+}
+
+// NewSpace creates an empty address space.
+func NewSpace() *Space {
+	s := &Space{nextBase: spaceBase}
+	empty := []*Mapping{}
+	s.snapshot.Store(&empty)
+	return s
+}
+
+// Map creates a new mapping of size bytes (rounded up to the page size) with
+// the given protection and returns it. Placement is linear with a guard gap
+// after each mapping.
+func (s *Space) Map(name string, size uint64, prot Prot) (*Mapping, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("mem: Map %q: zero size", name)
+	}
+	rounded := (size + pageSize - 1) &^ (pageSize - 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := &Mapping{
+		base: s.nextBase,
+		prot: prot,
+		name: name,
+		data: make([]byte, rounded),
+	}
+	if prot&ProtMTE != 0 {
+		m.tags = make([]uint8, rounded/mte.GranuleSize)
+	}
+	s.nextBase += mte.Addr(rounded + guardGap)
+
+	old := *s.snapshot.Load()
+	next := make([]*Mapping, len(old)+1)
+	copy(next, old)
+	next[len(old)] = m
+	s.snapshot.Store(&next)
+	return m, nil
+}
+
+// Resolve finds the mapping containing addr. The second result is false when
+// addr is unmapped.
+func (s *Space) Resolve(addr mte.Addr) (*Mapping, bool) {
+	for _, m := range *s.snapshot.Load() {
+		if addr >= m.base && addr < m.End() {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Mappings returns a snapshot of all current mappings in creation order.
+func (s *Space) Mappings() []*Mapping {
+	snap := *s.snapshot.Load()
+	out := make([]*Mapping, len(snap))
+	copy(out, snap)
+	return out
+}

@@ -1,0 +1,406 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mte4jni/internal/cpu"
+	"mte4jni/internal/mte"
+)
+
+func newTestSpace(t *testing.T) (*Space, *Mapping) {
+	t.Helper()
+	s := NewSpace()
+	m, err := s.Map("test-heap", 64*1024, ProtRead|ProtWrite|ProtMTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+func checkingCtx(mode mte.CheckMode) *cpu.Context {
+	ctx := cpu.New("native-0", mode)
+	ctx.SetTCO(false)
+	return ctx
+}
+
+func TestMapPlacement(t *testing.T) {
+	s := NewSpace()
+	a, err := s.Map("a", 100, ProtRead|ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 4096 {
+		t.Fatalf("size not rounded to page: %d", a.Size())
+	}
+	b, err := s.Map("b", 4096, ProtRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Base() < a.End() {
+		t.Fatal("mappings overlap")
+	}
+	if got, ok := s.Resolve(a.Base() + 50); !ok || got != a {
+		t.Fatal("Resolve failed inside mapping a")
+	}
+	if _, ok := s.Resolve(a.End()); ok {
+		t.Fatal("Resolve succeeded in the guard gap")
+	}
+	if len(s.Mappings()) != 2 {
+		t.Fatalf("Mappings() = %d entries", len(s.Mappings()))
+	}
+}
+
+func TestMapZeroSize(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Map("z", 0, ProtRead); err == nil {
+		t.Fatal("zero-size map must fail")
+	}
+}
+
+func TestProtString(t *testing.T) {
+	if got := (ProtRead | ProtWrite | ProtMTE).String(); got != "rw+mte" {
+		t.Fatalf("Prot string = %q", got)
+	}
+	if got := ProtRead.String(); got != "r-" {
+		t.Fatalf("Prot string = %q", got)
+	}
+}
+
+func TestRawReadWriteRoundTrip(t *testing.T) {
+	_, m := newTestSpace(t)
+	src := []byte{1, 2, 3, 4, 5}
+	if err := m.WriteRaw(m.Base()+32, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 5)
+	if err := m.ReadRaw(m.Base()+32, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("raw roundtrip mismatch at %d", i)
+		}
+	}
+	if err := m.WriteRaw(m.End()-2, []byte{1, 2, 3}); err == nil {
+		t.Fatal("WriteRaw past end must fail")
+	}
+	if err := m.ReadRaw(m.Base()-1, dst); err == nil {
+		t.Fatal("ReadRaw before base must fail")
+	}
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	s, m := newTestSpace(t)
+	ctx := checkingCtx(mte.TCFNone)
+	base := m.Base()
+
+	if f := s.Store8(ctx, mte.MakePtr(base, 0), 0xAB); f != nil {
+		t.Fatal(f)
+	}
+	if v, f := s.Load8(ctx, mte.MakePtr(base, 0)); f != nil || v != 0xAB {
+		t.Fatalf("Load8 = %x, %v", v, f)
+	}
+	if f := s.Store16(ctx, mte.MakePtr(base+2, 0), 0xBEEF); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := s.Load16(ctx, mte.MakePtr(base+2, 0)); v != 0xBEEF {
+		t.Fatalf("Load16 = %x", v)
+	}
+	if f := s.Store32(ctx, mte.MakePtr(base+4, 0), 0xDEADBEEF); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := s.Load32(ctx, mte.MakePtr(base+4, 0)); v != 0xDEADBEEF {
+		t.Fatalf("Load32 = %x", v)
+	}
+	if f := s.Store64(ctx, mte.MakePtr(base+8, 0), 0x0123456789ABCDEF); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := s.Load64(ctx, mte.MakePtr(base+8, 0)); v != 0x0123456789ABCDEF {
+		t.Fatalf("Load64 = %x", v)
+	}
+}
+
+func TestUnmappedAccessFaults(t *testing.T) {
+	s, m := newTestSpace(t)
+	ctx := checkingCtx(mte.TCFNone)
+	// Past the end of the mapping, inside the guard gap.
+	p := mte.MakePtr(m.End()+64, 0)
+	if _, f := s.Load32(ctx, p); f == nil || f.Kind != mte.FaultUnmapped {
+		t.Fatalf("expected SEGV_MAPERR, got %v", f)
+	}
+	// Straddling the end of the mapping.
+	p = mte.MakePtr(m.End()-2, 0)
+	if f := s.Store32(ctx, p, 1); f == nil || f.Kind != mte.FaultUnmapped {
+		t.Fatalf("expected SEGV_MAPERR for straddling access, got %v", f)
+	}
+}
+
+func TestProtectionFault(t *testing.T) {
+	s := NewSpace()
+	ro, err := s.Map("rodata", 4096, ProtRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := checkingCtx(mte.TCFNone)
+	if f := s.Store8(ctx, mte.MakePtr(ro.Base(), 0), 1); f == nil || f.Kind != mte.FaultProtection {
+		t.Fatalf("store to read-only mapping: got %v", f)
+	}
+	if _, f := s.Load8(ctx, mte.MakePtr(ro.Base(), 0)); f != nil {
+		t.Fatalf("load from read-only mapping should succeed, got %v", f)
+	}
+}
+
+func TestTagRangeSetAndZero(t *testing.T) {
+	_, m := newTestSpace(t)
+	begin := m.Base() + 32
+	end := begin + 72 // 18 ints
+	n, err := m.SetTagRange(begin, end, 0xA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 { // 72 bytes from an aligned start = ceil(72/16) = 5 granules
+		t.Fatalf("SetTagRange tagged %d granules, want 5", n)
+	}
+	if got := m.TagAt(begin); got != 0xA {
+		t.Fatalf("TagAt(begin) = %v", got)
+	}
+	if got := m.TagAt(end - 1); got != 0xA {
+		t.Fatalf("TagAt(end-1) = %v", got)
+	}
+	if got := m.TagAt(end.AlignUp(16)); got != 0 {
+		t.Fatalf("granule after range tagged: %v", got)
+	}
+	if _, err := m.ZeroTagRange(begin, end); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TagAt(begin); got != 0 {
+		t.Fatalf("tag not cleared: %v", got)
+	}
+}
+
+func TestSetTagRangeErrors(t *testing.T) {
+	s := NewSpace()
+	plain, _ := s.Map("plain", 4096, ProtRead|ProtWrite)
+	if _, err := plain.SetTagRange(plain.Base(), plain.Base()+16, 1); err == nil {
+		t.Fatal("SetTagRange on non-MTE mapping must fail")
+	}
+	_, m := newTestSpace(t)
+	if _, err := m.SetTagRange(m.End()-8, m.End()+8, 1); err == nil {
+		t.Fatal("SetTagRange outside mapping must fail")
+	}
+}
+
+func TestSyncTagMismatchFaults(t *testing.T) {
+	s, m := newTestSpace(t)
+	ctx := checkingCtx(mte.TCFSync)
+	ctx.SetPC("test_ofb+124")
+
+	begin := m.Base()
+	m.SetTagRange(begin, begin+64, 0x7)
+	good := mte.MakePtr(begin, 0x7)
+	if f := s.Store32(ctx, good, 42); f != nil {
+		t.Fatalf("matching tag store faulted: %v", f)
+	}
+	if v, f := s.Load32(ctx, good); f != nil || v != 42 {
+		t.Fatalf("matching tag load: %v %v", v, f)
+	}
+
+	// Out-of-bounds: pointer arithmetic walks past the tagged granules.
+	oob := good.Add(64)
+	f := s.Store32(ctx, oob, 1)
+	if f == nil || f.Kind != mte.FaultTagMismatch {
+		t.Fatalf("OOB store: got %v", f)
+	}
+	if f.PtrTag != 0x7 || f.MemTag != 0 {
+		t.Fatalf("fault tags: ptr %v mem %v", f.PtrTag, f.MemTag)
+	}
+	if f.PC != "test_ofb+124" {
+		t.Fatalf("sync fault PC = %q, want the faulting site", f.PC)
+	}
+	// The store must have been suppressed.
+	if v, _ := s.Load32(checkingCtx(mte.TCFNone), oob.WithTag(0)); v != 0 {
+		t.Fatalf("suppressed store leaked: %d", v)
+	}
+	// Sync mode detects OOB *reads* too — the capability guarded copy lacks.
+	if _, f := s.Load32(ctx, oob); f == nil || f.Access != mte.AccessLoad {
+		t.Fatalf("OOB load not detected: %v", f)
+	}
+}
+
+func TestAsyncTagMismatchLatches(t *testing.T) {
+	s, m := newTestSpace(t)
+	ctx := checkingCtx(mte.TCFAsync)
+	begin := m.Base()
+	m.SetTagRange(begin, begin+16, 0x3)
+	oob := mte.MakePtr(begin, 0x3).Add(16)
+
+	if f := s.Store32(ctx, oob, 99); f != nil {
+		t.Fatalf("async mode must not fault synchronously, got %v", f)
+	}
+	// The access proceeds in async mode.
+	if v, _ := s.Load32(checkingCtx(mte.TCFNone), oob.WithTag(0)); v != 99 {
+		t.Fatalf("async store did not take effect: %d", v)
+	}
+	f := ctx.Syscall("getuid")
+	if f == nil {
+		t.Fatal("async fault must surface at the next syscall")
+	}
+	if !f.Async || f.PC != "getuid+4 (libc.so)" {
+		t.Fatalf("async fault reported at %q", f.PC)
+	}
+}
+
+func TestTCOSuppressesChecking(t *testing.T) {
+	s, m := newTestSpace(t)
+	ctx := cpu.New("gc", mte.TCFSync) // TCO starts set
+	begin := m.Base()
+	m.SetTagRange(begin, begin+16, 0x9)
+	// GC-style access: untagged pointer into tagged memory.
+	untagged := mte.MakePtr(begin, 0)
+	if _, f := s.Load32(ctx, untagged); f != nil {
+		t.Fatalf("TCO=1 access faulted: %v", f)
+	}
+	ctx.SetTCO(false)
+	if _, f := s.Load32(ctx, untagged); f == nil {
+		t.Fatal("TCO=0 untagged access to tagged memory must fault")
+	}
+}
+
+func TestUntaggedMappingNeverChecks(t *testing.T) {
+	s := NewSpace()
+	plain, _ := s.Map("plain", 4096, ProtRead|ProtWrite)
+	ctx := checkingCtx(mte.TCFSync)
+	// Any pointer tag is fine on a non-MTE mapping.
+	if f := s.Store32(ctx, mte.MakePtr(plain.Base(), 0xF), 7); f != nil {
+		t.Fatalf("tagged pointer to untagged mapping faulted: %v", f)
+	}
+}
+
+func TestCopyInOutMove(t *testing.T) {
+	s, m := newTestSpace(t)
+	ctx := checkingCtx(mte.TCFSync)
+	begin := m.Base()
+	m.SetTagRange(begin, begin+128, 0x4)
+	p := mte.MakePtr(begin, 0x4)
+
+	src := make([]byte, 100)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if f := s.CopyIn(ctx, p, src); f != nil {
+		t.Fatal(f)
+	}
+	dst := make([]byte, 100)
+	if f := s.CopyOut(ctx, p, dst); f != nil {
+		t.Fatal(f)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("CopyOut mismatch at %d", i)
+		}
+	}
+
+	// Move to a second tagged region.
+	m.SetTagRange(begin+256, begin+384, 0x5)
+	q := mte.MakePtr(begin+256, 0x5)
+	if f := s.Move(ctx, q, p, 100); f != nil {
+		t.Fatal(f)
+	}
+	if f := s.CopyOut(ctx, q, dst); f != nil {
+		t.Fatal(f)
+	}
+	if dst[99] != 99 {
+		t.Fatal("Move corrupted data")
+	}
+
+	// A Move crossing past the tagged range faults.
+	if f := s.Move(ctx, q, p, 200); f == nil {
+		t.Fatal("Move past tagged range must fault")
+	}
+	if f := s.CopyOut(ctx, p.Add(120), dst[:16]); f == nil {
+		t.Fatal("CopyOut past tagged range must fault")
+	}
+	if f := s.CopyIn(ctx, p, nil); f != nil {
+		t.Fatalf("empty CopyIn faulted: %v", f)
+	}
+}
+
+func TestGranuleSharingFalseNegative(t *testing.T) {
+	// Reproduces the §4.1 hazard: with 8-byte alignment two objects share a
+	// granule and an OOB access within the shared granule goes undetected.
+	s, m := newTestSpace(t)
+	ctx := checkingCtx(mte.TCFSync)
+	begin := m.Base()
+	// "Object A" occupies [0,8) but its granule [0,16) gets tag 0x2.
+	m.SetTagRange(begin, begin+8, 0x2)
+	pA := mte.MakePtr(begin, 0x2)
+	// OOB into [8,16): same granule, same tag — undetected (false negative).
+	if f := s.Store32(ctx, pA.Add(8), 1); f != nil {
+		t.Fatalf("within-granule OOB unexpectedly detected: %v", f)
+	}
+	// OOB into the next granule is detected.
+	if f := s.Store32(ctx, pA.Add(16), 1); f == nil {
+		t.Fatal("cross-granule OOB must be detected")
+	}
+}
+
+func TestPropertyTagCheckMatchesGranuleTag(t *testing.T) {
+	s, m := newTestSpace(t)
+	ctx := checkingCtx(mte.TCFSync)
+	f := func(off uint16, tag, ptrTag uint8) bool {
+		a := (m.Base() + mte.Addr(off)%mte.Addr(m.Size()-8)).AlignDown(16)
+		tg, pt := mte.Tag(tag%16), mte.Tag(ptrTag%16)
+		if _, err := m.SetTagRange(a, a+16, tg); err != nil {
+			return false
+		}
+		_, fault := s.Load64(ctx, mte.MakePtr(a, pt))
+		defer m.ZeroTagRange(a, a+16)
+		if tg == pt {
+			return fault == nil
+		}
+		return fault != nil && fault.Kind == mte.FaultTagMismatch && fault.MemTag == tg && fault.PtrTag == pt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTaggingAndChecking(t *testing.T) {
+	// Distinct objects tagged/untagged concurrently while their owners access
+	// them must not interfere — the atomic per-granule tag storage at work.
+	s, m := newTestSpace(t)
+	const threads = 16
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctx := checkingCtx(mte.TCFSync)
+			begin := m.Base() + mte.Addr(id*1024)
+			end := begin + 512
+			tag := mte.Tag(id%15 + 1)
+			for iter := 0; iter < 200; iter++ {
+				if _, err := m.SetTagRange(begin, end, tag); err != nil {
+					t.Error(err)
+					return
+				}
+				p := mte.MakePtr(begin, tag)
+				if f := s.Store64(ctx, p, uint64(iter)); f != nil {
+					t.Errorf("thread %d: %v", id, f)
+					return
+				}
+				if v, f := s.Load64(ctx, p); f != nil || v != uint64(iter) {
+					t.Errorf("thread %d: load %v %v", id, v, f)
+					return
+				}
+				if _, err := m.ZeroTagRange(begin, end); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

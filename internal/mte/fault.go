@@ -1,0 +1,94 @@
+package mte
+
+import "fmt"
+
+// AccessKind distinguishes reads from writes in fault records. Guarded copy
+// can only ever detect writes; MTE detects both (paper §2.3 vs §2.1), so
+// keeping the kind in the record lets tests assert on that asymmetry.
+type AccessKind int
+
+const (
+	// AccessLoad is a read of simulated memory.
+	AccessLoad AccessKind = iota
+	// AccessStore is a write to simulated memory.
+	AccessStore
+)
+
+// String returns "load" or "store".
+func (k AccessKind) String() string {
+	if k == AccessStore {
+		return "store"
+	}
+	return "load"
+}
+
+// FaultKind classifies a memory fault raised by the simulated memory engine.
+type FaultKind int
+
+const (
+	// FaultTagMismatch is an MTE tag-check fault: the pointer tag differs
+	// from the memory tag of the accessed granule (SEGV_MTESERR /
+	// SEGV_MTEAERR on Linux).
+	FaultTagMismatch FaultKind = iota
+	// FaultUnmapped is an access outside every mapping (plain SEGV).
+	FaultUnmapped
+	// FaultProtection is an access violating a mapping's protection flags,
+	// e.g. a store to a read-only mapping.
+	FaultProtection
+)
+
+// String names the fault kind using the Linux signal-code vocabulary that
+// appears in Android logcat output.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTagMismatch:
+		return "SEGV_MTESERR"
+	case FaultUnmapped:
+		return "SEGV_MAPERR"
+	case FaultProtection:
+		return "SEGV_ACCERR"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault describes one detected illegal memory access. It carries enough
+// detail to reconstruct the logcat-style crash reports compared in the
+// paper's Figure 4: the faulting pointer and its tag, the memory tag that
+// was actually set, and the simulated backtrace captured at *report* time —
+// which is the faulting instruction for synchronous MTE, the next syscall
+// for asynchronous MTE, and the JNI release call for guarded copy.
+type Fault struct {
+	// Kind classifies the fault.
+	Kind FaultKind
+	// Access says whether the faulting access was a load or a store.
+	Access AccessKind
+	// Ptr is the pointer value used by the faulting access (tag included).
+	Ptr Ptr
+	// Size is the access width in bytes.
+	Size int
+	// PtrTag and MemTag are the mismatching tags for FaultTagMismatch.
+	PtrTag, MemTag Tag
+	// Async is true when the fault was detected asynchronously and therefore
+	// reported away from the faulting instruction.
+	Async bool
+	// PC is the simulated program-counter label of the frame the fault was
+	// *reported* at.
+	PC string
+	// Backtrace is the simulated call stack at report time, innermost frame
+	// first, formatted like logcat "#NN pc" lines by package report.
+	Backtrace []string
+	// Thread is the name of the thread that observed the fault.
+	Thread string
+}
+
+// Error implements the error interface so a *Fault can flow through normal
+// Go error paths after being recovered at a trampoline boundary.
+func (f *Fault) Error() string {
+	mode := "sync"
+	if f.Async {
+		mode = "async"
+	}
+	return fmt.Sprintf("%s: %s of %d bytes at %s (ptr tag %s, mem tag %s, %s, thread %q, pc %s)",
+		f.Kind, f.Access, f.Size, f.Ptr, f.PtrTag, f.MemTag, mode, f.Thread, f.PC)
+}

@@ -1,0 +1,204 @@
+// Package mte models the architectural surface of the ARMv8.5-A Memory
+// Tagging Extension (MTE) in software.
+//
+// The model follows the ARM specification as described in the MTE4JNI paper
+// (§2.1): memory is tagged at a 16-byte granule granularity with 4-bit tags,
+// pointers carry a 4-bit logical tag in bits 56-59, and on every checked
+// access the pointer tag is compared against the memory tag of the granule
+// being touched. A mismatch is a tag-check fault.
+//
+// The package is deliberately free of policy: it defines tags, tagged
+// pointers, granule arithmetic, the tag-generation instruction (IRG) with its
+// exclusion mask, check modes (TCF), and fault records. Tag *storage* lives
+// in package mem; per-thread enable/disable (the TCO register) lives in
+// package cpu.
+package mte
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// GranuleSize is the number of bytes covered by a single memory tag.
+// ARM MTE fixes this at 16 bytes.
+const GranuleSize = 16
+
+// GranuleShift is log2(GranuleSize).
+const GranuleShift = 4
+
+// TagBits is the width of a memory or pointer tag. ARM MTE uses 4 bits,
+// giving 16 possible tag values.
+const TagBits = 4
+
+// NumTags is the number of distinct tag values (2^TagBits).
+const NumTags = 1 << TagBits
+
+// PoisonTag is the conventional tag value reserved for released memory when
+// poison-on-release is enabled (core.Config.PoisonOnRelease): faults whose
+// memory tag equals PoisonTag identify use-after-release rather than a
+// plain spatial violation. The value matches the 0xF convention used by
+// MTE-aware allocators for freed chunks.
+const PoisonTag Tag = 0xF
+
+// tagShift is the bit position of the logical address tag within a 64-bit
+// pointer. Per the ARM specification the tag occupies bits 56-59.
+const tagShift = 56
+
+// tagMask isolates the pointer-tag bits within a 64-bit pointer.
+const tagMask = uint64(NumTags-1) << tagShift
+
+// addrMask clears the entire top byte of a pointer, mirroring AArch64
+// top-byte-ignore (TBI): bits 56-63 are not part of the virtual address.
+const addrMask = uint64(0x00FF_FFFF_FFFF_FFFF)
+
+// Tag is a 4-bit memory or pointer tag. Only the low TagBits bits are
+// meaningful; constructors and methods keep values in range.
+type Tag uint8
+
+// IsValid reports whether t fits in TagBits bits.
+func (t Tag) IsValid() bool { return t < NumTags }
+
+// String formats the tag as it appears in ARM fault reports, e.g. "0x5".
+func (t Tag) String() string { return fmt.Sprintf("0x%x", uint8(t&0xF)) }
+
+// Addr is an untagged simulated virtual address.
+type Addr uint64
+
+// GranuleIndex returns the index of the 16-byte granule containing a.
+func (a Addr) GranuleIndex() uint64 { return uint64(a) >> GranuleShift }
+
+// GranuleAligned reports whether a is aligned to a granule boundary.
+func (a Addr) GranuleAligned() bool { return uint64(a)%GranuleSize == 0 }
+
+// AlignDown rounds a down to the nearest multiple of align, which must be a
+// power of two.
+func (a Addr) AlignDown(align uint64) Addr { return Addr(uint64(a) &^ (align - 1)) }
+
+// AlignUp rounds a up to the nearest multiple of align, which must be a
+// power of two.
+func (a Addr) AlignUp(align uint64) Addr { return Addr((uint64(a) + align - 1) &^ (align - 1)) }
+
+// String formats the address in the customary hex form.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// Ptr is a 64-bit pointer value as seen by native code: a virtual address in
+// the low 56 bits plus a logical address tag in bits 56-59. Pointer
+// arithmetic on a Ptr preserves the tag, exactly as hardware arithmetic on a
+// tagged register does — this is what lets an out-of-bounds derived pointer
+// keep the in-bounds tag and trip the check (paper §2.1).
+type Ptr uint64
+
+// MakePtr combines an address with a pointer tag.
+func MakePtr(a Addr, t Tag) Ptr {
+	return Ptr((uint64(a) & addrMask) | uint64(t&0xF)<<tagShift)
+}
+
+// Addr strips the top byte (TBI) and returns the virtual address.
+func (p Ptr) Addr() Addr { return Addr(uint64(p) & addrMask) }
+
+// Tag extracts the logical address tag from bits 56-59.
+func (p Ptr) Tag() Tag { return Tag(uint64(p) >> tagShift & 0xF) }
+
+// WithTag returns a copy of p re-tagged with t, leaving the address intact.
+func (p Ptr) WithTag(t Tag) Ptr { return MakePtr(p.Addr(), t) }
+
+// Add offsets the pointer by delta bytes. The tag is inherited, matching the
+// behaviour of hardware pointer arithmetic on tagged pointers.
+func (p Ptr) Add(delta int64) Ptr {
+	a := Addr(uint64(int64(uint64(p.Addr())) + delta))
+	return MakePtr(a, p.Tag())
+}
+
+// String formats the pointer with its tag visible in the top byte.
+func (p Ptr) String() string { return fmt.Sprintf("0x%016x", uint64(p)) }
+
+// CheckMode mirrors the SCTLR_EL1.TCF tag-check-fault field: how a thread
+// reacts to a tag mismatch.
+type CheckMode int
+
+const (
+	// TCFNone disables tag checking entirely (the "no protection" scheme).
+	TCFNone CheckMode = iota
+	// TCFSync raises a fault synchronously at the faulting access, giving a
+	// precise faulting PC (paper §2.1, "synchronous mode").
+	TCFSync
+	// TCFAsync records the mismatch in a TFSR-like accumulator and lets
+	// execution continue; the fault surfaces at the next synchronization
+	// point such as a system call (paper §2.1, "asynchronous mode").
+	TCFAsync
+)
+
+// String names the mode as used throughout the paper's figures.
+func (m CheckMode) String() string {
+	switch m {
+	case TCFNone:
+		return "none"
+	case TCFSync:
+		return "sync"
+	case TCFAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("CheckMode(%d)", int(m))
+	}
+}
+
+// ExcludeMask is the IRG exclusion mask (GCR_EL1.Exclude equivalent): a
+// 16-bit set in which bit i excludes tag value i from random generation.
+// A mask with all 16 bits set would exclude everything; IRG then falls back
+// to tag 0, as the architecture does.
+type ExcludeMask uint16
+
+// Exclude returns m with tag t added to the excluded set.
+func (m ExcludeMask) Exclude(t Tag) ExcludeMask { return m | 1<<uint(t&0xF) }
+
+// Excludes reports whether tag t is excluded by m.
+func (m ExcludeMask) Excludes(t Tag) bool { return m&(1<<uint(t&0xF)) != 0 }
+
+// Allowed returns how many tag values m still permits.
+func (m ExcludeMask) Allowed() int { return NumTags - bits.OnesCount16(uint16(m)) }
+
+// RNG is the randomness source consumed by IRG. It is satisfied by
+// *math/rand.Rand and by deterministic test doubles.
+type RNG interface {
+	// Intn returns a uniform random int in [0, n).
+	Intn(n int) int
+}
+
+// IRG implements the insert-random-tag instruction: it draws a tag uniformly
+// from the values not excluded by mask. If every value is excluded it
+// returns tag 0, mirroring the architected fallback.
+func IRG(rng RNG, mask ExcludeMask) Tag {
+	allowed := mask.Allowed()
+	if allowed == 0 {
+		return 0
+	}
+	n := rng.Intn(allowed)
+	for t := Tag(0); t < NumTags; t++ {
+		if mask.Excludes(t) {
+			continue
+		}
+		if n == 0 {
+			return t
+		}
+		n--
+	}
+	// Unreachable: the loop visits exactly `allowed` tags.
+	return 0
+}
+
+// GranuleRange returns the granule-aligned [begin, end) byte range covering
+// the byte range [begin, end). It is used when applying a tag to an object
+// that spans multiple 16-byte sub-blocks (paper §3, "memory tag
+// allocation").
+func GranuleRange(begin, end Addr) (Addr, Addr) {
+	return begin.AlignDown(GranuleSize), end.AlignUp(GranuleSize)
+}
+
+// GranuleCount returns the number of granules covered by [begin, end).
+func GranuleCount(begin, end Addr) int {
+	gb, ge := GranuleRange(begin, end)
+	if ge <= gb {
+		return 0
+	}
+	return int((ge - gb) / GranuleSize)
+}

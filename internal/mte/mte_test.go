@@ -1,0 +1,189 @@
+package mte
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPtrTagRoundTrip(t *testing.T) {
+	f := func(raw uint64, tag uint8) bool {
+		a := Addr(raw) // any 64-bit pattern; top byte will be masked
+		tg := Tag(tag % NumTags)
+		p := MakePtr(a, tg)
+		return p.Tag() == tg && p.Addr() == Addr(uint64(a)&uint64(0x00FF_FFFF_FFFF_FFFF))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPtrArithmeticPreservesTag(t *testing.T) {
+	f := func(base uint32, tag uint8, delta int16) bool {
+		p := MakePtr(Addr(base), Tag(tag%NumTags))
+		q := p.Add(int64(delta))
+		return q.Tag() == p.Tag() && uint64(q.Addr()) == uint64(int64(base)+int64(delta))&uint64(0x00FF_FFFF_FFFF_FFFF)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPtrAddOutOfBoundsKeepsInBoundsTag(t *testing.T) {
+	// The scenario from paper §2.1: a derived OOB pointer inherits the
+	// in-bounds tag, which is exactly what makes the mismatch detectable.
+	p := MakePtr(0x7000_0000_0100, 0xA)
+	oob := p.Add(21 * 4) // index 21 of an int array of length 18
+	if oob.Tag() != 0xA {
+		t.Fatalf("derived pointer tag = %v, want 0xa", oob.Tag())
+	}
+	if oob.Addr() != 0x7000_0000_0100+84 {
+		t.Fatalf("derived pointer addr = %v", oob.Addr())
+	}
+}
+
+func TestWithTag(t *testing.T) {
+	p := MakePtr(0x1000, 3)
+	q := p.WithTag(9)
+	if q.Addr() != 0x1000 || q.Tag() != 9 {
+		t.Fatalf("WithTag: got addr=%v tag=%v", q.Addr(), q.Tag())
+	}
+}
+
+func TestGranuleMath(t *testing.T) {
+	cases := []struct {
+		begin, end Addr
+		gb, ge     Addr
+		count      int
+	}{
+		{0, 0, 0, 0, 0},
+		{0, 1, 0, 16, 1},
+		{0, 16, 0, 16, 1},
+		{0, 17, 0, 32, 2},
+		{8, 24, 0, 32, 2},
+		{16, 32, 16, 32, 1},
+		{100, 172, 96, 176, 5}, // int[18] at unaligned start
+	}
+	for _, c := range cases {
+		gb, ge := GranuleRange(c.begin, c.end)
+		if gb != c.gb || ge != c.ge {
+			t.Errorf("GranuleRange(%v,%v) = %v,%v want %v,%v", c.begin, c.end, gb, ge, c.gb, c.ge)
+		}
+		if n := GranuleCount(c.begin, c.end); n != c.count {
+			t.Errorf("GranuleCount(%v,%v) = %d want %d", c.begin, c.end, n, c.count)
+		}
+	}
+}
+
+func TestGranuleRangeProperty(t *testing.T) {
+	f := func(b uint32, size uint16) bool {
+		begin := Addr(b)
+		end := begin + Addr(size)
+		gb, ge := GranuleRange(begin, end)
+		if !gb.GranuleAligned() || !ge.GranuleAligned() {
+			return false
+		}
+		if gb > begin || (size > 0 && ge < end) {
+			return false
+		}
+		// Tight: shrinking by one granule on either side must cut the range.
+		if size > 0 && (gb+GranuleSize > begin && gb+GranuleSize <= begin) {
+			return false
+		}
+		return GranuleCount(begin, end) == int((ge-gb)/GranuleSize)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignHelpers(t *testing.T) {
+	if got := Addr(17).AlignDown(16); got != 16 {
+		t.Errorf("AlignDown(17,16) = %v", got)
+	}
+	if got := Addr(17).AlignUp(16); got != 32 {
+		t.Errorf("AlignUp(17,16) = %v", got)
+	}
+	if got := Addr(32).AlignUp(16); got != 32 {
+		t.Errorf("AlignUp(32,16) = %v", got)
+	}
+}
+
+func TestIRGRespectsExclusionMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var mask ExcludeMask
+	mask = mask.Exclude(0).Exclude(5).Exclude(15)
+	for i := 0; i < 2000; i++ {
+		tag := IRG(rng, mask)
+		if mask.Excludes(tag) {
+			t.Fatalf("IRG produced excluded tag %v", tag)
+		}
+		if !tag.IsValid() {
+			t.Fatalf("IRG produced invalid tag %v", tag)
+		}
+	}
+}
+
+func TestIRGAllExcludedFallsBackToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if tag := IRG(rng, ExcludeMask(0xFFFF)); tag != 0 {
+		t.Fatalf("IRG with everything excluded = %v, want 0", tag)
+	}
+}
+
+func TestIRGCoversAllAllowedTags(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seen := make(map[Tag]bool)
+	mask := ExcludeMask(0).Exclude(0) // Android excludes tag 0 by default
+	for i := 0; i < 5000; i++ {
+		seen[IRG(rng, mask)] = true
+	}
+	if len(seen) != NumTags-1 {
+		t.Fatalf("IRG covered %d tags, want %d", len(seen), NumTags-1)
+	}
+}
+
+func TestExcludeMaskAllowed(t *testing.T) {
+	var m ExcludeMask
+	if m.Allowed() != 16 {
+		t.Fatalf("empty mask allows %d", m.Allowed())
+	}
+	m = m.Exclude(1).Exclude(1).Exclude(2)
+	if m.Allowed() != 14 {
+		t.Fatalf("mask allows %d, want 14", m.Allowed())
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{
+		Kind:   FaultTagMismatch,
+		Access: AccessStore,
+		Ptr:    MakePtr(0x7000_0000_0154, 0xA),
+		Size:   4,
+		PtrTag: 0xA,
+		MemTag: 0x0,
+		Thread: "native-0",
+		PC:     "test_ofb+124",
+	}
+	msg := f.Error()
+	for _, want := range []string{"SEGV_MTESERR", "store", "0xa", "test_ofb+124"} {
+		if !contains(msg, want) {
+			t.Errorf("Fault.Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckModeString(t *testing.T) {
+	if TCFNone.String() != "none" || TCFSync.String() != "sync" || TCFAsync.String() != "async" {
+		t.Fatal("CheckMode strings wrong")
+	}
+}

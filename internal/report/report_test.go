@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mte4jni/internal/guardedcopy"
+	"mte4jni/internal/mte"
+)
+
+func sampleFault(async bool) *mte.Fault {
+	return &mte.Fault{
+		Kind:   mte.FaultTagMismatch,
+		Access: mte.AccessStore,
+		Ptr:    mte.MakePtr(0x7000_0000_0154, 0xA),
+		Size:   4,
+		PtrTag: 0xA,
+		MemTag: 0x0,
+		Async:  async,
+		PC:     "test_ofb+124",
+		Backtrace: []string{
+			"test_ofb+124 (libmtetestoutofbounds.so)",
+			"Java_com_example_MainActivity_mteTest+40 (libmtetestoutofbounds.so)",
+		},
+		Thread: "native-0",
+	}
+}
+
+func TestFormatFaultSync(t *testing.T) {
+	out := FormatFault(sampleFault(false))
+	for _, want := range []string{
+		"signal 11 (SIGSEGV)", "SEGV_MTESERR", "0x0a00700000000154",
+		"pointer tag 0xa, memory tag 0x0",
+		"2 total frames", "#00 pc", "test_ofb+124", "#01 pc",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sync report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "asynchronously") {
+		t.Error("sync report carries the async disclaimer")
+	}
+}
+
+func TestFormatFaultAsync(t *testing.T) {
+	out := FormatFault(sampleFault(true))
+	for _, want := range []string{"SEGV_MTEAERR", "asynchronously"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("async report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFaultUnmapped(t *testing.T) {
+	f := sampleFault(false)
+	f.Kind = mte.FaultUnmapped
+	if out := FormatFault(f); !strings.Contains(out, "SEGV_MAPERR") {
+		t.Errorf("unmapped report:\n%s", out)
+	}
+}
+
+func TestFormatViolation(t *testing.T) {
+	v := &guardedcopy.Violation{
+		Object:    "int[]@0x70000000(len=18)",
+		Iface:     "ReleasePrimitiveArrayCritical",
+		Offset:    84,
+		Expected:  'J',
+		Got:       0xAD,
+		Backtrace: []string{"abort+180 (libc.so)", "art::Runtime::Abort(char const*)+1536 (libart.so)"},
+		Thread:    "native-0",
+	}
+	out := FormatViolation(v)
+	for _, want := range []string{
+		"signal 6 (SIGABRT)", "JNI DETECTED ERROR IN APPLICATION",
+		"offset 84", "abort+180",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("violation report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDetectionConstructors(t *testing.T) {
+	if d := FromFault("X", nil); d.Detected || d.Where != NotDetected {
+		t.Fatalf("nil fault detection: %+v", d)
+	}
+	if d := FromFault("X", sampleFault(false)); !d.Detected || d.Where != AtFaultingInstruction {
+		t.Fatalf("sync detection: %+v", d)
+	}
+	if d := FromFault("X", sampleFault(true)); d.Where != AtNextSyscall {
+		t.Fatalf("async detection: %+v", d)
+	}
+	if d := FromViolation("X", nil); d.Detected {
+		t.Fatalf("nil violation detection: %+v", d)
+	}
+	if d := FromViolation("X", &guardedcopy.Violation{}); !d.Detected || d.Where != AtRelease || d.DetectsReads {
+		t.Fatalf("violation detection: %+v", d)
+	}
+	if d := Undetected("X"); d.Detected || d.Scheme != "X" {
+		t.Fatalf("undetected: %+v", d)
+	}
+}

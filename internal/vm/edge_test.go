@@ -1,0 +1,127 @@
+package vm
+
+import (
+	"testing"
+
+	"mte4jni/internal/mte"
+)
+
+func TestClassRegistry(t *testing.T) {
+	v := newVM(t, Options{})
+	if _, ok := v.ClassByID(0); ok {
+		t.Fatal("class id 0 must not resolve")
+	}
+	if _, ok := v.ClassByID(999); ok {
+		t.Fatal("unknown class id resolved")
+	}
+	if v.ArrayClass(KindInt).Name != "int[]" {
+		t.Fatal("ArrayClass wrong")
+	}
+	if !v.StringClass().String {
+		t.Fatal("StringClass wrong")
+	}
+	// All registered classes resolve by their own id.
+	for _, k := range Kinds {
+		c := v.ArrayClass(k)
+		got, ok := v.ClassByID(c.ID)
+		if !ok || got != c {
+			t.Fatalf("%v class does not round-trip", k)
+		}
+	}
+}
+
+func TestDetachThreadDropsRoots(t *testing.T) {
+	v := newVM(t, Options{})
+	th, _ := v.AttachThread("worker")
+	arr, _ := v.NewIntArray(8)
+	th.AddLocalRef(arr)
+	v.GC()
+	if v.LiveObjects() != 1 {
+		t.Fatal("rooted object swept")
+	}
+	v.DetachThread(th)
+	v.GC()
+	if v.LiveObjects() != 0 {
+		t.Fatal("detached thread's locals still rooting")
+	}
+}
+
+func TestLocalRefCounting(t *testing.T) {
+	v := newVM(t, Options{})
+	th, _ := v.AttachThread("t")
+	arr, _ := v.NewIntArray(4)
+	th.AddLocalRef(arr)
+	th.AddLocalRef(arr)
+	th.DeleteLocalRef(arr)
+	v.GC()
+	if v.LiveObjects() != 1 {
+		t.Fatal("object swept while one local ref remains")
+	}
+	th.DeleteLocalRef(arr)
+	th.DeleteLocalRef(arr) // over-delete is harmless
+	v.GC()
+	if v.LiveObjects() != 0 {
+		t.Fatal("object survived with no refs")
+	}
+}
+
+func TestGlobalRefCounting(t *testing.T) {
+	v := newVM(t, Options{})
+	arr, _ := v.NewIntArray(4)
+	v.AddGlobalRef(arr)
+	v.AddGlobalRef(arr)
+	v.DeleteGlobalRef(arr)
+	v.GC()
+	if v.LiveObjects() != 1 {
+		t.Fatal("object swept while one global ref remains")
+	}
+	v.DeleteGlobalRef(arr)
+	v.GC()
+	if v.LiveObjects() != 0 {
+		t.Fatal("object survived deletion of all global refs")
+	}
+}
+
+func TestFreeObjectRejectsPinned(t *testing.T) {
+	v := newVM(t, Options{})
+	arr, _ := v.NewIntArray(4)
+	arr.Pin()
+	if err := v.FreeObject(arr); err == nil {
+		t.Fatal("pinned object freed")
+	}
+	arr.Unpin()
+	if err := v.FreeObject(arr); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.ObjectAt(arr.Addr()); ok {
+		t.Fatal("freed object still registered")
+	}
+}
+
+func TestThreadSyscallOnlyAsync(t *testing.T) {
+	v := newVM(t, Options{MTE: true, CheckMode: mte.TCFSync})
+	th, _ := v.AttachThread("t")
+	if f := th.Syscall("write"); f != nil {
+		t.Fatal("sync-mode thread delivered an async fault")
+	}
+}
+
+func TestObjectStringer(t *testing.T) {
+	v := newVM(t, Options{})
+	arr, _ := v.NewIntArray(3)
+	s := arr.String()
+	if s == "" || s[0:5] != "int[]" {
+		t.Fatalf("Object string %q", s)
+	}
+}
+
+func TestOptionsEcho(t *testing.T) {
+	v := newVM(t, Options{MTE: true, CheckMode: mte.TCFAsync, Seed: 11})
+	o := v.Options()
+	if !o.MTE || o.CheckMode != mte.TCFAsync || o.Seed != 11 {
+		t.Fatalf("Options echo %+v", o)
+	}
+	if !v.MTEEnabled() {
+		t.Fatal("MTEEnabled")
+	}
+}

@@ -1,0 +1,142 @@
+package vm
+
+import (
+	"sync"
+
+	"mte4jni/internal/cpu"
+	"mte4jni/internal/mte"
+)
+
+// gcState serializes collections and accumulates statistics.
+type gcState struct {
+	mu    sync.Mutex
+	stats GCStats
+}
+
+// GCStats reports collector activity.
+type GCStats struct {
+	// Collections counts completed stop-the-world collections.
+	Collections int
+	// Swept counts objects reclaimed across all collections.
+	Swept int
+	// LastLive is the number of objects surviving the most recent
+	// collection.
+	LastLive int
+}
+
+// GC runs a stop-the-world mark-sweep collection.
+//
+// The root set is: global references, every attached thread's local
+// references, and every pinned object (arrays currently exposed to native
+// code via critical JNI interfaces — real ART pins these too, which is why
+// tag release, not GC, is what recycles their tags in the paper's design).
+// The object graph is flat because the runtime only models primitive arrays
+// and strings, so marking is exactly the root set.
+func (v *VM) GC() GCStats {
+	v.gc.mu.Lock()
+	defer v.gc.mu.Unlock()
+
+	marked := make(map[*Object]bool)
+	v.mu.Lock()
+	for o := range v.globals {
+		marked[o] = true
+	}
+	threads := make([]*Thread, 0, len(v.threads))
+	for _, t := range v.threads {
+		threads = append(threads, t)
+	}
+	v.mu.Unlock()
+
+	for _, t := range threads {
+		for _, o := range t.LocalRefs() {
+			marked[o] = true
+		}
+	}
+
+	// Sweep: collect unmarked, unpinned objects.
+	v.mu.Lock()
+	var dead []*Object
+	for _, o := range v.objects {
+		if !marked[o] && !o.Pinned() {
+			dead = append(dead, o)
+		}
+	}
+	for _, o := range dead {
+		delete(v.objects, o.addr)
+	}
+	live := len(v.objects)
+	v.mu.Unlock()
+
+	for _, o := range dead {
+		// Reclaim the heap block. Errors here indicate runtime corruption;
+		// the simulated runtime treats that as fatal, like ART would.
+		if err := v.JavaHeap.Free(o.addr); err != nil {
+			panic("vm: GC sweep: " + err.Error())
+		}
+	}
+
+	v.gc.stats.Collections++
+	v.gc.stats.Swept += len(dead)
+	v.gc.stats.LastLive = live
+	return v.gc.stats
+}
+
+// GCStatsSnapshot returns the accumulated collector statistics.
+func (v *VM) GCStatsSnapshot() GCStats {
+	v.gc.mu.Lock()
+	defer v.gc.mu.Unlock()
+	return v.gc.stats
+}
+
+// ConcurrentScan walks every live object reading its header through
+// *checked* loads with untagged pointers on behalf of a GC or profiler
+// thread — the access pattern from the paper's §2.4 second challenge: "the
+// pointer in the GC thread never walks through the JNI interface to be
+// tagged".
+//
+// Under the paper's thread-level MTE control the scanning thread has TCO
+// set (checks suppressed) and the scan always succeeds. Under the naive
+// process-level design it faults on the first object whose memory a native
+// thread has tagged. The first fault (sync or deferred async) is returned
+// together with the number of objects scanned before it.
+func (v *VM) ConcurrentScan(ctx *cpu.Context) (*mte.Fault, int) {
+	v.mu.Lock()
+	objs := make([]*Object, 0, len(v.objects))
+	for _, o := range v.objects {
+		objs = append(objs, o)
+	}
+	v.mu.Unlock()
+
+	scanned := 0
+	for _, o := range objs {
+		// Read the class id and length words of the header, then the first
+		// payload word — what a mark-and-inspect phase dereferences. The
+		// pointer is untagged (tag 0).
+		p := mte.MakePtr(o.addr, 0)
+		if _, f := v.Space.Load32(ctx, p); f != nil {
+			return f, scanned
+		}
+		if _, f := v.Space.Load32(ctx, p.Add(8)); f != nil {
+			return f, scanned
+		}
+		if o.length > 0 {
+			if _, f := v.Space.Load32(ctx, mte.MakePtr(o.DataBegin(), 0)); f != nil {
+				return f, scanned
+			}
+		}
+		scanned++
+	}
+	// Async-mode faults latch instead of returning; surface them the way
+	// the kernel would, at the next synchronization point.
+	if f := ctx.Syscall("madvise"); f != nil {
+		return f, scanned
+	}
+	return nil, scanned
+}
+
+// NewGCThread attaches the GC daemon thread. Its context follows the same
+// policy as any other thread: checks suppressed under thread-level control,
+// live under process-level control.
+func (v *VM) NewGCThread() (*Thread, error) {
+	return v.AttachThread("HeapTaskDaemon")
+}

@@ -1,0 +1,75 @@
+package vm
+
+import "fmt"
+
+// Kind enumerates the Java primitive types that JNI exposes raw array
+// pointers for — the seven types listed in the footnote of the paper's
+// Table 1.
+type Kind int
+
+const (
+	// KindByte is Java byte (1 byte).
+	KindByte Kind = iota
+	// KindChar is Java char (2 bytes, UTF-16 code unit).
+	KindChar
+	// KindShort is Java short (2 bytes).
+	KindShort
+	// KindInt is Java int (4 bytes).
+	KindInt
+	// KindLong is Java long (8 bytes).
+	KindLong
+	// KindFloat is Java float (4 bytes).
+	KindFloat
+	// KindDouble is Java double (8 bytes).
+	KindDouble
+	numKinds
+)
+
+// Kinds lists all primitive kinds in declaration order, for tests and
+// table generators that iterate the whole JNI surface.
+var Kinds = []Kind{KindByte, KindChar, KindShort, KindInt, KindLong, KindFloat, KindDouble}
+
+// Size returns the element size in bytes.
+func (k Kind) Size() int {
+	switch k {
+	case KindByte:
+		return 1
+	case KindChar, KindShort:
+		return 2
+	case KindInt, KindFloat:
+		return 4
+	case KindLong, KindDouble:
+		return 8
+	default:
+		panic(fmt.Sprintf("vm: invalid Kind(%d)", int(k)))
+	}
+}
+
+// String returns the Java type name.
+func (k Kind) String() string {
+	switch k {
+	case KindByte:
+		return "byte"
+	case KindChar:
+		return "char"
+	case KindShort:
+		return "short"
+	case KindInt:
+		return "int"
+	case KindLong:
+		return "long"
+	case KindFloat:
+		return "float"
+	case KindDouble:
+		return "double"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// JNIName returns the capitalized name used in JNI function names, e.g.
+// "Int" in GetIntArrayElements.
+func (k Kind) JNIName() string {
+	s := k.String()
+	return string(s[0]-'a'+'A') + s[1:]
+}

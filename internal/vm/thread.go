@@ -1,0 +1,160 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mte4jni/internal/cpu"
+	"mte4jni/internal/mte"
+)
+
+// ThreadState mirrors the ART thread states that matter to the trampolines:
+// a thread is either executing managed code (Runnable), executing native
+// code (Native), or parked.
+type ThreadState int32
+
+const (
+	// StateRunnable is a thread executing managed (Java) code.
+	StateRunnable ThreadState = iota
+	// StateNative is a thread executing native code behind a JNI call.
+	StateNative
+	// StateBlocked is a thread waiting (locks, GC suspension).
+	StateBlocked
+)
+
+// String names the state like ART's debug dumps do.
+func (s ThreadState) String() string {
+	switch s {
+	case StateRunnable:
+		return "Runnable"
+	case StateNative:
+		return "Native"
+	case StateBlocked:
+		return "Blocked"
+	default:
+		return fmt.Sprintf("ThreadState(%d)", int32(s))
+	}
+}
+
+// Thread is one simulated runtime thread. A Thread is driven by exactly one
+// goroutine; its state and context are observable from other goroutines
+// (the GC reads states, tests read contexts).
+type Thread struct {
+	vm    *VM
+	name  string
+	ctx   *cpu.Context
+	state atomic.Int32
+
+	// localMu guards the local reference table: objects this thread holds
+	// references to, which are GC roots while the thread lives.
+	localMu sync.Mutex
+	locals  map[*Object]int
+}
+
+// AttachThread registers a new thread with the runtime, returning its
+// handle. Names must be unique; an empty name gets a generated one.
+//
+// Under the paper's thread-level MTE design the new thread starts with tag
+// checks suppressed (TCO=1) — checking turns on only inside native code.
+// Under the naive process-level design (Options.ProcessLevelMTE) checking
+// is live immediately for every thread, which is exactly what breaks GC
+// (§3.3).
+func (v *VM) AttachThread(name string) (*Thread, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if name == "" {
+		name = fmt.Sprintf("Thread-%d", v.nextTID)
+	}
+	v.nextTID++
+	if _, dup := v.threads[name]; dup {
+		return nil, fmt.Errorf("vm: thread %q already attached", name)
+	}
+	t := &Thread{
+		vm:     v,
+		name:   name,
+		ctx:    cpu.New(name, v.opts.CheckMode),
+		locals: make(map[*Object]int),
+	}
+	if v.opts.ProcessLevelMTE {
+		t.ctx.SetTCO(false)
+	}
+	v.threads[name] = t
+	return t, nil
+}
+
+// DetachThread unregisters a thread, dropping its local references.
+func (v *VM) DetachThread(t *Thread) {
+	v.mu.Lock()
+	delete(v.threads, t.name)
+	v.mu.Unlock()
+	t.localMu.Lock()
+	t.locals = make(map[*Object]int)
+	t.localMu.Unlock()
+}
+
+// Threads returns a snapshot of attached threads.
+func (v *VM) Threads() []*Thread {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*Thread, 0, len(v.threads))
+	for _, t := range v.threads {
+		out = append(out, t)
+	}
+	return out
+}
+
+// VM returns the owning runtime.
+func (t *Thread) VM() *VM { return t.vm }
+
+// Name returns the thread name.
+func (t *Thread) Name() string { return t.name }
+
+// Ctx returns the thread's architectural context.
+func (t *Thread) Ctx() *cpu.Context { return t.ctx }
+
+// State returns the current thread state.
+func (t *Thread) State() ThreadState { return ThreadState(t.state.Load()) }
+
+// SetState transitions the thread state, returning the previous state. The
+// JNI trampolines use this for the Runnable↔Native transitions the paper
+// hooks to flip TCO (§3.3).
+func (t *Thread) SetState(s ThreadState) ThreadState {
+	return ThreadState(t.state.Swap(int32(s)))
+}
+
+// AddLocalRef records a local reference, making o a GC root for this
+// thread's lifetime (or until deleted).
+func (t *Thread) AddLocalRef(o *Object) {
+	t.localMu.Lock()
+	t.locals[o]++
+	t.localMu.Unlock()
+}
+
+// DeleteLocalRef drops one local reference to o.
+func (t *Thread) DeleteLocalRef(o *Object) {
+	t.localMu.Lock()
+	if t.locals[o] <= 1 {
+		delete(t.locals, o)
+	} else {
+		t.locals[o]--
+	}
+	t.localMu.Unlock()
+}
+
+// LocalRefs returns a snapshot of the thread's local reference table.
+func (t *Thread) LocalRefs() []*Object {
+	t.localMu.Lock()
+	defer t.localMu.Unlock()
+	out := make([]*Object, 0, len(t.locals))
+	for o := range t.locals {
+		out = append(out, o)
+	}
+	return out
+}
+
+// Syscall simulates the thread entering the kernel; in asynchronous MTE
+// mode any latched tag fault is delivered here (Figure 4c's getuid frame).
+func (t *Thread) Syscall(name string) *mte.Fault {
+	return t.ctx.Syscall(name)
+}

@@ -1,0 +1,348 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mte4jni/internal/mte"
+)
+
+func newVM(t *testing.T, opts Options) *VM {
+	t.Helper()
+	if opts.HeapSize == 0 {
+		opts.HeapSize = 8 << 20
+	}
+	if opts.NativeHeapSize == 0 {
+		opts.NativeHeapSize = 8 << 20
+	}
+	v, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestDefaultsFollowPaper(t *testing.T) {
+	plain := newVM(t, Options{})
+	if plain.JavaHeap.Alignment() != 8 {
+		t.Fatalf("stock ART alignment = %d, want 8", plain.JavaHeap.Alignment())
+	}
+	if plain.JavaHeap.Mapping().Tagged() {
+		t.Fatal("non-MTE heap must not be tagged")
+	}
+	if plain.CheckMode() != mte.TCFNone {
+		t.Fatal("non-MTE VM must have TCFNone")
+	}
+
+	mteVM := newVM(t, Options{MTE: true, CheckMode: mte.TCFSync})
+	if mteVM.JavaHeap.Alignment() != 16 {
+		t.Fatalf("MTE alignment = %d, want 16 (§4.1)", mteVM.JavaHeap.Alignment())
+	}
+	if !mteVM.JavaHeap.Mapping().Tagged() {
+		t.Fatal("MTE heap must be mapped PROT_MTE")
+	}
+	if mteVM.NativeHeap.Mapping().Tagged() {
+		t.Fatal("native heap must stay untagged")
+	}
+}
+
+func TestKindSizesAndNames(t *testing.T) {
+	want := map[Kind]int{
+		KindByte: 1, KindChar: 2, KindShort: 2, KindInt: 4,
+		KindLong: 8, KindFloat: 4, KindDouble: 8,
+	}
+	for k, sz := range want {
+		if k.Size() != sz {
+			t.Errorf("%v.Size() = %d, want %d", k, k.Size(), sz)
+		}
+	}
+	if KindInt.JNIName() != "Int" || KindDouble.JNIName() != "Double" {
+		t.Fatal("JNIName wrong")
+	}
+	if len(Kinds) != 7 {
+		t.Fatalf("Kinds has %d entries, want the 7 from Table 1", len(Kinds))
+	}
+}
+
+func TestArrayAllocationAndAccess(t *testing.T) {
+	v := newVM(t, Options{MTE: true, CheckMode: mte.TCFSync})
+	arr, err := v.NewIntArray(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Len() != 18 || arr.ElemSize() != 4 || arr.DataSize() != 72 {
+		t.Fatalf("layout: len=%d elem=%d size=%d", arr.Len(), arr.ElemSize(), arr.DataSize())
+	}
+	if arr.DataBegin() != arr.Addr()+HeaderSize {
+		t.Fatal("DataBegin must follow the header")
+	}
+	for i := 0; i < 18; i++ {
+		if err := arr.SetInt(i, int32(i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 18; i++ {
+		got, err := arr.GetInt(i)
+		if err != nil || got != int32(i*i) {
+			t.Fatalf("GetInt(%d) = %d, %v", i, got, err)
+		}
+	}
+	// Managed-code bounds checking (the safety JNI bypasses).
+	if err := arr.SetInt(18, 1); err == nil {
+		t.Fatal("managed store past end must raise ArrayIndexOutOfBoundsException")
+	}
+	if _, err := arr.GetInt(-1); err == nil {
+		t.Fatal("managed load at -1 must fail")
+	}
+}
+
+func TestNegativeArraySize(t *testing.T) {
+	v := newVM(t, Options{})
+	if _, err := v.NewIntArray(-1); err == nil {
+		t.Fatal("negative array size must fail")
+	}
+}
+
+func TestAllKindsAllocate(t *testing.T) {
+	v := newVM(t, Options{MTE: true})
+	for _, k := range Kinds {
+		arr, err := v.NewArray(k, 10)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if arr.Class().Name != k.String()+"[]" {
+			t.Fatalf("class name %q", arr.Class().Name)
+		}
+		if arr.DataSize() != 10*k.Size() {
+			t.Fatalf("%v data size %d", k, arr.DataSize())
+		}
+		if err := arr.SetElem(9, 0xAB); err != nil {
+			t.Fatal(err)
+		}
+		if bits, _ := arr.GetElem(9); bits != 0xAB {
+			t.Fatalf("%v roundtrip got %x", k, bits)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	v := newVM(t, Options{MTE: true})
+	for _, s := range []string{"", "hello", "héllo wörld", "日本語", "emoji \U0001F600 pair"} {
+		obj, err := v.NewString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := v.GoString(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Fatalf("string roundtrip %q -> %q", s, back)
+		}
+	}
+	arr, _ := v.NewIntArray(1)
+	if _, err := v.GoString(arr); err == nil {
+		t.Fatal("GoString on array must fail")
+	}
+}
+
+func TestStringRoundTripProperty(t *testing.T) {
+	v := newVM(t, Options{HeapSize: 32 << 20})
+	f := func(s string) bool {
+		obj, err := v.NewString(s)
+		if err != nil {
+			return true // heap exhaustion acceptable
+		}
+		back, err := v.GoString(obj)
+		// utf16 round-trip replaces invalid sequences; compare via the same
+		// normalization the encoder applies.
+		return err == nil && back == normalizeUTF16(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalizeUTF16 mirrors the lossy round-trip Java strings apply to
+// arbitrary Go strings (invalid runes become U+FFFD).
+func normalizeUTF16(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+func TestHeaderWritten(t *testing.T) {
+	v := newVM(t, Options{MTE: true})
+	arr, _ := v.NewIntArray(5)
+	hdr := make([]byte, HeaderSize)
+	if err := v.JavaHeap.Mapping().ReadRaw(arr.Addr(), hdr); err != nil {
+		t.Fatal(err)
+	}
+	classID := uint32(hdr[0]) | uint32(hdr[1])<<8
+	cls, ok := v.ClassByID(classID)
+	if !ok || cls != arr.Class() {
+		t.Fatalf("header class id %d does not resolve to int[]", classID)
+	}
+	length := uint32(hdr[8]) | uint32(hdr[9])<<8
+	if length != 5 {
+		t.Fatalf("header length = %d", length)
+	}
+}
+
+func TestThreadAttachDetach(t *testing.T) {
+	v := newVM(t, Options{MTE: true, CheckMode: mte.TCFSync})
+	t1, err := v.AttachThread("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.AttachThread("main"); err == nil {
+		t.Fatal("duplicate thread name accepted")
+	}
+	anon, err := v.AttachThread("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.Name() == "" {
+		t.Fatal("generated name empty")
+	}
+	if len(v.Threads()) != 2 {
+		t.Fatalf("Threads = %d", len(v.Threads()))
+	}
+	if t1.State() != StateRunnable {
+		t.Fatal("new thread must be Runnable")
+	}
+	if prev := t1.SetState(StateNative); prev != StateRunnable {
+		t.Fatalf("SetState returned %v", prev)
+	}
+	if t1.State().String() != "Native" {
+		t.Fatal("state string")
+	}
+	// Thread-level MTE: checks suppressed until a trampoline enables them.
+	if t1.Ctx().Checking() {
+		t.Fatal("fresh thread must not be checking (TCO=1)")
+	}
+	v.DetachThread(t1)
+	if len(v.Threads()) != 1 {
+		t.Fatal("detach failed")
+	}
+}
+
+func TestProcessLevelMTEChecksEverywhere(t *testing.T) {
+	v := newVM(t, Options{MTE: true, CheckMode: mte.TCFSync, ProcessLevelMTE: true})
+	th, _ := v.AttachThread("worker")
+	if !th.Ctx().Checking() {
+		t.Fatal("process-level MTE must enable checking on every thread")
+	}
+}
+
+func TestGCSweepsUnreferenced(t *testing.T) {
+	v := newVM(t, Options{MTE: true, CheckMode: mte.TCFSync})
+	th, _ := v.AttachThread("main")
+
+	kept, _ := v.NewIntArray(64)
+	th.AddLocalRef(kept)
+	global, _ := v.NewIntArray(64)
+	v.AddGlobalRef(global)
+	pinned, _ := v.NewIntArray(64)
+	pinned.Pin()
+	garbage := make([]*Object, 10)
+	for i := range garbage {
+		garbage[i], _ = v.NewIntArray(64)
+	}
+
+	before := v.LiveObjects()
+	stats := v.GC()
+	if stats.Swept != len(garbage) {
+		t.Fatalf("swept %d, want %d (before=%d)", stats.Swept, len(garbage), before)
+	}
+	if v.LiveObjects() != 3 {
+		t.Fatalf("live after GC = %d, want 3", v.LiveObjects())
+	}
+	if _, ok := v.ObjectAt(kept.Addr()); !ok {
+		t.Fatal("locally referenced object swept")
+	}
+	if _, ok := v.ObjectAt(global.Addr()); !ok {
+		t.Fatal("global referenced object swept")
+	}
+	if _, ok := v.ObjectAt(pinned.Addr()); !ok {
+		t.Fatal("pinned object swept")
+	}
+
+	// Unpin and drop refs: next GC reclaims everything.
+	pinned.Unpin()
+	th.DeleteLocalRef(kept)
+	v.DeleteGlobalRef(global)
+	v.GC()
+	if v.LiveObjects() != 0 {
+		t.Fatalf("live after final GC = %d", v.LiveObjects())
+	}
+	if v.GCStatsSnapshot().Collections != 2 {
+		t.Fatalf("collections = %d", v.GCStatsSnapshot().Collections)
+	}
+}
+
+func TestPinUnpinBalance(t *testing.T) {
+	v := newVM(t, Options{})
+	arr, _ := v.NewIntArray(4)
+	arr.Pin()
+	arr.Pin()
+	arr.Unpin()
+	if !arr.Pinned() {
+		t.Fatal("object with one outstanding pin must stay pinned")
+	}
+	arr.Unpin()
+	if arr.Pinned() {
+		t.Fatal("fully unpinned object still pinned")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Unpin must panic")
+		}
+	}()
+	arr.Unpin()
+}
+
+func TestConcurrentScanThreadLevelVsProcessLevel(t *testing.T) {
+	// The §3.3 experiment in miniature. A native thread tags an object's
+	// memory (as the MTE4JNI checker will); the GC then scans the heap with
+	// untagged pointers.
+	for _, processLevel := range []bool{false, true} {
+		v := newVM(t, Options{MTE: true, CheckMode: mte.TCFSync, ProcessLevelMTE: processLevel})
+		arr, _ := v.NewIntArray(256)
+		if _, err := v.JavaHeap.Mapping().SetTagRange(arr.Addr(), arr.DataEnd(), 0xB); err != nil {
+			t.Fatal(err)
+		}
+		gcThread, err := v.NewGCThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fault, scanned := v.ConcurrentScan(gcThread.Ctx())
+		if processLevel {
+			if fault == nil {
+				t.Fatal("process-level MTE: GC scan of tagged memory must fault")
+			}
+			if fault.Kind != mte.FaultTagMismatch || fault.PtrTag != 0 {
+				t.Fatalf("unexpected fault %v", fault)
+			}
+		} else {
+			if fault != nil {
+				t.Fatalf("thread-level MTE: GC scan faulted: %v (scanned %d)", fault, scanned)
+			}
+			if scanned != v.LiveObjects() {
+				t.Fatalf("scanned %d of %d objects", scanned, v.LiveObjects())
+			}
+		}
+	}
+}
+
+func TestRandomTagHonorsMask(t *testing.T) {
+	v := newVM(t, Options{MTE: true, Seed: 7})
+	mask := mte.ExcludeMask(0).Exclude(0)
+	for i := 0; i < 200; i++ {
+		if tag := v.RandomTag(mask); tag == 0 {
+			t.Fatal("RandomTag produced excluded tag 0")
+		}
+	}
+}

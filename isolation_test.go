@@ -1,0 +1,84 @@
+package mte4jni
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRuntimesAreIsolated runs one runtime per scheme concurrently, each
+// hammered by several threads, and checks that nothing leaks across
+// Runtime instances — each has its own simulated address space, heap and
+// protector, so four "devices" can coexist in one process (which is exactly
+// how the benchmark harness uses them).
+func TestRuntimesAreIsolated(t *testing.T) {
+	const threadsPerRuntime = 4
+	const itersPerThread = 300
+
+	var wg sync.WaitGroup
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt, err := New(Config{Scheme: scheme, HeapSize: 16 << 20})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var inner sync.WaitGroup
+			for i := 0; i < threadsPerRuntime; i++ {
+				inner.Add(1)
+				go func(id int) {
+					defer inner.Done()
+					env, err := rt.AttachEnv(fmt.Sprintf("t-%d", id))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					arr, err := env.NewIntArray(64)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for it := 0; it < itersPerThread; it++ {
+						fault, err := env.CallNative("work", Regular, func(e *Env) error {
+							p, err := e.GetPrimitiveArrayCritical(arr)
+							if err != nil {
+								return err
+							}
+							e.StoreInt(p.Add(int64(it%64)*4), int32(it))
+							return e.ReleasePrimitiveArrayCritical(arr, p, ReleaseDefault)
+						})
+						if fault != nil || err != nil {
+							t.Errorf("%v thread %d iter %d: fault=%v err=%v", scheme, id, it, fault, err)
+							return
+						}
+					}
+				}(i)
+			}
+			inner.Wait()
+
+			// Post-conditions per runtime.
+			if p := rt.Protector(); p != nil {
+				if err := p.VerifyIntegrity(); err != nil {
+					t.Errorf("%v: %v", scheme, err)
+				}
+				if p.Refs(0) != 0 { // arbitrary address: no entry expected
+					t.Errorf("%v: phantom refs", scheme)
+				}
+			}
+			if c := rt.GuardedChecker(); c != nil {
+				if c.Outstanding() != 0 {
+					t.Errorf("guarded buffers leaked: %d", c.Outstanding())
+				}
+				if c.Stats().Violations != 0 {
+					t.Errorf("spurious violations: %d", c.Stats().Violations)
+				}
+			}
+			// GC still works after the storm.
+			rt.GC()
+		}()
+	}
+	wg.Wait()
+}
