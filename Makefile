@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test race vet fmt lint check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints the names of misformatted files; treat any output as failure.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Static analysis of the example programs: must all be provably safe (exit 0).
+lint:
+	$(GO) run ./cmd/mte4jni lint examples/lint
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Extended tier-1 gate (see ROADMAP.md).
+check: fmt vet race lint
+	@echo "check: ok"

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/fuzz"
+	"mte4jni/internal/interp"
+)
+
+// runLint implements `mte4jni lint`: static analysis of bytecode program
+// files (see internal/analysis/program.go for the JSON format), with
+// optional dynamic cross-checking against an actual MTE4JNI+Sync run.
+func runLint(args []string) error {
+	flags := flag.NewFlagSet("lint", flag.ExitOnError)
+	disasm := flags.Bool("disasm", false, "print the annotated disassembly of each program")
+	dynamic := flags.Bool("dynamic", false, "also execute under MTE4JNI+Sync and cross-check the static verdict (differential oracle)")
+	seed := flags.Int64("seed", 1, "vm seed for -dynamic")
+	flags.Parse(args)
+	if flags.NArg() == 0 {
+		return fmt.Errorf("lint: no inputs (expected .json program files or directories)")
+	}
+
+	var files []string
+	for _, p := range flags.Args() {
+		info, err := os.Stat(p)
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".json") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return fmt.Errorf("lint: no .json program files found")
+	}
+
+	var errs, warns int
+	count := func(diags []analysis.Diagnostic, file string) {
+		for _, d := range diags {
+			d.File = file
+			fmt.Println(d)
+			switch d.Sev {
+			case analysis.SevError:
+				errs++
+			case analysis.SevWarning:
+				warns++
+			}
+		}
+	}
+
+	for _, f := range files {
+		p, err := analysis.LoadProgram(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		res := p.Analyze(f)
+		count(res.Diags, f)
+		fmt.Printf("%s: verdict: %s\n", f, res.Verdict)
+		if *disasm {
+			fmt.Print(interp.DisassembleAnnotated(p.Method, analysis.Annotations(res.Diags)))
+		}
+		if *dynamic {
+			dr, err := fuzz.Differential(p, *seed)
+			if err != nil {
+				// Includes *fuzz.Disagreement: a soundness bug in the
+				// analyzer or the protection — the loudest possible finding.
+				return fmt.Errorf("lint: %s: %w", f, err)
+			}
+			outcome := fmt.Sprintf("completed, returned %d", dr.Outcome.Ret)
+			switch {
+			case dr.Outcome.Faulted():
+				outcome = "faulted: " + dr.Outcome.Fault.Error()
+			case dr.Outcome.Err != nil:
+				outcome = "threw: " + dr.Outcome.Err.Error()
+			}
+			fmt.Printf("%s: dynamic: %s\n", f, outcome)
+			count(analysis.LintTrace(dr.Outcome.Trace), f)
+		}
+	}
+	if errs > 0 {
+		return fmt.Errorf("lint: %d error(s), %d warning(s) in %d program(s)", errs, warns, len(files))
+	}
+	fmt.Printf("lint: ok: %d program(s), %d warning(s)\n", len(files), warns)
+	return nil
+}

@@ -13,6 +13,7 @@
 //	mte4jni ablate-align            # Extra A: §4.1 alignment hazard
 //	mte4jni ablate-k                # Extra B: hash-table count sweep
 //	mte4jni ablate-tags             # Extra C: tag collision probability
+//	mte4jni lint file.json...       # static analysis of bytecode programs
 //	mte4jni all                     # everything above, in order
 package main
 
@@ -58,6 +59,8 @@ func main() {
 		err = runAblateK(args)
 	case "ablate-tags":
 		err = runAblateTags(args)
+	case "lint":
+		err = runLint(args)
 	case "all":
 		err = runAll()
 	case "-h", "--help", "help":
@@ -86,6 +89,7 @@ commands:
   ablate-align   DESIGN.md Extra A: §4.1 heap-alignment hazard
   ablate-k       DESIGN.md Extra B: hash-table count sweep
   ablate-tags    DESIGN.md Extra C: 4-bit tag collision probability
+  lint           static analysis of bytecode program files (-disasm, -dynamic)
   all            run everything with default settings`)
 }
 

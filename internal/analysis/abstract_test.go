@@ -1,0 +1,407 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"mte4jni/internal/interp"
+	"mte4jni/internal/jni"
+)
+
+func hasRule(diags []Diagnostic, rule string) bool {
+	for _, d := range diags {
+		if d.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func ruleAt(diags []Diagnostic, rule string) int {
+	for _, d := range diags {
+		if d.Rule == rule {
+			return d.PC
+		}
+	}
+	return -2
+}
+
+// spine is the canonical test program: alloc int[arrLen], call native0, ret.
+func spine(arrLen int64, sum NativeSummary) (*interp.Method, map[string]NativeSummary) {
+	m := &interp.Method{
+		Name: "spine",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: arrLen},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpCallNative, A: 0, B: 0},
+			{Op: interp.OpConst, A: 7},
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 1, MaxRefs: 1, NativeNames: []string{"native0"},
+	}
+	return m, map[string]NativeSummary{"native0": sum}
+}
+
+func TestVerdictFaultOOBNative(t *testing.T) {
+	// len=18 ints ⇒ payload 72 ⇒ tag-rounded end 80; offset 84 is inside
+	// the neighbour-exclusion window ⇒ deterministic fault (Figure 3).
+	m, nat := spine(18, NativeSummary{MinOff: 84, MaxOff: 84, Write: true})
+	res := AnalyzeMethod(m, nat)
+	if res.Verdict != VerdictFault {
+		t.Fatalf("verdict = %v, want %v; diags %v", res.Verdict, VerdictFault, res.Diags)
+	}
+	if pc := ruleAt(res.Diags, RuleNativeFault); pc != 2 {
+		t.Errorf("%s at pc %d, want 2", RuleNativeFault, pc)
+	}
+	// Code after the provably faulting call never runs.
+	if !hasRule(res.Diags, RuleUnreachable) {
+		t.Errorf("missing %s for post-fault code: %v", RuleUnreachable, res.Diags)
+	}
+}
+
+func TestVerdictSafeInPayload(t *testing.T) {
+	m, nat := spine(18, NativeSummary{MinOff: 0, MaxOff: 79, Write: true})
+	res := AnalyzeMethod(m, nat)
+	if res.Verdict != VerdictSafe {
+		t.Fatalf("verdict = %v, want %v; diags %v", res.Verdict, VerdictSafe, res.Diags)
+	}
+	if len(res.CallSites) != 1 || res.CallSites[0].Verdict != VerdictSafe {
+		t.Errorf("call sites = %+v", res.CallSites)
+	}
+}
+
+func TestVerdictUnknownBeyondWindow(t *testing.T) {
+	// Offset 200 is far past the two-granule exclusion window: a tag
+	// coincidence is possible, so nothing is provable.
+	m, nat := spine(18, NativeSummary{MinOff: 200, MaxOff: 200})
+	res := AnalyzeMethod(m, nat)
+	if res.Verdict != VerdictUnknown {
+		t.Fatalf("verdict = %v, want %v", res.Verdict, VerdictUnknown)
+	}
+}
+
+func TestNativeWithoutSummary(t *testing.T) {
+	m, _ := spine(18, NativeSummary{})
+	res := AnalyzeMethod(m, nil)
+	if !hasRule(res.Diags, RuleNativeUnknown) {
+		t.Fatalf("missing %s: %v", RuleNativeUnknown, res.Diags)
+	}
+	if res.Verdict != VerdictUnknown {
+		t.Errorf("verdict = %v, want %v", res.Verdict, VerdictUnknown)
+	}
+}
+
+func TestCriticalNativeWarnsButSafe(t *testing.T) {
+	m, nat := spine(8, NativeSummary{Kind: jni.CriticalNative, MinOff: 0, MaxOff: 8, Write: true})
+	res := AnalyzeMethod(m, nat)
+	if !hasRule(res.Diags, RuleCriticalHeap) {
+		t.Fatalf("missing %s: %v", RuleCriticalHeap, res.Diags)
+	}
+	if res.Verdict != VerdictSafe {
+		t.Errorf("verdict = %v, want %v (checking never armed)", res.Verdict, VerdictSafe)
+	}
+}
+
+func TestProvableManagedOOB(t *testing.T) {
+	m := &interp.Method{
+		Name: "oob",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 18},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpConst, A: 21},
+			{Op: interp.OpArrayGet, A: 0},
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 1, MaxRefs: 1,
+	}
+	res := AnalyzeMethod(m, nil)
+	if pc := ruleAt(res.Diags, RuleOOB); pc != 3 {
+		t.Fatalf("%s at pc %d, want 3: %v", RuleOOB, pc, res.Diags)
+	}
+	// The throw is not a fault: the method still cannot tag-fault.
+	if res.Verdict != VerdictSafe {
+		t.Errorf("verdict = %v, want %v", res.Verdict, VerdictSafe)
+	}
+	// pc 4 is dead after the provable throw.
+	if !res.Reachable[3] || res.Reachable[4] {
+		t.Errorf("reachability = %v", res.Reachable)
+	}
+}
+
+func TestMaybeOOBFromUnknownIndex(t *testing.T) {
+	m := &interp.Method{
+		Name: "maybe",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 8},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpLoad, A: 0}, // argument: unknown
+			{Op: interp.OpArrayGet, A: 0},
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 1, MaxRefs: 1,
+	}
+	res := AnalyzeMethod(m, nil)
+	if !hasRule(res.Diags, RuleMaybeOOB) {
+		t.Fatalf("missing %s: %v", RuleMaybeOOB, res.Diags)
+	}
+}
+
+func TestUninitRef(t *testing.T) {
+	m := &interp.Method{
+		Name: "uninit",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 0},
+			{Op: interp.OpArrayGet, A: 0},
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 1, MaxRefs: 1,
+	}
+	res := AnalyzeMethod(m, nil)
+	if !hasRule(res.Diags, RuleUninitRef) {
+		t.Fatalf("missing %s: %v", RuleUninitRef, res.Diags)
+	}
+}
+
+func TestMaybeUninitRefOnOnePath(t *testing.T) {
+	m := &interp.Method{
+		Name: "maybeuninit",
+		Code: []interp.Inst{
+			{Op: interp.OpLoad, A: 0},      // unknown arg
+			{Op: interp.OpJmpIfZero, A: 4}, // skip the allocation sometimes
+			{Op: interp.OpConst, A: 4},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpArrayLength, A: 0}, // ref 0 only set on one path
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 1, MaxRefs: 1,
+	}
+	res := AnalyzeMethod(m, nil)
+	if pc := ruleAt(res.Diags, RuleMaybeUninitRef); pc != 4 {
+		t.Fatalf("%s at pc %d, want 4: %v", RuleMaybeUninitRef, pc, res.Diags)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	m := &interp.Method{
+		Name: "div0",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 1},
+			{Op: interp.OpConst, A: 0},
+			{Op: interp.OpDiv},
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 1,
+	}
+	res := AnalyzeMethod(m, nil)
+	if pc := ruleAt(res.Diags, RuleDivZero); pc != 2 {
+		t.Fatalf("%s at pc %d, want 2: %v", RuleDivZero, pc, res.Diags)
+	}
+	m.Code[1] = interp.Inst{Op: interp.OpLoad, A: 0} // divisor now unknown
+	res = AnalyzeMethod(m, nil)
+	if !hasRule(res.Diags, RuleMaybeDivZero) {
+		t.Fatalf("missing %s: %v", RuleMaybeDivZero, res.Diags)
+	}
+}
+
+func TestNegativeArraySize(t *testing.T) {
+	m := &interp.Method{
+		Name: "negsize",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: -3},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpConst, A: 0},
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 1, MaxRefs: 1,
+	}
+	res := AnalyzeMethod(m, nil)
+	if !hasRule(res.Diags, RuleNegSize) {
+		t.Fatalf("missing %s: %v", RuleNegSize, res.Diags)
+	}
+}
+
+func TestStackUnderflow(t *testing.T) {
+	m := &interp.Method{
+		Name: "underflow",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 1},
+			{Op: interp.OpAdd}, // needs 2, has 1
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 1,
+	}
+	res := AnalyzeMethod(m, nil)
+	if pc := ruleAt(res.Diags, RuleStack); pc != 1 {
+		t.Fatalf("%s at pc %d, want 1: %v", RuleStack, pc, res.Diags)
+	}
+}
+
+func TestFallOffEnd(t *testing.T) {
+	m := &interp.Method{
+		Name:      "falloff",
+		Code:      []interp.Inst{{Op: interp.OpConst, A: 1}},
+		MaxLocals: 1,
+	}
+	res := AnalyzeMethod(m, nil)
+	if !hasRule(res.Diags, RuleFallOff) {
+		t.Fatalf("missing %s: %v", RuleFallOff, res.Diags)
+	}
+}
+
+func TestMalformedBytecode(t *testing.T) {
+	m := &interp.Method{Name: "bad", Code: []interp.Inst{{Op: interp.Opcode(77)}}}
+	res := AnalyzeMethod(m, nil)
+	if !hasRule(res.Diags, RuleMalformed) {
+		t.Fatalf("missing %s: %v", RuleMalformed, res.Diags)
+	}
+	if res.Verdict != VerdictUnknown {
+		t.Errorf("verdict = %v, want %v", res.Verdict, VerdictUnknown)
+	}
+}
+
+func TestUnreachableCode(t *testing.T) {
+	m := &interp.Method{
+		Name: "dead",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 1},
+			{Op: interp.OpReturn},
+			{Op: interp.OpConst, A: 2}, // dead
+			{Op: interp.OpReturn},      // dead
+		},
+		MaxLocals: 1,
+	}
+	res := AnalyzeMethod(m, nil)
+	if pc := ruleAt(res.Diags, RuleUnreachable); pc != 2 {
+		t.Fatalf("%s at pc %d, want 2: %v", RuleUnreachable, pc, res.Diags)
+	}
+}
+
+// TestLoopFixpointTerminates feeds the analyzer a counting loop whose bound
+// is unknown; widening must close the fixpoint and the verdict must stay
+// sound (safe: no natives in sight).
+func TestLoopFixpointTerminates(t *testing.T) {
+	m := &interp.Method{
+		Name: "loop",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 0},
+			{Op: interp.OpStore, A: 1}, // i = 0
+			{Op: interp.OpLoad, A: 1},  // loop:
+			{Op: interp.OpLoad, A: 0},  // n (unknown arg)
+			{Op: interp.OpSub},
+			{Op: interp.OpJmpIfZero, A: 11}, // i == n -> done
+			{Op: interp.OpLoad, A: 1},
+			{Op: interp.OpConst, A: 1},
+			{Op: interp.OpAdd},
+			{Op: interp.OpStore, A: 1}, // i++
+			{Op: interp.OpJmp, A: 2},
+			{Op: interp.OpLoad, A: 1}, // done:
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 2,
+	}
+	res := AnalyzeMethod(m, nil)
+	if res.Verdict != VerdictSafe {
+		t.Fatalf("verdict = %v, want %v; diags %v", res.Verdict, VerdictSafe, res.Diags)
+	}
+	for pc, r := range res.Reachable {
+		if !r {
+			t.Errorf("pc %d wrongly unreachable", pc)
+		}
+	}
+}
+
+// TestLoopBlocksFaultVerdict: a faulting native inside a potentially
+// non-terminating loop body cannot be a provable fault — the loop guard may
+// spin forever before the call.
+func TestLoopBlocksFaultVerdict(t *testing.T) {
+	m := &interp.Method{
+		Name: "loopfault",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 8},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpLoad, A: 0},      // unknown arg
+			{Op: interp.OpJmpIfZero, A: 2}, // possible self-loop
+			{Op: interp.OpCallNative, A: 0, B: 0},
+			{Op: interp.OpConst, A: 0},
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 1, MaxRefs: 1, NativeNames: []string{"native0"},
+	}
+	nat := map[string]NativeSummary{"native0": {MinOff: 40, MaxOff: 40}} // se=32: in-window OOB
+	res := AnalyzeMethod(m, nat)
+	if res.Verdict == VerdictFault {
+		t.Fatalf("fault verdict despite possible infinite loop; diags %v", res.Diags)
+	}
+	if !hasRule(res.Diags, RuleNativeFault) {
+		t.Errorf("site-level %s should still be reported: %v", RuleNativeFault, res.Diags)
+	}
+}
+
+// TestReturnPathBlocksFaultVerdict: if one path returns cleanly, the method
+// cannot be provably faulting even though another path faults.
+func TestReturnPathBlocksFaultVerdict(t *testing.T) {
+	m := &interp.Method{
+		Name: "twofates",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 8},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpLoad, A: 0},
+			{Op: interp.OpJmpIfZero, A: 6}, // sometimes skip the call
+			{Op: interp.OpCallNative, A: 0, B: 0},
+			{Op: interp.OpJmp, A: 6},
+			{Op: interp.OpConst, A: 0}, // done:
+			{Op: interp.OpReturn},
+		},
+		MaxLocals: 1, MaxRefs: 1, NativeNames: []string{"native0"},
+	}
+	nat := map[string]NativeSummary{"native0": {MinOff: 40, MaxOff: 40, Write: true}}
+	res := AnalyzeMethod(m, nat)
+	if res.Verdict != VerdictUnknown {
+		t.Fatalf("verdict = %v, want %v", res.Verdict, VerdictUnknown)
+	}
+}
+
+// TestAnnotatedDisassembly wires analyzer findings into the disassembler.
+func TestAnnotatedDisassembly(t *testing.T) {
+	m := &interp.Method{
+		Name: "annotated",
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 8},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpConst, A: 9},
+			{Op: interp.OpArrayGet, A: 0},
+			{Op: interp.OpReturn},
+			{Op: interp.OpReturn}, // unreachable
+		},
+		MaxLocals: 1, MaxRefs: 1,
+	}
+	res := AnalyzeMethod(m, nil)
+	out := interp.DisassembleAnnotated(m, Annotations(res.Diags))
+	if !strings.Contains(out, "aget         0  ; oob: index 9, len=8") {
+		t.Errorf("missing oob annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "; unreachable") {
+		t.Errorf("missing unreachable annotation:\n%s", out)
+	}
+}
+
+func TestUseAfterReleaseAndForgeVerdicts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sum  NativeSummary
+		want Verdict
+	}{
+		{"uar-in-window", NativeSummary{MinOff: -16, MaxOff: 40, UseAfterRelease: true}, VerdictFault},
+		{"uar-beyond-window", NativeSummary{MinOff: 0, MaxOff: 100, UseAfterRelease: true}, VerdictUnknown},
+		{"forge-in-payload", NativeSummary{MinOff: 0, MaxOff: 31, ForgeTag: true}, VerdictFault},
+		{"forge-outside", NativeSummary{MinOff: 0, MaxOff: 40, ForgeTag: true}, VerdictUnknown},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, nat := spine(8, tc.sum) // se = 32
+			res := AnalyzeMethod(m, nat)
+			if res.Verdict != tc.want {
+				t.Errorf("verdict = %v, want %v; diags %v", res.Verdict, tc.want, res.Diags)
+			}
+		})
+	}
+}

@@ -1,0 +1,207 @@
+// Package analysis is the static layer of the reproduction: it proves or
+// refutes illicit-access properties *before* execution, where the rest of
+// the repo (internal/mte, internal/jni, internal/core) detects them at
+// runtime.
+//
+// It has two halves:
+//
+//   - An abstract interpreter over interp.Method bytecode (abstract.go):
+//     per-pc abstract state tracking integer ranges, reference-slot
+//     liveness, and reachability. It proves out-of-bounds array accesses,
+//     uses of uninitialized reference slots, unreachable code, and — given
+//     behavioural summaries of the native methods a program calls —
+//     whether the program provably faults or provably cannot fault under
+//     MTE4JNI+Sync with neighbour exclusion.
+//
+//   - A JNI-trace lint (jnilint.go) over jni.TraceEvent records: mismatched
+//     Get/Release pairs, use-after-release of handed-out regions,
+//     pointer-arithmetic escapes past the granule-rounded allocation, and
+//     forged pointer-tag bits (bits 56-59 mutated without irg).
+//
+// internal/fuzz uses the bytecode half as a differential oracle: every
+// generated program is analyzed statically and executed dynamically, and a
+// dynamic MTE fault in a program the analyzer called provably safe (or a
+// clean run of a provably faulting one) is a soundness bug in one of the
+// two layers. cmd/mte4jni exposes both halves as `mte4jni lint`.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// SevInfo is informational only.
+	SevInfo Severity = iota
+	// SevWarning marks a possible violation the analyzer cannot prove.
+	SevWarning
+	// SevError marks a proven violation; `mte4jni lint` exits nonzero.
+	SevError
+)
+
+// String names the severity as printed in diagnostics.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Rule identifiers. BC-* rules come from the bytecode abstract interpreter,
+// JNI-* rules from the trace lint.
+const (
+	// RuleMalformed: the method fails structural validation (interp.Validate).
+	RuleMalformed = "BC-MALFORMED"
+	// RuleUnreachable: the instruction can never execute.
+	RuleUnreachable = "BC-UNREACHABLE"
+	// RuleOOB: an array access is out of bounds on every execution reaching it.
+	RuleOOB = "BC-OOB"
+	// RuleMaybeOOB: an array access may be out of bounds.
+	RuleMaybeOOB = "BC-MAYBE-OOB"
+	// RuleUninitRef: a reference slot is used before any assignment.
+	RuleUninitRef = "BC-UNINIT-REF"
+	// RuleMaybeUninitRef: a reference slot may be unassigned on some path.
+	RuleMaybeUninitRef = "BC-MAYBE-UNINIT-REF"
+	// RuleNegSize: an array is allocated with a provably negative length.
+	RuleNegSize = "BC-NEG-SIZE"
+	// RuleMaybeNegSize: an array length may be negative.
+	RuleMaybeNegSize = "BC-MAYBE-NEG-SIZE"
+	// RuleMaybeOOM: an array allocation may exhaust the heap.
+	RuleMaybeOOM = "BC-MAYBE-OOM"
+	// RuleDivZero: a division or remainder by a provably zero divisor.
+	RuleDivZero = "BC-DIV-ZERO"
+	// RuleMaybeDivZero: the divisor may be zero.
+	RuleMaybeDivZero = "BC-MAYBE-DIV-ZERO"
+	// RuleStack: the operand stack underflows or merges inconsistently.
+	RuleStack = "BC-STACK"
+	// RuleFallOff: control flow can run past the end of the bytecode.
+	RuleFallOff = "BC-FALL-OFF"
+	// RuleNativeUnknown: a native target has no behavioural summary.
+	RuleNativeUnknown = "BC-NATIVE-UNKNOWN"
+	// RuleNativeFault: a native call provably raises an MTE tag-check fault.
+	RuleNativeFault = "BC-NATIVE-FAULT"
+	// RuleCriticalHeap: an @CriticalNative method touches the Java heap,
+	// where MTE checking is never armed.
+	RuleCriticalHeap = "BC-CRITICAL-HEAP"
+
+	// RuleMismatchedRelease: a Release with no matching outstanding Get.
+	RuleMismatchedRelease = "JNI-MISMATCHED-RELEASE"
+	// RuleLeakedGet: a Get never released by the end of the trace.
+	RuleLeakedGet = "JNI-LEAKED-GET"
+	// RuleUseAfterRelease: an access through a pointer whose region was
+	// already released.
+	RuleUseAfterRelease = "JNI-USE-AFTER-RELEASE"
+	// RuleOOBEscape: pointer arithmetic escaped the granule-rounded
+	// allocation the pointer was issued for.
+	RuleOOBEscape = "JNI-OOB-ESCAPE"
+	// RuleForgedTag: an access pointer carries tag bits (56-59) that were
+	// never issued by irg for that region.
+	RuleForgedTag = "JNI-FORGED-TAG"
+)
+
+// Diagnostic is one structured finding: where, which rule, how bad, what.
+type Diagnostic struct {
+	// Rule is the rule identifier (Rule* constants).
+	Rule string
+	// Sev grades the finding.
+	Sev Severity
+	// File is the source file when linting program files ("" otherwise).
+	File string
+	// Method names the bytecode method ("" for trace findings).
+	Method string
+	// PC is the instruction index (-1 when not anchored to one), or the
+	// trace event index for JNI-* findings.
+	PC int
+	// Message is the human-readable finding, kept short enough to double as
+	// a disassembly annotation.
+	Message string
+}
+
+// String renders the diagnostic in the file:method:pc grep-able form.
+func (d Diagnostic) String() string {
+	loc := ""
+	if d.File != "" {
+		loc = d.File + ": "
+	}
+	if d.Method != "" {
+		loc += d.Method + ": "
+	}
+	if d.PC >= 0 {
+		loc += fmt.Sprintf("pc %d: ", d.PC)
+	}
+	return fmt.Sprintf("%s%s %s: %s", loc, d.Sev, d.Rule, d.Message)
+}
+
+// SortDiagnostics orders findings for stable output: by file, method, pc,
+// then rule.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Annotations groups diagnostic messages by pc for disassembly annotation
+// via interp.DisassembleAnnotated.
+func Annotations(diags []Diagnostic) map[int][]string {
+	notes := make(map[int][]string)
+	for _, d := range diags {
+		if d.PC >= 0 {
+			notes[d.PC] = append(notes[d.PC], d.Message)
+		}
+	}
+	return notes
+}
+
+// Verdict is the analyzer's overall claim about a program's dynamic fate
+// under MTE4JNI+Sync with neighbour exclusion.
+type Verdict int
+
+const (
+	// VerdictUnknown: the analyzer proves nothing either way.
+	VerdictUnknown Verdict = iota
+	// VerdictSafe: no execution can raise an MTE tag-check fault.
+	VerdictSafe
+	// VerdictFault: every execution raises an MTE tag-check fault.
+	VerdictFault
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSafe:
+		return "provably-safe"
+	case VerdictFault:
+		return "provably-faulting"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// iv is a closed integer interval [Lo, Hi], the abstract value of the
+// analyzer's numeric domain. The full interval stands for "any int64"; an
+// interval with Lo == Hi is an exact constant. Arithmetic saturates toward
+// ±inf on overflow, which only ever widens the interval — the sound
+// direction.
+type iv struct {
+	Lo, Hi int64
+}
+
+// full is the top element: any 64-bit value.
+func full() iv { return iv{math.MinInt64, math.MaxInt64} }
+
+// exact is the singleton interval {v}.
+func exact(v int64) iv { return iv{v, v} }
+
+// isExact reports whether the interval holds a single value.
+func (a iv) isExact() bool { return a.Lo == a.Hi }
+
+// isFull reports whether the interval is top.
+func (a iv) isFull() bool { return a.Lo == math.MinInt64 && a.Hi == math.MaxInt64 }
+
+// contains reports whether v lies in the interval.
+func (a iv) contains(v int64) bool { return a.Lo <= v && v <= a.Hi }
+
+// String renders the interval the way the diagnostics print it.
+func (a iv) String() string {
+	if a.isExact() {
+		return fmt.Sprintf("%d", a.Lo)
+	}
+	if a.isFull() {
+		return "⊤"
+	}
+	lo, hi := "-∞", "+∞"
+	if a.Lo != math.MinInt64 {
+		lo = fmt.Sprintf("%d", a.Lo)
+	}
+	if a.Hi != math.MaxInt64 {
+		hi = fmt.Sprintf("%d", a.Hi)
+	}
+	return fmt.Sprintf("[%s,%s]", lo, hi)
+}
+
+// joinIv is the interval hull, the lattice join.
+func joinIv(a, b iv) iv {
+	return iv{min64(a.Lo, b.Lo), max64(a.Hi, b.Hi)}
+}
+
+// widenIv jumps any still-moving bound straight to ±inf. Applied after a
+// program point has been revisited enough times, it forces the fixpoint to
+// terminate on loops whose bounds the domain cannot close.
+func widenIv(old, next iv) iv {
+	w := next
+	if next.Lo < old.Lo {
+		w.Lo = math.MinInt64
+	}
+	if next.Hi > old.Hi {
+		w.Hi = math.MaxInt64
+	}
+	return w
+}
+
+// clampMin raises the lower bound to at least lo.
+func (a iv) clampMin(lo int64) iv {
+	return iv{max64(a.Lo, lo), max64(a.Hi, lo)}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// satAdd adds with saturation at the int64 limits.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if b > 0 && s < a {
+		return math.MaxInt64
+	}
+	if b < 0 && s > a {
+		return math.MinInt64
+	}
+	return s
+}
+
+// satNeg negates with MinInt64 saturating to MaxInt64.
+func satNeg(a int64) int64 {
+	if a == math.MinInt64 {
+		return math.MaxInt64
+	}
+	return -a
+}
+
+// satMul multiplies with saturation at the int64 limits.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if (a == -1 && b == math.MinInt64) || (b == -1 && a == math.MinInt64) || p/b != a {
+		if (a < 0) != (b < 0) {
+			return math.MinInt64
+		}
+		return math.MaxInt64
+	}
+	return p
+}
+
+// addIv, subIv, mulIv are the sound interval lifts of +, -, *.
+func addIv(a, b iv) iv { return iv{satAdd(a.Lo, b.Lo), satAdd(a.Hi, b.Hi)} }
+
+func subIv(a, b iv) iv { return iv{satAdd(a.Lo, satNeg(b.Hi)), satAdd(a.Hi, satNeg(b.Lo))} }
+
+func mulIv(a, b iv) iv {
+	c := [4]int64{satMul(a.Lo, b.Lo), satMul(a.Lo, b.Hi), satMul(a.Hi, b.Lo), satMul(a.Hi, b.Hi)}
+	out := iv{c[0], c[0]}
+	for _, v := range c[1:] {
+		out.Lo, out.Hi = min64(out.Lo, v), max64(out.Hi, v)
+	}
+	return out
+}
+
+// divIv lifts / assuming the divisor is nonzero (the caller handles the
+// divisor-contains-zero case, which throws rather than computes).
+func divIv(a, b iv) iv {
+	if b.contains(0) || a.isFull() {
+		return full()
+	}
+	div := func(x, y int64) int64 {
+		if x == math.MinInt64 && y == -1 {
+			return math.MaxInt64
+		}
+		return x / y
+	}
+	c := [4]int64{div(a.Lo, b.Lo), div(a.Lo, b.Hi), div(a.Hi, b.Lo), div(a.Hi, b.Hi)}
+	out := iv{c[0], c[0]}
+	for _, v := range c[1:] {
+		out.Lo, out.Hi = min64(out.Lo, v), max64(out.Hi, v)
+	}
+	return out
+}
+
+// remIv lifts % assuming a nonzero divisor: the result magnitude is below
+// the divisor magnitude, and its sign follows the dividend (Go semantics).
+func remIv(a, b iv) iv {
+	if b.contains(0) {
+		return full()
+	}
+	mag := max64(satNeg(b.Lo), b.Hi) // both candidates ≥ 1 here
+	if mag == math.MaxInt64 {
+		return full()
+	}
+	out := iv{satNeg(mag - 1), mag - 1}
+	if a.Lo >= 0 {
+		out.Lo = 0
+	}
+	if a.Hi <= 0 {
+		out.Hi = 0
+	}
+	return out
+}

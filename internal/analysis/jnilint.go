@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+)
+
+// The JNI-trace lint: an offline pass over the TraceEvent stream a
+// jni.RecordingTracer captured. Where the abstract interpreter reasons about
+// programs before they run, this lint reasons about one concrete run — it is
+// the CheckJNI-style reviewer that looks at a -verbose:jni log and points at
+// the access that should never have happened, whether or not the hardware
+// caught it (with MTE off, the trace is the only witness).
+
+// region is one Get handout being tracked across the trace.
+type region struct {
+	iface  string
+	object string
+	ptr    mte.Ptr
+	// gb and ge are the granule-rounded bounds of the handout: the byte
+	// range that actually carries the region's tag.
+	gb, ge mte.Addr
+	// outstanding counts unreleased Gets of this exact pointer (nested Gets
+	// of the same array hand out the same pointer).
+	outstanding int
+	// getIndex is the trace index of the first Get, for leak reports.
+	getIndex int
+}
+
+// LintTrace analyzes a recorded JNI trace and reports protocol and memory
+// violations the events witness. Event indices appear in the PC field of the
+// diagnostics.
+func LintTrace(events []jni.TraceEvent) []Diagnostic {
+	var diags []Diagnostic
+	emit := func(i int, rule string, sev Severity, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Rule: rule, Sev: sev, PC: i, Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Regions keyed by untagged begin address. Releases remove from here but
+	// keep the record in retired for use-after-release attribution.
+	live := make(map[mte.Addr]*region)
+	var retired []*region
+
+	for i, ev := range events {
+		switch ev.Kind {
+		case jni.TraceGet:
+			addr := ev.Ptr.Addr()
+			if r, ok := live[addr]; ok && r.ptr == ev.Ptr {
+				r.outstanding++
+				continue
+			}
+			gb, ge := mte.GranuleRange(ev.Begin, ev.End)
+			if ev.End == ev.Begin { // zero-length handout still owns one granule
+				ge = gb + mte.GranuleSize
+			}
+			live[addr] = &region{
+				iface: ev.Iface, object: ev.Object, ptr: ev.Ptr,
+				gb: gb, ge: ge, outstanding: 1, getIndex: i,
+			}
+		case jni.TraceRelease:
+			addr := ev.Ptr.Addr()
+			r, ok := live[addr]
+			if !ok || r.ptr != ev.Ptr {
+				emit(i, RuleMismatchedRelease, SevError,
+					"%s(%s, %v) has no matching outstanding Get (double release or wrong pointer)",
+					ev.Iface, ev.Object, ev.Ptr)
+				continue
+			}
+			r.outstanding--
+			if r.outstanding == 0 {
+				delete(live, addr)
+				retired = append(retired, r)
+			}
+		case jni.TraceAccess:
+			lintAccess(i, ev, live, retired, emit)
+		}
+	}
+
+	for _, r := range live {
+		emit(r.getIndex, RuleLeakedGet, SevWarning,
+			"%s(%s) -> %v never released (leaked Get pins the object forever)",
+			r.iface, r.object, r.ptr)
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// lintAccess attributes one raw access to a handed-out region and flags the
+// illicit ways it can relate to it.
+func lintAccess(i int, ev jni.TraceEvent, live map[mte.Addr]*region, retired []*region,
+	emit func(int, string, Severity, string, ...any)) {
+	begin := ev.Ptr.Addr()
+	end := begin + mte.Addr(max64(int64(ev.Size), 1))
+	dir := "load"
+	if ev.Write {
+		dir = "store"
+	}
+
+	within := func(r *region) bool { return begin >= r.gb && end <= r.ge }
+	overlaps := func(r *region) bool { return begin < r.ge && end > r.gb }
+
+	// 1. Inside a live region: legitimate unless the tag bits were forged.
+	for _, r := range live {
+		if !within(r) {
+			continue
+		}
+		if ev.Ptr.Tag() != r.ptr.Tag() {
+			emit(i, RuleForgedTag, SevError,
+				"%s %s %v inside %s region %v carries tag %v, issued tag is %v (bits 56-59 forged without irg)",
+				ev.Iface, dir, ev.Ptr, r.iface, r.ptr, ev.Ptr.Tag(), r.ptr.Tag())
+		}
+		return
+	}
+	// 2. Inside a released region: use-after-release.
+	for j := len(retired) - 1; j >= 0; j-- {
+		if r := retired[j]; within(r) || (overlaps(r) && ev.Ptr.Tag() == r.ptr.Tag()) {
+			emit(i, RuleUseAfterRelease, SevError,
+				"%s %s %v inside region %v already released by %s (use-after-release)",
+				ev.Iface, dir, ev.Ptr, r.ptr, r.iface)
+			return
+		}
+	}
+	// 3. Same tag as a live region but outside its granule bounds: the
+	// pointer was derived from that handout and walked off it.
+	for _, r := range live {
+		if ev.Ptr.Tag() == r.ptr.Tag() {
+			emit(i, RuleOOBEscape, SevError,
+				"%s %s %v escapes the granule-rounded handout [%v,%v) of %s (pointer arithmetic past the allocation)",
+				ev.Iface, dir, ev.Ptr, r.gb, r.ge, r.iface)
+			return
+		}
+	}
+	// Accesses with no relation to any handout (native-private memory,
+	// direct buffers, ...) are outside this lint's jurisdiction.
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"testing"
+
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+)
+
+// Synthetic trace fixtures. One region: payload [0x1000, 0x1048) (72 bytes,
+// granule-rounded to [0x1000, 0x1050)), issued with tag 0x5.
+const (
+	rBegin = mte.Addr(0x1000)
+	rEnd   = mte.Addr(0x1048)
+	rTag   = mte.Tag(0x5)
+)
+
+func rPtr() mte.Ptr { return mte.MakePtr(rBegin, rTag) }
+
+func get() jni.TraceEvent {
+	return jni.TraceEvent{Kind: jni.TraceGet, Iface: "GetIntArrayElements",
+		Object: "int[18]", Ptr: rPtr(), Begin: rBegin, End: rEnd}
+}
+
+func release() jni.TraceEvent {
+	return jni.TraceEvent{Kind: jni.TraceRelease, Iface: "ReleaseIntArrayElements",
+		Object: "int[18]", Ptr: rPtr()}
+}
+
+func access(p mte.Ptr, write bool) jni.TraceEvent {
+	return jni.TraceEvent{Kind: jni.TraceAccess, Iface: "StoreByte", Ptr: p, Size: 1, Write: write}
+}
+
+func rules(diags []Diagnostic) map[string]int {
+	m := make(map[string]int)
+	for _, d := range diags {
+		m[d.Rule]++
+	}
+	return m
+}
+
+func TestLintCleanTrace(t *testing.T) {
+	diags := LintTrace([]jni.TraceEvent{
+		get(),
+		access(rPtr().Add(0), true),
+		access(rPtr().Add(71), false),
+		access(rPtr().Add(79), true), // padding inside the granule rounding: legal per §4.1
+		release(),
+	})
+	if len(diags) != 0 {
+		t.Fatalf("clean trace produced %v", diags)
+	}
+}
+
+func TestLintMismatchedRelease(t *testing.T) {
+	diags := LintTrace([]jni.TraceEvent{release()})
+	if rules(diags)[RuleMismatchedRelease] != 1 {
+		t.Fatalf("want one %s, got %v", RuleMismatchedRelease, diags)
+	}
+}
+
+func TestLintDoubleRelease(t *testing.T) {
+	diags := LintTrace([]jni.TraceEvent{get(), release(), release()})
+	if rules(diags)[RuleMismatchedRelease] != 1 {
+		t.Fatalf("want one %s, got %v", RuleMismatchedRelease, diags)
+	}
+}
+
+func TestLintNestedGetsBalance(t *testing.T) {
+	// The same array acquired twice hands out the same pointer; two gets
+	// need two releases, and exactly two is clean.
+	diags := LintTrace([]jni.TraceEvent{get(), get(), release(), release()})
+	if len(diags) != 0 {
+		t.Fatalf("balanced nested gets produced %v", diags)
+	}
+}
+
+func TestLintLeakedGet(t *testing.T) {
+	diags := LintTrace([]jni.TraceEvent{get(), access(rPtr(), false)})
+	if rules(diags)[RuleLeakedGet] != 1 {
+		t.Fatalf("want one %s, got %v", RuleLeakedGet, diags)
+	}
+	if diags[0].PC != 0 {
+		t.Errorf("leak attributed to event %d, want 0 (the Get)", diags[0].PC)
+	}
+}
+
+func TestLintUseAfterRelease(t *testing.T) {
+	diags := LintTrace([]jni.TraceEvent{
+		get(), release(),
+		access(rPtr().Add(4), true),
+	})
+	if rules(diags)[RuleUseAfterRelease] != 1 {
+		t.Fatalf("want one %s, got %v", RuleUseAfterRelease, diags)
+	}
+}
+
+func TestLintOOBEscape(t *testing.T) {
+	// Pointer arithmetic walks past the granule-rounded end (0x1050) while
+	// the region is still live: same tag, outside the handout.
+	diags := LintTrace([]jni.TraceEvent{
+		get(),
+		access(rPtr().Add(0x50), true),
+		release(),
+	})
+	if rules(diags)[RuleOOBEscape] != 1 {
+		t.Fatalf("want one %s, got %v", RuleOOBEscape, diags)
+	}
+}
+
+func TestLintForgedTag(t *testing.T) {
+	forged := rPtr().WithTag(rTag ^ 0x8)
+	diags := LintTrace([]jni.TraceEvent{
+		get(),
+		access(forged.Add(8), false),
+		release(),
+	})
+	if rules(diags)[RuleForgedTag] != 1 {
+		t.Fatalf("want one %s, got %v", RuleForgedTag, diags)
+	}
+}
+
+func TestLintUnrelatedAccessIgnored(t *testing.T) {
+	// An access to native-private memory (no tag relation, no region
+	// overlap) is not this lint's business.
+	diags := LintTrace([]jni.TraceEvent{
+		get(),
+		access(mte.MakePtr(0x9000, 0), true),
+		release(),
+	})
+	if len(diags) != 0 {
+		t.Fatalf("unrelated access produced %v", diags)
+	}
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"mte4jni/internal/jni"
+)
+
+const exampleJSON = `{
+  "method": {
+    "name": "main", "maxLocals": 1, "maxRefs": 1,
+    "nativeNames": ["sum"],
+    "code": [
+      {"op": "const", "a": 18},
+      {"op": "newarray", "a": 0},
+      {"op": "callnative", "a": 0, "b": 0},
+      {"op": "const", "a": 0},
+      {"op": "return"}
+    ]
+  },
+  "natives": {
+    "sum": {"kind": "regular", "minOffset": 0, "maxOffset": 71}
+  }
+}`
+
+func TestParseProgram(t *testing.T) {
+	p, err := ParseProgram([]byte(exampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method.Name != "main" || len(p.Method.Code) != 5 {
+		t.Fatalf("method = %+v", p.Method)
+	}
+	s, ok := p.Natives["sum"]
+	if !ok || s.Kind != jni.Regular || s.MinOff != 0 || s.MaxOff != 71 {
+		t.Fatalf("natives = %+v", p.Natives)
+	}
+	if res := p.Analyze("example.json"); res.Verdict != VerdictSafe {
+		t.Fatalf("verdict = %v, want %v; diags %v", res.Verdict, VerdictSafe, res.Diags)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	p, err := ParseProgram([]byte(exampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseProgram(data)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, data)
+	}
+	if len(q.Method.Code) != len(p.Method.Code) || q.Method.Code[2] != p.Method.Code[2] {
+		t.Fatalf("round trip lost code: %+v", q.Method.Code)
+	}
+	if q.Natives["sum"] != p.Natives["sum"] {
+		t.Fatalf("round trip lost natives: %+v", q.Natives)
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, src, want string
+	}{
+		{"bad-json", `{`, "parse program"},
+		{"bad-opcode", `{"method":{"code":[{"op":"frobnicate"}]}}`, `unknown opcode "frobnicate"`},
+		{"bad-kind", `{"method":{"code":[{"op":"return"}]},"natives":{"x":{"kind":"sideways"}}}`, `unknown kind "sideways"`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseProgram([]byte(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDiagnosticFileStamping(t *testing.T) {
+	src := `{"method":{"maxRefs":1,"code":[
+		{"op":"const","a":0},{"op":"aget","a":0},{"op":"return"}]}}`
+	p, err := ParseProgram([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Analyze("bad.json")
+	if len(res.Diags) == 0 || res.Diags[0].File != "bad.json" {
+		t.Fatalf("diags = %v", res.Diags)
+	}
+	if s := res.Diags[0].String(); !strings.HasPrefix(s, "bad.json: main: ") {
+		t.Fatalf("rendered = %q", s)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for _, k := range []jni.NativeKind{jni.Regular, jni.FastNative, jni.CriticalNative} {
+		if got, ok := kindByName[KindName(k)]; !ok || got != k {
+			t.Errorf("kind %v does not round-trip (name %q)", k, KindName(k))
+		}
+	}
+}

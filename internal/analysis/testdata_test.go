@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSeededBadPrograms: every program under testdata/bad must analyze to an
+// error-level finding and a provably-faulting verdict — these are the files
+// `mte4jni lint` must exit nonzero on.
+func TestSeededBadPrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/bad/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected at least 3 seeded bad programs, found %d", len(files))
+	}
+	for _, f := range files {
+		p, err := LoadProgram(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		res := p.Analyze(f)
+		if !HasErrors(res.Diags) {
+			t.Errorf("%s: no error diagnostics: %v", f, res.Diags)
+		}
+		if res.Verdict != VerdictFault {
+			t.Errorf("%s: verdict = %v, want %v", f, res.Verdict, VerdictFault)
+		}
+		if !hasRule(res.Diags, RuleNativeFault) {
+			t.Errorf("%s: missing %s: %v", f, RuleNativeFault, res.Diags)
+		}
+	}
+}
+
+// TestExampleProgramsClean: everything under examples/lint must lint clean —
+// no errors, safe verdict.
+func TestExampleProgramsClean(t *testing.T) {
+	files, err := filepath.Glob("../../examples/lint/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected at least 3 example programs, found %d", len(files))
+	}
+	for _, f := range files {
+		p, err := LoadProgram(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		res := p.Analyze(f)
+		if HasErrors(res.Diags) {
+			t.Errorf("%s: unexpected errors: %v", f, res.Diags)
+		}
+		if res.Verdict != VerdictSafe {
+			t.Errorf("%s: verdict = %v, want %v; diags %v", f, res.Verdict, VerdictSafe, res.Diags)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/core"
+	"mte4jni/internal/interp"
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+// The static/dynamic differential oracle. A generated (or hand-written)
+// program is analyzed by internal/analysis and then actually executed under
+// MTE4JNI in synchronous mode with neighbour exclusion — the configuration
+// whose fault behaviour is deterministic. The two must agree:
+//
+//   - provably-safe programs must not fault (a fault is a false negative in
+//     the analyzer or a false positive in the protection),
+//   - provably-faulting programs must fault (a clean run means the analyzer
+//     overclaims or the protection missed an illicit access),
+//   - unknown constrains nothing.
+//
+// Managed exceptions and interpreter aborts are *not* faults: the safe
+// verdict only claims the absence of MTE tag-check faults.
+
+// Outcome is what one concrete execution did.
+type Outcome struct {
+	// Ret is the return value when the run completed normally.
+	Ret int64
+	// Fault is the MTE fault when the run crashed in native code.
+	Fault *mte.Fault
+	// Err is the managed exception or interpreter abort, when one ended the
+	// run instead.
+	Err error
+	// Trace is the recorded JNI event stream, ready for analysis.LintTrace.
+	Trace []jni.TraceEvent
+}
+
+// Faulted reports whether the run ended in a memory fault.
+func (o *Outcome) Faulted() bool { return o.Fault != nil }
+
+// Execute runs the program under MTE4JNI+Sync with neighbour exclusion,
+// materialising each NativeSummary into a real native body. The returned
+// error reports harness failures only; program-level failures land in the
+// Outcome.
+func Execute(p *analysis.Program, seed int64) (*Outcome, error) {
+	v, err := vm.New(vm.Options{
+		HeapSize: 8 << 20, NativeHeapSize: 8 << 20,
+		MTE: true, CheckMode: mte.TCFSync,
+		Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	th, err := v.AttachThread("differential")
+	if err != nil {
+		return nil, err
+	}
+	prot, err := core.New(v, core.Config{ExcludeNeighbors: true})
+	if err != nil {
+		return nil, err
+	}
+	env := jni.NewEnv(th, prot, true)
+	rec := jni.NewRecordingTracer()
+	env.SetTracer(rec)
+
+	ip := interp.New(env)
+	for name, sum := range p.Natives {
+		ip.RegisterNative(name, interp.NativeMethod{Kind: sum.Kind, Body: nativeBody(sum)})
+	}
+
+	out := &Outcome{}
+	out.Ret, out.Fault, out.Err = ip.Invoke(p.Method)
+	out.Trace = rec.Events()
+	return out, nil
+}
+
+// nativeBody materialises a summary into an executable native. The body
+// performs 1-byte accesses at exactly MinOff and MaxOff relative to the
+// payload begin — the same contract siteVerdict reasons about.
+func nativeBody(sum analysis.NativeSummary) func(*jni.Env, *vm.Object) error {
+	return func(e *jni.Env, arr *vm.Object) error {
+		if sum.Kind == jni.CriticalNative {
+			// @CriticalNative code cannot use JNIEnv handout interfaces; it
+			// reaches the heap through a raw untagged pointer, and because
+			// the trampoline never arms checking, no tag is ever checked.
+			touch(e, mte.MakePtr(arr.DataBegin(), 0), sum)
+			return nil
+		}
+		ptr, err := e.GetIntArrayElements(arr)
+		if err != nil {
+			return err
+		}
+		if sum.UseAfterRelease {
+			if err := e.ReleaseIntArrayElements(arr, ptr, jni.ReleaseDefault); err != nil {
+				return err
+			}
+			touch(e, ptr, sum) // stale pointer: the region's tags are gone
+			return nil
+		}
+		if sum.ForgeTag {
+			// Mutate tag bits 56-59 without irg. XOR with a fixed nonzero
+			// nibble guarantees the forged tag differs from the issued one.
+			touch(e, ptr.WithTag(ptr.Tag()^0x8), sum)
+		} else {
+			touch(e, ptr, sum)
+		}
+		return e.ReleaseIntArrayElements(arr, ptr, jni.ReleaseDefault)
+	}
+}
+
+// touch performs the summary's byte accesses. A synchronous fault panics out
+// through the Env helper and is caught by the trampoline, so a faulting
+// first access suppresses the second — matching real sync-mode MTE.
+func touch(e *jni.Env, base mte.Ptr, sum analysis.NativeSummary) {
+	if !sum.Touches() {
+		return
+	}
+	offs := []int64{sum.MinOff}
+	if sum.MaxOff != sum.MinOff {
+		offs = append(offs, sum.MaxOff)
+	}
+	for _, off := range offs {
+		p := base.Add(off)
+		if sum.Write {
+			e.StoreByte(p, 0x5A)
+		} else {
+			_ = e.LoadByte(p)
+		}
+	}
+}
+
+// Disagreement is a static/dynamic soundness violation: the analyzer's
+// proof and the hardware's behaviour contradict each other.
+type Disagreement struct {
+	// Verdict is the static claim.
+	Verdict analysis.Verdict
+	// Outcome is what actually happened.
+	Outcome *Outcome
+	// Program is the offending program, for replay.
+	Program *analysis.Program
+}
+
+// Error implements the error interface.
+func (d *Disagreement) Error() string {
+	got := "no fault"
+	if d.Outcome.Faulted() {
+		got = "fault: " + d.Outcome.Fault.Error()
+	}
+	data, _ := analysis.MarshalProgram(d.Program)
+	return fmt.Sprintf("differential: static verdict %s but dynamic outcome %s\nprogram:\n%s\n%s",
+		d.Verdict, got, interp.Disassemble(d.Program.Method), data)
+}
+
+// DiffResult pairs the two halves of one differential run.
+type DiffResult struct {
+	// Result is the static analysis.
+	Result *analysis.MethodResult
+	// Outcome is the dynamic execution.
+	Outcome *Outcome
+}
+
+// Differential analyzes and executes p, checking the verdict against the
+// dynamic outcome. It returns a *Disagreement error when they contradict.
+func Differential(p *analysis.Program, seed int64) (*DiffResult, error) {
+	res := p.Analyze("")
+	out, err := Execute(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	switch res.Verdict {
+	case analysis.VerdictSafe:
+		if out.Faulted() {
+			return nil, &Disagreement{Verdict: res.Verdict, Outcome: out, Program: p}
+		}
+	case analysis.VerdictFault:
+		if !out.Faulted() {
+			return nil, &Disagreement{Verdict: res.Verdict, Outcome: out, Program: p}
+		}
+	}
+	return &DiffResult{Result: res, Outcome: out}, nil
+}

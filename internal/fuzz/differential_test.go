@@ -1,0 +1,203 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/interp"
+	"mte4jni/internal/jni"
+)
+
+// spine builds the canonical differential program: allocate an int array of
+// arrLen, hand it to a native with the given summary, return 7.
+func spine(arrLen int64, sum analysis.NativeSummary) *analysis.Program {
+	return &analysis.Program{
+		Method: &interp.Method{
+			Name: "spine",
+			Code: []interp.Inst{
+				{Op: interp.OpConst, A: arrLen},
+				{Op: interp.OpNewArray, A: 0},
+				{Op: interp.OpCallNative, A: 0, B: 0},
+				{Op: interp.OpConst, A: 7},
+				{Op: interp.OpReturn},
+			},
+			MaxLocals: 1, MaxRefs: 1,
+			NativeNames: []string{"native0"},
+		},
+		Natives: map[string]analysis.NativeSummary{"native0": sum},
+	}
+}
+
+// hasRule reports whether any diagnostic carries the rule.
+func hasRule(diags []analysis.Diagnostic, rule string) bool {
+	for _, d := range diags {
+		if d.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDifferentialKnownBad: programs the analyzer must prove faulting, and
+// that must then actually fault. len=8 ints ⇒ payload 32 bytes ⇒ tag-rounded
+// end 32.
+func TestDifferentialKnownBad(t *testing.T) {
+	cases := []struct {
+		name string
+		sum  analysis.NativeSummary
+	}{
+		{"oob-write-past-end", analysis.NativeSummary{MinOff: 0, MaxOff: 32, Write: true}},
+		{"oob-read-before-begin", analysis.NativeSummary{MinOff: -1, MaxOff: 3}},
+		{"use-after-release", analysis.NativeSummary{MinOff: 0, MaxOff: 0, Write: true, UseAfterRelease: true}},
+		{"forged-tag", analysis.NativeSummary{MinOff: 0, MaxOff: 15, ForgeTag: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := spine(8, tc.sum)
+			dr, err := Differential(p, 42)
+			if err != nil {
+				t.Fatalf("differential: %v", err)
+			}
+			if dr.Result.Verdict != analysis.VerdictFault {
+				t.Errorf("verdict = %v, want %v\ndiags: %v",
+					dr.Result.Verdict, analysis.VerdictFault, dr.Result.Diags)
+			}
+			if !dr.Outcome.Faulted() {
+				t.Errorf("program did not fault dynamically")
+			}
+			if !hasRule(dr.Result.Diags, analysis.RuleNativeFault) {
+				t.Errorf("missing %s diagnostic: %v", analysis.RuleNativeFault, dr.Result.Diags)
+			}
+		})
+	}
+}
+
+// TestDifferentialKnownGood: programs the analyzer must prove safe, and that
+// must then run without a fault.
+func TestDifferentialKnownGood(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *analysis.Program
+	}{
+		{"in-payload-write", spine(8, analysis.NativeSummary{MinOff: 0, MaxOff: 31, Write: true})},
+		{"no-heap-access", spine(8, analysis.NativeSummary{MinOff: 1, MaxOff: 0})},
+		{"padding-read", spine(7, analysis.NativeSummary{MinOff: 28, MaxOff: 31})}, // 28 bytes payload, granule pads to 32
+		{"no-native-at-all", &analysis.Program{
+			Method: &interp.Method{
+				Name: "pure",
+				Code: []interp.Inst{
+					{Op: interp.OpConst, A: 5},
+					{Op: interp.OpConst, A: 2},
+					{Op: interp.OpMul},
+					{Op: interp.OpReturn},
+				},
+				MaxLocals: 1,
+			},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dr, err := Differential(tc.prog, 42)
+			if err != nil {
+				t.Fatalf("differential: %v", err)
+			}
+			if dr.Result.Verdict != analysis.VerdictSafe {
+				t.Errorf("verdict = %v, want %v\ndiags: %v",
+					dr.Result.Verdict, analysis.VerdictSafe, dr.Result.Diags)
+			}
+			if dr.Outcome.Faulted() {
+				t.Errorf("provably-safe program faulted: %v", dr.Outcome.Fault)
+			}
+		})
+	}
+}
+
+// TestDifferentialCriticalNative: @CriticalNative access is never checked —
+// the analyzer must call the in-payload case safe but flag the unchecked
+// heap access, and the run must not fault.
+func TestDifferentialCriticalNative(t *testing.T) {
+	p := spine(8, analysis.NativeSummary{Kind: jni.CriticalNative, MinOff: 0, MaxOff: 31, Write: true})
+	dr, err := Differential(p, 42)
+	if err != nil {
+		t.Fatalf("differential: %v", err)
+	}
+	if dr.Result.Verdict != analysis.VerdictSafe {
+		t.Errorf("verdict = %v, want %v", dr.Result.Verdict, analysis.VerdictSafe)
+	}
+	if !hasRule(dr.Result.Diags, analysis.RuleCriticalHeap) {
+		t.Errorf("missing %s diagnostic: %v", analysis.RuleCriticalHeap, dr.Result.Diags)
+	}
+	if dr.Outcome.Faulted() {
+		t.Errorf("@CriticalNative access faulted: %v", dr.Outcome.Fault)
+	}
+}
+
+// TestDifferentialGenerated is the oracle at scale: hundreds of generated
+// programs, zero tolerated disagreements between the static verdict and the
+// dynamic outcome.
+func TestDifferentialGenerated(t *testing.T) {
+	const programs = 250
+	var safeSeen, faultSeen, unknownSeen, faults int
+	for seed := int64(0); seed < programs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, res := GenProgram(rng)
+		dr, err := Differential(p, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		switch res.Verdict {
+		case analysis.VerdictSafe:
+			safeSeen++
+		case analysis.VerdictFault:
+			faultSeen++
+		default:
+			unknownSeen++
+		}
+		if dr.Outcome.Faulted() {
+			faults++
+		}
+	}
+	t.Logf("verdicts over %d programs: safe=%d fault=%d unknown=%d; dynamic faults=%d",
+		programs, safeSeen, faultSeen, unknownSeen, faults)
+	// The generator must exercise both provable directions, or the oracle
+	// proves nothing.
+	if safeSeen == 0 || faultSeen == 0 {
+		t.Errorf("generator degenerated: safe=%d fault=%d", safeSeen, faultSeen)
+	}
+}
+
+// TestExecuteTraceFeedsLint closes the loop between the dynamic trace and
+// the offline JNI lint: illicit natives must leave lintable evidence in the
+// recorded event stream.
+func TestExecuteTraceFeedsLint(t *testing.T) {
+	cases := []struct {
+		name string
+		sum  analysis.NativeSummary
+		rule string
+	}{
+		{"use-after-release", analysis.NativeSummary{MinOff: 0, MaxOff: 0, Write: true, UseAfterRelease: true}, analysis.RuleUseAfterRelease},
+		{"oob-escape", analysis.NativeSummary{MinOff: 0, MaxOff: 40, Write: true}, analysis.RuleOOBEscape},
+		{"forged-tag", analysis.NativeSummary{MinOff: 0, MaxOff: 15, ForgeTag: true}, analysis.RuleForgedTag},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := Execute(spine(8, tc.sum), 42)
+			if err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			diags := analysis.LintTrace(out.Trace)
+			if !hasRule(diags, tc.rule) {
+				t.Errorf("lint missed %s; got %v", tc.rule, diags)
+			}
+		})
+	}
+	// And a clean run must lint clean.
+	out, err := Execute(spine(8, analysis.NativeSummary{MinOff: 0, MaxOff: 31, Write: true}), 42)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if diags := analysis.LintTrace(out.Trace); len(diags) != 0 {
+		t.Errorf("clean run linted dirty: %v", diags)
+	}
+}

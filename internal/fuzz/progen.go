@@ -1,0 +1,174 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/interp"
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+)
+
+// Whole-program generation for the static/dynamic differential oracle. Where
+// fuzz.go generates flat JNI operation sequences, this generator emits
+// bytecode programs (interp.Method) paired with behavioural native
+// summaries, so the same artifact can be analyzed by internal/analysis and
+// executed under a real protection scheme.
+//
+// Every candidate is pushed through interp.Validate and the abstract
+// interpreter at construction time: a generator bug that emits malformed
+// bytecode is a panic here, not a mystery downstream.
+
+// GenProgram builds one random, always-valid program and returns it together
+// with its static analysis. The program allocates an int array, runs it
+// through a generated native, and returns; random stack-neutral snippets,
+// managed array accesses and branches are woven around that spine.
+func GenProgram(rng *rand.Rand) (*analysis.Program, *analysis.MethodResult) {
+	p := genCandidate(rng)
+	if err := interp.Validate(p.Method); err != nil {
+		// The generator's contract is to emit only valid bytecode.
+		panic(fmt.Sprintf("fuzz: generated invalid bytecode: %v\n%s",
+			err, interp.Disassemble(p.Method)))
+	}
+	return p, p.Analyze("")
+}
+
+const genMaxLocals = 4
+
+func genCandidate(rng *rand.Rand) *analysis.Program {
+	arrLen := rng.Intn(24) + 1
+	sum := genSummary(rng, arrLen)
+	var code []interp.Inst
+
+	// Random stack-neutral arithmetic prelude.
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		code = append(code, genSnippet(rng)...)
+	}
+
+	// The spine: allocate the array the native will receive.
+	code = append(code,
+		interp.Inst{Op: interp.OpConst, A: int64(arrLen)},
+		interp.Inst{Op: interp.OpNewArray, A: 0})
+
+	// Sometimes a managed array access — possibly out of bounds, in which
+	// case the JVM's own check throws before any native ever runs.
+	if rng.Intn(3) == 0 {
+		idx := rng.Intn(arrLen + 4)
+		code = append(code,
+			interp.Inst{Op: interp.OpConst, A: int64(idx)},
+			interp.Inst{Op: interp.OpArrayGet, A: 0},
+			interp.Inst{Op: interp.OpStore, A: 0})
+	}
+
+	// Sometimes a constant-condition branch over junk, exercising the
+	// reachability analysis on both outcomes.
+	if rng.Intn(3) == 0 {
+		junk := genSnippet(rng)
+		target := len(code) + 2 + len(junk)
+		code = append(code,
+			interp.Inst{Op: interp.OpConst, A: int64(rng.Intn(2))},
+			interp.Inst{Op: interp.OpJmpIfZero, A: int64(target)})
+		code = append(code, junk...)
+	}
+
+	code = append(code,
+		interp.Inst{Op: interp.OpCallNative, A: 0, B: 0},
+		interp.Inst{Op: interp.OpConst, A: 7},
+		interp.Inst{Op: interp.OpReturn})
+
+	return &analysis.Program{
+		Method: &interp.Method{
+			Name: "fuzzgen", Code: code,
+			MaxLocals: genMaxLocals, MaxRefs: 2,
+			NativeNames: []string{"native0"},
+		},
+		Natives: map[string]analysis.NativeSummary{"native0": sum},
+	}
+}
+
+// genSnippet returns a stack-neutral instruction burst.
+func genSnippet(rng *rand.Rand) []interp.Inst {
+	l := func() int64 { return int64(rng.Intn(genMaxLocals)) }
+	k := func() int64 { return int64(rng.Intn(100) - 50) }
+	switch rng.Intn(4) {
+	case 0:
+		return []interp.Inst{
+			{Op: interp.OpConst, A: k()},
+			{Op: interp.OpStore, A: l()},
+		}
+	case 1:
+		return []interp.Inst{
+			{Op: interp.OpLoad, A: l()},
+			{Op: interp.OpLoad, A: l()},
+			{Op: interp.OpAdd},
+			{Op: interp.OpStore, A: l()},
+		}
+	case 2:
+		return []interp.Inst{
+			{Op: interp.OpConst, A: k()},
+			{Op: interp.OpConst, A: k()},
+			{Op: interp.OpMul},
+			{Op: interp.OpStore, A: l()},
+		}
+	default:
+		return []interp.Inst{
+			{Op: interp.OpLoad, A: l()},
+			{Op: interp.OpConst, A: int64(rng.Intn(9) + 1)}, // nonzero divisor
+			{Op: interp.OpDiv},
+			{Op: interp.OpStore, A: l()},
+		}
+	}
+}
+
+// genSummary draws a native behaviour class and concrete offsets for an
+// array of arrLen elements. The classes cover both verdict directions: safe
+// in-payload accesses, deterministic OOB on either side within the
+// neighbour-exclusion window, use-after-release, tag forgery, and
+// @CriticalNative (unchecked) access.
+func genSummary(rng *rand.Rand, arrLen int) analysis.NativeSummary {
+	se := int64(mte.Addr(uint64(arrLen) * 4).AlignUp(mte.GranuleSize))
+	window := int64(2 * mte.GranuleSize)
+	var s analysis.NativeSummary
+	s.Write = rng.Intn(2) == 0
+	switch rng.Intn(7) {
+	case 0: // no heap access at all
+		s.MinOff, s.MaxOff = 1, 0
+	case 1: // in-payload, safe
+		a, b := rng.Int63n(se), rng.Int63n(se)
+		s.MinOff, s.MaxOff = min64(a, b), max64(a, b)
+	case 2: // past the end, inside the deterministic window
+		s.MaxOff = se + rng.Int63n(window)
+		s.MinOff = rng.Int63n(s.MaxOff + 1)
+	case 3: // before the begin (header granule / left neighbour)
+		s.MinOff = -(rng.Int63n(window) + 1)
+		s.MaxOff = rng.Int63n(se)
+	case 4: // use-after-release through the stale pointer
+		s.UseAfterRelease = true
+		s.MinOff = rng.Int63n(se+window) - window
+		s.MaxOff = s.MinOff + rng.Int63n(se+window-s.MinOff)
+	case 5: // forged tag bits, in-payload
+		s.ForgeTag = true
+		a, b := rng.Int63n(se), rng.Int63n(se)
+		s.MinOff, s.MaxOff = min64(a, b), max64(a, b)
+	default: // @CriticalNative touching the payload unchecked
+		s.Kind = jni.CriticalNative
+		a, b := rng.Int63n(se), rng.Int63n(se)
+		s.MinOff, s.MaxOff = min64(a, b), max64(a, b)
+	}
+	return s
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -8,22 +8,37 @@ import (
 // Disassemble renders a method's bytecode in a javap-like listing, for
 // debugging and for golden tests of generated programs.
 func Disassemble(m *Method) string {
+	return DisassembleAnnotated(m, nil)
+}
+
+// DisassembleAnnotated renders the same listing with per-instruction notes
+// appended as "; note" comments — the static analyzer's findings land here
+// (e.g. "; unreachable" or "; oob: index ∈ [8,12], len=8"), keyed by pc.
+func DisassembleAnnotated(m *Method, notes map[int][]string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "method %s (locals=%d, refs=%d)\n", m.Name, m.MaxLocals, m.MaxRefs)
 	for i, in := range m.Code {
+		var line string
 		switch in.Op {
 		case OpConst, OpLoad, OpStore, OpJmp, OpJmpIfZero, OpJmpIfNeg,
 			OpNewArray, OpArrayGet, OpArrayPut, OpArrayLength:
-			fmt.Fprintf(&b, "  %3d: %-12s %d\n", i, in.Op, in.A)
+			line = fmt.Sprintf("  %3d: %-12s %d", i, in.Op, in.A)
 		case OpCallNative:
 			name := fmt.Sprintf("#%d", in.A)
 			if in.A >= 0 && int(in.A) < len(m.NativeNames) {
 				name = m.NativeNames[in.A]
 			}
-			fmt.Fprintf(&b, "  %3d: %-12s %s, ref=%d\n", i, in.Op, name, in.B)
+			line = fmt.Sprintf("  %3d: %-12s %s, ref=%d", i, in.Op, name, in.B)
+		case OpReturn:
+			line = fmt.Sprintf("  %3d: %s", i, in.Op)
 		default:
-			fmt.Fprintf(&b, "  %3d: %s\n", i, in.Op)
+			line = fmt.Sprintf("  %3d: %s", i, in.Op)
 		}
+		if ns := notes[i]; len(ns) > 0 {
+			line += "  ; " + strings.Join(ns, "; ")
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -17,6 +17,70 @@ func TestDisassemble(t *testing.T) {
 	}
 }
 
+// TestDisassembleAnnotatedGolden pins the exact listing for a method using
+// every opcode — including the unknown-opcode default case — with analyzer
+// notes attached to a few pcs.
+func TestDisassembleAnnotatedGolden(t *testing.T) {
+	m := &interp.Method{
+		Name: "everyOp", MaxLocals: 2, MaxRefs: 1,
+		NativeNames: []string{"nat"},
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 18},
+			{Op: interp.OpLoad, A: 0},
+			{Op: interp.OpStore, A: 1},
+			{Op: interp.OpAdd},
+			{Op: interp.OpSub},
+			{Op: interp.OpMul},
+			{Op: interp.OpDiv},
+			{Op: interp.OpRem},
+			{Op: interp.OpJmp, A: 9},
+			{Op: interp.OpJmpIfZero, A: 10},
+			{Op: interp.OpJmpIfNeg, A: 11},
+			{Op: interp.OpNewArray, A: 0},
+			{Op: interp.OpArrayGet, A: 0},
+			{Op: interp.OpArrayPut, A: 0},
+			{Op: interp.OpArrayLength, A: 0},
+			{Op: interp.OpCallNative, A: 0, B: 0},
+			{Op: interp.OpCallNative, A: 7, B: 0}, // out-of-range name -> #7
+			{Op: interp.OpReturn},
+			{Op: interp.Opcode(99)}, // unknown-opcode default case
+		},
+	}
+	notes := map[int][]string{
+		12: {"oob: index ∈ [8,12], len=8"},
+		15: {"native nat: oob: offset 80 past tag-rounded payload end 72"},
+		18: {"unreachable"},
+	}
+	want := `method everyOp (locals=2, refs=1)
+    0: const        18
+    1: load         0
+    2: store        1
+    3: add
+    4: sub
+    5: mul
+    6: div
+    7: rem
+    8: jmp          9
+    9: jz           10
+   10: jneg         11
+   11: newarray     0
+   12: aget         0  ; oob: index ∈ [8,12], len=8
+   13: aput         0
+   14: arraylength  0
+   15: callnative   nat, ref=0  ; native nat: oob: offset 80 past tag-rounded payload end 72
+   16: callnative   #7, ref=0
+   17: return
+   18: Opcode(99)  ; unreachable
+`
+	if got := interp.DisassembleAnnotated(m, notes); got != want {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Unannotated disassembly of the same method keeps the plain listing.
+	if got := interp.Disassemble(m); strings.Contains(got, ";") {
+		t.Errorf("Disassemble leaked annotations:\n%s", got)
+	}
+}
+
 func TestValidateAcceptsGoodBytecode(t *testing.T) {
 	for _, m := range []*interp.Method{figure3Method(), sumLoop()} {
 		if err := interp.Validate(m); err != nil {

@@ -88,6 +88,11 @@ var operandNeeds = map[Opcode]int{
 	OpArrayPut: 2, OpReturn: 1,
 }
 
+// OperandNeeds returns the minimum operand-stack depth the opcode requires,
+// the same table Invoke checks dynamically. The static analyzer
+// (internal/analysis) uses it to prove stack underflows before execution.
+func OperandNeeds(op Opcode) int { return operandNeeds[op] }
+
 // Method is an executable bytecode method.
 type Method struct {
 	// Name appears in exceptions and traces.

@@ -167,8 +167,18 @@ func trimPath(p string) string {
 	return p
 }
 
+// traceAccess emits a TraceAccess event ahead of the access itself, so a
+// faulting load or store still appears in the trace (the lint needs to see
+// the access that killed the process, just like the crash report does).
+func (e *Env) traceAccess(iface string, p mte.Ptr, size int, write bool) {
+	if e.tracing() {
+		e.trace(TraceEvent{Kind: TraceAccess, Iface: iface, Ptr: p, Size: size, Write: write})
+	}
+}
+
 // LoadInt performs a checked 32-bit load through a raw pointer.
 func (e *Env) LoadInt(p mte.Ptr) int32 {
+	e.traceAccess("LoadInt", p, 4, false)
 	v, f := e.vm.Space.Load32(e.thread.Ctx(), p)
 	if f != nil {
 		e.fault(f)
@@ -178,6 +188,7 @@ func (e *Env) LoadInt(p mte.Ptr) int32 {
 
 // StoreInt performs a checked 32-bit store through a raw pointer.
 func (e *Env) StoreInt(p mte.Ptr, v int32) {
+	e.traceAccess("StoreInt", p, 4, true)
 	if f := e.vm.Space.Store32(e.thread.Ctx(), p, uint32(v)); f != nil {
 		e.fault(f)
 	}
@@ -185,6 +196,7 @@ func (e *Env) StoreInt(p mte.Ptr, v int32) {
 
 // LoadByte performs a checked 8-bit load.
 func (e *Env) LoadByte(p mte.Ptr) byte {
+	e.traceAccess("LoadByte", p, 1, false)
 	v, f := e.vm.Space.Load8(e.thread.Ctx(), p)
 	if f != nil {
 		e.fault(f)
@@ -194,6 +206,7 @@ func (e *Env) LoadByte(p mte.Ptr) byte {
 
 // StoreByte performs a checked 8-bit store.
 func (e *Env) StoreByte(p mte.Ptr, v byte) {
+	e.traceAccess("StoreByte", p, 1, true)
 	if f := e.vm.Space.Store8(e.thread.Ctx(), p, v); f != nil {
 		e.fault(f)
 	}
@@ -201,6 +214,7 @@ func (e *Env) StoreByte(p mte.Ptr, v byte) {
 
 // LoadChar performs a checked 16-bit load (Java char / UTF-16 unit).
 func (e *Env) LoadChar(p mte.Ptr) uint16 {
+	e.traceAccess("LoadChar", p, 2, false)
 	v, f := e.vm.Space.Load16(e.thread.Ctx(), p)
 	if f != nil {
 		e.fault(f)
@@ -210,6 +224,7 @@ func (e *Env) LoadChar(p mte.Ptr) uint16 {
 
 // StoreChar performs a checked 16-bit store.
 func (e *Env) StoreChar(p mte.Ptr, v uint16) {
+	e.traceAccess("StoreChar", p, 2, true)
 	if f := e.vm.Space.Store16(e.thread.Ctx(), p, v); f != nil {
 		e.fault(f)
 	}
@@ -217,6 +232,7 @@ func (e *Env) StoreChar(p mte.Ptr, v uint16) {
 
 // LoadLong performs a checked 64-bit load.
 func (e *Env) LoadLong(p mte.Ptr) int64 {
+	e.traceAccess("LoadLong", p, 8, false)
 	v, f := e.vm.Space.Load64(e.thread.Ctx(), p)
 	if f != nil {
 		e.fault(f)
@@ -226,6 +242,7 @@ func (e *Env) LoadLong(p mte.Ptr) int64 {
 
 // StoreLong performs a checked 64-bit store.
 func (e *Env) StoreLong(p mte.Ptr, v int64) {
+	e.traceAccess("StoreLong", p, 8, true)
 	if f := e.vm.Space.Store64(e.thread.Ctx(), p, uint64(v)); f != nil {
 		e.fault(f)
 	}
@@ -234,6 +251,8 @@ func (e *Env) StoreLong(p mte.Ptr, v int64) {
 // Memcpy copies n bytes between two raw Java-heap pointers with checked
 // access on both sides — the native method body of the Figure 5 workload.
 func (e *Env) Memcpy(dst, src mte.Ptr, n int) {
+	e.traceAccess("Memcpy", src, n, false)
+	e.traceAccess("Memcpy", dst, n, true)
 	if f := e.vm.Space.Move(e.thread.Ctx(), dst, src, n); f != nil {
 		e.fault(f)
 	}
@@ -242,6 +261,7 @@ func (e *Env) Memcpy(dst, src mte.Ptr, n int) {
 // CopyToNative reads len(dst) bytes from simulated memory at src into a
 // native (Go) buffer, checked.
 func (e *Env) CopyToNative(dst []byte, src mte.Ptr) {
+	e.traceAccess("CopyToNative", src, len(dst), false)
 	if f := e.vm.Space.CopyOut(e.thread.Ctx(), src, dst); f != nil {
 		e.fault(f)
 	}
@@ -249,6 +269,7 @@ func (e *Env) CopyToNative(dst []byte, src mte.Ptr) {
 
 // CopyFromNative writes src into simulated memory at dst, checked.
 func (e *Env) CopyFromNative(dst mte.Ptr, src []byte) {
+	e.traceAccess("CopyFromNative", dst, len(src), true)
 	if f := e.vm.Space.CopyIn(e.thread.Ctx(), dst, src); f != nil {
 		e.fault(f)
 	}

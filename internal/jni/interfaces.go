@@ -24,7 +24,8 @@ func (e *Env) acquire(obj *vm.Object, iface string, freeObj bool, match *vm.Obje
 		match: match, freeObj: freeObj,
 	})
 	if e.tracing() {
-		e.trace(TraceEvent{Kind: TraceGet, Iface: iface, Object: obj.String(), Ptr: p})
+		e.trace(TraceEvent{Kind: TraceGet, Iface: iface, Object: obj.String(), Ptr: p,
+			Begin: begin, End: end})
 	}
 	return p, nil
 }

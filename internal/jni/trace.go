@@ -29,6 +29,11 @@ const (
 	TraceNativeExit
 	// TraceFault is a detected memory fault surfacing from a native method.
 	TraceFault
+	// TraceAccess is a raw-pointer load or store performed by native code
+	// through the Env helpers. Access events are what lets an offline lint
+	// (internal/analysis) replay the native's memory behaviour against the
+	// regions handed out by the Get events.
+	TraceAccess
 )
 
 // String names the kind.
@@ -44,6 +49,8 @@ func (k TraceEventKind) String() string {
 		return "native-exit"
 	case TraceFault:
 		return "fault"
+	case TraceAccess:
+		return "access"
 	default:
 		return fmt.Sprintf("TraceEventKind(%d)", int(k))
 	}
@@ -61,6 +68,12 @@ type TraceEvent struct {
 	Object string
 	// Ptr is the raw pointer involved, when one exists.
 	Ptr mte.Ptr
+	// Begin and End delimit the object payload handed out by a TraceGet.
+	Begin, End mte.Addr
+	// Size is the byte width of a TraceAccess.
+	Size int
+	// Write distinguishes stores from loads in TraceAccess events.
+	Write bool
 	// Err carries the error/violation/fault text for failing events.
 	Err string
 }
@@ -125,6 +138,12 @@ func (t *WriterTracer) Event(ev TraceEvent) {
 		fmt.Fprintf(t.w, "JNI: [%s] <- %s\n", ev.Thread, ev.Iface)
 	case TraceFault:
 		fmt.Fprintf(t.w, "JNI: [%s] !! %s: %s\n", ev.Thread, ev.Iface, ev.Err)
+	case TraceAccess:
+		dir := "load"
+		if ev.Write {
+			dir = "store"
+		}
+		fmt.Fprintf(t.w, "JNI: [%s] %s %s %d @ %v\n", ev.Thread, ev.Iface, dir, ev.Size, ev.Ptr)
 	}
 }
 
@@ -154,4 +173,31 @@ func (t *CountingTracer) Count(k TraceEventKind) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.counts[k]
+}
+
+// RecordingTracer keeps every event in order, so a completed run can be
+// handed to the offline JNI lint (internal/analysis.LintTrace) or replayed
+// in tests.
+type RecordingTracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewRecordingTracer creates an empty recorder.
+func NewRecordingTracer() *RecordingTracer { return &RecordingTracer{} }
+
+// Event implements Tracer.
+func (t *RecordingTracer) Event(ev TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded event sequence.
+func (t *RecordingTracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
 }
