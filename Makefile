@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench
+.PHONY: build test race vet fmt lint check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,15 @@ lint:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Quick perf sanity: the paper's Figure 5/6 benchmarks at -benchtime=10x plus
+# the zero-allocation guards on the fault-free checked path and the TLAB hit
+# path. Catches perf-path regressions (fast path falling off, allocations
+# creeping in) in seconds rather than validating absolute numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig5SingleThread|BenchmarkFig6MultiThread' -benchtime=10x .
+	$(GO) test -run 'TestCheckedAccessAllocs' ./internal/mem
+	$(GO) test -run 'TestAllocTLABHitAllocs' ./internal/heap
+
 # Extended tier-1 gate (see ROADMAP.md).
-check: fmt vet race lint
+check: fmt vet race lint bench-smoke
 	@echo "check: ok"

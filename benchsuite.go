@@ -1,0 +1,376 @@
+package mte4jni
+
+// The benchmark-snapshot suite behind `mte4jni bench`: a curated set of the
+// performance-critical paths (the paper's Figure 5/6 workloads plus the
+// access-engine and allocator microbenchmarks), self-timed and emitted as a
+// bench.Snapshot so runs can be committed (BENCH_*.json) and diffed across
+// changes without the go-test harness. The names match the corresponding
+// `go test -bench` benchmarks where one exists, so snapshots parsed from
+// either source compare cleanly.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"mte4jni/internal/bench"
+	"mte4jni/internal/cpu"
+	"mte4jni/internal/heap"
+	"mte4jni/internal/mem"
+	"mte4jni/internal/mte"
+)
+
+// BenchSuiteOptions configures RunBenchSuite.
+type BenchSuiteOptions struct {
+	// Quick shrinks per-case measuring time (~20ms instead of ~250ms) for
+	// smoke runs; numbers are noisier but the suite finishes in seconds.
+	Quick bool
+	// Note is stored in the snapshot (e.g. "after: TLB+SWAR engine").
+	Note string
+}
+
+// suiteCase is one benchmark: setup returns the per-iteration body (running
+// n iterations) and the bytes processed per iteration (0 when throughput is
+// meaningless for the case).
+type suiteCase struct {
+	name  string
+	setup func() (fn func(n int) error, bytesPerOp int64, err error)
+}
+
+// RunBenchSuite measures every suite case and returns the snapshot.
+func RunBenchSuite(o BenchSuiteOptions) (*bench.Snapshot, error) {
+	target := 250 * time.Millisecond
+	if o.Quick {
+		target = 20 * time.Millisecond
+	}
+	snap := bench.NewSnapshot(o.Note)
+	for _, c := range suiteCases() {
+		// go test -bench replaces spaces in sub-benchmark names with
+		// underscores; do the same so snapshots from either source diff
+		// cleanly.
+		c.name = strings.ReplaceAll(c.name, " ", "_")
+		res, err := runSuiteCase(c, target)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", c.name, err)
+		}
+		snap.Add(res)
+	}
+	return snap, nil
+}
+
+// runSuiteCase times one case: a warmup iteration, then batches grown until
+// the timed batch is long enough to trust, with Go allocator traffic read
+// from runtime.MemStats around the final batch.
+func runSuiteCase(c suiteCase, target time.Duration) (bench.Result, error) {
+	fn, bytesPerOp, err := c.setup()
+	if err != nil {
+		return bench.Result{}, err
+	}
+	if err := fn(1); err != nil { // warmup
+		return bench.Result{}, err
+	}
+	n := 1
+	for {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := fn(n); err != nil {
+			return bench.Result{}, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= target || n >= 1<<30 {
+			perOp := float64(elapsed.Nanoseconds()) / float64(n)
+			r := bench.Result{
+				Name:        c.name,
+				Iters:       n,
+				NsPerOp:     perOp,
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+				BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+			}
+			if bytesPerOp > 0 && elapsed > 0 {
+				r.MBPerS = float64(bytesPerOp) * float64(n) / elapsed.Seconds() / 1e6
+			}
+			return r, nil
+		}
+		// Grow toward the target in one or two more steps.
+		grow := int(float64(target)/float64(elapsed)*float64(n)*1.2) + 1
+		if grow > 100*n {
+			grow = 100 * n
+		}
+		n = grow
+	}
+}
+
+// suiteCases builds the full suite.
+func suiteCases() []suiteCase {
+	var cases []suiteCase
+
+	// Figure 5: one native acquire/copy/release of int[4096] per iteration,
+	// per scheme — the single-thread JNI overhead experiment.
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		const n = 1 << 12
+		cases = append(cases, suiteCase{
+			name: fmt.Sprintf("Fig5SingleThread/%s/n=2^12", scheme),
+			setup: func() (func(int) error, int64, error) {
+				rt, err := New(Config{Scheme: scheme, HeapSize: 16 << 20})
+				if err != nil {
+					return nil, 0, err
+				}
+				env, err := rt.AttachEnv("bench")
+				if err != nil {
+					return nil, 0, err
+				}
+				src, err := env.NewIntArray(n)
+				if err != nil {
+					return nil, 0, err
+				}
+				dst, err := env.NewIntArray(n)
+				if err != nil {
+					return nil, 0, err
+				}
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						fault, err := env.CallNative("copyArrays", Regular, func(e *Env) error {
+							return copyNative(e, src, dst, n*4)
+						})
+						if fault != nil {
+							return fmt.Errorf("fault: %v", fault)
+						}
+						if err != nil {
+							return err
+						}
+					}
+					return nil
+				}, n * 4, nil
+			},
+		})
+	}
+
+	// Figure 6: one full 8-thread × 200-iteration contention run per
+	// iteration, per variant and sharing pattern.
+	for _, v := range Fig6Variants() {
+		for _, same := range []bool{true, false} {
+			v, same := v, same
+			test := "different-arrays"
+			if same {
+				test = "same-array"
+			}
+			cases = append(cases, suiteCase{
+				name: fmt.Sprintf("Fig6MultiThread/%s/%s", v.Display, test),
+				setup: func() (func(int) error, int64, error) {
+					o := Fig6Options{Threads: 8, Iters: 200, ArrayLen: 1024, Reps: 1, Warmup: 0}
+					o.defaults()
+					return func(iters int) error {
+						for i := 0; i < iters; i++ {
+							if _, _, err := fig6Run(v, same, o); err != nil {
+								return err
+							}
+						}
+						return nil
+					}, 0, nil
+				},
+			})
+		}
+	}
+
+	// Access-engine microbenchmarks: the simulated load/store unit on the
+	// fault-free checked path.
+	cases = append(cases,
+		suiteCase{
+			name: "mem/Load64Checked",
+			setup: func() (func(int) error, int64, error) {
+				s, m, ctx, err := suiteSpace()
+				if err != nil {
+					return nil, 0, err
+				}
+				p := mte.MakePtr(m.Base(), 0x5)
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						if _, f := s.Load64(ctx, p); f != nil {
+							return fmt.Errorf("fault: %v", f)
+						}
+					}
+					return nil
+				}, 8, nil
+			},
+		},
+		suiteCase{
+			name: "mem/CopyOutChecked/n=16384",
+			setup: func() (func(int) error, int64, error) {
+				s, m, ctx, err := suiteSpace()
+				if err != nil {
+					return nil, 0, err
+				}
+				p := mte.MakePtr(m.Base(), 0x5)
+				buf := make([]byte, 16384)
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						if f := s.CopyOut(ctx, p, buf); f != nil {
+							return fmt.Errorf("fault: %v", f)
+						}
+					}
+					return nil
+				}, 16384, nil
+			},
+		},
+		suiteCase{
+			name: "mem/MoveChecked/n=16384",
+			setup: func() (func(int) error, int64, error) {
+				s, m, ctx, err := suiteSpace()
+				if err != nil {
+					return nil, 0, err
+				}
+				src := mte.MakePtr(m.Base(), 0x5)
+				dst := mte.MakePtr(m.Base()+1<<19, 0x5)
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						if f := s.Move(ctx, dst, src, 16384); f != nil {
+							return fmt.Errorf("fault: %v", f)
+						}
+					}
+					return nil
+				}, 16384, nil
+			},
+		},
+		suiteCase{
+			name: "mem/SetTagRange/n=16384",
+			setup: func() (func(int) error, int64, error) {
+				_, m, _, err := suiteSpace()
+				if err != nil {
+					return nil, 0, err
+				}
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						if _, err := m.SetTagRange(m.Base(), m.Base()+16384, mte.Tag(i&0xF)); err != nil {
+							return err
+						}
+					}
+					return nil
+				}, 16384 / mte.GranuleSize, nil
+			},
+		},
+	)
+
+	// Allocator microbenchmarks: the TLAB fast path, serial and under 8-way
+	// concurrency.
+	cases = append(cases,
+		suiteCase{
+			name: "heap/AllocFreeSerial/size=256",
+			setup: func() (func(int) error, int64, error) {
+				h, err := heap.New(mem.NewSpace(), heap.Config{Size: 32 << 20, Alignment: 16})
+				if err != nil {
+					return nil, 0, err
+				}
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						a, err := h.Alloc(256)
+						if err != nil {
+							return err
+						}
+						if err := h.Free(a); err != nil {
+							return err
+						}
+					}
+					return nil
+				}, 0, nil
+			},
+		},
+		suiteCase{
+			name: "heap/AllocFreeParallel8/size=256",
+			setup: func() (func(int) error, int64, error) {
+				h, err := heap.New(mem.NewSpace(), heap.Config{Size: 32 << 20, Alignment: 16})
+				if err != nil {
+					return nil, 0, err
+				}
+				return func(iters int) error {
+					const workers = 8
+					var wg sync.WaitGroup
+					errs := make([]error, workers)
+					for w := 0; w < workers; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							for i := 0; i < iters/workers+1; i++ {
+								a, err := h.Alloc(256)
+								if err != nil {
+									errs[w] = err
+									return
+								}
+								if err := h.Free(a); err != nil {
+									errs[w] = err
+									return
+								}
+							}
+						}(w)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							return err
+						}
+					}
+					return nil
+				}, 0, nil
+			},
+		},
+	)
+
+	// The paper's core operation: Algorithm 1 + Algorithm 2 on a 1 KiB
+	// object, per locking scheme.
+	for _, locking := range []Locking{TwoTierLocking, GlobalLocking} {
+		locking := locking
+		cases = append(cases, suiteCase{
+			name: fmt.Sprintf("micro/TagAllocRelease/%s", locking),
+			setup: func() (func(int) error, int64, error) {
+				rt, err := New(Config{Scheme: MTESync, Locking: locking, HeapSize: 16 << 20})
+				if err != nil {
+					return nil, 0, err
+				}
+				env, err := rt.AttachEnv("bench")
+				if err != nil {
+					return nil, 0, err
+				}
+				arr, err := env.NewIntArray(256)
+				if err != nil {
+					return nil, 0, err
+				}
+				p := rt.Protector()
+				th := env.Thread()
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						ptr, err := p.Acquire(th, arr, arr.DataBegin(), arr.DataEnd())
+						if err != nil {
+							return err
+						}
+						if err := p.Release(th, arr, ptr, arr.DataBegin(), arr.DataEnd(), ReleaseDefault); err != nil {
+							return err
+						}
+					}
+					return nil
+				}, 0, nil
+			},
+		})
+	}
+
+	return cases
+}
+
+// suiteSpace builds the standard microbenchmark space: a 1 MiB tagged
+// mapping (tag 0x5) and a sync-checking context.
+func suiteSpace() (*mem.Space, *mem.Mapping, *cpu.Context, error) {
+	s := mem.NewSpace()
+	m, err := s.Map("bench", 1<<20, mem.ProtRead|mem.ProtWrite|mem.ProtMTE)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := m.SetTagRange(m.Base(), m.End(), 0x5); err != nil {
+		return nil, nil, nil, err
+	}
+	ctx := cpu.New("bench", mte.TCFSync)
+	ctx.SetTCO(false)
+	return s, m, ctx, nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mte4jni"
+	"mte4jni/internal/bench"
+)
+
+// runBench is the benchmark-snapshot subcommand. Three modes:
+//
+//	mte4jni bench                     # run the built-in suite, snapshot JSON to stdout
+//	mte4jni bench -o BENCH.json       # ... to a file
+//	mte4jni bench -parse out.txt      # convert `go test -bench` output to snapshot JSON
+//	mte4jni bench -combine a.json b.json  # pair two snapshots into one diff file
+//	mte4jni bench -diff a.json b.json # compare two snapshots
+//	mte4jni bench -diff BENCH_PR2.json  # compare the halves of a combined diff file
+//
+// Snapshots are the BENCH_*.json files committed at the repo root; see
+// README "Benchmark snapshots".
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "short, noisier measurement (~20ms per case)")
+	note := fs.String("note", "", "free-form note stored in the snapshot")
+	out := fs.String("o", "", "write the snapshot JSON to this file instead of stdout")
+	parse := fs.String("parse", "", "parse `go test -bench` text output from this file instead of running the suite")
+	diff := fs.Bool("diff", false, "compare two snapshot files, or the halves of one combined diff file")
+	combine := fs.Bool("combine", false, "pair two snapshot files into one combined diff file")
+	fs.Parse(args)
+
+	if *diff {
+		var before, after *bench.Snapshot
+		switch fs.NArg() {
+		case 1:
+			d, err := bench.ReadDiffFile(fs.Arg(0))
+			if err != nil {
+				return err
+			}
+			before, after = d.Before, d.After
+		case 2:
+			var err error
+			if before, err = bench.ReadSnapshotFile(fs.Arg(0)); err != nil {
+				return err
+			}
+			if after, err = bench.ReadSnapshotFile(fs.Arg(1)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("bench -diff needs one combined diff file or two snapshot files")
+		}
+		fmt.Print(bench.Compare(before, after))
+		return nil
+	}
+
+	if *combine {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("bench -combine needs exactly two snapshot files (before, after)")
+		}
+		before, err := bench.ReadSnapshotFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		after, err := bench.ReadSnapshotFile(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		d := bench.NewDiff(*note, before, after)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return d.WriteJSON(w)
+	}
+
+	var snap *bench.Snapshot
+	if *parse != "" {
+		f, err := os.Open(*parse)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		results, err := bench.ParseGoBench(f)
+		if err != nil {
+			return err
+		}
+		snap = bench.NewSnapshot(*note)
+		for _, r := range results {
+			snap.Add(r)
+		}
+	} else {
+		var err error
+		snap, err = mte4jni.RunBenchSuite(mte4jni.BenchSuiteOptions{Quick: *quick, Note: *note})
+		if err != nil {
+			return err
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return snap.WriteJSON(w)
+}

@@ -14,6 +14,7 @@
 //	mte4jni ablate-k                # Extra B: hash-table count sweep
 //	mte4jni ablate-tags             # Extra C: tag collision probability
 //	mte4jni lint file.json...       # static analysis of bytecode programs
+//	mte4jni bench                   # benchmark-snapshot suite (BENCH_*.json)
 //	mte4jni all                     # everything above, in order
 package main
 
@@ -61,6 +62,8 @@ func main() {
 		err = runAblateTags(args)
 	case "lint":
 		err = runLint(args)
+	case "bench":
+		err = runBench(args)
 	case "all":
 		err = runAll()
 	case "-h", "--help", "help":
@@ -90,6 +93,7 @@ commands:
   ablate-k       DESIGN.md Extra B: hash-table count sweep
   ablate-tags    DESIGN.md Extra C: 4-bit tag collision probability
   lint           static analysis of bytecode program files (-disasm, -dynamic)
+  bench          benchmark-snapshot suite (-quick, -o file, -parse benchtext, -diff a b)
   all            run everything with default settings`)
 }
 

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark snapshots: a machine-readable record of a benchmark run, stable
+// enough to commit next to the code it measures (BENCH_*.json at the repo
+// root). A snapshot can be produced by the `mte4jni bench` subcommand's
+// built-in suite or parsed from `go test -bench` text output, so before and
+// after numbers captured either way land in one schema and can be diffed
+// with Compare.
+
+// SnapshotSchema identifies the snapshot JSON layout.
+const SnapshotSchema = "mte4jni-bench-snapshot/v1"
+
+// Result is one benchmark's outcome.
+type Result struct {
+	// Name is the benchmark path, e.g.
+	// "Fig5SingleThread/MTE4JNI+Sync/n=2^12".
+	Name string `json:"name"`
+	// Iters is the number of timed iterations behind the numbers.
+	Iters int `json:"iters"`
+	// NsPerOp is the headline cost of one operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is throughput when the benchmark declared bytes/op; 0 otherwise.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// AllocsPerOp and BytesPerOp are Go allocator traffic per operation,
+	// when measured (-benchmem or the built-in suite).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Snapshot is a full benchmark run plus the environment it ran in.
+type Snapshot struct {
+	Schema    string   `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Note      string   `json:"note,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// NewSnapshot creates an empty snapshot stamped with the current
+// environment.
+func NewSnapshot(note string) *Snapshot {
+	return &Snapshot{
+		Schema:    SnapshotSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Note:      note,
+	}
+}
+
+// Add appends a result.
+func (s *Snapshot) Add(r Result) { s.Results = append(s.Results, r) }
+
+// Find returns the result with the exact name, or nil.
+func (s *Snapshot) Find(name string) *Result {
+	for i := range s.Results {
+		if s.Results[i].Name == name {
+			return &s.Results[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot from JSON and validates the schema tag.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("bench: reading snapshot: %w", err)
+	}
+	if s.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("bench: unknown snapshot schema %q (want %q)", s.Schema, SnapshotSchema)
+	}
+	return &s, nil
+}
+
+// ReadSnapshotFile reads a snapshot from a file.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
+
+// ParseGoBench converts `go test -bench` text output into results. Lines
+// that are not benchmark result lines are ignored, so the whole test output
+// can be piped in. The "Benchmark" prefix and the trailing "-N" GOMAXPROCS
+// suffix are stripped from names, giving the same names the built-in suite
+// uses.
+func ParseGoBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := Result{Name: name, Iters: iters}
+		// Remaining fields come in value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "MB/s":
+				res.MBPerS = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// DiffSchema identifies the combined before/after snapshot JSON layout —
+// the format of the BENCH_*.json files committed at the repo root.
+const DiffSchema = "mte4jni-bench-diff/v1"
+
+// Diff pairs a before and an after snapshot in one committable file.
+type Diff struct {
+	Schema string    `json:"schema"`
+	Note   string    `json:"note,omitempty"`
+	Before *Snapshot `json:"before"`
+	After  *Snapshot `json:"after"`
+}
+
+// NewDiff combines two snapshots.
+func NewDiff(note string, before, after *Snapshot) *Diff {
+	return &Diff{Schema: DiffSchema, Note: note, Before: before, After: after}
+}
+
+// WriteJSON writes the diff as indented JSON.
+func (d *Diff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDiffFile reads a combined before/after file and validates all three
+// schema tags.
+func ReadDiffFile(path string) (*Diff, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var d Diff
+	if err := json.NewDecoder(f).Decode(&d); err != nil {
+		return nil, fmt.Errorf("bench: reading diff %s: %w", path, err)
+	}
+	if d.Schema != DiffSchema {
+		return nil, fmt.Errorf("bench: unknown diff schema %q (want %q)", d.Schema, DiffSchema)
+	}
+	if d.Before == nil || d.After == nil {
+		return nil, fmt.Errorf("bench: diff %s is missing a before or after snapshot", path)
+	}
+	for _, s := range []*Snapshot{d.Before, d.After} {
+		if s.Schema != SnapshotSchema {
+			return nil, fmt.Errorf("bench: diff %s embeds unknown snapshot schema %q", path, s.Schema)
+		}
+	}
+	return &d, nil
+}
+
+// Compare renders a before/after table over the benchmarks present in both
+// snapshots: ns/op on each side and the relative change (negative is
+// faster).
+func Compare(before, after *Snapshot) *Table {
+	t := NewTable("benchmark comparison", "benchmark", "before ns/op", "after ns/op", "delta")
+	for _, b := range before.Results {
+		a := after.Find(b.Name)
+		if a == nil || b.NsPerOp == 0 {
+			continue
+		}
+		t.AddRow(b.Name,
+			fmt.Sprintf("%.1f", b.NsPerOp),
+			fmt.Sprintf("%.1f", a.NsPerOp),
+			Percent((a.NsPerOp-b.NsPerOp)/b.NsPerOp*100))
+	}
+	return t
+}

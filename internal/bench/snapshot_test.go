@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := NewSnapshot("unit test")
+	s.Add(Result{Name: "Fig5SingleThread/MTE4JNI+Sync/n=2^12", Iters: 1000, NsPerOp: 4142, MBPerS: 3955})
+	s.Add(Result{Name: "heap/AllocFreeSerial/size=256", Iters: 100, NsPerOp: 94.4})
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SnapshotSchema || len(got.Results) != 2 || got.Note != "unit test" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if r := got.Find("heap/AllocFreeSerial/size=256"); r == nil || r.NsPerOp != 94.4 {
+		t.Fatalf("Find = %+v", r)
+	}
+	if got.Find("no-such-benchmark") != nil {
+		t.Fatal("Find invented a result")
+	}
+}
+
+func TestReadSnapshotRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: mte4jni
+cpu: AMD EPYC 7B13
+BenchmarkFig5SingleThread/No_protection/n=2^12-1         	 2033736	       588.5 ns/op	27837.54 MB/s
+BenchmarkFig5SingleThread/MTE4JNI+Sync/n=2^12-1          	  289500	      4142 ns/op	 3955.12 MB/s
+BenchmarkLoad64Checked-1    	117651536	        10.12 ns/op	       0 B/op	       0 allocs/op
+some unrelated line
+PASS
+ok  	mte4jni	12.538s
+`
+	results, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	r := results[1]
+	if r.Name != "Fig5SingleThread/MTE4JNI+Sync/n=2^12" || r.Iters != 289500 ||
+		r.NsPerOp != 4142 || r.MBPerS != 3955.12 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if results[2].Name != "Load64Checked" || results[2].AllocsPerOp != 0 || results[2].NsPerOp != 10.12 {
+		t.Fatalf("parsed %+v", results[2])
+	}
+}
+
+func TestDiffFileRoundTrip(t *testing.T) {
+	before := NewSnapshot("before")
+	before.Add(Result{Name: "x", NsPerOp: 100})
+	after := NewSnapshot("after")
+	after.Add(Result{Name: "x", NsPerOp: 50})
+	path := filepath.Join(t.TempDir(), "diff.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewDiff("pr test", before, after).WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	d, err := ReadDiffFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Note != "pr test" || d.Before.Note != "before" || d.After.Find("x").NsPerOp != 50 {
+		t.Fatalf("round trip lost data: %+v", d)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"mte4jni-bench-diff/v1","before":null,"after":null}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDiffFile(bad); err == nil {
+		t.Fatal("diff with missing snapshots accepted")
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	before := NewSnapshot("before")
+	before.Add(Result{Name: "x", NsPerOp: 100})
+	before.Add(Result{Name: "only-before", NsPerOp: 5})
+	after := NewSnapshot("after")
+	after.Add(Result{Name: "x", NsPerOp: 50})
+	tbl := Compare(before, after)
+	if tbl.Rows() != 1 {
+		t.Fatalf("compare rows = %d, want 1 (unmatched rows dropped)", tbl.Rows())
+	}
+	if s := tbl.String(); !strings.Contains(s, "-50.00%") {
+		t.Fatalf("comparison table missing delta:\n%s", s)
+	}
+}

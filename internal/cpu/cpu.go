@@ -26,13 +26,22 @@ import (
 type Context struct {
 	name string
 
-	// tcf is the thread's tag-check-fault mode (none/sync/async). Stored
-	// atomically because the VM configures it while threads may observe it.
-	tcf atomic.Int32
+	// state packs the two registers the access hot path consults on every
+	// single load and store into one atomic word so that the checking
+	// decision is a single atomic load:
+	//
+	//   bits 0-1: the TCF tag-check-fault mode (none/sync/async)
+	//   bit 2:    TCO — set when tag checks are suppressed (ARM sense)
+	//
+	// Both fields are written rarely (VM configuration, trampoline
+	// entry/exit) and read on every access, so the packing trades a CAS
+	// loop on the cold writes for one load instead of two on the hot read.
+	state atomic.Int32
 
-	// tco is 1 when tag checks are suppressed (ARM TCO=1) and 0 when they
-	// are live. Note the ARM sense: setting TCO *disables* checking.
-	tco atomic.Int32
+	// tlb is the per-thread mapping-translation cache consulted by the
+	// package mem fast path. It is owned by the goroutine driving this
+	// Context; see TLB for the invalidation contract.
+	tlb TLB
 
 	// tfsr latches the first asynchronously detected fault, mirroring
 	// TFSR_EL0.TF0. Further async faults are counted but not recorded.
@@ -48,12 +57,17 @@ type Context struct {
 	frames   []string
 }
 
+// state word layout: TCF mode in the low bits, TCO above it.
+const (
+	stateTCFMask = int32(0b011)
+	stateTCOBit  = int32(0b100)
+)
+
 // New creates a Context for a thread with the given name. Checking starts
 // suppressed (TCO=1) in the given check mode.
 func New(name string, mode mte.CheckMode) *Context {
 	c := &Context{name: name}
-	c.tcf.Store(int32(mode))
-	c.tco.Store(1)
+	c.state.Store(int32(mode)&stateTCFMask | stateTCOBit)
 	return c
 }
 
@@ -61,30 +75,52 @@ func New(name string, mode mte.CheckMode) *Context {
 func (c *Context) Name() string { return c.name }
 
 // CheckMode returns the thread's TCF mode.
-func (c *Context) CheckMode() mte.CheckMode { return mte.CheckMode(c.tcf.Load()) }
+func (c *Context) CheckMode() mte.CheckMode {
+	return mte.CheckMode(c.state.Load() & stateTCFMask)
+}
 
-// SetCheckMode changes the thread's TCF mode.
-func (c *Context) SetCheckMode(m mte.CheckMode) { c.tcf.Store(int32(m)) }
+// SetCheckMode changes the thread's TCF mode, preserving TCO.
+func (c *Context) SetCheckMode(m mte.CheckMode) {
+	for {
+		old := c.state.Load()
+		next := old&^stateTCFMask | int32(m)&stateTCFMask
+		if c.state.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // SetTCO writes the TCO register. true suppresses tag checking (ARM TCO=1);
 // false enables it. Trampolines call SetTCO(false) on native entry and
 // SetTCO(true) on native exit (paper §3.3/§4.3).
 func (c *Context) SetTCO(suppressed bool) {
-	if suppressed {
-		c.tco.Store(1)
-	} else {
-		c.tco.Store(0)
+	for {
+		old := c.state.Load()
+		next := old &^ stateTCOBit
+		if suppressed {
+			next = old | stateTCOBit
+		}
+		if next == old || c.state.CompareAndSwap(old, next) {
+			return
+		}
 	}
 }
 
 // TCO reports whether tag checking is currently suppressed.
-func (c *Context) TCO() bool { return c.tco.Load() == 1 }
+func (c *Context) TCO() bool { return c.state.Load()&stateTCOBit != 0 }
 
 // Checking reports whether an access on this thread should be tag-checked
-// right now: the mode must not be none and TCO must be clear.
+// right now: the mode must not be none and TCO must be clear. Thanks to the
+// packed state word this is a single atomic load — the cost every access
+// pays even with checking disabled (managed code, TCO=1).
 func (c *Context) Checking() bool {
-	return mte.CheckMode(c.tcf.Load()) != mte.TCFNone && c.tco.Load() == 0
+	st := c.state.Load()
+	return st&stateTCOBit == 0 && st&stateTCFMask != int32(mte.TCFNone)
 }
+
+// TLB returns the thread's mapping-translation cache. Only the goroutine
+// driving the Context may use it.
+func (c *Context) TLB() *TLB { return &c.tlb }
 
 // Enter pushes a simulated stack frame labelled pc and returns a function
 // that pops it. Use with defer:

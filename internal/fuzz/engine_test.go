@@ -1,0 +1,37 @@
+package fuzz
+
+import (
+	"testing"
+
+	"mte4jni/internal/mte"
+)
+
+// TestEngineDifferential drives the fast and reference access engines over
+// randomized streams in both check modes. Zero disagreements is the
+// acceptance bar: the reference engine is the specification of the fast one.
+func TestEngineDifferential(t *testing.T) {
+	steps := 2000
+	seeds := 8
+	if testing.Short() {
+		steps, seeds = 500, 2
+	}
+	for _, mode := range []mte.CheckMode{mte.TCFSync, mte.TCFAsync} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				if err := DifferentialEngines(int64(1000+seed), steps, mode); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineDifferentialCheckingOff covers the TCF-none configuration, where
+// both engines must behave as plain memory with only unmapped/protection
+// faults.
+func TestEngineDifferentialCheckingOff(t *testing.T) {
+	if err := DifferentialEngines(42, 1000, mte.TCFNone); err != nil {
+		t.Fatal(err)
+	}
+}

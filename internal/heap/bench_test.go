@@ -1,0 +1,94 @@
+package heap
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mte4jni/internal/mem"
+)
+
+// benchHeap builds a heap big enough that the benchmarks never exhaust it.
+func benchHeap(b *testing.B, align uint64) *Heap {
+	b.Helper()
+	h, err := New(mem.NewSpace(), Config{Size: 256 << 20, Alignment: align})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkAllocFreeSerial is the single-thread allocator baseline: one
+// Alloc+Free pair per iteration, the pattern guarded copy runs per JNI Get.
+func BenchmarkAllocFreeSerial(b *testing.B) {
+	for _, size := range []uint64{16, 256, 4096} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			h := benchHeap(b, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := h.Alloc(size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := h.Free(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllocFreeParallel8 is the Fig6-shaped allocator contention test:
+// 8 goroutines each performing Alloc+Free pairs against one heap. b.N is the
+// total number of pairs across all goroutines.
+func BenchmarkAllocFreeParallel8(b *testing.B) {
+	const goroutines = 8
+	for _, size := range []uint64{256, 4096} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			h := benchHeap(b, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			wg.Add(goroutines)
+			per := b.N/goroutines + 1
+			for g := 0; g < goroutines; g++ {
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						a, err := h.Alloc(size)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := h.Free(a); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkAllocFresh measures pure allocation throughput (no recycling):
+// the path that hits the bump region / TLAB rather than a free list.
+func BenchmarkAllocFresh(b *testing.B) {
+	h := benchHeap(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Alloc(16); err != nil {
+			// The heap is finite; recreate it when exhausted, outside the
+			// timed section.
+			b.StopTimer()
+			h = benchHeap(b, 16)
+			b.StartTimer()
+			if _, err := h.Alloc(16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -10,15 +10,35 @@
 //   - PROT_MTE. The heap mapping is created with tag storage when the
 //     runtime enables MTE.
 //
-// The allocator itself is a segregated free list over a bump region — small
-// and predictable, because allocation throughput is not what the paper
-// measures; what matters is that guarded copy's per-call buffer allocation
-// and the tag machinery run against a realistic, locked heap.
+// The allocator is structured like a miniature RosAlloc (DESIGN.md
+// "Fast-path engine"):
+//
+//   - Small requests (≤ maxTLABAlloc) are bump-allocated from per-thread
+//     TLABs carved out of the central region, so the common path takes no
+//     global lock and performs zero Go allocations (pinned by
+//     TestAllocTLABHitAllocs).
+//   - Recycled blocks live on size-class free lists sharded across
+//     numShards locks; a free list hit is always preferred over fresh bump
+//     space, and reuse is LIFO per class.
+//   - Liveness is tracked in a chunked units table (one uint32 per
+//     alignment unit, nonzero at each live block's start; chunks allocated
+//     lazily as the bump cursor advances), giving lock-free SizeOf and
+//     atomic double-free detection without a registry map on the
+//     allocation path.
+//   - Stats are plain atomics; the peak is maintained with a CAS-max.
+//
+// Observable semantics — zeroed blocks, LIFO same-class reuse, strict
+// size-class separation, double-free and interior-pointer detection, the
+// out-of-memory condition and its message, and the Stats meanings (BumpUsed
+// counts fresh block bytes only, never TLAB carves) — are identical to the
+// pre-TLAB allocator, and the tests pin them.
 package heap
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"mte4jni/internal/mem"
 	"mte4jni/internal/mte"
@@ -49,7 +69,10 @@ type Stats struct {
 	BytesInUse uint64
 	// BytesPeak is the high-water mark of BytesInUse.
 	BytesPeak uint64
-	// BumpUsed is how far the bump cursor has advanced.
+	// BumpUsed is the total of freshly bump-allocated block bytes — blocks
+	// served from recycled free-list space do not advance it, and neither
+	// does TLAB carving itself (a carve only stages capacity; the bytes
+	// count when a block is actually handed out of it).
 	BumpUsed uint64
 }
 
@@ -57,15 +80,39 @@ type Stats struct {
 type Heap struct {
 	mapping *mem.Mapping
 	align   uint64
+	// shift is log2(align), used to convert between bytes and align units.
+	shift uint
 
-	mu     sync.Mutex
-	cursor mte.Addr
-	// free maps a rounded size class to a LIFO of recycled blocks.
-	free map[uint64][]mte.Addr
-	// live maps each live allocation's base address to its rounded size; it
-	// doubles as the GC's allocation registry and as double-free detection.
-	live  map[mte.Addr]uint64
-	stats Stats
+	// units is the liveness registry: one entry per alignment unit of the
+	// mapping, holding the block size in units at each live block's start
+	// and zero everywhere else. Entries are accessed atomically. (uint32
+	// units cap a single block at 2^32-1 align units — far beyond any heap
+	// this simulation configures.)
+	//
+	// The registry is a two-level table: a small eager array of chunk
+	// pointers, with 64 KiB chunks allocated on demand as the bump cursor
+	// advances (under carveMu). Sizing the table to the heap up front would
+	// cost size/align × 4 bytes per heap — benchmarks and workloads that
+	// build a runtime per iteration turned that into tens of megabytes of
+	// allocation traffic per run. Chunks are never moved or freed once
+	// published, so lock-free atomic element access stays sound.
+	units []atomic.Pointer[unitChunk]
+
+	// carveMu guards the central bump cursor. It is taken once per TLAB
+	// refill or large allocation, not per small allocation.
+	carveMu sync.Mutex
+	cursor  mte.Addr
+
+	// tlabs is the striped TLAB handle cache; see tlab.go.
+	tlabs [tlabSlots]atomic.Pointer[tlab]
+
+	// shards are the segregated free lists; see tlab.go.
+	shards [numShards]freeShard
+
+	// Counters behind Stats, all atomic so the allocation fast path never
+	// serializes on a stats lock.
+	allocs, frees, bytesInUse, bytesPeak, bumpUsed atomic.Uint64
+	liveCount                                      atomic.Int64
 }
 
 // New creates a heap inside space according to cfg.
@@ -90,13 +137,18 @@ func New(space *mem.Space, cfg Config) (*Heap, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Heap{
+	h := &Heap{
 		mapping: m,
 		align:   cfg.Alignment,
+		shift:   uint(bits.TrailingZeros64(cfg.Alignment)),
 		cursor:  m.Base(),
-		free:    make(map[uint64][]mte.Addr),
-		live:    make(map[mte.Addr]uint64),
-	}, nil
+	}
+	totalUnits := m.Size() >> h.shift
+	h.units = make([]atomic.Pointer[unitChunk], (totalUnits+chunkUnits-1)>>unitChunkShift)
+	for i := range h.shards {
+		h.shards[i].free = make(map[uint64][]mte.Addr)
+	}
+	return h, nil
 }
 
 // Mapping returns the heap's underlying mapping (for tag operations and raw
@@ -120,31 +172,39 @@ func (h *Heap) roundSize(size uint64) uint64 {
 // least size bytes.
 func (h *Heap) Alloc(size uint64) (mte.Addr, error) {
 	rounded := h.roundSize(size)
-	h.mu.Lock()
-	var addr mte.Addr
-	if list := h.free[rounded]; len(list) > 0 {
-		addr = list[len(list)-1]
-		h.free[rounded] = list[:len(list)-1]
-	} else {
-		if uint64(h.cursor-h.mapping.Base())+rounded > h.mapping.Size() {
-			h.mu.Unlock()
-			return 0, fmt.Errorf("heap: out of memory allocating %d bytes (in use %d of %d)",
-				size, h.stats.BytesInUse, h.mapping.Size())
-		}
-		addr = h.cursor
-		h.cursor += mte.Addr(rounded)
-		h.stats.BumpUsed = uint64(h.cursor - h.mapping.Base())
-	}
-	h.live[addr] = rounded
-	h.stats.Allocs++
-	h.stats.BytesInUse += rounded
-	if h.stats.BytesInUse > h.stats.BytesPeak {
-		h.stats.BytesPeak = h.stats.BytesInUse
-	}
-	h.mu.Unlock()
 
-	// Zero the block outside the lock; the block is owned exclusively by
-	// the caller from here on.
+	// Recycled space first: same-class LIFO reuse, checked before any bump
+	// allocation so a freed block is deterministically handed back to the
+	// next request of its class.
+	addr, reused := h.popFree(rounded)
+	if !reused {
+		var ok bool
+		if rounded <= maxTLABAlloc {
+			addr, ok = h.allocFromTLAB(rounded)
+		} else {
+			addr, _, ok = h.carve(rounded, rounded)
+		}
+		if !ok {
+			return 0, fmt.Errorf("heap: out of memory allocating %d bytes (in use %d of %d)",
+				size, h.bytesInUse.Load(), h.mapping.Size())
+		}
+		h.bumpUsed.Add(rounded)
+	}
+
+	idx, _ := h.blockIndex(addr)
+	h.setLive(idx, rounded)
+	h.liveCount.Add(1)
+	h.allocs.Add(1)
+	inUse := h.bytesInUse.Add(rounded)
+	for {
+		peak := h.bytesPeak.Load()
+		if inUse <= peak || h.bytesPeak.CompareAndSwap(peak, inUse) {
+			break
+		}
+	}
+
+	// Zero the block outside all locks; it is owned exclusively by the
+	// caller from here on.
 	zero, err := h.mapping.Bytes(addr, int(rounded))
 	if err != nil {
 		return 0, err
@@ -159,55 +219,66 @@ func (h *Heap) Alloc(size uint64) (mte.Addr, error) {
 // already-freed address is an error (the runtime equivalent of heap
 // corruption, surfaced instead of ignored).
 func (h *Heap) Free(addr mte.Addr) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	rounded, ok := h.live[addr]
+	idx, ok := h.blockIndex(addr)
 	if !ok {
 		return fmt.Errorf("heap: free of unknown address %v", addr)
 	}
-	delete(h.live, addr)
-	h.free[rounded] = append(h.free[rounded], addr)
-	h.stats.Frees++
-	h.stats.BytesInUse -= rounded
+	rounded := h.liveSize(idx)
+	if rounded == 0 || !h.clearLive(idx, rounded) {
+		// Not a live block start — an interior pointer, a never-allocated
+		// address, or the losing side of a double free.
+		return fmt.Errorf("heap: free of unknown address %v", addr)
+	}
+	h.pushFree(addr, rounded)
+	h.liveCount.Add(-1)
+	h.frees.Add(1)
+	h.bytesInUse.Add(^(rounded - 1))
 	return nil
 }
 
 // SizeOf returns the rounded size of the live allocation at addr.
 func (h *Heap) SizeOf(addr mte.Addr) (uint64, bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	size, ok := h.live[addr]
-	return size, ok
+	idx, ok := h.blockIndex(addr)
+	if !ok {
+		return 0, false
+	}
+	size := h.liveSize(idx)
+	return size, size != 0
 }
 
 // Live reports the number of live allocations.
 func (h *Heap) Live() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.live)
+	return int(h.liveCount.Load())
 }
 
-// ForEach calls fn for every live allocation under a snapshot taken at call
-// time. The GC uses this as its allocation registry walk.
+// ForEach calls fn for every live allocation. The walk scans the units
+// registry up to the bump high-water mark; allocations racing with the walk
+// may or may not be visited, exactly like the map-snapshot walk it replaced.
+// The GC uses this as its allocation registry walk.
 func (h *Heap) ForEach(fn func(addr mte.Addr, size uint64)) {
-	h.mu.Lock()
-	type rec struct {
-		addr mte.Addr
-		size uint64
-	}
-	snap := make([]rec, 0, len(h.live))
-	for a, s := range h.live {
-		snap = append(snap, rec{a, s})
-	}
-	h.mu.Unlock()
-	for _, r := range snap {
-		fn(r.addr, r.size)
+	h.carveMu.Lock()
+	limit := uint64(h.cursor-h.mapping.Base()) >> h.shift
+	h.carveMu.Unlock()
+	base := h.mapping.Base()
+	for i := uint64(0); i < limit; {
+		if size := h.liveSize(i); size != 0 {
+			fn(base+mte.Addr(i<<h.shift), size)
+			i += size >> h.shift
+		} else {
+			i++
+		}
 	}
 }
 
-// Stats returns a snapshot of the allocator counters.
+// Stats returns a snapshot of the allocator counters. Fields are read
+// individually from atomics; a snapshot taken while other threads allocate
+// is internally consistent per counter, not across counters.
 func (h *Heap) Stats() Stats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stats
+	return Stats{
+		Allocs:     h.allocs.Load(),
+		Frees:      h.frees.Load(),
+		BytesInUse: h.bytesInUse.Load(),
+		BytesPeak:  h.bytesPeak.Load(),
+		BumpUsed:   h.bumpUsed.Load(),
+	}
 }

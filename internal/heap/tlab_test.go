@@ -1,0 +1,83 @@
+package heap
+
+import (
+	"testing"
+
+	"mte4jni/internal/mte"
+)
+
+// TestAllocTLABHitAllocs pins the zero-Go-allocation property of the small
+// allocation fast path: once a TLAB is warm, Alloc must not allocate on the
+// Go heap (no registry map inserts, no per-call bookkeeping objects).
+func TestAllocTLABHitAllocs(t *testing.T) {
+	h := newHeap(t, Config{Size: 4 << 20, Alignment: 16})
+	// Warm up: the first allocation carves the TLAB.
+	if _, err := h.Alloc(32); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := h.Alloc(32); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("TLAB-hit Alloc allocates %v per op", avg)
+	}
+}
+
+// TestTLABRefillRetiresTail checks that refilling a TLAB strands no memory:
+// the old buffer's remainder is pushed onto the free list of its own size
+// class and handed back to the next matching request, without advancing
+// BumpUsed.
+func TestTLABRefillRetiresTail(t *testing.T) {
+	h := newHeap(t, Config{Size: 1 << 20, Alignment: 16})
+	// Fill the 64 KiB TLAB down to a 256-byte remainder.
+	const blocks = 16
+	for i := 0; i < blocks; i++ {
+		if _, err := h.Alloc(4080); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := h.Mapping().Base() + mte.Addr(blocks*4080)
+	// This request does not fit the remainder: it must trigger a refill that
+	// retires the 256-byte tail.
+	if _, err := h.Alloc(4096); err != nil {
+		t.Fatal(err)
+	}
+	used := h.Stats().BumpUsed
+	// The retired tail is one 256-byte block on the free list; the next
+	// 256-byte request must get exactly it, with no fresh bump bytes.
+	a, err := h.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != tail {
+		t.Fatalf("retired tail not reused: got %v, want %v", a, tail)
+	}
+	if got := h.Stats().BumpUsed; got != used {
+		t.Fatalf("reusing the retired tail advanced BumpUsed %d -> %d", used, got)
+	}
+}
+
+// TestLargeAllocBypassesTLAB checks that blocks above maxTLABAlloc come from
+// the central region directly and are recycled through the free lists like
+// any other class.
+func TestLargeAllocBypassesTLAB(t *testing.T) {
+	h := newHeap(t, Config{Size: 1 << 20, Alignment: 16})
+	a, err := h.Alloc(maxTLABAlloc + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, ok := h.SizeOf(a); !ok || size != maxTLABAlloc+16 {
+		t.Fatalf("SizeOf large block = %d,%v", size, ok)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(maxTLABAlloc + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatalf("freed large block not reused: %v vs %v", a, b)
+	}
+}

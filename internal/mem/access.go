@@ -2,6 +2,7 @@ package mem
 
 import (
 	"encoding/binary"
+	"math/bits"
 
 	"mte4jni/internal/cpu"
 	"mte4jni/internal/mte"
@@ -21,14 +22,76 @@ import (
 //     (cpu.Context.Syscall or the JNI trampoline exit).
 //   - With checking disabled (mode none, or TCO set, or an untagged
 //     mapping) accesses are performed directly.
+//
+// The engine is built for the fault-free case, which is what every paper
+// figure measures (DESIGN.md "Fast-path engine"):
+//
+//   - Address resolution goes through the thread's TLB (cpu.TLB) with a
+//     binary-searched snapshot as the miss path, instead of a linear scan.
+//   - Tag checks use a single byte compare when the access stays inside one
+//     granule (the Load8..Load64 common case) and SWAR word-at-a-time
+//     comparison — eight granule tags against a tag-replicated uint64 — for
+//     CopyIn/CopyOut/Move spans.
+//   - Fault construction (and its Backtrace capture) is outlined into
+//     noinline slow-path helpers, so the fault-free path allocates nothing;
+//     TestCheckedAccessAllocs pins that property.
+//
+// The pre-optimization engine survives verbatim as ReferenceEngine
+// (reference.go); the fuzz differential test drives both over randomized
+// access streams and requires behavioural identity.
+
+// replicate8 spreads a byte to all eight lanes of a uint64, the SWAR
+// broadcast used by both the tag compare and the tag fill.
+func replicate8(b uint8) uint64 { return uint64(b) * 0x0101_0101_0101_0101 }
+
+// tagMismatchIndex returns the index of the first tag byte in span that
+// differs from want, or -1 when all match. Eight granule tags are compared
+// per step against the tag-replicated word; XOR leaves a nonzero byte lane
+// exactly at each mismatch, and the lowest set lane is the first faulting
+// granule — the one hardware reports.
+func tagMismatchIndex(span []uint8, want uint8) int {
+	w := replicate8(want)
+	i := 0
+	for ; i+8 <= len(span); i += 8 {
+		if x := binary.LittleEndian.Uint64(span[i:]) ^ w; x != 0 {
+			return i + bits.TrailingZeros64(x)>>3
+		}
+	}
+	for ; i < len(span); i++ {
+		if span[i] != want {
+			return i
+		}
+	}
+	return -1
+}
+
+// lookup resolves the mapping fully containing [addr, addr+size) through the
+// thread's TLB, falling back to the snapshot binary search and refilling the
+// TLB on a miss. It returns nil when no mapping contains the whole access.
+// See the Space doc comment for the epoch invalidation contract.
+func (s *Space) lookup(ctx *cpu.Context, addr mte.Addr, size int) *Mapping {
+	tlb := ctx.TLB()
+	if epoch := s.epoch.Load(); epoch != tlb.Epoch {
+		tlb.Flush(epoch)
+	}
+	if ref := tlb.Lookup(uint64(addr), size); ref != nil {
+		return ref.(*Mapping)
+	}
+	m, ok := s.Resolve(addr)
+	if !ok || !m.contains(addr, size) {
+		return nil
+	}
+	tlb.Insert(uint64(m.base), uint64(m.End()), m)
+	return m
+}
 
 // checkAccess validates one access and returns (mapping, fault). A non-nil
 // fault means the access must not take effect. Async tag mismatches are
 // latched here and reported as nil so the caller proceeds.
 func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.AccessKind) (*Mapping, *mte.Fault) {
 	addr := p.Addr()
-	m, ok := s.Resolve(addr)
-	if !ok || !m.contains(addr, size) {
+	m := s.lookup(ctx, addr, size)
+	if m == nil {
 		return nil, s.newFault(ctx, mte.FaultUnmapped, kind, p, size, p.Tag(), 0)
 	}
 	var need Prot = ProtRead
@@ -41,31 +104,58 @@ func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.Acce
 	if m.tags == nil || !ctx.Checking() {
 		return m, nil
 	}
-	// Compare the pointer tag against every covered granule's tag. The scan
-	// is a plain byte loop over the tag array — cheap relative to the data
-	// access, as the hardware check is.
-	gb, ge := mte.GranuleRange(addr, addr+mte.Addr(size))
 	want := uint8(p.Tag())
-	span := m.tags[m.granuleIndex(gb):m.granuleIndex(ge)]
-	for _, got := range span {
-		if got == want {
-			continue
-		}
-		f := s.newFault(ctx, mte.FaultTagMismatch, kind, p, size, p.Tag(), mte.Tag(got))
-		if ctx.CheckMode() == mte.TCFAsync {
-			// Asynchronous mode: latch and let the access proceed
-			// (paper §2.1: "allows the program to continue execution
-			// even after detecting a tag mismatch").
-			ctx.LatchAsyncFault(f)
+	gi := m.granuleIndex(addr)
+	if off := uint64(addr) & (mte.GranuleSize - 1); off+uint64(size) <= mte.GranuleSize {
+		// Single-granule fast path: the access does not cross a granule
+		// boundary, so exactly one tag compare decides it — the common case
+		// for all of Load8..Load64/Store8..Store64.
+		if size == 0 && off == 0 {
+			// A zero-length access starting on a granule boundary covers no
+			// granule at all and is never tag-checked (GranuleRange yields an
+			// empty span); unaligned zero-length accesses still check the
+			// granule they start in, as the reference engine always has.
 			return m, nil
 		}
-		return nil, f
+		if m.tags[gi] == want {
+			return m, nil
+		}
+		return s.tagFault(ctx, m, p, size, kind, mte.Tag(m.tags[gi]))
+	}
+	// Span path: SWAR compare of all covered granule tags. size >= 1 here
+	// (a zero-size span cannot cross a granule boundary), so addr+size-1 is
+	// the last touched byte.
+	span := m.tags[gi : m.granuleIndex(addr+mte.Addr(size)-1)+1]
+	if i := tagMismatchIndex(span, want); i >= 0 {
+		return s.tagFault(ctx, m, p, size, kind, mte.Tag(span[i]))
 	}
 	return m, nil
 }
 
+// tagFault is the outlined tag-mismatch slow path: it builds the fault
+// record (capturing the backtrace) and either latches it (async mode,
+// access proceeds) or reports it (sync mode, access suppressed). Keeping it
+// out of line keeps checkAccess free of fault-object construction — and of
+// allocation — when no fault fires.
+//
+//go:noinline
+func (s *Space) tagFault(ctx *cpu.Context, m *Mapping, p mte.Ptr, size int, kind mte.AccessKind, got mte.Tag) (*Mapping, *mte.Fault) {
+	f := s.newFault(ctx, mte.FaultTagMismatch, kind, p, size, p.Tag(), got)
+	if ctx.CheckMode() == mte.TCFAsync {
+		// Asynchronous mode: latch and let the access proceed
+		// (paper §2.1: "allows the program to continue execution
+		// even after detecting a tag mismatch").
+		ctx.LatchAsyncFault(f)
+		return m, nil
+	}
+	return nil, f
+}
+
 // newFault builds a fault record stamped with the thread's current simulated
-// PC and backtrace.
+// PC and backtrace. It is deliberately not inlined: Backtrace() allocates,
+// and this must only ever run when a fault actually fires.
+//
+//go:noinline
 func (s *Space) newFault(ctx *cpu.Context, kind mte.FaultKind, access mte.AccessKind, p mte.Ptr, size int, ptrTag, memTag mte.Tag) *mte.Fault {
 	return &mte.Fault{
 		Kind:      kind,
@@ -191,6 +281,17 @@ func (s *Space) CopyIn(ctx *cpu.Context, p mte.Ptr, src []byte) *mte.Fault {
 // Move copies n bytes from src to dst inside simulated memory, with checked
 // access on both sides. It models native memcpy between two raw Java heap
 // pointers — the workload of the paper's Figure 5 experiment.
+//
+// Two semantic guarantees are part of the engine contract (and locked by
+// TestMoveSemantics):
+//
+//   - Overlapping src/dst ranges behave like memmove, because Go's copy
+//     does: the destination receives the original source bytes even when
+//     the ranges alias.
+//   - The source is checked before the destination. When both sides would
+//     fault in sync mode, the load fault is the one reported; in async mode
+//     both mismatches are latched (first fault kept, second coalesced)
+//     before the copy proceeds.
 func (s *Space) Move(ctx *cpu.Context, dst, src mte.Ptr, n int) *mte.Fault {
 	sm, f := s.checkAccess(ctx, src, n, mte.AccessLoad)
 	if f != nil {

@@ -1,0 +1,334 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mte4jni/internal/cpu"
+	"mte4jni/internal/mte"
+)
+
+// TestResolveMatchesLinearScan cross-checks the binary-search Resolve
+// against a straight linear scan over many mappings and probe points,
+// including bases, interiors, last bytes, one-past-the-end and guard-gap
+// addresses.
+func TestResolveMatchesLinearScan(t *testing.T) {
+	s := NewSpace()
+	for i := 0; i < 20; i++ {
+		if _, err := s.Map(fmt.Sprintf("m%d", i), uint64(1+i*3)*4096, ProtRead|ProtWrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	linear := func(addr mte.Addr) (*Mapping, bool) {
+		for _, m := range s.Mappings() {
+			if addr >= m.Base() && addr < m.End() {
+				return m, true
+			}
+		}
+		return nil, false
+	}
+	var probes []mte.Addr
+	for _, m := range s.Mappings() {
+		probes = append(probes, m.Base()-1, m.Base(), m.Base()+17, m.End()-1, m.End(), m.End()+guardGap/2)
+	}
+	probes = append(probes, 0, spaceBase-1, ^mte.Addr(0))
+	for _, p := range probes {
+		gm, gok := s.Resolve(p)
+		wm, wok := linear(p)
+		if gm != wm || gok != wok {
+			t.Fatalf("Resolve(%v) = (%v,%v), linear scan says (%v,%v)", p, gm, gok, wm, wok)
+		}
+	}
+}
+
+// TestTLBHitsAndEpochFlush exercises the TLB through the public access path:
+// repeated loads to one mapping must be TLB hits after the first, and a Map
+// call must bump the epoch and flush, after which the new mapping is
+// immediately accessible.
+func TestTLBHitsAndEpochFlush(t *testing.T) {
+	s, m := newTestSpace(t)
+	ctx := checkingCtx(mte.TCFSync)
+	p := mte.MakePtr(m.Base(), 0)
+
+	for i := 0; i < 10; i++ {
+		if _, f := s.Load64(ctx, p); f != nil {
+			t.Fatalf("load %d faulted: %v", i, f)
+		}
+	}
+	hits, misses := ctx.TLB().Stats()
+	if hits < 9 || misses != 1 {
+		t.Fatalf("after 10 loads: hits=%d misses=%d, want 9+ hits and exactly 1 miss", hits, misses)
+	}
+	if ctx.TLB().Epoch != s.Epoch() {
+		t.Fatalf("TLB epoch %d out of step with space epoch %d", ctx.TLB().Epoch, s.Epoch())
+	}
+
+	before := s.Epoch()
+	m2, err := s.Map("late", 4096, ProtRead|ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != before+1 {
+		t.Fatalf("Map bumped epoch %d -> %d, want +1", before, s.Epoch())
+	}
+	// First access after the Map must flush (stale epoch) and still find the
+	// brand-new mapping through the refreshed snapshot.
+	if _, f := s.Load64(ctx, mte.MakePtr(m2.Base(), 0)); f != nil {
+		t.Fatalf("load from freshly mapped region faulted: %v", f)
+	}
+	if ctx.TLB().Epoch != s.Epoch() {
+		t.Fatal("TLB did not adopt the new epoch")
+	}
+}
+
+// TestTLBInvalidationStress drives the Map-publishes-snapshot-before-epoch
+// contract hard: one goroutine keeps creating mappings while eight accessor
+// goroutines (each with its own Context, hence its own TLB) hammer loads on
+// every mapping published so far. Any unmapped fault on a published mapping
+// is a contract violation. Run with -race, this also proves the epoch and
+// snapshot handoffs are properly synchronized.
+func TestTLBInvalidationStress(t *testing.T) {
+	const (
+		mappers   = 50
+		accessors = 8
+	)
+	s := NewSpace()
+	seed, err := s.Map("seed", 4096, ProtRead|ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var published [mappers + 1]atomic.Pointer[Mapping]
+	published[0].Store(seed)
+	var count atomic.Int64
+	count.Store(1)
+	var stop atomic.Bool
+
+	var wg sync.WaitGroup
+	for a := 0; a < accessors; a++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctx := cpu.New(fmt.Sprintf("stress-%d", id), mte.TCFSync)
+			ctx.SetTCO(false)
+			for i := 0; !stop.Load(); i++ {
+				n := count.Load()
+				m := published[i%int(n)].Load()
+				if _, f := s.Load64(ctx, mte.MakePtr(m.Base(), 0)); f != nil {
+					t.Errorf("accessor %d: load from published mapping %q faulted: %v", id, m.Name(), f)
+					return
+				}
+			}
+		}(a)
+	}
+
+	for i := 1; i <= mappers; i++ {
+		m, err := s.Map(fmt.Sprintf("stress-map-%d", i), 4096, ProtRead|ProtWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Map has returned: the mapping must be visible to every thread from
+		// this point on. Publish it to the accessors.
+		published[i].Store(m)
+		count.Store(int64(i + 1))
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestMoveOverlapIsMemmove locks in Move's memmove semantics: when source
+// and destination overlap in either direction, the destination ends up with
+// the original source bytes, never a self-clobbered mix.
+func TestMoveOverlapIsMemmove(t *testing.T) {
+	const n = 64
+	s, m := newTestSpace(t)
+	ctx := checkingCtx(mte.TCFSync)
+
+	fill := func() {
+		buf := make([]byte, n+16)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		if err := m.WriteRaw(m.Base(), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readBack := func(off, length int) []byte {
+		buf := make([]byte, length)
+		if err := m.ReadRaw(m.Base()+mte.Addr(off), buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+
+	// Forward overlap: dst 8 bytes above src.
+	fill()
+	if f := s.Move(ctx, mte.MakePtr(m.Base()+8, 0), mte.MakePtr(m.Base(), 0), n); f != nil {
+		t.Fatalf("forward-overlap move faulted: %v", f)
+	}
+	for i, b := range readBack(8, n) {
+		if b != byte(i) {
+			t.Fatalf("forward overlap: dst[%d] = %d, want %d (source clobbered mid-copy)", i, b, i)
+		}
+	}
+
+	// Backward overlap: dst 8 bytes below src.
+	fill()
+	if f := s.Move(ctx, mte.MakePtr(m.Base(), 0), mte.MakePtr(m.Base()+8, 0), n); f != nil {
+		t.Fatalf("backward-overlap move faulted: %v", f)
+	}
+	for i, b := range readBack(0, n) {
+		if b != byte(i+8) {
+			t.Fatalf("backward overlap: dst[%d] = %d, want %d", i, b, i+8)
+		}
+	}
+}
+
+// TestMoveChecksSourceBeforeDestination locks in fault ordering: when both
+// sides of a Move would fault, sync mode reports the load (source) fault,
+// and async mode latches the source fault first with the destination
+// mismatch coalesced behind it.
+func TestMoveChecksSourceBeforeDestination(t *testing.T) {
+	s, m := newTestSpace(t)
+	// Tag two disjoint regions so that tag-4 pointers mismatch both.
+	if _, err := m.SetTagRange(m.Base(), m.Base()+64, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SetTagRange(m.Base()+4096, m.Base()+4096+64, 2); err != nil {
+		t.Fatal(err)
+	}
+	src := mte.MakePtr(m.Base(), 4)
+	dst := mte.MakePtr(m.Base()+4096, 4)
+
+	t.Run("sync", func(t *testing.T) {
+		ctx := checkingCtx(mte.TCFSync)
+		f := s.Move(ctx, dst, src, 64)
+		if f == nil {
+			t.Fatal("double-mismatch move did not fault")
+		}
+		if f.Access != mte.AccessLoad || f.Ptr != src || f.MemTag != 1 {
+			t.Fatalf("sync move reported %+v, want the source (load, tag 1) fault first", f)
+		}
+	})
+
+	t.Run("async", func(t *testing.T) {
+		ctx := checkingCtx(mte.TCFAsync)
+		if f := s.Move(ctx, dst, src, 64); f != nil {
+			t.Fatalf("async move returned sync fault: %v", f)
+		}
+		if got := ctx.AsyncFaultCount(); got != 2 {
+			t.Fatalf("async move latched %d faults, want 2 (src then dst)", got)
+		}
+		f := ctx.TakeAsyncFault("report")
+		if f == nil || f.Access != mte.AccessLoad || f.MemTag != 1 {
+			t.Fatalf("latched fault = %+v, want the first (source/load, tag 1) mismatch", f)
+		}
+		// And the copy itself must have proceeded.
+		want := make([]byte, 64)
+		if err := m.ReadRaw(m.Base(), want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 64)
+		if err := m.ReadRaw(m.Base()+4096, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("async move did not copy byte %d", i)
+			}
+		}
+	})
+}
+
+// TestCheckedAccessAllocs pins the zero-allocation property of the
+// fault-free checked path: Load64, Store64 and CopyOut with matching tags
+// must not allocate, in any check mode. Fault construction is outlined
+// precisely so this holds.
+func TestCheckedAccessAllocs(t *testing.T) {
+	for _, mode := range []mte.CheckMode{mte.TCFSync, mte.TCFAsync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s, m := newTestSpace(t)
+			ctx := checkingCtx(mode)
+			if _, err := m.SetTagRange(m.Base(), m.Base()+4096, 0x7); err != nil {
+				t.Fatal(err)
+			}
+			p := mte.MakePtr(m.Base(), 0x7)
+			buf := make([]byte, 1024)
+
+			if avg := testing.AllocsPerRun(200, func() {
+				if _, f := s.Load64(ctx, p); f != nil {
+					t.Fatal(f)
+				}
+			}); avg != 0 {
+				t.Fatalf("Load64 allocates %v per op on the fault-free path", avg)
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				if f := s.Store64(ctx, p, 0xDEAD); f != nil {
+					t.Fatal(f)
+				}
+			}); avg != 0 {
+				t.Fatalf("Store64 allocates %v per op on the fault-free path", avg)
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				if f := s.CopyOut(ctx, p, buf); f != nil {
+					t.Fatal(f)
+				}
+			}); avg != 0 {
+				t.Fatalf("CopyOut allocates %v per op on the fault-free path", avg)
+			}
+		})
+	}
+}
+
+// TestFastEngineMatchesReferenceDirected is a directed (non-random)
+// complement to the fuzz differential: the exact boundary cases the fast
+// engine special-cases must agree with the reference engine.
+func TestFastEngineMatchesReferenceDirected(t *testing.T) {
+	s, m := newTestSpace(t)
+	ref := NewReferenceEngine(s)
+	if _, err := m.SetTagRange(m.Base(), m.Base()+256, 0x3); err != nil {
+		t.Fatal(err)
+	}
+	// One granule mid-range retagged to force span mismatches.
+	if _, err := m.SetTagRange(m.Base()+64, m.Base()+80, 0x9); err != nil {
+		t.Fatal(err)
+	}
+
+	type access struct {
+		off  mte.Addr
+		tag  mte.Tag
+		size int
+	}
+	cases := []access{
+		{0, 0x3, 8},             // clean single granule
+		{15, 0x3, 1},            // last byte of a granule
+		{15, 0x3, 2},            // straddles granules 0-1
+		{0, 0x3, 64},            // span ending exactly at the bad granule
+		{0, 0x3, 65},            // span touching the bad granule
+		{64, 0x3, 8},            // direct hit on the bad granule
+		{64, 0x9, 16},           // matching the odd granule's own tag
+		{80, 0x3, 176},          // span after the bad granule
+		{0, 0x5, 8},             // plain mismatch
+		{4096 * 100, 0x3, 8},    // far out of mapping (unmapped)
+		{mte.Addr(65536), 0, 0}, // zero-size at one-past-the-end
+	}
+	for _, c := range cases {
+		p := mte.MakePtr(m.Base()+c.off, c.tag)
+		fastCtx := checkingCtx(mte.TCFSync)
+		refCtx := checkingCtx(mte.TCFSync)
+		fm, ff := s.checkAccess(fastCtx, p, c.size, mte.AccessLoad)
+		rm, rf := ref.checkAccess(refCtx, p, c.size, mte.AccessLoad)
+		if (ff == nil) != (rf == nil) {
+			t.Fatalf("case %+v: fast fault %v, reference fault %v", c, ff, rf)
+		}
+		if ff != nil {
+			if ff.Kind != rf.Kind || ff.MemTag != rf.MemTag || ff.PtrTag != rf.PtrTag {
+				t.Fatalf("case %+v: fast %+v vs reference %+v", c, ff, rf)
+			}
+		} else if fm != rm {
+			t.Fatalf("case %+v: engines resolved different mappings", c)
+		}
+	}
+}

@@ -17,6 +17,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -130,10 +131,17 @@ func (m *Mapping) TagAt(addr mte.Addr) mte.Tag {
 }
 
 // SetTagRange applies tag to every granule overlapping [begin, end),
-// simulating a loop of stg/st2g instructions (Algorithm 1 step 3). It
-// returns the number of granules written. Addresses outside the mapping are
-// an error: tagging is a VM-internal operation, so this is a bug, not a
+// simulating a loop of st2g instructions (Algorithm 1 step 3). It returns
+// the number of granules written. Addresses outside the mapping are an
+// error: tagging is a VM-internal operation, so this is a bug, not a
 // recoverable fault.
+//
+// The write is a word-at-a-time fill — eight granule tags per store, the
+// software analogue of the st2g/dc gva fill loops MTE-aware allocators use —
+// rather than a byte loop, because tag application sits on the Acquire and
+// Release hot paths of every Fig5/Fig6 iteration. Large spans switch to a
+// doubling copy (seed a word-filled prefix, then memmove it over the rest,
+// doubling each time), which runs at memcpy bandwidth.
 func (m *Mapping) SetTagRange(begin, end mte.Addr, tag mte.Tag) (int, error) {
 	if m.tags == nil {
 		return 0, fmt.Errorf("mem: SetTagRange on non-MTE mapping %q", m.name)
@@ -144,7 +152,22 @@ func (m *Mapping) SetTagRange(begin, end mte.Addr, tag mte.Tag) (int, error) {
 	}
 	span := m.tags[m.granuleIndex(gb):m.granuleIndex(ge)]
 	b := uint8(tag & 0xF)
-	for i := range span {
+	w := uint64(b) * 0x0101010101010101
+	const seed = 64
+	if n := len(span); n > 2*seed {
+		for i := 0; i < seed; i += 8 {
+			binary.LittleEndian.PutUint64(span[i:], w)
+		}
+		for filled := seed; filled < n; filled *= 2 {
+			copy(span[filled:], span[:filled])
+		}
+		return n, nil
+	}
+	i := 0
+	for ; i+8 <= len(span); i += 8 {
+		binary.LittleEndian.PutUint64(span[i:], w)
+	}
+	for ; i < len(span); i++ {
 		span[i] = b
 	}
 	return len(span), nil
@@ -189,12 +212,26 @@ func (m *Mapping) Bytes(addr mte.Addr, size int) ([]byte, error) {
 
 // Space is a simulated process address space: an ordered set of mappings.
 // Mapping creation is rare and locked; address resolution on the access hot
-// path reads an immutable snapshot, so concurrent native threads never
-// serialize on the Space itself.
+// path goes through each thread's TLB (cpu.TLB) and, on a miss, a binary
+// search over an immutable sorted snapshot, so concurrent native threads
+// never serialize on the Space itself.
+//
+// # Epoch / TLB invalidation contract
+//
+// Per-thread TLBs cache (base, end, *Mapping) triples from the snapshot.
+// Map publishes the new snapshot first and only then bumps the epoch
+// counter; the access fast path loads the epoch before probing the TLB and
+// flushes it on any change. Because mappings are immutable and never
+// removed, a stale TLB entry can only cause a miss (which re-reads the
+// snapshot), never a wrong hit — the epoch keeps the contract explicit and
+// future-proofs it against unmapping. TestTLBInvalidationStress exercises
+// this under the race detector.
 type Space struct {
 	mu       sync.Mutex
 	nextBase mte.Addr
 	snapshot atomic.Pointer[[]*Mapping]
+	// epoch counts Map calls; bumped after the snapshot is published.
+	epoch atomic.Uint64
 }
 
 // NewSpace creates an empty address space.
@@ -205,9 +242,14 @@ func NewSpace() *Space {
 	return s
 }
 
+// Epoch returns the current mapping epoch. It changes exactly when Map
+// publishes a new mapping; TLBs stamped with an older epoch must flush.
+func (s *Space) Epoch() uint64 { return s.epoch.Load() }
+
 // Map creates a new mapping of size bytes (rounded up to the page size) with
 // the given protection and returns it. Placement is linear with a guard gap
-// after each mapping.
+// after each mapping, so the snapshot stays sorted by base address — the
+// property the Resolve binary search depends on.
 func (s *Space) Map(name string, size uint64, prot Prot) (*Mapping, error) {
 	if size == 0 {
 		return nil, fmt.Errorf("mem: Map %q: zero size", name)
@@ -230,15 +272,31 @@ func (s *Space) Map(name string, size uint64, prot Prot) (*Mapping, error) {
 	next := make([]*Mapping, len(old)+1)
 	copy(next, old)
 	next[len(old)] = m
+	// Publish the snapshot BEFORE bumping the epoch: a thread that observes
+	// the new epoch and flushes its TLB must find the new mapping when its
+	// miss path re-reads the snapshot.
 	s.snapshot.Store(&next)
+	s.epoch.Add(1)
 	return m, nil
 }
 
-// Resolve finds the mapping containing addr. The second result is false when
-// addr is unmapped.
+// Resolve finds the mapping containing addr by binary search over the
+// sorted snapshot. The second result is false when addr is unmapped.
 func (s *Space) Resolve(addr mte.Addr) (*Mapping, bool) {
-	for _, m := range *s.snapshot.Load() {
-		if addr >= m.base && addr < m.End() {
+	snap := *s.snapshot.Load()
+	lo, hi := 0, len(snap)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if snap[mid].base <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first mapping with base > addr; the candidate is its left
+	// neighbour.
+	if lo > 0 {
+		if m := snap[lo-1]; addr < m.End() {
 			return m, true
 		}
 	}
