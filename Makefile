@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench bench-smoke
+.PHONY: build test race vet fmt lint check bench bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ bench-smoke:
 	$(GO) test -run 'TestCheckedAccessAllocs' ./internal/mem
 	$(GO) test -run 'TestAllocTLABHitAllocs' ./internal/heap
 
+# End-to-end gate for the serving layer: `mte4jni serve` with the full
+# 64-session pool on an ephemeral port, driven by `mte4jni load` (mixed
+# faulting traffic, then a 64-worker full-capacity burst), /metrics
+# reconciliation, clean SIGTERM shutdown. See scripts/serve_smoke.sh.
+serve-smoke:
+	GO="$(GO)" sh ./scripts/serve_smoke.sh
+
 # Extended tier-1 gate (see ROADMAP.md).
-check: fmt vet race lint bench-smoke
+check: fmt vet race lint bench-smoke serve-smoke
 	@echo "check: ok"

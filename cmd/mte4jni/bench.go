@@ -18,6 +18,10 @@ import (
 //	mte4jni bench -diff a.json b.json # compare two snapshots
 //	mte4jni bench -diff BENCH_PR2.json  # compare the halves of a combined diff file
 //
+// -diff doubles as a CI regression gate: it exits nonzero when any
+// benchmark slowed by more than -threshold percent (default 10; negative
+// disables the gate).
+//
 // Snapshots are the BENCH_*.json files committed at the repo root; see
 // README "Benchmark snapshots".
 func runBench(args []string) error {
@@ -27,6 +31,7 @@ func runBench(args []string) error {
 	out := fs.String("o", "", "write the snapshot JSON to this file instead of stdout")
 	parse := fs.String("parse", "", "parse `go test -bench` text output from this file instead of running the suite")
 	diff := fs.Bool("diff", false, "compare two snapshot files, or the halves of one combined diff file")
+	threshold := fs.Float64("threshold", 10, "with -diff, fail (exit nonzero) when any benchmark slows by more than this percentage; negative disables the gate")
 	combine := fs.Bool("combine", false, "pair two snapshot files into one combined diff file")
 	fs.Parse(args)
 
@@ -51,6 +56,15 @@ func runBench(args []string) error {
 			return fmt.Errorf("bench -diff needs one combined diff file or two snapshot files")
 		}
 		fmt.Print(bench.Compare(before, after))
+		if *threshold >= 0 {
+			if regs := bench.Regressions(before, after, *threshold); len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "\nbench: %d benchmark(s) regressed beyond %.1f%%:\n", len(regs), *threshold)
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "  %s\n", r)
+				}
+				return fmt.Errorf("benchmark regression gate failed (threshold %.1f%%)", *threshold)
+			}
+		}
 		return nil
 	}
 

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mte4jni/internal/server"
+)
+
+// runLoad is the concurrent load generator for `mte4jni serve`. It fires n
+// requests at the daemon across c connections — the canned safe probe, a
+// built-in workload, or (every -fault-every-th request) the canned
+// deliberately-faulting probe — then prints a latency/fault summary and
+// reconciles its own counts against the server's /metrics. Any verdict
+// mismatch (a fault where none was injected, a missing fault where one was,
+// a non-200 response, or metrics that do not add up) makes it exit nonzero.
+func runLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8321", "server base URL")
+	n := fs.Int("n", 50, "total requests")
+	c := fs.Int("c", 8, "concurrent workers")
+	scheme := fs.String("scheme", "sync", "protection scheme for every request (none, guarded, sync, async)")
+	workload := fs.String("workload", "", "run this built-in workload instead of the canned safe probe")
+	iters := fs.Int("iters", 1, "workload iterations per request")
+	faultEvery := fs.Int("fault-every", 0, "make every k-th request the deliberately-faulting OOB probe (0 = never)")
+	noReconcile := fs.Bool("no-reconcile", false, "skip the /metrics reconciliation (server is shared with other clients)")
+	fs.Parse(args)
+	if _, err := server.ParseScheme(*scheme); err != nil {
+		return err
+	}
+	if *n <= 0 || *c <= 0 {
+		return fmt.Errorf("load: -n and -c must be positive")
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	type outcome struct {
+		latency  time.Duration
+		faulted  bool
+		injected bool
+		err      error
+	}
+	outcomes := make([]outcome, *n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				req := server.RunRequest{Scheme: *scheme}
+				injected := *faultEvery > 0 && (i+1)%*faultEvery == 0
+				switch {
+				case injected:
+					req.Canned = "oob"
+				case *workload != "":
+					req.Workload = *workload
+					req.Iterations = *iters
+				default:
+					req.Canned = "safe"
+				}
+				outcomes[i] = fire(client, *url, req, injected)
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Aggregate.
+	var ok, faulted, injected, failed int
+	lats := make([]time.Duration, 0, *n)
+	for i, o := range outcomes {
+		if o.err != nil {
+			failed++
+			if failed <= 5 {
+				fmt.Fprintf(os.Stderr, "load: request %d: %v\n", i, o.err)
+			}
+			continue
+		}
+		lats = append(lats, o.latency)
+		if o.injected {
+			injected++
+		}
+		if o.faulted {
+			faulted++
+		} else {
+			ok++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(lats)-1))
+		return lats[idx]
+	}
+	fmt.Printf("load: %d requests over %d workers in %v (%.0f req/s)\n",
+		*n, *c, wall.Round(time.Millisecond), float64(*n)/wall.Seconds())
+	fmt.Printf("  ok=%d faulted=%d (injected %d) transport-errors=%d\n", ok, faulted, injected, failed)
+	if len(lats) > 0 {
+		fmt.Printf("  latency: p50=%v p95=%v p99=%v max=%v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+
+	if failed > 0 {
+		return fmt.Errorf("load: %d requests failed at the transport/HTTP layer", failed)
+	}
+	if faulted != injected {
+		return fmt.Errorf("load: fault verdicts off: %d faults observed, %d injected", faulted, injected)
+	}
+
+	if !*noReconcile {
+		var m server.MetricsResponse
+		if err := getJSON(client, *url+"/metrics", &m); err != nil {
+			return fmt.Errorf("load: fetching /metrics: %w", err)
+		}
+		fmt.Printf("  server: requests=%d faults=%d unique-signatures=%d quarantined=%d\n",
+			m.RequestsTotal, m.FaultsTotal, m.UniqueFaultSignatures, m.Pool.Quarantined)
+		if m.RequestsTotal != uint64(*n) || m.FaultsTotal != uint64(faulted) {
+			return fmt.Errorf("load: metrics do not reconcile: server saw %d requests / %d faults, client sent %d / %d",
+				m.RequestsTotal, m.FaultsTotal, *n, faulted)
+		}
+		if m.Pool.Quarantined != uint64(faulted) {
+			return fmt.Errorf("load: %d faults but %d sessions quarantined", faulted, m.Pool.Quarantined)
+		}
+	}
+	return nil
+}
+
+// fire sends one /run request and classifies the outcome. A response is an
+// error unless its verdict matches what was asked for: injected requests
+// must come back with a structured fault report, clean requests must not.
+func fire(client *http.Client, base string, req server.RunRequest, injected bool) (o struct {
+	latency  time.Duration
+	faulted  bool
+	injected bool
+	err      error
+}) {
+	o.injected = injected
+	body, err := json.Marshal(req)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	start := time.Now()
+	resp, err := client.Post(base+"/run", "application/json", bytes.NewReader(body))
+	o.latency = time.Since(start)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	defer resp.Body.Close()
+	var out server.RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		o.err = fmt.Errorf("decoding response (status %d): %w", resp.StatusCode, err)
+		return o
+	}
+	if resp.StatusCode != http.StatusOK {
+		o.err = fmt.Errorf("status %d", resp.StatusCode)
+		return o
+	}
+	o.faulted = out.Fault != nil
+	if injected && out.Fault == nil {
+		o.err = fmt.Errorf("injected fault came back clean (session %s)", out.Session)
+	}
+	if !injected && out.Fault != nil {
+		o.err = fmt.Errorf("unexpected fault on session %s: %s", out.Session, out.Fault.Signature)
+	}
+	if !injected && out.Error != "" {
+		o.err = fmt.Errorf("session %s: %s", out.Session, out.Error)
+	}
+	return o
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

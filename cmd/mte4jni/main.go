@@ -15,6 +15,8 @@
 //	mte4jni ablate-tags             # Extra C: tag collision probability
 //	mte4jni lint file.json...       # static analysis of bytecode programs
 //	mte4jni bench                   # benchmark-snapshot suite (BENCH_*.json)
+//	mte4jni serve                   # multi-tenant serving daemon (HTTP/JSON)
+//	mte4jni load                    # concurrent load generator against serve
 //	mte4jni all                     # everything above, in order
 package main
 
@@ -64,6 +66,10 @@ func main() {
 		err = runLint(args)
 	case "bench":
 		err = runBench(args)
+	case "serve":
+		err = runServe(args)
+	case "load":
+		err = runLoad(args)
 	case "all":
 		err = runAll()
 	case "-h", "--help", "help":
@@ -94,6 +100,8 @@ commands:
   ablate-tags    DESIGN.md Extra C: 4-bit tag collision probability
   lint           static analysis of bytecode program files (-disasm, -dynamic)
   bench          benchmark-snapshot suite (-quick, -o file, -parse benchtext, -diff a b)
+  serve          multi-tenant serving daemon: session pool behind an HTTP/JSON API
+  load           concurrent load generator for serve (-n, -c, -fault-every)
   all            run everything with default settings`)
 }
 

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mte4jni/internal/pool"
+	"mte4jni/internal/report"
+	"mte4jni/internal/server"
+)
+
+// runServe starts the multi-tenant serving daemon: a pool of isolated VM
+// sessions behind an HTTP/JSON API. See internal/server for the endpoints
+// and DESIGN.md "Serving layer" for the lifecycle.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8321", "listen address; port 0 binds an ephemeral port")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+	sessions := fs.Int("sessions", 64, "maximum concurrent VM sessions")
+	waiters := fs.Int("waiters", 0, "maximum queued requests before shedding with 503 (0 = 4x sessions)")
+	heapMB := fs.Int("heap-mb", 32, "per-session Java heap size in MiB")
+	seed := fs.Int64("seed", 1, "base tag-RNG seed (session n runs with seed+n)")
+	faultRing := fs.Int("fault-ring", report.DefaultSinkCapacity, "fault records retained for /metrics")
+	acquireTimeout := fs.Duration("acquire-timeout", 5*time.Second, "how long a request may wait for a session")
+	fs.Parse(args)
+
+	srv := server.New(server.Config{
+		Pool: pool.Config{
+			MaxSessions: *sessions,
+			MaxWaiters:  *waiters,
+			HeapSize:    uint64(*heapMB) << 20,
+			Seed:        *seed,
+		},
+		SinkCapacity:   *faultRing,
+		AcquireTimeout: *acquireTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mte4jni serve: listening on %s (%d sessions, %d MiB heap each)\n",
+		bound, *sessions, *heapMB)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "mte4jni serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return <-errCh
+}

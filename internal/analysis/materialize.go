@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+// Materialize turns a behavioural summary into an executable native body —
+// the exact contract siteVerdict reasons about: 1-byte accesses at MinOff
+// and MaxOff relative to the payload begin. It is the bridge both the
+// static/dynamic differential oracle (internal/fuzz) and the serving layer
+// (internal/pool) use to run program files under a real protection scheme.
+func (s NativeSummary) Materialize() func(*jni.Env, *vm.Object) error {
+	return func(e *jni.Env, arr *vm.Object) error {
+		if s.Kind == jni.CriticalNative {
+			// @CriticalNative code cannot use JNIEnv handout interfaces; it
+			// reaches the heap through a raw untagged pointer, and because
+			// the trampoline never arms checking, no tag is ever checked.
+			s.touch(e, mte.MakePtr(arr.DataBegin(), 0))
+			return nil
+		}
+		ptr, err := e.GetIntArrayElements(arr)
+		if err != nil {
+			return err
+		}
+		if s.UseAfterRelease {
+			if err := e.ReleaseIntArrayElements(arr, ptr, jni.ReleaseDefault); err != nil {
+				return err
+			}
+			s.touch(e, ptr) // stale pointer: the region's tags are gone
+			return nil
+		}
+		if s.ForgeTag {
+			// Mutate tag bits 56-59 without irg. XOR with a fixed nonzero
+			// nibble guarantees the forged tag differs from the issued one.
+			s.touch(e, ptr.WithTag(ptr.Tag()^0x8))
+		} else {
+			s.touch(e, ptr)
+		}
+		return e.ReleaseIntArrayElements(arr, ptr, jni.ReleaseDefault)
+	}
+}
+
+// touch performs the summary's byte accesses. A synchronous fault panics out
+// through the Env helper and is caught by the trampoline, so a faulting
+// first access suppresses the second — matching real sync-mode MTE.
+func (s NativeSummary) touch(e *jni.Env, base mte.Ptr) {
+	if !s.Touches() {
+		return
+	}
+	offs := []int64{s.MinOff}
+	if s.MaxOff != s.MinOff {
+		offs = append(offs, s.MaxOff)
+	}
+	for _, off := range offs {
+		p := base.Add(off)
+		if s.Write {
+			e.StoreByte(p, 0x5A)
+		} else {
+			_ = e.LoadByte(p)
+		}
+	}
+}

@@ -200,6 +200,39 @@ func ReadDiffFile(path string) (*Diff, error) {
 	return &d, nil
 }
 
+// Regression is one benchmark whose ns/op grew past the gate threshold
+// between two snapshots.
+type Regression struct {
+	Name     string  `json:"name"`
+	BeforeNS float64 `json:"before_ns_per_op"`
+	AfterNS  float64 `json:"after_ns_per_op"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// String renders the regression the way the CI gate prints it.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%%)", r.Name, r.BeforeNS, r.AfterNS, r.DeltaPct)
+}
+
+// Regressions returns every benchmark present in both snapshots whose ns/op
+// grew by strictly more than thresholdPct percent, in before-snapshot order.
+// It is the decision procedure behind `mte4jni bench -diff -threshold`:
+// a non-empty result fails the gate.
+func Regressions(before, after *Snapshot, thresholdPct float64) []Regression {
+	var out []Regression
+	for _, b := range before.Results {
+		a := after.Find(b.Name)
+		if a == nil || b.NsPerOp == 0 {
+			continue
+		}
+		delta := (a.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		if delta > thresholdPct {
+			out = append(out, Regression{Name: b.Name, BeforeNS: b.NsPerOp, AfterNS: a.NsPerOp, DeltaPct: delta})
+		}
+	}
+	return out
+}
+
 // Compare renders a before/after table over the benchmarks present in both
 // snapshots: ns/op on each side and the relative change (negative is
 // faster).

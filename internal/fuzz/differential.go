@@ -36,6 +36,13 @@ type Outcome struct {
 	Err error
 	// Trace is the recorded JNI event stream, ready for analysis.LintTrace.
 	Trace []jni.TraceEvent
+	// LiveObjects and BytesInUse capture the Java heap state immediately
+	// after the run (before any collection) — the program's allocation
+	// footprint, used by the pool differential to check that serving a
+	// program through a warm pooled session leaves the same heap state as a
+	// dedicated VM.
+	LiveObjects int
+	BytesInUse  uint64
 }
 
 // Faulted reports whether the run ended in a memory fault.
@@ -68,68 +75,15 @@ func Execute(p *analysis.Program, seed int64) (*Outcome, error) {
 
 	ip := interp.New(env)
 	for name, sum := range p.Natives {
-		ip.RegisterNative(name, interp.NativeMethod{Kind: sum.Kind, Body: nativeBody(sum)})
+		ip.RegisterNative(name, interp.NativeMethod{Kind: sum.Kind, Body: sum.Materialize()})
 	}
 
 	out := &Outcome{}
 	out.Ret, out.Fault, out.Err = ip.Invoke(p.Method)
 	out.Trace = rec.Events()
+	out.LiveObjects = v.LiveObjects()
+	out.BytesInUse = v.JavaHeap.Stats().BytesInUse
 	return out, nil
-}
-
-// nativeBody materialises a summary into an executable native. The body
-// performs 1-byte accesses at exactly MinOff and MaxOff relative to the
-// payload begin — the same contract siteVerdict reasons about.
-func nativeBody(sum analysis.NativeSummary) func(*jni.Env, *vm.Object) error {
-	return func(e *jni.Env, arr *vm.Object) error {
-		if sum.Kind == jni.CriticalNative {
-			// @CriticalNative code cannot use JNIEnv handout interfaces; it
-			// reaches the heap through a raw untagged pointer, and because
-			// the trampoline never arms checking, no tag is ever checked.
-			touch(e, mte.MakePtr(arr.DataBegin(), 0), sum)
-			return nil
-		}
-		ptr, err := e.GetIntArrayElements(arr)
-		if err != nil {
-			return err
-		}
-		if sum.UseAfterRelease {
-			if err := e.ReleaseIntArrayElements(arr, ptr, jni.ReleaseDefault); err != nil {
-				return err
-			}
-			touch(e, ptr, sum) // stale pointer: the region's tags are gone
-			return nil
-		}
-		if sum.ForgeTag {
-			// Mutate tag bits 56-59 without irg. XOR with a fixed nonzero
-			// nibble guarantees the forged tag differs from the issued one.
-			touch(e, ptr.WithTag(ptr.Tag()^0x8), sum)
-		} else {
-			touch(e, ptr, sum)
-		}
-		return e.ReleaseIntArrayElements(arr, ptr, jni.ReleaseDefault)
-	}
-}
-
-// touch performs the summary's byte accesses. A synchronous fault panics out
-// through the Env helper and is caught by the trampoline, so a faulting
-// first access suppresses the second — matching real sync-mode MTE.
-func touch(e *jni.Env, base mte.Ptr, sum analysis.NativeSummary) {
-	if !sum.Touches() {
-		return
-	}
-	offs := []int64{sum.MinOff}
-	if sum.MaxOff != sum.MinOff {
-		offs = append(offs, sum.MaxOff)
-	}
-	for _, off := range offs {
-		p := base.Add(off)
-		if sum.Write {
-			e.StoreByte(p, 0x5A)
-		} else {
-			_ = e.LoadByte(p)
-		}
-	}
 }
 
 // Disagreement is a static/dynamic soundness violation: the analyzer's

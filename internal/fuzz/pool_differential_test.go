@@ -1,0 +1,97 @@
+package fuzz
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"mte4jni"
+	"mte4jni/internal/pool"
+)
+
+// TestPoolDifferential pushes the same generated programs through two
+// execution paths — a dedicated single-use VM (Execute, the oracle's direct
+// path) and a warm serving-pool session — and requires them to agree on
+// everything observable: fault verdict and fault detail, return value,
+// managed-exception behaviour, and the Java heap state the run leaves
+// behind. Divergence means pooled reuse is not transparent: a recycled
+// session leaked state into the next program, or quarantine let a tainted
+// runtime serve again.
+func TestPoolDifferential(t *testing.T) {
+	const programs = 48
+	p := pool.New(pool.Config{MaxSessions: 2, HeapSize: 8 << 20})
+	defer p.Close()
+
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	ctx := context.Background()
+	faulted := 0
+	for i := 0; i < programs; i++ {
+		prog, _ := GenProgram(rng)
+
+		direct, err := Execute(prog, int64(i)+1)
+		if err != nil {
+			t.Fatalf("program %d: direct execute: %v", i, err)
+		}
+
+		s, err := p.Acquire(ctx, mte4jni.MTESync)
+		if err != nil {
+			t.Fatalf("program %d: acquire: %v", i, err)
+		}
+		res := s.RunProgram(prog)
+		live := s.Runtime().VM().LiveObjects()
+		bytes := s.Runtime().VM().JavaHeap.Stats().BytesInUse
+
+		// Fault verdicts must agree. Tag values are excluded from the
+		// comparison: a warm session's tag RNG has advanced across previous
+		// leases, so the concrete tags differ by design; the *decision* to
+		// fault (and where, and how) may not.
+		if direct.Faulted() != res.Faulted() {
+			t.Fatalf("program %d: direct faulted=%v pool faulted=%v\nfault(direct)=%v fault(pool)=%v",
+				i, direct.Faulted(), res.Faulted(), direct.Fault, res.Fault)
+		}
+		if direct.Faulted() {
+			faulted++
+			// Access, size and faulting frame are placement-independent and
+			// must match exactly. Fault kind is not compared: an OOB access
+			// below the first object of a fresh heap is SEGV_MAPERR (below
+			// the mapping), while the same program on a warm session — whose
+			// bump cursor has advanced across earlier leases — hits in-range
+			// memory with a mismatching tag, SEGV_MTESERR. Both are the same
+			// protection decision.
+			df, pf := direct.Fault, res.Fault
+			if df.Access != pf.Access || df.Size != pf.Size || df.PC != pf.PC {
+				t.Fatalf("program %d: fault detail diverged:\ndirect: kind=%v access=%v size=%d pc=%s\npool:   kind=%v access=%v size=%d pc=%s",
+					i, df.Kind, df.Access, df.Size, df.PC, pf.Kind, pf.Access, pf.Size, pf.PC)
+			}
+		} else {
+			if (direct.Err != nil) != (res.Err != nil) {
+				t.Fatalf("program %d: direct err=%v pool err=%v", i, direct.Err, res.Err)
+			}
+			if direct.Err != nil && direct.Err.Error() != res.Err.Error() {
+				t.Fatalf("program %d: error text diverged:\ndirect: %v\npool:   %v", i, direct.Err, res.Err)
+			}
+			if direct.Err == nil && direct.Ret != res.Ret {
+				t.Fatalf("program %d: ret diverged: direct=%d pool=%d", i, direct.Ret, res.Ret)
+			}
+		}
+
+		// Identical final heap state: the pooled session (recycled to an
+		// empty heap between leases) must end the run with exactly the
+		// dedicated VM's allocation footprint.
+		if live != direct.LiveObjects || bytes != direct.BytesInUse {
+			t.Fatalf("program %d: heap state diverged: direct live=%d bytes=%d, pool live=%d bytes=%d",
+				i, direct.LiveObjects, direct.BytesInUse, live, bytes)
+		}
+
+		p.Release(s)
+	}
+
+	// The generator's fault classes must actually exercise the quarantine
+	// path; an all-clean corpus would make this test vacuous.
+	if faulted == 0 {
+		t.Fatal("no generated program faulted; corpus does not cover quarantine")
+	}
+	if st := p.Stats(); st.Quarantined != uint64(faulted) {
+		t.Fatalf("quarantined=%d, want one per faulted program (%d)", st.Quarantined, faulted)
+	}
+}

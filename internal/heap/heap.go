@@ -113,6 +113,11 @@ type Heap struct {
 	// serializes on a stats lock.
 	allocs, frees, bytesInUse, bytesPeak, bumpUsed atomic.Uint64
 	liveCount                                      atomic.Int64
+
+	// closed is set by Close; Alloc and Free fail afterwards. The space
+	// keeps a reference for the Unmap call, everything else is released.
+	closed atomic.Bool
+	space  *mem.Space
 }
 
 // New creates a heap inside space according to cfg.
@@ -142,6 +147,7 @@ func New(space *mem.Space, cfg Config) (*Heap, error) {
 		align:   cfg.Alignment,
 		shift:   uint(bits.TrailingZeros64(cfg.Alignment)),
 		cursor:  m.Base(),
+		space:   space,
 	}
 	totalUnits := m.Size() >> h.shift
 	h.units = make([]atomic.Pointer[unitChunk], (totalUnits+chunkUnits-1)>>unitChunkShift)
@@ -168,9 +174,41 @@ func (h *Heap) roundSize(size uint64) uint64 {
 	return (size + h.align - 1) &^ (h.align - 1)
 }
 
+// Close retires the heap: it unmaps the backing mapping from the space
+// (releasing its data and tag storage) and drops the allocator's TLAB,
+// free-list and liveness-registry state so a retained *Heap cannot pin the
+// simulated memory. Alloc and Free fail afterwards. Close is idempotent and
+// requires the same quiescence as mem.Space.Unmap: no concurrent users.
+func (h *Heap) Close() error {
+	if h.closed.Swap(true) {
+		return nil
+	}
+	// Drop the TLAB handles and free lists first so no allocation path can
+	// hand out an address after the mapping is gone.
+	for i := range h.tlabs {
+		h.tlabs[i].Store(nil)
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		sh.free = make(map[uint64][]mte.Addr)
+		sh.mu.Unlock()
+	}
+	for i := range h.units {
+		h.units[i].Store(nil)
+	}
+	return h.space.Unmap(h.mapping)
+}
+
+// Closed reports whether Close has run.
+func (h *Heap) Closed() bool { return h.closed.Load() }
+
 // Alloc returns the zeroed, aligned base address of a fresh block of at
 // least size bytes.
 func (h *Heap) Alloc(size uint64) (mte.Addr, error) {
+	if h.closed.Load() {
+		return 0, fmt.Errorf("heap: Alloc on closed heap %q", h.mapping.Name())
+	}
 	rounded := h.roundSize(size)
 
 	// Recycled space first: same-class LIFO reuse, checked before any bump
@@ -219,6 +257,9 @@ func (h *Heap) Alloc(size uint64) (mte.Addr, error) {
 // already-freed address is an error (the runtime equivalent of heap
 // corruption, surfaced instead of ignored).
 func (h *Heap) Free(addr mte.Addr) error {
+	if h.closed.Load() {
+		return fmt.Errorf("heap: Free on closed heap %q", h.mapping.Name())
+	}
 	idx, ok := h.blockIndex(addr)
 	if !ok {
 		return fmt.Errorf("heap: free of unknown address %v", addr)

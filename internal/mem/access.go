@@ -185,7 +185,9 @@ func (s *Space) Store8(ctx *cpu.Context, p mte.Ptr, v uint8) *mte.Fault {
 	if f != nil {
 		return f
 	}
+	locked := m.storeLock()
 	m.data[p.Addr()-m.base] = v
+	m.storeUnlock(locked)
 	return nil
 }
 
@@ -205,7 +207,9 @@ func (s *Space) Store16(ctx *cpu.Context, p mte.Ptr, v uint16) *mte.Fault {
 	if f != nil {
 		return f
 	}
+	locked := m.storeLock()
 	binary.LittleEndian.PutUint16(m.data[p.Addr()-m.base:], v)
+	m.storeUnlock(locked)
 	return nil
 }
 
@@ -225,7 +229,9 @@ func (s *Space) Store32(ctx *cpu.Context, p mte.Ptr, v uint32) *mte.Fault {
 	if f != nil {
 		return f
 	}
+	locked := m.storeLock()
 	binary.LittleEndian.PutUint32(m.data[p.Addr()-m.base:], v)
+	m.storeUnlock(locked)
 	return nil
 }
 
@@ -245,7 +251,9 @@ func (s *Space) Store64(ctx *cpu.Context, p mte.Ptr, v uint64) *mte.Fault {
 	if f != nil {
 		return f
 	}
+	locked := m.storeLock()
 	binary.LittleEndian.PutUint64(m.data[p.Addr()-m.base:], v)
+	m.storeUnlock(locked)
 	return nil
 }
 
@@ -274,7 +282,9 @@ func (s *Space) CopyIn(ctx *cpu.Context, p mte.Ptr, src []byte) *mte.Fault {
 	if len(src) == 0 {
 		return nil
 	}
+	locked := m.storeLock()
 	copy(m.data[p.Addr()-m.base:], src)
+	m.storeUnlock(locked)
 	return nil
 }
 
@@ -304,6 +314,8 @@ func (s *Space) Move(ctx *cpu.Context, dst, src mte.Ptr, n int) *mte.Fault {
 	if n == 0 {
 		return nil
 	}
+	locked := dm.storeLock()
 	copy(dm.data[dst.Addr()-dm.base:dst.Addr()-dm.base+mte.Addr(n)], sm.data[src.Addr()-sm.base:])
+	dm.storeUnlock(locked)
 	return nil
 }

@@ -86,6 +86,51 @@ type Mapping struct {
 	// the same entry lock establishes the happens-before edge, and threads
 	// with checking disabled (TCO set) never read tags at all.
 	tags []uint8
+
+	// Concurrent-scan synchronization. On hardware a GC thread reading a
+	// word another thread is storing to is an ordinary (if unordered) pair
+	// of accesses; in the simulator both touch the same Go byte slice and
+	// would be a real data race. A VM that runs a concurrent collector
+	// therefore flips scanSync (sticky, via EnableScanSync) and from then on
+	// every checked store takes scanMu shared while the scanner brackets its
+	// reads with the exclusive side. VMs without a concurrent scanner pay
+	// only the scanSync load per store.
+	scanSync atomic.Bool
+	scanMu   sync.RWMutex
+}
+
+// EnableScanSync permanently switches the mapping into concurrent-scan mode:
+// subsequent checked stores synchronize with LockScan/UnlockScan brackets.
+// Called by the VM when a concurrent GC thread attaches. Stores already in
+// flight are unaffected, so the caller must enable before the scanner starts
+// and must not have mutators racing with the enablement itself (VM threads
+// attach before they run).
+func (m *Mapping) EnableScanSync() { m.scanSync.Store(true) }
+
+// ScanSyncEnabled reports whether concurrent-scan mode is on.
+func (m *Mapping) ScanSyncEnabled() bool { return m.scanSync.Load() }
+
+// LockScan and UnlockScan bracket a concurrent scanner's reads of mapping
+// data, excluding checked stores for the duration. Scanners hold the lock
+// per scanned object, not per scan, so mutators are never stalled for more
+// than a few word accesses.
+func (m *Mapping) LockScan()   { m.scanMu.Lock() }
+func (m *Mapping) UnlockScan() { m.scanMu.Unlock() }
+
+// storeLock takes the store side of the scan lock when scan mode is on; it
+// reports whether storeUnlock must be called.
+func (m *Mapping) storeLock() bool {
+	if !m.scanSync.Load() {
+		return false
+	}
+	m.scanMu.RLock()
+	return true
+}
+
+func (m *Mapping) storeUnlock(locked bool) {
+	if locked {
+		m.scanMu.RUnlock()
+	}
 }
 
 // Base returns the first address of the mapping.
@@ -196,7 +241,9 @@ func (m *Mapping) WriteRaw(addr mte.Addr, src []byte) error {
 	if !m.contains(addr, len(src)) {
 		return fmt.Errorf("mem: WriteRaw [%v,+%d) outside mapping %q", addr, len(src), m.name)
 	}
+	locked := m.storeLock()
 	copy(m.data[addr-m.base:], src)
+	m.storeUnlock(locked)
 	return nil
 }
 
@@ -278,6 +325,43 @@ func (s *Space) Map(name string, size uint64, prot Prot) (*Mapping, error) {
 	s.snapshot.Store(&next)
 	s.epoch.Add(1)
 	return m, nil
+}
+
+// Unmap removes m from the space and releases its backing storage (data
+// bytes and tag storage), the simulated munmap. Subsequent resolution of any
+// address inside the old range reports unmapped (SEGV_MAPERR on access), and
+// raw access through a retained *Mapping handle fails its bounds check
+// because the released mapping has zero length.
+//
+// Like Map, publication order is snapshot first, epoch second. Unlike Map a
+// stale TLB entry here could be a *wrong hit*, not just a miss, so Unmap
+// requires quiescence: no thread may be concurrently accessing the mapping
+// when it is unmapped. The VM teardown path (heap.Close via vm.Close) is the
+// only caller and owns that guarantee — a pooled VM is closed only while
+// exclusively leased.
+func (s *Space) Unmap(m *Mapping) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.snapshot.Load()
+	next := make([]*Mapping, 0, len(old))
+	found := false
+	for _, cur := range old {
+		if cur == m {
+			found = true
+			continue
+		}
+		next = append(next, cur)
+	}
+	if !found {
+		return fmt.Errorf("mem: Unmap of unknown mapping %q", m.name)
+	}
+	s.snapshot.Store(&next)
+	s.epoch.Add(1)
+	// Release the backing storage. contains() now fails for every access, so
+	// retained handles degrade to errors rather than touching freed state.
+	m.data = nil
+	m.tags = nil
+	return nil
 }
 
 // Resolve finds the mapping containing addr by binary search over the

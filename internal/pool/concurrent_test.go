@@ -1,0 +1,167 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mte4jni"
+	"mte4jni/internal/workloads"
+)
+
+// TestConcurrentSessions is the serving layer's isolation stress test, meant
+// to run under -race: many goroutines lease sessions and run MTE+Sync and
+// MTE+Async workloads concurrently, a subset injecting deterministic OOB
+// faults, while each leased VM's concurrent GC thread scans the same heap
+// native code is accessing (the paper's §4.2 thread-level TCO scenario).
+//
+// Isolation invariants checked:
+//   - a fault surfaces only on the lease that caused it — goroutines running
+//     safe work never observe a fault (no cross-session bleed);
+//   - GC scans never fault (their threads run with TCO set, so tag checks
+//     are suppressed for the collector even while tenants fault);
+//   - the pool's books balance: every injected fault quarantines exactly one
+//     session, and capacity is fully restored afterwards.
+func TestConcurrentSessions(t *testing.T) {
+	const (
+		goroutines = 16
+		leases     = 4 // per goroutine
+	)
+	p := testPool(t, Config{MaxSessions: 8, HeapSize: 16 << 20})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*leases)
+	var faultsInjected, faultsSeen sync.Map // goroutine id → count
+	var injectedTotal, seenTotal, gcScansTotal atomic64
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			scheme := mte4jni.MTESync
+			if g%2 == 1 {
+				scheme = mte4jni.MTEAsync
+			}
+			injectFaults := g%4 == 0 // goroutines 0, 4, 8, 12 are hostile
+			for l := 0; l < leases; l++ {
+				s, err := p.Acquire(ctx, scheme)
+				if err != nil {
+					errs <- fmt.Errorf("g%d lease %d: acquire: %w", g, l, err)
+					return
+				}
+
+				// Concurrent GC: scan this session's heap from its own
+				// HeapTaskDaemon while the workload mutates it.
+				gcDone := make(chan error, 1)
+				gcStop := make(chan struct{})
+				gcTh, err := s.Runtime().VM().NewGCThread()
+				if err != nil {
+					errs <- fmt.Errorf("g%d: gc thread: %w", g, err)
+					p.Release(s)
+					return
+				}
+				go func() {
+					defer close(gcDone)
+					// At least one scan always runs, even if the workload
+					// outraces goroutine scheduling; stop is checked after.
+					for {
+						if f, _ := s.Runtime().VM().ConcurrentScan(gcTh.Ctx()); f != nil {
+							gcDone <- fmt.Errorf("g%d: GC scan faulted: %v", g, f)
+							return
+						}
+						gcScansTotal.add(1)
+						select {
+						case <-gcStop:
+							return
+						default:
+						}
+					}
+				}()
+
+				var res *RunResult
+				if injectFaults && l == leases-1 {
+					res = s.RunProgram(OOBProgram())
+					if !res.Faulted() {
+						errs <- fmt.Errorf("g%d: injected OOB did not fault under %v", g, scheme)
+					} else {
+						injectedTotal.add(1)
+						count(&faultsInjected, g)
+					}
+				} else {
+					res = s.RunWorkload("Background Blur", workloads.ScaleSmall, 4)
+					if res.Err != nil {
+						errs <- fmt.Errorf("g%d lease %d: workload: %w", g, l, res.Err)
+					}
+				}
+				if res.Faulted() {
+					seenTotal.add(1)
+					count(&faultsSeen, g)
+				}
+
+				close(gcStop)
+				if err := <-gcDone; err != nil {
+					errs <- err
+				}
+				s.Runtime().VM().DetachThread(gcTh)
+				p.Release(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// No bleed: faults were seen exactly where they were injected.
+	faultsSeen.Range(func(k, v any) bool {
+		g := k.(int)
+		if _, injected := faultsInjected.Load(g); !injected {
+			t.Errorf("goroutine %d observed a fault it never injected", g)
+		}
+		return true
+	})
+	if injectedTotal.load() != 4 || seenTotal.load() != injectedTotal.load() {
+		t.Errorf("faults injected=%d seen=%d, want 4 and equal", injectedTotal.load(), seenTotal.load())
+	}
+	if gcScansTotal.load() == 0 {
+		t.Error("concurrent GC never completed a scan")
+	}
+
+	// Books balance: each injected fault quarantined one session, and the
+	// pool is back to full capacity (all slots releasable → re-acquirable).
+	st := p.Stats()
+	if st.Quarantined != injectedTotal.load() {
+		t.Errorf("quarantined=%d, want %d", st.Quarantined, injectedTotal.load())
+	}
+	if st.Leased != 0 {
+		t.Errorf("leased=%d after all releases, want 0", st.Leased)
+	}
+	var held []*Session
+	for i := 0; i < p.Config().MaxSessions; i++ {
+		s, err := p.Acquire(ctx, mte4jni.MTESync)
+		if err != nil {
+			t.Fatalf("capacity not restored: slot %d: %v", i, err)
+		}
+		held = append(held, s)
+	}
+	for _, s := range held {
+		p.Release(s)
+	}
+}
+
+// atomic64 is a tiny counter helper keeping the test body readable.
+type atomic64 struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (a *atomic64) add(d uint64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+func count(m *sync.Map, g int) {
+	v, _ := m.LoadOrStore(g, new(atomic64))
+	v.(*atomic64).add(1)
+}

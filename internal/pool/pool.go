@@ -1,0 +1,351 @@
+// Package pool implements the serving layer's VM session pool: a bounded,
+// leased collection of fully isolated runtimes — each session owns its own
+// simulated address space, Java/native heaps, threads and tag state — with
+// warm reuse between requests, admission control with backpressure, and
+// per-session fault quarantine.
+//
+// Isolation is the point. One tenant's MTE tag-check fault is that session's
+// crash: the session is quarantined (its VM closed and unmapped via
+// vm.Close, never returned to the warm pool) while every other session's
+// space, tags and TCO state are untouched. That is what lets one daemon
+// serve many mutually untrusting workloads the way a fleet of Android
+// processes would, with the fault localized exactly as the paper's Figure 4
+// localizes it within one process.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mte4jni"
+)
+
+// Errors returned by Acquire.
+var (
+	// ErrOverloaded is the backpressure signal: the pool is at capacity and
+	// the waiting queue is full. Servers map it to HTTP 503.
+	ErrOverloaded = errors.New("pool: overloaded: all sessions leased and wait queue full")
+	// ErrClosed reports an Acquire after Close.
+	ErrClosed = errors.New("pool: closed")
+)
+
+// Config sizes a Pool.
+type Config struct {
+	// MaxSessions bounds concurrently live sessions across all schemes
+	// (default 64).
+	MaxSessions int
+	// MaxWaiters bounds Acquire calls allowed to queue when every session
+	// slot is leased; further calls fail fast with ErrOverloaded (default
+	// 4×MaxSessions).
+	MaxWaiters int
+	// HeapSize is each session's Java heap capacity (default 32 MiB, enough
+	// for every built-in workload at serving scale while keeping 64
+	// sessions' worth of simulated memory modest).
+	HeapSize uint64
+	// Seed is the base tag-RNG seed; session n runs with Seed+n so sessions
+	// are mutually decorrelated but a pool run is reproducible (default 1).
+	Seed int64
+	// DisableNeighborExclusion turns off the tag neighbour-exclusion
+	// extension. The serving default keeps it on so that deliberately
+	// out-of-bounds requests fault deterministically — the property the
+	// static/dynamic differential and the load generator's fault-injection
+	// accounting rely on.
+	DisableNeighborExclusion bool
+}
+
+func (c *Config) defaults() {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxWaiters <= 0 {
+		c.MaxWaiters = 4 * c.MaxSessions
+	}
+	if c.HeapSize == 0 {
+		c.HeapSize = 32 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Stats is a point-in-time view of pool accounting.
+type Stats struct {
+	// Capacity and Leased describe the slot semaphore; Idle counts warm
+	// sessions parked per scheme (summed).
+	Capacity int `json:"capacity"`
+	Leased   int `json:"leased"`
+	Idle     int `json:"idle"`
+	Waiters  int `json:"waiters"`
+	// Created counts VM constructions; Reused counts leases served warm.
+	Created uint64 `json:"created"`
+	Reused  uint64 `json:"reused"`
+	// Quarantined counts sessions retired by an MTE fault; Retired counts
+	// sessions retired for hygiene (leaked objects, unreleased handouts,
+	// recycle failure); Rejected counts ErrOverloaded admissions.
+	Quarantined uint64 `json:"quarantined"`
+	Retired     uint64 `json:"retired"`
+	Rejected    uint64 `json:"rejected"`
+}
+
+// QuarantineRecord remembers why a session left the pool.
+type QuarantineRecord struct {
+	Session  string `json:"session"`
+	Scheme   string `json:"scheme"`
+	Reason   string `json:"reason"`
+	UnixNano int64  `json:"unix_nano"`
+}
+
+// Pool is the leased session pool. All methods are safe for concurrent use.
+type Pool struct {
+	cfg Config
+
+	// slots is the capacity semaphore: one token per live-or-creatable
+	// session. Acquire takes a token (possibly waiting), Release and
+	// quarantine return it.
+	slots chan struct{}
+
+	mu       sync.Mutex
+	idle     map[mte4jni.Scheme][]*Session
+	live     map[uint64]*Session // every non-closed session, idle or leased
+	waiters  int
+	nextID   uint64
+	closed   bool
+	stats    Stats
+	recent   []QuarantineRecord // bounded at quarantineLog entries
+	leasedCt int
+}
+
+// quarantineLog bounds the retained quarantine history.
+const quarantineLog = 32
+
+// New creates a pool. Sessions are built lazily on first lease per slot, so
+// an idle daemon costs nothing.
+func New(cfg Config) *Pool {
+	cfg.defaults()
+	p := &Pool{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxSessions),
+		idle:  make(map[mte4jni.Scheme][]*Session),
+		live:  make(map[uint64]*Session),
+	}
+	for i := 0; i < cfg.MaxSessions; i++ {
+		p.slots <- struct{}{}
+	}
+	p.stats.Capacity = cfg.MaxSessions
+	return p
+}
+
+// Config returns the configuration in force (with defaults applied).
+func (p *Pool) Config() Config { return p.cfg }
+
+// Acquire leases a session running the given scheme, waiting while the pool
+// is at capacity. It fails fast with ErrOverloaded when the waiting queue is
+// itself full, and with ctx.Err() when the context expires first.
+func (p *Pool) Acquire(ctx context.Context, scheme mte4jni.Scheme) (*Session, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.mu.Unlock()
+
+	select {
+	case <-p.slots:
+	default:
+		// Full: join the bounded wait queue.
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if p.waiters >= p.cfg.MaxWaiters {
+			p.stats.Rejected++
+			p.mu.Unlock()
+			return nil, ErrOverloaded
+		}
+		p.waiters++
+		p.mu.Unlock()
+		defer func() {
+			p.mu.Lock()
+			p.waiters--
+			p.mu.Unlock()
+		}()
+		select {
+		case <-p.slots:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	// Token in hand: serve warm if a session of this scheme is parked,
+	// otherwise build a fresh one.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.slots <- struct{}{}
+		return nil, ErrClosed
+	}
+	if list := p.idle[scheme]; len(list) > 0 {
+		s := list[len(list)-1]
+		p.idle[scheme] = list[:len(list)-1]
+		s.leases++
+		p.stats.Reused++
+		p.leasedCt++
+		p.mu.Unlock()
+		return s, nil
+	}
+	p.nextID++
+	id := p.nextID
+	seed := p.cfg.Seed + int64(id)
+	p.mu.Unlock()
+
+	s, err := p.newSession(id, scheme, seed)
+	if err != nil {
+		p.slots <- struct{}{}
+		return nil, fmt.Errorf("pool: creating session: %w", err)
+	}
+	p.mu.Lock()
+	p.live[id] = s
+	p.stats.Created++
+	p.leasedCt++
+	s.leases++
+	p.mu.Unlock()
+	return s, nil
+}
+
+// Release returns a leased session. A session whose lease saw an MTE fault
+// is quarantined — closed and replaced, never reused; a healthy session is
+// recycled (thread detached, garbage collected, hygiene-checked) back into
+// the warm pool. The capacity token is returned in every path.
+func (p *Pool) Release(s *Session) {
+	defer func() { p.slots <- struct{}{} }()
+
+	if f := s.TaintFault(); f != nil {
+		p.retire(s, true, fmt.Sprintf("MTE fault: %v", f))
+		return
+	}
+	if err := s.recycle(); err != nil {
+		p.retire(s, false, err.Error())
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		s.close()
+		p.mu.Lock()
+		delete(p.live, s.id)
+		p.leasedCt--
+		p.mu.Unlock()
+		return
+	}
+	p.idle[s.scheme] = append(p.idle[s.scheme], s)
+	p.leasedCt--
+	p.mu.Unlock()
+}
+
+// retire closes a session and records why.
+func (p *Pool) retire(s *Session, quarantine bool, reason string) {
+	s.close()
+	p.mu.Lock()
+	delete(p.live, s.id)
+	p.leasedCt--
+	if quarantine {
+		p.stats.Quarantined++
+	} else {
+		p.stats.Retired++
+	}
+	p.recent = append(p.recent, QuarantineRecord{
+		Session: s.Name(), Scheme: s.scheme.String(), Reason: reason,
+		UnixNano: time.Now().UnixNano(),
+	})
+	if len(p.recent) > quarantineLog {
+		p.recent = p.recent[len(p.recent)-quarantineLog:]
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.Leased = p.leasedCt
+	for _, list := range p.idle {
+		st.Idle += len(list)
+	}
+	st.Waiters = p.waiters
+	return st
+}
+
+// Quarantined returns the retained retirement history, oldest first.
+func (p *Pool) Quarantined() []QuarantineRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]QuarantineRecord(nil), p.recent...)
+}
+
+// SessionInfo is one live session's introspection record, for /sessions.
+type SessionInfo struct {
+	Session    string `json:"session"`
+	Scheme     string `json:"scheme"`
+	State      string `json:"state"`
+	Leases     uint64 `json:"leases"`
+	Runs       uint64 `json:"runs"`
+	Generation int    `json:"generation"`
+	CreatedNS  int64  `json:"created_unix_nano"`
+}
+
+// Sessions lists every live session, leased and idle, ordered by id.
+func (p *Pool) Sessions() []SessionInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]uint64, 0, len(p.live))
+	for id := range p.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]SessionInfo, 0, len(ids))
+	for _, id := range ids {
+		s := p.live[id]
+		state := "leased"
+		for _, idleS := range p.idle[s.scheme] {
+			if idleS == s {
+				state = "idle"
+				break
+			}
+		}
+		out = append(out, SessionInfo{
+			Session: s.Name(), Scheme: s.scheme.String(), State: state,
+			Leases: s.leases, Runs: s.runs.Load(), Generation: int(s.gen.Load()),
+			CreatedNS: s.created.UnixNano(),
+		})
+	}
+	return out
+}
+
+// Close drains the pool: idle sessions are closed immediately, new Acquires
+// fail with ErrClosed, and leased sessions are closed as they are released.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	var toClose []*Session
+	for scheme, list := range p.idle {
+		toClose = append(toClose, list...)
+		p.idle[scheme] = nil
+	}
+	for _, s := range toClose {
+		delete(p.live, s.id)
+	}
+	p.mu.Unlock()
+	for _, s := range toClose {
+		s.close()
+	}
+}

@@ -1,0 +1,281 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mte4jni"
+	"mte4jni/internal/workloads"
+)
+
+func testPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	if cfg.HeapSize == 0 {
+		cfg.HeapSize = 8 << 20
+	}
+	p := New(cfg)
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestAcquireReleaseReuse(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 2})
+	ctx := context.Background()
+
+	s1, err := p.Acquire(ctx, mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := s1.Name()
+	res := s1.RunProgram(SafeProgram())
+	if res.Faulted() || res.Err != nil || res.Ret != 42 {
+		t.Fatalf("safe program: ret=%d fault=%v err=%v", res.Ret, res.Fault, res.Err)
+	}
+	p.Release(s1)
+
+	s2, err := p.Acquire(ctx, mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name() != name {
+		t.Fatalf("expected warm reuse of %s, got %s", name, s2.Name())
+	}
+	if s2.Generation() != 1 {
+		t.Fatalf("generation after one recycle = %d, want 1", s2.Generation())
+	}
+	p.Release(s2)
+
+	st := p.Stats()
+	if st.Created != 1 || st.Reused != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want created=1 reused=1", st)
+	}
+	if st.Leased != 0 || st.Idle != 1 {
+		t.Fatalf("stats = %+v, want leased=0 idle=1", st)
+	}
+}
+
+func TestSchemesKeptApart(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 4})
+	ctx := context.Background()
+
+	sSync, _ := p.Acquire(ctx, mte4jni.MTESync)
+	p.Release(sSync)
+	sNone, err := p.Acquire(ctx, mte4jni.NoProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sNone.Name() == sSync.Name() {
+		t.Fatal("a NoProtection lease was served the warm MTESync session")
+	}
+	// The unchecked scheme must not fault on the OOB program.
+	if res := sNone.RunProgram(OOBProgram()); res.Faulted() || res.Err != nil {
+		t.Fatalf("OOB under NoProtection: fault=%v err=%v", res.Fault, res.Err)
+	}
+	p.Release(sNone)
+}
+
+func TestFaultQuarantinesSession(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 1})
+	ctx := context.Background()
+
+	s, err := p.Acquire(ctx, mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := s.Name()
+	res := s.RunProgram(OOBProgram())
+	if !res.Faulted() {
+		t.Fatalf("OOB program did not fault under MTE+Sync (ret=%d err=%v)", res.Ret, res.Err)
+	}
+	if s.TaintFault() == nil {
+		t.Fatal("fault did not taint the session")
+	}
+	p.Release(s)
+	if s.rt.VM().Closed() != true {
+		t.Fatal("quarantined session's VM was not closed")
+	}
+
+	// The slot must be replaceable: the next lease gets a fresh session.
+	s2, err := p.Acquire(ctx, mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name() == crashed {
+		t.Fatal("quarantined session was reused")
+	}
+	if res := s2.RunProgram(SafeProgram()); res.Faulted() || res.Err != nil {
+		t.Fatalf("replacement session unhealthy: fault=%v err=%v", res.Fault, res.Err)
+	}
+	p.Release(s2)
+
+	st := p.Stats()
+	if st.Quarantined != 1 || st.Created != 2 {
+		t.Fatalf("stats = %+v, want quarantined=1 created=2", st)
+	}
+	q := p.Quarantined()
+	if len(q) != 1 || q[0].Session != crashed {
+		t.Fatalf("quarantine log = %+v", q)
+	}
+}
+
+func TestLeakedGlobalRetiresSession(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 1})
+	ctx := context.Background()
+
+	s, err := p.Acquire(ctx, mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaky := s.Name()
+	obj, err := s.Runtime().VM().NewIntArray(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Runtime().VM().AddGlobalRef(obj)
+	p.Release(s)
+
+	st := p.Stats()
+	if st.Retired != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want retired=1 (hygiene, not quarantine)", st)
+	}
+	s2, err := p.Acquire(ctx, mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name() == leaky {
+		t.Fatal("leaky session was reused")
+	}
+	p.Release(s2)
+}
+
+func TestBackpressure(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 1, MaxWaiters: 1})
+	ctx := context.Background()
+
+	held, err := p.Acquire(ctx, mte4jni.NoProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the one waiter slot.
+	waited := make(chan error, 1)
+	go func() {
+		s, err := p.Acquire(ctx, mte4jni.NoProtection)
+		if err == nil {
+			p.Release(s)
+		}
+		waited <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Waiters == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full: fail fast.
+	if _, err := p.Acquire(ctx, mte4jni.NoProtection); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-capacity acquire returned %v, want ErrOverloaded", err)
+	}
+	if p.Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", p.Stats().Rejected)
+	}
+
+	// Releasing unblocks the queued waiter.
+	p.Release(held)
+	if err := <-waited; err != nil {
+		t.Fatalf("queued waiter failed: %v", err)
+	}
+}
+
+func TestAcquireContextCancel(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 1, MaxWaiters: 2})
+	held, err := p.Acquire(context.Background(), mte4jni.NoProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release(held)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx, mte4jni.NoProtection); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled acquire returned %v, want DeadlineExceeded", err)
+	}
+	if w := p.Stats().Waiters; w != 0 {
+		t.Fatalf("waiters = %d after cancellation, want 0", w)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p := New(Config{MaxSessions: 2, HeapSize: 8 << 20})
+	ctx := context.Background()
+
+	idleS, _ := p.Acquire(ctx, mte4jni.MTESync)
+	p.Release(idleS)
+	leased, _ := p.Acquire(ctx, mte4jni.MTEAsync)
+
+	p.Close()
+	if !idleS.rt.VM().Closed() {
+		t.Fatal("idle session not closed by pool Close")
+	}
+	if _, err := p.Acquire(ctx, mte4jni.MTESync); !errors.Is(err, ErrClosed) {
+		t.Fatalf("acquire after close returned %v, want ErrClosed", err)
+	}
+	// The leased session is torn down at release time.
+	p.Release(leased)
+	if !leased.rt.VM().Closed() {
+		t.Fatal("leased session not closed on post-Close release")
+	}
+	if n := len(p.Sessions()); n != 0 {
+		t.Fatalf("%d sessions survive Close, want 0", n)
+	}
+	p.Close() // idempotent
+}
+
+func TestRunWorkload(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 1, HeapSize: 32 << 20})
+	s, err := p.Acquire(context.Background(), mte4jni.MTEAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.RunWorkload("PDF Renderer", workloads.ScaleSmall, 2)
+	if res.Faulted() || res.Err != nil {
+		t.Fatalf("workload run: fault=%v err=%v", res.Fault, res.Err)
+	}
+	if res.Ret != 2 {
+		t.Fatalf("ret = %d, want iteration count 2", res.Ret)
+	}
+	if res := s.RunWorkload("no-such-workload", workloads.ScaleSmall, 1); res.Err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	p.Release(s)
+	// Workload state must not leak: the session must have been recycled, not
+	// retired.
+	if st := p.Stats(); st.Retired != 0 || st.Idle != 1 {
+		t.Fatalf("stats after workload lease = %+v, want retired=0 idle=1", st)
+	}
+}
+
+func TestSessionsIntrospection(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 2})
+	ctx := context.Background()
+	a, _ := p.Acquire(ctx, mte4jni.MTESync)
+	b, _ := p.Acquire(ctx, mte4jni.MTEAsync)
+	p.Release(b)
+
+	infos := p.Sessions()
+	if len(infos) != 2 {
+		t.Fatalf("%d sessions listed, want 2", len(infos))
+	}
+	states := map[string]string{}
+	for _, in := range infos {
+		states[in.Session] = in.State
+	}
+	if states[a.Name()] != "leased" || states[b.Name()] != "idle" {
+		t.Fatalf("states = %v", states)
+	}
+	p.Release(a)
+}

@@ -1,0 +1,57 @@
+package pool
+
+import (
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/interp"
+	"mte4jni/internal/mte"
+)
+
+// Canned programs for the serving layer. Both follow the differential
+// oracle's spine — allocate an int array, hand it to a native, return a
+// constant — with behaviour pinned to one deterministic verdict each, so the
+// load generator can inject faults on a schedule and reconcile its counts
+// against /metrics exactly.
+
+// cannedLen is the canned programs' array length: 16 ints = 64 bytes = 4
+// granules, so payload end and granule end coincide and "one byte past the
+// end" is unambiguously the next granule.
+const cannedLen = 16
+
+func canned(name string, sum analysis.NativeSummary) *analysis.Program {
+	return &analysis.Program{
+		Method: &interp.Method{
+			Name: name,
+			Code: []interp.Inst{
+				{Op: interp.OpConst, A: cannedLen},
+				{Op: interp.OpNewArray, A: 0},
+				{Op: interp.OpCallNative, A: 0, B: 0},
+				{Op: interp.OpConst, A: 42},
+				{Op: interp.OpReturn},
+			},
+			MaxLocals:   1,
+			MaxRefs:     1,
+			NativeNames: []string{name},
+		},
+		Natives: map[string]analysis.NativeSummary{name: sum},
+	}
+}
+
+// SafeProgram returns a program whose native stays inside the payload: it
+// must never fault under any scheme. Fresh per call — programs are mutable.
+func SafeProgram() *analysis.Program {
+	return canned("serve_safe", analysis.NativeSummary{
+		MinOff: 0, MaxOff: cannedLen*4 - 1, Write: true,
+	})
+}
+
+// OOBProgram returns a program whose native stores one byte past the end of
+// the array — into the adjacent granule, whose tag is guaranteed to differ
+// under tag-0 exclusion plus neighbour exclusion — so it deterministically
+// faults under the MTE schemes.
+func OOBProgram() *analysis.Program {
+	return canned("serve_oob", analysis.NativeSummary{
+		MinOff: int64(mte.Addr(cannedLen * 4).AlignUp(mte.GranuleSize)),
+		MaxOff: int64(mte.Addr(cannedLen * 4).AlignUp(mte.GranuleSize)),
+		Write:  true,
+	})
+}

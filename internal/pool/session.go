@@ -1,0 +1,189 @@
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mte4jni"
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/interp"
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/workloads"
+)
+
+// Session is one leased runtime. While leased it belongs exclusively to the
+// leaseholder: RunProgram/RunWorkload are not themselves goroutine-safe
+// (isolation between concurrent requests comes from each request holding a
+// different session, not from locking inside one).
+type Session struct {
+	id      uint64
+	scheme  mte4jni.Scheme
+	rt      *mte4jni.Runtime
+	env     *mte4jni.Env
+	created time.Time
+
+	// gen and runs are atomics because Pool.Sessions introspects them while
+	// the leaseholder mutates them; leases is guarded by the pool mutex.
+	gen    atomic.Int64
+	runs   atomic.Uint64
+	leases uint64
+
+	// taint latches the first MTE fault of the current lease. Release
+	// quarantines any tainted session.
+	taint *mte.Fault
+}
+
+// newSession builds a fresh runtime for one pool slot. Each session gets its
+// own seed so tag streams are decorrelated across tenants.
+func (p *Pool) newSession(id uint64, scheme mte4jni.Scheme, seed int64) (*Session, error) {
+	rt, err := mte4jni.New(mte4jni.Config{
+		Scheme:               scheme,
+		HeapSize:             p.cfg.HeapSize,
+		Seed:                 seed,
+		TagNeighborExclusion: !p.cfg.DisableNeighborExclusion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{id: id, scheme: scheme, rt: rt, created: time.Now()}
+	env, err := rt.AttachEnv(s.threadName())
+	if err != nil {
+		return nil, err
+	}
+	s.env = env
+	return s, nil
+}
+
+// Name is the session's stable serving identity.
+func (s *Session) Name() string { return fmt.Sprintf("sess-%d", s.id) }
+
+// threadName names the session's JNI thread per generation, so a recycled
+// session's crash reports are attributable to the exact lease.
+func (s *Session) threadName() string {
+	return fmt.Sprintf("sess-%d-g%d", s.id, s.gen.Load())
+}
+
+// Scheme returns the session's protection scheme.
+func (s *Session) Scheme() mte4jni.Scheme { return s.scheme }
+
+// Env exposes the lease's JNI environment, for tests and advanced callers.
+func (s *Session) Env() *mte4jni.Env { return s.env }
+
+// Runtime exposes the underlying runtime, for tests and advanced callers.
+func (s *Session) Runtime() *mte4jni.Runtime { return s.rt }
+
+// Generation counts completed recycles.
+func (s *Session) Generation() int { return int(s.gen.Load()) }
+
+// TaintFault returns the MTE fault that poisoned the current lease, if any.
+func (s *Session) TaintFault() *mte.Fault { return s.taint }
+
+// RunResult is the outcome of one served run.
+type RunResult struct {
+	// Ret is the program's return value on a clean completion.
+	Ret int64 `json:"ret"`
+	// Fault is the MTE fault that ended the run, when one did.
+	Fault *mte.Fault `json:"-"`
+	// Err is the managed exception or harness error, when one ended the run.
+	Err error `json:"-"`
+	// Duration is the wall-clock execution time.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Faulted reports whether the run ended in an MTE fault.
+func (r *RunResult) Faulted() bool { return r.Fault != nil }
+
+// RunProgram executes an analysis.Program — the same JSON-loadable artifact
+// the lint CLI and the differential oracle consume — inside this session,
+// materialising its native summaries into real native bodies. A fault taints
+// the session for quarantine at release.
+func (s *Session) RunProgram(p *analysis.Program) *RunResult {
+	s.runs.Add(1)
+	ip := interp.New(s.env)
+	for name, sum := range p.Natives {
+		ip.RegisterNative(name, interp.NativeMethod{Kind: sum.Kind, Body: sum.Materialize()})
+	}
+	start := time.Now()
+	res := &RunResult{}
+	res.Ret, res.Fault, res.Err = ip.Invoke(p.Method)
+	res.Duration = time.Since(start)
+	if res.Fault != nil {
+		s.taint = res.Fault
+	}
+	return res
+}
+
+// RunWorkload executes iters iterations of a named GeekBench-style workload
+// (setup outside the timed region, then one JNI trampoline call per
+// iteration, then verification). A fault taints the session.
+func (s *Session) RunWorkload(name string, scale workloads.Scale, iters int) *RunResult {
+	s.runs.Add(1)
+	if iters <= 0 {
+		iters = 1
+	}
+	res := &RunResult{}
+	w, err := workloads.ByName(name, scale)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if err := w.Setup(s.env); err != nil {
+		res.Err = fmt.Errorf("pool: %s setup: %w", name, err)
+		return res
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fault, err := s.env.CallNative(name, jni.Regular, w.Run)
+		if fault != nil {
+			s.taint = fault
+			res.Fault = fault
+			break
+		}
+		if err != nil {
+			res.Err = err
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	if res.Fault == nil && res.Err == nil {
+		if err := w.Verify(); err != nil {
+			res.Err = fmt.Errorf("pool: %s verify: %w", name, err)
+		} else {
+			res.Ret = int64(iters)
+		}
+	}
+	return res
+}
+
+// recycle prepares a healthy session for its next lease: the lease's thread
+// is detached (dropping its local-reference roots), the heap is collected,
+// and the session is hygiene-checked — objects surviving collection mean the
+// lease leaked state into the next tenant, so the session is retired instead
+// of reused. On success a fresh generation's thread is attached.
+func (s *Session) recycle() error {
+	s.rt.DetachEnv(s.env)
+	s.env = nil
+	s.rt.GC()
+	if n := s.rt.VM().LiveObjects(); n != 0 {
+		return fmt.Errorf("pool: session %s leaked %d objects across lease", s.Name(), n)
+	}
+	s.gen.Add(1)
+	env, err := s.rt.AttachEnv(s.threadName())
+	if err != nil {
+		return fmt.Errorf("pool: reattaching %s: %w", s.threadName(), err)
+	}
+	s.env = env
+	return nil
+}
+
+// close tears the session's runtime down, unmapping both heaps. Idempotent
+// via vm.Close.
+func (s *Session) close() {
+	if s.env != nil {
+		s.rt.DetachEnv(s.env)
+		s.env = nil
+	}
+	_ = s.rt.VM().Close()
+}

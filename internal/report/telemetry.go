@@ -1,0 +1,234 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mte4jni/internal/mte"
+)
+
+// Telemetry sink for the serving layer: the fleet-scale aggregation story a
+// single-process crash report lacks. Every MTE fault a served session hits
+// is folded into a bounded ring buffer of structured records and deduplicated
+// by fault signature, and every request contributes to the request/fault/
+// latency counters the daemon exports on /metrics. The sink is its own
+// synchronization domain — many serving goroutines record into one sink.
+
+// FaultSignature identifies a fault class for deduplication: the same
+// reported PC with the same tag pair in the same check mode against the same
+// workload is one bug hit many times, not many bugs.
+type FaultSignature struct {
+	// PC is the frame label the fault was reported at.
+	PC string `json:"pc"`
+	// PtrTag and MemTag are the mismatching tag pair.
+	PtrTag mte.Tag `json:"ptr_tag"`
+	MemTag mte.Tag `json:"mem_tag"`
+	// Async distinguishes sync from async detection.
+	Async bool `json:"async"`
+	// Workload names what the session was running ("PDF Renderer", a
+	// program name, ...).
+	Workload string `json:"workload"`
+}
+
+// SignatureOf derives the dedup signature of a fault hit while running the
+// named workload.
+func SignatureOf(f *mte.Fault, workload string) FaultSignature {
+	return FaultSignature{PC: f.PC, PtrTag: f.PtrTag, MemTag: f.MemTag, Async: f.Async, Workload: workload}
+}
+
+// String renders the signature as a stable one-line key.
+func (s FaultSignature) String() string {
+	mode := "sync"
+	if s.Async {
+		mode = "async"
+	}
+	return fmt.Sprintf("pc=%s tags=%s/%s mode=%s workload=%s", s.PC, s.PtrTag, s.MemTag, mode, s.Workload)
+}
+
+// FaultRecord is one structured fault occurrence, as stored in the ring and
+// returned to /run callers.
+type FaultRecord struct {
+	// Seq is the 1-based global fault sequence number.
+	Seq uint64 `json:"seq"`
+	// UnixNano is the sink-local record time.
+	UnixNano int64 `json:"unix_nano"`
+	// Session is the serving session the fault quarantined.
+	Session string `json:"session"`
+	// Signature is the dedup key.
+	Signature FaultSignature `json:"signature"`
+	// Kind, Access, Ptr and Size copy the fault's non-signature detail.
+	Kind   string `json:"kind"`
+	Access string `json:"access"`
+	Ptr    string `json:"ptr"`
+	Size   int    `json:"size"`
+	// Report is the rendered logcat-style tombstone.
+	Report string `json:"report,omitempty"`
+}
+
+// SignatureCount is one dedup bucket in a telemetry snapshot.
+type SignatureCount struct {
+	Signature FaultSignature `json:"signature"`
+	Count     uint64         `json:"count"`
+	FirstSeq  uint64         `json:"first_seq"`
+	LastSeq   uint64         `json:"last_seq"`
+}
+
+// latencyBucketsUS are the upper bounds (µs) of the latency histogram; the
+// final implicit bucket is +inf.
+var latencyBucketsUS = []uint64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+
+// LatencySummary aggregates request latencies.
+type LatencySummary struct {
+	Count uint64 `json:"count"`
+	SumNS uint64 `json:"sum_ns"`
+	MaxNS uint64 `json:"max_ns"`
+	// BucketsUS maps each latencyBucketsUS bound (plus "+inf" at the end)
+	// to a cumulative-free count of requests that landed under it.
+	BucketsUS []uint64 `json:"buckets_us"`
+}
+
+// TelemetrySnapshot is the /metrics payload.
+type TelemetrySnapshot struct {
+	RequestsTotal         uint64           `json:"requests_total"`
+	FaultsTotal           uint64           `json:"faults_total"`
+	ErrorsTotal           uint64           `json:"errors_total"`
+	UniqueFaultSignatures int              `json:"unique_fault_signatures"`
+	DroppedFaultRecords   uint64           `json:"dropped_fault_records"`
+	Latency               LatencySummary   `json:"latency"`
+	Signatures            []SignatureCount `json:"fault_signatures,omitempty"`
+	Recent                []FaultRecord    `json:"recent_faults,omitempty"`
+}
+
+// DefaultSinkCapacity bounds the fault ring when NewSink is given zero.
+const DefaultSinkCapacity = 256
+
+// Sink accumulates serving telemetry. All methods are safe for concurrent
+// use.
+type Sink struct {
+	mu sync.Mutex
+
+	// ring holds the most recent fault records; seq counts all of them ever
+	// recorded, so seq - len(ring) records have been dropped.
+	capacity int
+	ring     []FaultRecord
+	seq      uint64
+
+	sigs map[FaultSignature]*SignatureCount
+
+	requests, faults, errors uint64
+	latency                  LatencySummary
+}
+
+// NewSink creates a sink whose fault ring keeps at most capacity records
+// (DefaultSinkCapacity when zero).
+func NewSink(capacity int) *Sink {
+	if capacity <= 0 {
+		capacity = DefaultSinkCapacity
+	}
+	return &Sink{
+		capacity: capacity,
+		sigs:     make(map[FaultSignature]*SignatureCount),
+	}
+}
+
+// ObserveRequest records one completed request: its wall-clock duration and
+// whether it ended in an MTE fault or a non-fault error.
+func (s *Sink) ObserveRequest(d time.Duration, faulted, failed bool) {
+	ns := uint64(d.Nanoseconds())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	if faulted {
+		s.faults++
+	}
+	if failed {
+		s.errors++
+	}
+	s.latency.Count++
+	s.latency.SumNS += ns
+	if ns > s.latency.MaxNS {
+		s.latency.MaxNS = ns
+	}
+	if s.latency.BucketsUS == nil {
+		s.latency.BucketsUS = make([]uint64, len(latencyBucketsUS)+1)
+	}
+	us := ns / 1000
+	idx := len(latencyBucketsUS) // +inf
+	for i, bound := range latencyBucketsUS {
+		if us <= bound {
+			idx = i
+			break
+		}
+	}
+	s.latency.BucketsUS[idx]++
+}
+
+// RecordFault folds a fault into the ring and the dedup table, returning the
+// stored record (with its sequence number) and whether its signature was new.
+func (s *Sink) RecordFault(session, workload string, f *mte.Fault) (FaultRecord, bool) {
+	sig := SignatureOf(f, workload)
+	// Tag mismatches detected asynchronously carry the Linux SEGV_MTEAERR
+	// signal code, matching FormatFault's tombstone rendering.
+	kind := f.Kind.String()
+	if f.Kind == mte.FaultTagMismatch && f.Async {
+		kind = "SEGV_MTEAERR"
+	}
+	rec := FaultRecord{
+		UnixNano:  time.Now().UnixNano(),
+		Session:   session,
+		Signature: sig,
+		Kind:      kind,
+		Access:    f.Access.String(),
+		Ptr:       f.Ptr.String(),
+		Size:      f.Size,
+		Report:    FormatFault(f),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	rec.Seq = s.seq
+	if len(s.ring) == s.capacity {
+		copy(s.ring, s.ring[1:])
+		s.ring[len(s.ring)-1] = rec
+	} else {
+		s.ring = append(s.ring, rec)
+	}
+	sc, seen := s.sigs[sig]
+	if !seen {
+		sc = &SignatureCount{Signature: sig, FirstSeq: rec.Seq}
+		s.sigs[sig] = sc
+	}
+	sc.Count++
+	sc.LastSeq = rec.Seq
+	return rec, !seen
+}
+
+// Snapshot returns a consistent copy of all counters, the dedup table
+// (most-hit signatures first) and the retained fault records (oldest first).
+func (s *Sink) Snapshot() TelemetrySnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := TelemetrySnapshot{
+		RequestsTotal:         s.requests,
+		FaultsTotal:           s.faults,
+		ErrorsTotal:           s.errors,
+		UniqueFaultSignatures: len(s.sigs),
+		DroppedFaultRecords:   s.seq - uint64(len(s.ring)),
+		Latency:               s.latency,
+	}
+	snap.Latency.BucketsUS = append([]uint64(nil), s.latency.BucketsUS...)
+	snap.Recent = append([]FaultRecord(nil), s.ring...)
+	for _, sc := range s.sigs {
+		snap.Signatures = append(snap.Signatures, *sc)
+	}
+	sort.Slice(snap.Signatures, func(i, j int) bool {
+		a, b := snap.Signatures[i], snap.Signatures[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return a.FirstSeq < b.FirstSeq
+	})
+	return snap
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"testing"
+	"time"
+
+	"mte4jni/internal/mte"
+)
+
+func telemetryFault(pc string, ptrTag mte.Tag, async bool) *mte.Fault {
+	return &mte.Fault{
+		Kind: mte.FaultTagMismatch, Access: mte.AccessStore,
+		Ptr: mte.MakePtr(0x7000_0000_0040, ptrTag), Size: 1,
+		PtrTag: ptrTag, MemTag: 0x0, Async: async,
+		PC: pc, Backtrace: []string{pc}, Thread: "sess-1",
+	}
+}
+
+func TestSinkCountersAndLatency(t *testing.T) {
+	s := NewSink(8)
+	s.ObserveRequest(40*time.Microsecond, false, false)
+	s.ObserveRequest(2*time.Millisecond, true, false)
+	s.ObserveRequest(300*time.Millisecond, false, true)
+
+	snap := s.Snapshot()
+	if snap.RequestsTotal != 3 || snap.FaultsTotal != 1 || snap.ErrorsTotal != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 3/1/1",
+			snap.RequestsTotal, snap.FaultsTotal, snap.ErrorsTotal)
+	}
+	lat := snap.Latency
+	if lat.Count != 3 {
+		t.Fatalf("latency count = %d, want 3", lat.Count)
+	}
+	if lat.MaxNS != uint64(300*time.Millisecond) {
+		t.Fatalf("latency max = %d", lat.MaxNS)
+	}
+	// 40µs → bucket ≤50µs (index 0); 2ms → ≤2500µs (index 5); 300ms → +inf.
+	if lat.BucketsUS[0] != 1 || lat.BucketsUS[5] != 1 || lat.BucketsUS[len(lat.BucketsUS)-1] != 1 {
+		t.Fatalf("bucket spread wrong: %v", lat.BucketsUS)
+	}
+}
+
+func TestSinkDedupBySignature(t *testing.T) {
+	s := NewSink(8)
+	if _, fresh := s.RecordFault("sess-1", "sum", telemetryFault("native0+0", 3, false)); !fresh {
+		t.Fatal("first occurrence not reported fresh")
+	}
+	if _, fresh := s.RecordFault("sess-2", "sum", telemetryFault("native0+0", 3, false)); fresh {
+		t.Fatal("duplicate signature reported fresh")
+	}
+	// Different workload, async mode, or tag pair each open a new bucket.
+	s.RecordFault("sess-3", "blur", telemetryFault("native0+0", 3, false))
+	asyncRec, _ := s.RecordFault("sess-4", "sum", telemetryFault("native0+0", 3, true))
+	s.RecordFault("sess-5", "sum", telemetryFault("native0+0", 9, false))
+
+	// Async tag mismatches carry the async signal code, as in the tombstones.
+	if asyncRec.Kind != "SEGV_MTEAERR" {
+		t.Fatalf("async record kind = %q, want SEGV_MTEAERR", asyncRec.Kind)
+	}
+
+	snap := s.Snapshot()
+	if snap.UniqueFaultSignatures != 4 {
+		t.Fatalf("unique signatures = %d, want 4", snap.UniqueFaultSignatures)
+	}
+	top := snap.Signatures[0]
+	if top.Count != 2 || top.Signature.Workload != "sum" || top.Signature.Async {
+		t.Fatalf("top signature wrong: %+v", top)
+	}
+	if top.FirstSeq != 1 || top.LastSeq != 2 {
+		t.Fatalf("top signature seqs = %d..%d, want 1..2", top.FirstSeq, top.LastSeq)
+	}
+}
+
+func TestSinkRingBounded(t *testing.T) {
+	s := NewSink(4)
+	for i := 0; i < 6; i++ {
+		s.RecordFault("sess", "w", telemetryFault("pc", mte.Tag(i%8), false))
+	}
+	snap := s.Snapshot()
+	if len(snap.Recent) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(snap.Recent))
+	}
+	if snap.DroppedFaultRecords != 2 {
+		t.Fatalf("dropped = %d, want 2", snap.DroppedFaultRecords)
+	}
+	if snap.Recent[0].Seq != 3 || snap.Recent[3].Seq != 6 {
+		t.Fatalf("ring kept seqs %d..%d, want 3..6", snap.Recent[0].Seq, snap.Recent[3].Seq)
+	}
+	if snap.FaultsTotal != 0 {
+		// RecordFault alone does not bump the request-level fault counter;
+		// that is ObserveRequest's job, so the two reconcile independently.
+		t.Fatalf("RecordFault bumped FaultsTotal to %d", snap.FaultsTotal)
+	}
+}

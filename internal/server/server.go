@@ -1,0 +1,323 @@
+// Package server implements the mte4jni serving daemon: an HTTP/JSON front
+// end over the session pool (internal/pool) and the fault-telemetry sink
+// (internal/report). It is the multi-tenant deployment shape of the paper's
+// runtime — many mutually untrusting requests share one daemon, each runs in
+// an isolated pooled VM under its chosen protection scheme, and an MTE fault
+// comes back to its caller as a structured crash report while every other
+// in-flight request is untouched.
+//
+// Endpoints (all JSON):
+//
+//	POST /run      — execute a workload, a bytecode program, or a canned
+//	                 probe in a leased session
+//	GET  /sessions — live sessions, pool stats, quarantine history
+//	GET  /health   — liveness and uptime
+//	GET  /metrics  — request/fault/latency counters and the deduplicated
+//	                 fault-signature table
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"mte4jni"
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/pool"
+	"mte4jni/internal/report"
+	"mte4jni/internal/workloads"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Pool sizes the session pool.
+	Pool pool.Config
+	// SinkCapacity bounds the fault ring (report.DefaultSinkCapacity when 0).
+	SinkCapacity int
+	// AcquireTimeout bounds how long a request waits for a session before
+	// the server sheds it with 503 (default 5s).
+	AcquireTimeout time.Duration
+}
+
+// Server is the serving daemon. Create with New, mount via Handler, stop
+// with Shutdown.
+type Server struct {
+	cfg   Config
+	pool  *pool.Pool
+	sink  *report.Sink
+	start time.Time
+	http  *http.Server
+}
+
+// New builds a Server and its pool.
+func New(cfg Config) *Server {
+	if cfg.AcquireTimeout <= 0 {
+		cfg.AcquireTimeout = 5 * time.Second
+	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  pool.New(cfg.Pool),
+		sink:  report.NewSink(cfg.SinkCapacity),
+		start: time.Now(),
+	}
+	s.http = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	return s
+}
+
+// Pool exposes the session pool, for tests.
+func (s *Server) Pool() *pool.Pool { return s.pool }
+
+// Sink exposes the telemetry sink, for tests.
+func (s *Server) Sink() *report.Sink { return s.sink }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/sessions", s.handleSessions)
+	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.http.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully drains in-flight requests, then closes the pool
+// (unmapping every session's heaps).
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	s.pool.Close()
+	return err
+}
+
+// ParseScheme accepts both the paper's display names ("MTE4JNI+Sync") and
+// the wire-friendly short forms used by the serve/load CLIs.
+func ParseScheme(text string) (mte4jni.Scheme, error) {
+	switch strings.ToLower(strings.TrimSpace(text)) {
+	case "", "mte+sync", "mte-sync", "sync":
+		return mte4jni.MTESync, nil
+	case "mte+async", "mte-async", "async":
+		return mte4jni.MTEAsync, nil
+	case "none", "no-protection":
+		return mte4jni.NoProtection, nil
+	case "guarded", "guarded-copy", "guardedcopy":
+		return mte4jni.GuardedCopy, nil
+	}
+	var sc mte4jni.Scheme
+	if err := sc.UnmarshalText([]byte(text)); err != nil {
+		return 0, fmt.Errorf("server: unknown scheme %q (try none, guarded, sync, async)", text)
+	}
+	return sc, nil
+}
+
+// RunRequest is the POST /run body. Exactly one of Workload, Program or
+// Canned selects what to execute.
+type RunRequest struct {
+	// Scheme selects the protection scheme (default MTE4JNI+Sync); see
+	// ParseScheme for accepted spellings.
+	Scheme string `json:"scheme,omitempty"`
+	// Workload names a GeekBench-style built-in workload.
+	Workload string `json:"workload,omitempty"`
+	// Scale is "small" (default) or "default" (benchmark sizes).
+	Scale string `json:"scale,omitempty"`
+	// Iterations repeats the workload's native call (default 1).
+	Iterations int `json:"iterations,omitempty"`
+	// Program is an inline bytecode program in the analysis JSON format —
+	// the same artifact `mte4jni lint` consumes.
+	Program json.RawMessage `json:"program,omitempty"`
+	// Canned selects a built-in probe: "safe" (never faults) or "oob"
+	// (deterministically faults under the MTE schemes).
+	Canned string `json:"canned,omitempty"`
+}
+
+// RunResponse is the POST /run reply. A fault is a successful HTTP exchange:
+// the protection scheme did its job, and Fault carries the structured crash
+// report the serving layer exists to deliver.
+type RunResponse struct {
+	Session    string              `json:"session"`
+	Scheme     string              `json:"scheme"`
+	Workload   string              `json:"workload"`
+	OK         bool                `json:"ok"`
+	Ret        int64               `json:"ret,omitempty"`
+	DurationNS int64               `json:"duration_ns"`
+	Error      string              `json:"error,omitempty"`
+	Fault      *report.FaultRecord `json:"fault,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	scheme, err := ParseScheme(req.Scheme)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Resolve what to run before taking a session, so admission is never
+	// consumed by malformed requests.
+	var (
+		prog     *analysis.Program
+		workload string
+	)
+	selected := 0
+	if req.Workload != "" {
+		selected++
+		workload = req.Workload
+	}
+	if len(req.Program) > 0 {
+		selected++
+		prog, err = analysis.ParseProgram(req.Program)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "bad program: %v", err)
+			return
+		}
+		workload = prog.Method.Name
+	}
+	if req.Canned != "" {
+		selected++
+		switch req.Canned {
+		case "safe":
+			prog = pool.SafeProgram()
+		case "oob":
+			prog = pool.OOBProgram()
+		default:
+			jsonError(w, http.StatusBadRequest, "unknown canned probe %q (safe, oob)", req.Canned)
+			return
+		}
+		workload = "canned:" + req.Canned
+	}
+	if selected != 1 {
+		jsonError(w, http.StatusBadRequest, "exactly one of workload, program, canned must be set")
+		return
+	}
+	scale := workloads.ScaleSmall
+	switch req.Scale {
+	case "", "small":
+	case "default":
+		scale = workloads.ScaleDefault
+	default:
+		jsonError(w, http.StatusBadRequest, "unknown scale %q (small, default)", req.Scale)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AcquireTimeout)
+	defer cancel()
+	start := time.Now()
+	sess, err := s.pool.Acquire(ctx, scheme)
+	if err != nil {
+		switch {
+		case errors.Is(err, pool.ErrOverloaded), errors.Is(err, context.DeadlineExceeded):
+			jsonError(w, http.StatusServiceUnavailable, "overloaded: %v", err)
+		case errors.Is(err, pool.ErrClosed):
+			jsonError(w, http.StatusServiceUnavailable, "shutting down")
+		default:
+			jsonError(w, http.StatusInternalServerError, "acquire: %v", err)
+		}
+		return
+	}
+	var res *pool.RunResult
+	if prog != nil {
+		res = sess.RunProgram(prog)
+	} else {
+		res = sess.RunWorkload(workload, scale, req.Iterations)
+	}
+	resp := RunResponse{
+		Session:    sess.Name(),
+		Scheme:     scheme.String(),
+		Workload:   workload,
+		OK:         !res.Faulted() && res.Err == nil,
+		Ret:        res.Ret,
+		DurationNS: res.Duration.Nanoseconds(),
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	if res.Faulted() {
+		rec, _ := s.sink.RecordFault(sess.Name(), workload, res.Fault)
+		resp.Fault = &rec
+	}
+	s.pool.Release(sess)
+	s.sink.ObserveRequest(time.Since(start), res.Faulted(), res.Err != nil)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SessionsResponse is the GET /sessions reply.
+type SessionsResponse struct {
+	Stats      pool.Stats              `json:"stats"`
+	Sessions   []pool.SessionInfo      `json:"sessions"`
+	Quarantine []pool.QuarantineRecord `json:"quarantine,omitempty"`
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SessionsResponse{
+		Stats:      s.pool.Stats(),
+		Sessions:   s.pool.Sessions(),
+		Quarantine: s.pool.Quarantined(),
+	})
+}
+
+// HealthResponse is the GET /health reply.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	UptimeNS int64  `json:"uptime_ns"`
+	Capacity int    `json:"capacity"`
+	Leased   int    `json:"leased"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		UptimeNS: time.Since(s.start).Nanoseconds(),
+		Capacity: st.Capacity,
+		Leased:   st.Leased,
+	})
+}
+
+// MetricsResponse is the GET /metrics reply: the telemetry snapshot plus the
+// pool's own accounting, one reconciliation surface for load generators.
+type MetricsResponse struct {
+	report.TelemetrySnapshot
+	Pool pool.Stats `json:"pool"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		TelemetrySnapshot: s.sink.Snapshot(),
+		Pool:              s.pool.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -107,22 +107,28 @@ func (v *VM) ConcurrentScan(ctx *cpu.Context) (*mte.Fault, int) {
 	}
 	v.mu.Unlock()
 
+	// Each object's reads run inside the Java mapping's scan-lock bracket so
+	// they cannot race, at the Go level, with checked stores from native
+	// threads mutating the same payloads (the simulator's equivalent of the
+	// hardware's tolerance for GC/mutator word tearing).
+	jm := v.JavaHeap.Mapping()
 	scanned := 0
 	for _, o := range objs {
 		// Read the class id and length words of the header, then the first
 		// payload word — what a mark-and-inspect phase dereferences. The
 		// pointer is untagged (tag 0).
 		p := mte.MakePtr(o.addr, 0)
-		if _, f := v.Space.Load32(ctx, p); f != nil {
-			return f, scanned
+		jm.LockScan()
+		_, f := v.Space.Load32(ctx, p)
+		if f == nil {
+			_, f = v.Space.Load32(ctx, p.Add(8))
 		}
-		if _, f := v.Space.Load32(ctx, p.Add(8)); f != nil {
-			return f, scanned
+		if f == nil && o.length > 0 {
+			_, f = v.Space.Load32(ctx, mte.MakePtr(o.DataBegin(), 0))
 		}
-		if o.length > 0 {
-			if _, f := v.Space.Load32(ctx, mte.MakePtr(o.DataBegin(), 0)); f != nil {
-				return f, scanned
-			}
+		jm.UnlockScan()
+		if f != nil {
+			return f, scanned
 		}
 		scanned++
 	}
@@ -136,7 +142,14 @@ func (v *VM) ConcurrentScan(ctx *cpu.Context) (*mte.Fault, int) {
 
 // NewGCThread attaches the GC daemon thread. Its context follows the same
 // policy as any other thread: checks suppressed under thread-level control,
-// live under process-level control.
+// live under process-level control. Attaching the daemon also (stickily)
+// switches the Java mapping into concurrent-scan mode, so mutator stores
+// from here on synchronize with ConcurrentScan's read brackets.
 func (v *VM) NewGCThread() (*Thread, error) {
-	return v.AttachThread("HeapTaskDaemon")
+	t, err := v.AttachThread("HeapTaskDaemon")
+	if err != nil {
+		return nil, err
+	}
+	v.JavaHeap.Mapping().EnableScanSync()
+	return t, nil
 }

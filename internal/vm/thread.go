@@ -63,6 +63,9 @@ type Thread struct {
 func (v *VM) AttachThread(name string) (*Thread, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if v.closed {
+		return nil, fmt.Errorf("vm: AttachThread %q on closed VM", name)
+	}
 	if name == "" {
 		name = fmt.Sprintf("Thread-%d", v.nextTID)
 	}

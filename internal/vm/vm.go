@@ -63,6 +63,7 @@ type VM struct {
 	threads map[string]*Thread
 	globals map[*Object]int // global reference counts (GC roots)
 	nextTID int
+	closed  bool
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -126,6 +127,50 @@ func New(opts Options) (*VM, error) {
 	}
 	v.registerBuiltinClasses()
 	return v, nil
+}
+
+// Close tears the VM down: it detaches every thread, drops the object,
+// global-reference and class registries, and closes both heaps — which
+// unmaps their spaces and releases TLAB/free-list state — so a retained *VM
+// (a pooled session slot, a test fixture) cannot keep the simulated memory
+// alive. After Close every allocation and heap access fails; Close is
+// idempotent. Like heap.Close it requires quiescence: the caller must hold
+// the only active use of the VM (a pool closes sessions only while they are
+// exclusively leased or idle).
+func (v *VM) Close() error {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return nil
+	}
+	v.closed = true
+	v.objects = make(map[mte.Addr]*Object)
+	v.globals = make(map[*Object]int)
+	threads := make([]*Thread, 0, len(v.threads))
+	for _, t := range v.threads {
+		threads = append(threads, t)
+	}
+	v.threads = make(map[string]*Thread)
+	v.mu.Unlock()
+
+	// Clear thread-local state outside v.mu (DetachThread's lock order).
+	for _, t := range threads {
+		t.localMu.Lock()
+		t.locals = make(map[*Object]int)
+		t.localMu.Unlock()
+	}
+
+	if err := v.JavaHeap.Close(); err != nil {
+		return err
+	}
+	return v.NativeHeap.Close()
+}
+
+// Closed reports whether Close has run.
+func (v *VM) Closed() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.closed
 }
 
 // Options returns the options the VM was built with.

@@ -1,0 +1,87 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end gate for the serving layer (make serve-smoke).
+#
+# Builds the CLI, starts `mte4jni serve` on an ephemeral port with the full
+# 64-session pool, drives it with `mte4jni load` twice (a mixed run with
+# injected faults, then a 64-worker full-capacity burst), and checks that
+# the daemon shuts down cleanly on SIGTERM. The load generator fails on any
+# verdict mismatch or metrics discrepancy, so a zero exit here means: every
+# injected fault came back as a structured report, no clean request faulted,
+# and the server-side counters reconcile with what was sent.
+set -eu
+
+GO="${GO:-go}"
+TMP="$(mktemp -d)"
+BIN="$TMP/mte4jni"
+ADDR_FILE="$TMP/addr"
+LOG="$TMP/serve.log"
+SERVE_PID=""
+
+cleanup() {
+	if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+		kill "$SERVE_PID" 2>/dev/null || true
+		wait "$SERVE_PID" 2>/dev/null || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$BIN" ./cmd/mte4jni
+
+"$BIN" serve -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" -sessions 64 -heap-mb 16 >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the daemon to bind and publish its address.
+i=0
+while [ ! -s "$ADDR_FILE" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "serve-smoke: server never published its address" >&2
+		cat "$LOG" >&2
+		exit 1
+	fi
+	if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+		echo "serve-smoke: server exited during startup" >&2
+		cat "$LOG" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+URL="http://$(cat "$ADDR_FILE")"
+
+# Mixed run: 50 requests, every 10th a deliberately-faulting OOB probe.
+# First traffic against a fresh server, so the load generator's /metrics
+# reconciliation checks the server's cumulative counters exactly.
+"$BIN" load -url "$URL" -n 50 -c 8 -fault-every 10
+
+# Full-capacity burst: 64 concurrent workers saturating all 64 sessions,
+# with faults sprinkled in. Counters are now cumulative across both runs,
+# so skip the generator's exact-match reconcile; per-request verdict
+# checks (fault iff injected) still apply.
+"$BIN" load -url "$URL" -n 192 -c 64 -fault-every 16 -no-reconcile
+
+# Optional cross-check of the cumulative counters (50+192 requests,
+# 5+12 faults) when curl is available; the fresh-server reconcile above
+# already gated the counter plumbing.
+if command -v curl >/dev/null 2>&1; then
+	METRICS="$TMP/metrics.json"
+	curl -fsS "$URL/metrics" >"$METRICS"
+	for want in '"requests_total":242' '"faults_total":17' '"quarantined":17'; do
+		if ! grep -q "$want" "$METRICS"; then
+			echo "serve-smoke: /metrics missing $want:" >&2
+			cat "$METRICS" >&2
+			exit 1
+		fi
+	done
+fi
+
+# Graceful shutdown: SIGTERM must produce a clean exit 0.
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+	echo "serve-smoke: server did not shut down cleanly" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+SERVE_PID=""
+
+echo "serve-smoke: ok (242 requests, 17 injected faults detected, clean shutdown)"
