@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench bench-smoke serve-smoke
+.PHONY: build test race vet fmt lint lint-repo check bench bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,17 @@ fmt:
 lint:
 	$(GO) run ./cmd/mte4jni lint examples/lint
 
+# Repo-invariant lint: tools/lintrepo's custom passes run over every package
+# via the go vet -vettool protocol (noinline fault constructors, mem.Space
+# encapsulation, //mte4jni:fastpath allocation/timestamp bans, atomic field
+# consistency). The tool binary is built into a scratch dir so nothing
+# lands in the working tree.
+lint-repo:
+	@tmp="$$(mktemp -d)"; \
+	$(GO) build -o "$$tmp/lintrepo" ./tools/lintrepo && \
+	$(GO) vet -vettool="$$tmp/lintrepo" ./...; \
+	st=$$?; rm -rf "$$tmp"; exit $$st
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -45,5 +56,5 @@ serve-smoke:
 	GO="$(GO)" sh ./scripts/serve_smoke.sh
 
 # Extended tier-1 gate (see ROADMAP.md).
-check: fmt vet race lint bench-smoke serve-smoke
+check: fmt vet lint-repo race lint bench-smoke serve-smoke
 	@echo "check: ok"

@@ -15,9 +15,11 @@ import (
 	"sync"
 	"time"
 
+	"mte4jni/internal/analysis"
 	"mte4jni/internal/bench"
 	"mte4jni/internal/cpu"
 	"mte4jni/internal/heap"
+	"mte4jni/internal/interp"
 	"mte4jni/internal/mem"
 	"mte4jni/internal/mte"
 )
@@ -356,7 +358,81 @@ func suiteCases() []suiteCase {
 		})
 	}
 
+	// The serving layer's admission screen on an inline program: the cold
+	// path (parse + abstract interpretation, what a verdict-cache miss
+	// costs) versus a verdict-cache hit (one hash + map lookup, what every
+	// resubmission costs).
+	raw := screenBenchProgram()
+	cases = append(cases,
+		suiteCase{
+			name: "micro/ScreenInline/cold",
+			setup: func() (func(int) error, int64, error) {
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						p, err := analysis.ParseProgram(raw)
+						if err != nil {
+							return err
+						}
+						if v := analysis.Screen(p); !v.Rejected() {
+							return fmt.Errorf("screen bench program not rejected: %+v", v)
+						}
+					}
+					return nil
+				}, 0, nil
+			},
+		},
+		suiteCase{
+			name: "micro/ScreenInline/cached",
+			setup: func() (func(int) error, int64, error) {
+				c := analysis.NewScreenCache(0)
+				if _, _, err := c.ScreenBytes(raw); err != nil {
+					return nil, 0, err
+				}
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						v, hit, err := c.ScreenBytes(raw)
+						if err != nil {
+							return err
+						}
+						if !hit || !v.Rejected() {
+							return fmt.Errorf("expected cached rejection, got hit=%v %+v", hit, v)
+						}
+					}
+					return nil
+				}, 0, nil
+			},
+		},
+	)
+
 	return cases
+}
+
+// screenBenchProgram marshals the admission-screen benchmark input: a
+// use-after-release program the screen provably rejects, shaped like the
+// serving layer's canned probes.
+func screenBenchProgram() []byte {
+	p := &analysis.Program{
+		Method: &interp.Method{
+			Name: "screen_bench",
+			Code: []interp.Inst{
+				{Op: interp.OpConst, A: 16},
+				{Op: interp.OpNewArray, A: 0},
+				{Op: interp.OpCallNative, A: 0, B: 0},
+				{Op: interp.OpConst, A: 42},
+				{Op: interp.OpReturn},
+			},
+			MaxLocals: 1, MaxRefs: 1,
+			NativeNames: []string{"stale"},
+		},
+		Natives: map[string]analysis.NativeSummary{
+			"stale": {MinOff: 0, MaxOff: 63, UseAfterRelease: true},
+		},
+	}
+	raw, err := analysis.MarshalProgram(p)
+	if err != nil {
+		panic(err) // static input: cannot fail
+	}
+	return raw
 }
 
 // suiteSpace builds the standard microbenchmark space: a 1 MiB tagged

@@ -11,16 +11,21 @@ import (
 	"sync"
 	"time"
 
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/pool"
 	"mte4jni/internal/server"
 )
 
 // runLoad is the concurrent load generator for `mte4jni serve`. It fires n
 // requests at the daemon across c connections — the canned safe probe, a
-// built-in workload, or (every -fault-every-th request) the canned
-// deliberately-faulting probe — then prints a latency/fault summary and
-// reconciles its own counts against the server's /metrics. Any verdict
-// mismatch (a fault where none was injected, a missing fault where one was,
-// a non-200 response, or metrics that do not add up) makes it exit nonzero.
+// built-in workload, every -fault-every-th request the canned
+// deliberately-faulting probe, and every -reject-rate-th request a known
+// provably-faulting inline program that the static admission screen must
+// turn away with 422 — then prints a latency/fault summary and reconciles
+// its own counts against the change in the server's /metrics over the run.
+// Any verdict mismatch (a fault where none was injected, a missing fault
+// where one was, a missing or malformed 422 rejection, a non-200 response,
+// or metrics that do not add up) makes it exit nonzero.
 func runLoad(args []string) error {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	url := fs.String("url", "http://127.0.0.1:8321", "server base URL")
@@ -30,6 +35,7 @@ func runLoad(args []string) error {
 	workload := fs.String("workload", "", "run this built-in workload instead of the canned safe probe")
 	iters := fs.Int("iters", 1, "workload iterations per request")
 	faultEvery := fs.Int("fault-every", 0, "make every k-th request the deliberately-faulting OOB probe (0 = never)")
+	rejectRate := fs.Int("reject-rate", 0, "make every k-th request a known-bad inline program the admission screen must reject with 422 (0 = never; wins over -fault-every)")
 	noReconcile := fs.Bool("no-reconcile", false, "skip the /metrics reconciliation (server is shared with other clients)")
 	fs.Parse(args)
 	if _, err := server.ParseScheme(*scheme); err != nil {
@@ -39,14 +45,28 @@ func runLoad(args []string) error {
 		return fmt.Errorf("load: -n and -c must be positive")
 	}
 
-	client := &http.Client{Timeout: 60 * time.Second}
-	type outcome struct {
-		latency  time.Duration
-		faulted  bool
-		injected bool
-		err      error
+	// Marshal the reject corpus once; workers round-robin through it.
+	var badProgs [][]byte
+	for _, name := range pool.BadProgramNames {
+		raw, err := analysis.MarshalProgram(pool.BadProgram(name))
+		if err != nil {
+			return fmt.Errorf("load: marshal %s: %w", name, err)
+		}
+		badProgs = append(badProgs, raw)
 	}
-	outcomes := make([]outcome, *n)
+
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Snapshot the server counters up front: reconciliation compares the
+	// *change* over this run, so it works against warm servers too.
+	var before server.MetricsResponse
+	if !*noReconcile {
+		if err := getJSON(client, *url+"/metrics", &before); err != nil {
+			return fmt.Errorf("load: fetching /metrics baseline: %w", err)
+		}
+	}
+
+	outcomes := make([]loadOutcome, *n)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -56,8 +76,11 @@ func runLoad(args []string) error {
 			defer wg.Done()
 			for i := range jobs {
 				req := server.RunRequest{Scheme: *scheme}
-				injected := *faultEvery > 0 && (i+1)%*faultEvery == 0
+				reject := *rejectRate > 0 && (i+1)%*rejectRate == 0
+				injected := !reject && *faultEvery > 0 && (i+1)%*faultEvery == 0
 				switch {
+				case reject:
+					req.Program = badProgs[i%len(badProgs)]
 				case injected:
 					req.Canned = "oob"
 				case *workload != "":
@@ -66,7 +89,7 @@ func runLoad(args []string) error {
 				default:
 					req.Canned = "safe"
 				}
-				outcomes[i] = fire(client, *url, req, injected)
+				outcomes[i] = fire(client, *url, req, injected, reject)
 			}
 		}()
 	}
@@ -78,7 +101,7 @@ func runLoad(args []string) error {
 	wall := time.Since(start)
 
 	// Aggregate.
-	var ok, faulted, injected, failed int
+	var ok, faulted, injected, rejected, failed int
 	lats := make([]time.Duration, 0, *n)
 	for i, o := range outcomes {
 		if o.err != nil {
@@ -89,13 +112,16 @@ func runLoad(args []string) error {
 			continue
 		}
 		lats = append(lats, o.latency)
+		switch {
+		case o.rejected:
+			rejected++
+		case o.faulted:
+			faulted++
+		default:
+			ok++
+		}
 		if o.injected {
 			injected++
-		}
-		if o.faulted {
-			faulted++
-		} else {
-			ok++
 		}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -108,7 +134,8 @@ func runLoad(args []string) error {
 	}
 	fmt.Printf("load: %d requests over %d workers in %v (%.0f req/s)\n",
 		*n, *c, wall.Round(time.Millisecond), float64(*n)/wall.Seconds())
-	fmt.Printf("  ok=%d faulted=%d (injected %d) transport-errors=%d\n", ok, faulted, injected, failed)
+	fmt.Printf("  ok=%d faulted=%d (injected %d) rejected=%d transport-errors=%d\n",
+		ok, faulted, injected, rejected, failed)
 	if len(lats) > 0 {
 		fmt.Printf("  latency: p50=%v p95=%v p99=%v max=%v\n",
 			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
@@ -123,32 +150,56 @@ func runLoad(args []string) error {
 	}
 
 	if !*noReconcile {
-		var m server.MetricsResponse
-		if err := getJSON(client, *url+"/metrics", &m); err != nil {
+		var after server.MetricsResponse
+		if err := getJSON(client, *url+"/metrics", &after); err != nil {
 			return fmt.Errorf("load: fetching /metrics: %w", err)
 		}
-		fmt.Printf("  server: requests=%d faults=%d unique-signatures=%d quarantined=%d\n",
-			m.RequestsTotal, m.FaultsTotal, m.UniqueFaultSignatures, m.Pool.Quarantined)
-		if m.RequestsTotal != uint64(*n) || m.FaultsTotal != uint64(faulted) {
-			return fmt.Errorf("load: metrics do not reconcile: server saw %d requests / %d faults, client sent %d / %d",
-				m.RequestsTotal, m.FaultsTotal, *n, faulted)
+		dRequests := after.RequestsTotal - before.RequestsTotal
+		dFaults := after.FaultsTotal - before.FaultsTotal
+		dQuarantined := after.Pool.Quarantined - before.Pool.Quarantined
+		dScreened := after.ScreenedTotal - before.ScreenedTotal
+		dRejected := after.ScreenRejectedTotal - before.ScreenRejectedTotal
+		dCacheHits := after.ScreenCacheHits - before.ScreenCacheHits
+		fmt.Printf("  server: +requests=%d +faults=%d +screened=%d +rejected=%d +cache-hits=%d +quarantined=%d\n",
+			dRequests, dFaults, dScreened, dRejected, dCacheHits, dQuarantined)
+		// A rejected program never becomes a request: the screen turns it
+		// away before a session is leased or a request observed.
+		if dRequests != uint64(*n-rejected) || dFaults != uint64(faulted) {
+			return fmt.Errorf("load: metrics do not reconcile: server saw +%d requests / +%d faults, client expected +%d / +%d",
+				dRequests, dFaults, *n-rejected, faulted)
 		}
-		if m.Pool.Quarantined != uint64(faulted) {
-			return fmt.Errorf("load: %d faults but %d sessions quarantined", faulted, m.Pool.Quarantined)
+		if dQuarantined != uint64(faulted) {
+			return fmt.Errorf("load: %d faults but +%d sessions quarantined", faulted, dQuarantined)
+		}
+		if dScreened != uint64(rejected) || dRejected != uint64(rejected) {
+			return fmt.Errorf("load: screening counters do not reconcile: server screened +%d / rejected +%d, client sent %d bad programs",
+				dScreened, dRejected, rejected)
+		}
+		// All but the first (cold) screening of each distinct bad program
+		// must be verdict-cache hits.
+		if rejected > 0 && dCacheHits+uint64(len(badProgs)) < uint64(rejected) {
+			return fmt.Errorf("load: screen cache ineffective: +%d hits for %d rejections over %d distinct programs",
+				dCacheHits, rejected, len(badProgs))
 		}
 	}
 	return nil
 }
 
-// fire sends one /run request and classifies the outcome. A response is an
-// error unless its verdict matches what was asked for: injected requests
-// must come back with a structured fault report, clean requests must not.
-func fire(client *http.Client, base string, req server.RunRequest, injected bool) (o struct {
+// loadOutcome is one request's client-side classification.
+type loadOutcome struct {
 	latency  time.Duration
 	faulted  bool
 	injected bool
+	rejected bool
 	err      error
-}) {
+}
+
+// fire sends one /run request and classifies the outcome. A response is an
+// error unless its verdict matches what was asked for: injected requests
+// must come back 200 with a structured fault report, reject submissions
+// must come back 422 with a structured screen verdict, and clean requests
+// must do neither.
+func fire(client *http.Client, base string, req server.RunRequest, injected, reject bool) (o loadOutcome) {
 	o.injected = injected
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -163,6 +214,23 @@ func fire(client *http.Client, base string, req server.RunRequest, injected bool
 		return o
 	}
 	defer resp.Body.Close()
+	if reject {
+		o.rejected = resp.StatusCode == http.StatusUnprocessableEntity
+		if !o.rejected {
+			o.err = fmt.Errorf("bad program not rejected: status %d", resp.StatusCode)
+			return o
+		}
+		var rej server.RejectResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+			o.err = fmt.Errorf("decoding 422 body: %w", err)
+			return o
+		}
+		v := rej.Verdict
+		if v == nil || !v.Rejected() || v.PC < 0 || v.Native == "" || len(v.Provenance) == 0 {
+			o.err = fmt.Errorf("422 without a structured verdict: %+v", rej)
+		}
+		return o
+	}
 	var out server.RunResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		o.err = fmt.Errorf("decoding response (status %d): %w", resp.StatusCode, err)

@@ -101,7 +101,7 @@ commands:
   lint           static analysis of bytecode program files (-disasm, -dynamic)
   bench          benchmark-snapshot suite (-quick, -o file, -parse benchtext, -diff a b)
   serve          multi-tenant serving daemon: session pool behind an HTTP/JSON API
-  load           concurrent load generator for serve (-n, -c, -fault-every)
+  load           concurrent load generator for serve (-n, -c, -fault-every, -reject-rate)
   all            run everything with default settings`)
 }
 

@@ -66,6 +66,10 @@ type CallSite struct {
 	PC int
 	// Name is the native method name.
 	Name string
+	// Ref is the reference slot the call passes (the instruction's B
+	// operand); provenance chains use it to link hand-outs of the same
+	// reference across call sites.
+	Ref int64
 	// Verdict is the per-site claim: can this call fault?
 	Verdict Verdict
 	// Reason explains the verdict in one clause.
@@ -85,6 +89,12 @@ type MethodResult struct {
 	Reachable []bool
 	// CallSites lists every reachable OpCallNative with its verdict.
 	CallSites []CallSite
+	// FaultSite is the earliest provably-faulting call site when the
+	// whole-method verdict is VerdictFault (nil otherwise).
+	FaultSite *CallSite
+	// Provenance traces the faulting pointer from its managed allocation to
+	// the dereference when FaultSite is set.
+	Provenance ProvChain
 }
 
 // Annotations returns the per-pc disassembly notes for this result:
@@ -159,11 +169,15 @@ func joinTri(a, b tri) tri {
 	return triMaybe
 }
 
-// refState abstracts one reference slot: whether it holds an array, and the
-// interval of possible lengths when it does.
+// refState abstracts one reference slot: whether it holds an array, the
+// interval of possible lengths when it does, and the provenance of the value
+// — the pc of the unique OpNewArray that produced it, stored as pc+1 so the
+// zero value means "no unique allocation site" (uninitialized or merged from
+// distinct sites). The state must stay comparable: joinInto relies on !=.
 type refState struct {
-	init   tri
-	length iv
+	init    tri
+	length  iv
+	allocPC int
 }
 
 // absState is the abstract machine state at one program point.
@@ -212,11 +226,14 @@ func joinInto(dst, src *absState, widen bool) (changed, ok bool) {
 		nr := refState{init: joinTri(old.init, next.init)}
 		switch {
 		case old.init == triNo:
-			nr.length = next.length
+			nr.length, nr.allocPC = next.length, next.allocPC
 		case next.init == triNo:
-			nr.length = old.length
+			nr.length, nr.allocPC = old.length, old.allocPC
 		default:
 			nr.length = merge(old.length, next.length)
+			if old.allocPC == next.allocPC {
+				nr.allocPC = old.allocPC
+			}
 		}
 		if nr != old {
 			dst.refs[i], changed = nr, true
@@ -265,6 +282,8 @@ type analyzer struct {
 	// reporting-phase accumulators
 	diags     []Diagnostic
 	sites     []CallSite
+	faultSite *CallSite
+	faultProv ProvChain
 	reporting bool
 }
 
@@ -399,7 +418,7 @@ func (a *analyzer) step(pc int, st *absState) stepResult {
 			a.emit(pc, RuleMaybeOOM, SevWarning,
 				"array of %s elements may exhaust the heap", n)
 		}
-		st.refs[in.A] = refState{init: triYes, length: n.clampMin(0)}
+		st.refs[in.A] = refState{init: triYes, length: n.clampMin(0), allocPC: pc + 1}
 		flow(pc + 1)
 	case interp.OpArrayGet:
 		idx := pop()
@@ -443,7 +462,7 @@ func (a *analyzer) step(pc int, st *absState) stepResult {
 		}
 		name := a.m.NativeNames[in.A]
 		sum, have := a.natives[name]
-		site := CallSite{PC: pc, Name: name, Verdict: VerdictUnknown}
+		site := CallSite{PC: pc, Name: name, Ref: in.B, Verdict: VerdictUnknown}
 		if !have {
 			site.Reason = "no behavioural summary"
 			a.emit(pc, RuleNativeUnknown, SevWarning,
@@ -458,6 +477,11 @@ func (a *analyzer) step(pc int, st *absState) stepResult {
 				a.emit(pc, RuleNativeFault, SevError, "native %s: %s", name, site.Reason)
 				res.term = termFault
 				if a.reporting {
+					if a.faultSite == nil {
+						s := site
+						a.faultSite = &s
+						a.faultProv = buildProvChain(pc, in.B, r, name, sum, a.sites, site.Reason)
+					}
 					a.sites = append(a.sites, site)
 				}
 				return res
@@ -627,6 +651,8 @@ func analyzeMethod(m *interp.Method, natives map[string]NativeSummary, file stri
 	case hasFault && !hasReturn && !hasThrow && !hasWarn && !hasClash &&
 		len(m.Code) < maxProvableCode && acyclic(succs, res.Reachable):
 		res.Verdict = VerdictFault
+		res.FaultSite = a.faultSite
+		res.Provenance = a.faultProv
 	}
 	return res
 }

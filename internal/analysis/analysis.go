@@ -205,3 +205,24 @@ func (v Verdict) String() string {
 		return "unknown"
 	}
 }
+
+// MarshalJSON encodes the verdict by name, the form the serving layer's 422
+// payload and /metrics use.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + v.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a verdict name.
+func (v *Verdict) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"provably-safe"`:
+		*v = VerdictSafe
+	case `"provably-faulting"`:
+		*v = VerdictFault
+	case `"unknown"`:
+		*v = VerdictUnknown
+	default:
+		return fmt.Errorf("analysis: unknown verdict %s", data)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"testing"
+
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/vm"
+)
+
+// Materialize is the bridge between the static world (NativeSummary as a
+// behavioural spec) and the dynamic one (an executable native body); every
+// summary field must drive exactly the jni.Env touch sequence siteVerdict
+// reasons about. These tests run materialized bodies under the
+// no-protection checker so the full access sequence is observable even for
+// summaries that would fault under MTE, and assert on the recorded JNI
+// trace.
+
+// runMaterialized executes sum's materialized body against a fresh intLen
+// array and returns the recorded trace and the body's error.
+func runMaterialized(t *testing.T, sum NativeSummary, intLen int) ([]jni.TraceEvent, error) {
+	t.Helper()
+	v, err := vm.New(vm.Options{HeapSize: 1 << 20, NativeHeapSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	th, err := v.AttachThread("materialize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := v.NewIntArray(intLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := jni.NewEnv(th, jni.DirectChecker{}, true)
+	rec := jni.NewRecordingTracer()
+	env.SetTracer(rec)
+	bodyErr := sum.Materialize()(env, arr)
+	return rec.Events(), bodyErr
+}
+
+// kindsOf projects the event stream onto its kind sequence.
+func kindsOf(events []jni.TraceEvent) []jni.TraceEventKind {
+	var kinds []jni.TraceEventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	return kinds
+}
+
+// pick returns the events of one kind.
+func pick(events []jni.TraceEvent, kind jni.TraceEventKind) []jni.TraceEvent {
+	var out []jni.TraceEvent
+	for _, ev := range events {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func sameKinds(got []jni.TraceEventKind, want ...jni.TraceEventKind) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMaterializeRegularRead(t *testing.T) {
+	events, err := runMaterialized(t, NativeSummary{MinOff: 0, MaxOff: 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := kindsOf(events); !sameKinds(k, jni.TraceGet, jni.TraceAccess, jni.TraceAccess, jni.TraceRelease) {
+		t.Fatalf("event kinds = %v, want get/access/access/release", k)
+	}
+	base := events[0].Ptr
+	for i, access := range pick(events, jni.TraceAccess) {
+		wantOff := []int64{0, 7}[i]
+		if access.Ptr != base.Add(wantOff) {
+			t.Errorf("access %d at %v, want base+%d", i, access.Ptr, wantOff)
+		}
+		if access.Write || access.Size != 1 {
+			t.Errorf("access %d: write=%v size=%d, want 1-byte load", i, access.Write, access.Size)
+		}
+	}
+}
+
+func TestMaterializeWrite(t *testing.T) {
+	events, err := runMaterialized(t, NativeSummary{MinOff: 2, MaxOff: 5, Write: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := pick(events, jni.TraceAccess)
+	if len(accesses) != 2 {
+		t.Fatalf("%d accesses, want 2", len(accesses))
+	}
+	for i, access := range accesses {
+		if !access.Write {
+			t.Errorf("access %d is a load, want store", i)
+		}
+	}
+}
+
+func TestMaterializeSingleOffset(t *testing.T) {
+	// MinOff == MaxOff must touch exactly once, not twice.
+	events, err := runMaterialized(t, NativeSummary{MinOff: 3, MaxOff: 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := pick(events, jni.TraceAccess)
+	if len(accesses) != 1 {
+		t.Fatalf("%d accesses, want 1", len(accesses))
+	}
+	if accesses[0].Ptr != events[0].Ptr.Add(3) {
+		t.Errorf("access at %v, want base+3", accesses[0].Ptr)
+	}
+}
+
+func TestMaterializeNoTouch(t *testing.T) {
+	// MinOff > MaxOff is the "no heap access" summary: get and release
+	// still happen (the native acquired the elements), but nothing is
+	// dereferenced.
+	events, err := runMaterialized(t, NativeSummary{MinOff: 1, MaxOff: 0}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := kindsOf(events); !sameKinds(k, jni.TraceGet, jni.TraceRelease) {
+		t.Fatalf("event kinds = %v, want get/release only", k)
+	}
+}
+
+func TestMaterializeUseAfterRelease(t *testing.T) {
+	// The release must come first and the accesses go through the stale
+	// pointer; no second release follows.
+	events, err := runMaterialized(t, NativeSummary{MinOff: 0, MaxOff: 4, UseAfterRelease: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := kindsOf(events); !sameKinds(k, jni.TraceGet, jni.TraceRelease, jni.TraceAccess, jni.TraceAccess) {
+		t.Fatalf("event kinds = %v, want get/release/access/access", k)
+	}
+	base := events[0].Ptr
+	if events[2].Ptr != base || events[3].Ptr != base.Add(4) {
+		t.Errorf("stale accesses at %v/%v, want base/base+4", events[2].Ptr, events[3].Ptr)
+	}
+}
+
+func TestMaterializeForgeTag(t *testing.T) {
+	events, err := runMaterialized(t, NativeSummary{MinOff: 0, MaxOff: 4, ForgeTag: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := events[0].Ptr
+	accesses := pick(events, jni.TraceAccess)
+	if len(accesses) != 2 {
+		t.Fatalf("%d accesses, want 2", len(accesses))
+	}
+	for i, access := range accesses {
+		if access.Ptr.Tag() == base.Tag() {
+			t.Errorf("access %d tag %v equals issued tag: not forged", i, access.Ptr.Tag())
+		}
+		if access.Ptr.Addr() != base.Add([]int64{0, 4}[i]).Addr() {
+			t.Errorf("access %d forged the address, not just the tag: %v", i, access.Ptr)
+		}
+	}
+}
+
+func TestMaterializeCriticalNative(t *testing.T) {
+	// @CriticalNative bodies bypass the JNIEnv hand-out interfaces: no get,
+	// no release, raw untagged payload accesses only.
+	sum := NativeSummary{Kind: jni.CriticalNative, MinOff: 0, MaxOff: 4}
+	v, err := vm.New(vm.Options{HeapSize: 1 << 20, NativeHeapSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	th, err := v.AttachThread("materialize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := v.NewIntArray(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := jni.NewEnv(th, jni.DirectChecker{}, true)
+	rec := jni.NewRecordingTracer()
+	env.SetTracer(rec)
+	if err := sum.Materialize()(env, arr); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if k := kindsOf(events); !sameKinds(k, jni.TraceAccess, jni.TraceAccess) {
+		t.Fatalf("event kinds = %v, want two raw accesses only", k)
+	}
+	for i, access := range events {
+		if access.Ptr.Tag() != 0 {
+			t.Errorf("access %d through tagged pointer %v, want untagged", i, access.Ptr)
+		}
+		if access.Ptr.Addr() != mte.Addr(uint64(arr.DataBegin())+uint64([]int64{0, 4}[i])) {
+			t.Errorf("access %d at %v, want payload+%d", i, access.Ptr, []int64{0, 4}[i])
+		}
+	}
+}

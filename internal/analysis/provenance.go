@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pointer provenance: for every provably-faulting native call the analyzer
+// reconstructs *where the faulting pointer came from*, as a chain of events
+// spanning the managed allocation, every JNI hand-out of the same reference
+// (including earlier native calls in the method — the interprocedural part),
+// the arithmetic that derived the access offsets, any tag-retiring release or
+// tag-bit forgery inside the native, and the dereference itself. The chain is
+// the machine-checkable justification behind a ScreenVerdict rejection, and
+// the serving layer returns it verbatim in the 422 payload.
+
+// ProvKind classifies one provenance event.
+type ProvKind string
+
+const (
+	// ProvAlloc is the managed OpNewArray that created the reference.
+	ProvAlloc ProvKind = "alloc"
+	// ProvHandout is a JNI GetIntArrayElements handing the tagged payload
+	// pointer to native code.
+	ProvHandout ProvKind = "handout"
+	// ProvDerive is native pointer arithmetic deriving the access pointer
+	// from the handed-out base.
+	ProvDerive ProvKind = "derive"
+	// ProvRelease is a ReleaseIntArrayElements retiring the region's tags
+	// while the derived pointer survives.
+	ProvRelease ProvKind = "release"
+	// ProvForge is a mutation of pointer tag bits 56-59 without irg.
+	ProvForge ProvKind = "forge"
+	// ProvDeref is the dereference the chain ends in.
+	ProvDeref ProvKind = "deref"
+	// ProvEscape is a derivation that leaves the deterministic
+	// neighbour-exclusion window (a cross-mapping escape candidate); it can
+	// appear in unknown-verdict reasoning but never proves a fault.
+	ProvEscape ProvKind = "escape"
+)
+
+// ProvStep is one event in a provenance chain.
+type ProvStep struct {
+	// Kind classifies the event.
+	Kind ProvKind `json:"kind"`
+	// PC is the bytecode pc the event is anchored to (-1 when the
+	// allocation site was lost to a path merge).
+	PC int `json:"pc"`
+	// Native names the native method for events inside a native body.
+	Native string `json:"native,omitempty"`
+	// Detail is the human-readable event description.
+	Detail string `json:"detail"`
+}
+
+// ProvChain is an ordered provenance chain, allocation first, dereference
+// last.
+type ProvChain []ProvStep
+
+// String renders the chain as a compact one-liner ("alloc@1 → handout@4 →
+// deref@4").
+func (c ProvChain) String() string {
+	parts := make([]string, len(c))
+	for i, s := range c {
+		if s.PC >= 0 {
+			parts[i] = fmt.Sprintf("%s@%d", s.Kind, s.PC)
+		} else {
+			parts[i] = string(s.Kind)
+		}
+	}
+	return strings.Join(parts, " → ")
+}
+
+// buildProvChain reconstructs the provenance of the pointer a faulting call
+// site dereferences. pc is the faulting OpCallNative, slot the reference
+// slot it passes, r that slot's abstract state, sum the faulting native's
+// summary, prior the call sites already analyzed on earlier pcs (used to
+// recover hand-outs of the same reference to other natives), and reason the
+// site verdict's explanation for the final dereference.
+func buildProvChain(pc int, slot int64, r refState, name string, sum NativeSummary, prior []CallSite, reason string) ProvChain {
+	var chain ProvChain
+	if r.allocPC > 0 {
+		chain = append(chain, ProvStep{
+			Kind: ProvAlloc, PC: r.allocPC - 1,
+			Detail: fmt.Sprintf("newarray allocates ref slot %d (length %s, freshly tagged by irg)", slot, r.length),
+		})
+	} else {
+		chain = append(chain, ProvStep{
+			Kind: ProvAlloc, PC: -1,
+			Detail: fmt.Sprintf("ref slot %d allocated on a merged path (site not unique)", slot),
+		})
+	}
+	for _, s := range prior {
+		if s.PC < pc && s.Ref == slot {
+			chain = append(chain, ProvStep{
+				Kind: ProvHandout, PC: s.PC, Native: s.Name,
+				Detail: "payload previously handed out to this native via GetIntArrayElements",
+			})
+		}
+	}
+	chain = append(chain, ProvStep{
+		Kind: ProvHandout, PC: pc, Native: name,
+		Detail: "GetIntArrayElements hands the tagged payload pointer to native code",
+	})
+	if sum.MinOff != 0 || sum.MaxOff != 0 {
+		chain = append(chain, ProvStep{
+			Kind: ProvDerive, PC: pc, Native: name,
+			Detail: fmt.Sprintf("pointer arithmetic derives byte offsets [%d,%d] from the handed-out base", sum.MinOff, sum.MaxOff),
+		})
+	}
+	if sum.UseAfterRelease {
+		chain = append(chain, ProvStep{
+			Kind: ProvRelease, PC: pc, Native: name,
+			Detail: "ReleaseIntArrayElements retires the region's tags; the derived pointer survives stale",
+		})
+	}
+	if sum.ForgeTag {
+		chain = append(chain, ProvStep{
+			Kind: ProvForge, PC: pc, Native: name,
+			Detail: "tag bits 56-59 mutated without irg: pointer tag no longer matches any issued tag",
+		})
+	}
+	chain = append(chain, ProvStep{
+		Kind: ProvDeref, PC: pc, Native: name,
+		Detail: reason,
+	})
+	return chain
+}

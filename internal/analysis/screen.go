@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// Admission screening: the serving layer's pre-execution gate. Screen runs
+// the abstract interpreter over an inline program and condenses the result
+// into a ScreenVerdict — provably-faulting programs carry the rule, pc and
+// pointer-provenance chain that justify rejecting them before they ever
+// touch a pooled session. ScreenCache memoizes verdicts by program hash so
+// resubmissions of the same (byte-identical) program cost one map lookup.
+
+// ScreenVerdict is the static admission decision for one program, and the
+// body of the server's 422 rejection.
+type ScreenVerdict struct {
+	// Verdict is the whole-program claim.
+	Verdict Verdict `json:"verdict"`
+	// Rule is the deciding rule for a rejection (empty for safe/unknown
+	// verdicts — managed throws and aborts are not faults and never reject).
+	Rule string `json:"rule,omitempty"`
+	// PC is the faulting instruction index (-1 when not anchored).
+	PC int `json:"pc"`
+	// Native names the faulting native method.
+	Native string `json:"native,omitempty"`
+	// Reason is the one-clause justification.
+	Reason string `json:"reason"`
+	// Provenance traces the faulting pointer from allocation to dereference.
+	Provenance ProvChain `json:"provenance,omitempty"`
+	// Diagnostics are the analyzer's rendered findings.
+	Diagnostics []string `json:"diagnostics,omitempty"`
+	// Cached marks a verdict served from the screen cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Rejected reports whether the verdict rejects the program at admission.
+func (v *ScreenVerdict) Rejected() bool { return v.Verdict == VerdictFault }
+
+// Screen statically screens a program for admission. The verdict is
+// VerdictFault only when the analyzer proves every execution raises an MTE
+// tag-check fault (see analyzeMethod); anything weaker — including programs
+// that merely *may* fault — is admitted and left to the runtime schemes.
+func Screen(p *Program) *ScreenVerdict {
+	res := p.Analyze("")
+	v := &ScreenVerdict{Verdict: res.Verdict, PC: -1}
+	for _, d := range res.Diags {
+		if d.Sev != SevInfo {
+			v.Diagnostics = append(v.Diagnostics, d.String())
+		}
+	}
+	switch res.Verdict {
+	case VerdictFault:
+		v.Rule = RuleNativeFault
+		v.Reason = "every execution raises an MTE tag-check fault"
+		if res.FaultSite != nil {
+			v.PC = res.FaultSite.PC
+			v.Native = res.FaultSite.Name
+			v.Reason = res.FaultSite.Reason
+		}
+		v.Provenance = res.Provenance
+	case VerdictSafe:
+		v.Reason = "no execution can raise an MTE tag-check fault"
+	default:
+		v.Reason = unknownReason(res)
+	}
+	return v
+}
+
+// unknownReason picks the most useful explanation for an unknown verdict:
+// the first non-safe call site, else the first warning, else a generic note.
+func unknownReason(res *MethodResult) string {
+	for _, s := range res.CallSites {
+		if s.Verdict != VerdictSafe {
+			return s.Reason
+		}
+	}
+	for _, d := range res.Diags {
+		if d.Sev == SevWarning {
+			return d.Message
+		}
+	}
+	return "analyzer proves nothing either way"
+}
+
+// ProgramKey hashes a program's raw JSON into the screen-cache key. Keying
+// on bytes (not the parsed form) keeps the cache sound: any semantic
+// difference implies a byte difference.
+func ProgramKey(raw []byte) [sha256.Size]byte { return sha256.Sum256(raw) }
+
+// DefaultScreenCacheSize bounds the verdict cache when NewScreenCache is
+// given zero.
+const DefaultScreenCacheSize = 1024
+
+// ScreenCache is a concurrency-safe LRU of screen verdicts keyed by program
+// hash.
+type ScreenCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[[sha256.Size]byte]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type screenEntry struct {
+	key     [sha256.Size]byte
+	verdict *ScreenVerdict
+}
+
+// NewScreenCache creates a cache holding at most max verdicts
+// (DefaultScreenCacheSize when max <= 0).
+func NewScreenCache(max int) *ScreenCache {
+	if max <= 0 {
+		max = DefaultScreenCacheSize
+	}
+	return &ScreenCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[[sha256.Size]byte]*list.Element),
+	}
+}
+
+// ScreenBytes screens a raw JSON program, serving the verdict from cache
+// when the same bytes were screened before. The second result reports a
+// cache hit (the returned verdict then has Cached set). Parse failures are
+// returned as errors and never cached.
+func (c *ScreenCache) ScreenBytes(raw []byte) (*ScreenVerdict, bool, error) {
+	key := ProgramKey(raw)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		v := *el.Value.(*screenEntry).verdict
+		c.mu.Unlock()
+		v.Cached = true
+		return &v, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	p, err := ParseProgram(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	v := Screen(p)
+
+	c.mu.Lock()
+	if _, ok := c.entries[key]; !ok {
+		c.entries[key] = c.order.PushFront(&screenEntry{key: key, verdict: v})
+		if c.order.Len() > c.max {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*screenEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return v, false, nil
+}
+
+// Len returns the number of cached verdicts.
+func (c *ScreenCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the hit/miss counters.
+func (c *ScreenCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mte4jni/internal/interp"
+)
+
+// screenProg builds a minimal alloc → call → return program around one
+// native summary.
+func screenProg(elems int64, sum NativeSummary) *Program {
+	return &Program{
+		Method: &interp.Method{
+			Name: "screen", MaxLocals: 1, MaxRefs: 1,
+			NativeNames: []string{"touch"},
+			Code: []interp.Inst{
+				{Op: interp.OpConst, A: elems},
+				{Op: interp.OpNewArray, A: 0},
+				{Op: interp.OpCallNative, A: 0, B: 0},
+				{Op: interp.OpConst, A: 0},
+				{Op: interp.OpReturn},
+			},
+		},
+		Natives: map[string]NativeSummary{"touch": sum},
+	}
+}
+
+func TestScreenRejectsSeededBadPrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/bad/*.json")
+	if err != nil || len(files) < 3 {
+		t.Fatalf("glob: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		p, err := LoadProgram(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := Screen(p)
+		if !v.Rejected() {
+			t.Errorf("%s: not rejected: %+v", f, v)
+			continue
+		}
+		if v.Rule != RuleNativeFault || v.PC < 0 || v.Native == "" || v.Reason == "" {
+			t.Errorf("%s: incomplete verdict: %+v", f, v)
+		}
+		if len(v.Provenance) < 3 {
+			t.Errorf("%s: provenance chain too short: %v", f, v.Provenance)
+		}
+	}
+}
+
+func TestScreenAdmitsExamples(t *testing.T) {
+	files, err := filepath.Glob("../../examples/lint/*.json")
+	if err != nil || len(files) < 3 {
+		t.Fatalf("glob: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		p, err := LoadProgram(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := Screen(p)
+		if v.Rejected() {
+			t.Errorf("%s: rejected: %+v", f, v)
+		}
+		if v.Verdict != VerdictSafe {
+			t.Errorf("%s: verdict = %v, want safe", f, v.Verdict)
+		}
+	}
+}
+
+// TestScreenProvenanceChainShape: the chain must start at the allocation,
+// end in the dereference, and carry the summary-specific steps in between.
+func TestScreenProvenanceChainShape(t *testing.T) {
+	cases := []struct {
+		name string
+		sum  NativeSummary
+		want []ProvKind
+	}{
+		{
+			name: "oob-write",
+			sum:  NativeSummary{MinOff: 0, MaxOff: 84, Write: true},
+			want: []ProvKind{ProvAlloc, ProvHandout, ProvDerive, ProvDeref},
+		},
+		{
+			name: "use-after-release",
+			sum:  NativeSummary{MinOff: 0, MaxOff: 7, UseAfterRelease: true},
+			want: []ProvKind{ProvAlloc, ProvHandout, ProvDerive, ProvRelease, ProvDeref},
+		},
+		{
+			name: "forged-tag",
+			sum:  NativeSummary{MinOff: 0, MaxOff: 15, ForgeTag: true},
+			want: []ProvKind{ProvAlloc, ProvHandout, ProvDerive, ProvForge, ProvDeref},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := Screen(screenProg(18, tc.sum))
+			if !v.Rejected() {
+				t.Fatalf("not rejected: %+v", v)
+			}
+			var kinds []ProvKind
+			for _, s := range v.Provenance {
+				kinds = append(kinds, s.Kind)
+			}
+			if fmt.Sprint(kinds) != fmt.Sprint(tc.want) {
+				t.Fatalf("chain = %v, want %v", kinds, tc.want)
+			}
+			if v.Provenance[0].PC != 1 {
+				t.Errorf("alloc step pc = %d, want 1 (the newarray)", v.Provenance[0].PC)
+			}
+			last := v.Provenance[len(v.Provenance)-1]
+			if last.PC != 2 || last.Native != "touch" {
+				t.Errorf("deref step = %+v, want pc 2 native touch", last)
+			}
+		})
+	}
+}
+
+// TestScreenInterproceduralHandouts: when the same reference is handed to an
+// earlier (safe) native before the faulting one, the chain records the prior
+// hand-out — the cross-summary part of the provenance domain.
+func TestScreenInterproceduralHandouts(t *testing.T) {
+	p := &Program{
+		Method: &interp.Method{
+			Name: "multi", MaxLocals: 1, MaxRefs: 1,
+			NativeNames: []string{"reader", "stale"},
+			Code: []interp.Inst{
+				{Op: interp.OpConst, A: 18},
+				{Op: interp.OpNewArray, A: 0},
+				{Op: interp.OpCallNative, A: 0, B: 0}, // safe read
+				{Op: interp.OpCallNative, A: 1, B: 0}, // use-after-release
+				{Op: interp.OpConst, A: 0},
+				{Op: interp.OpReturn},
+			},
+		},
+		Natives: map[string]NativeSummary{
+			"reader": {MinOff: 0, MaxOff: 7},
+			"stale":  {MinOff: 0, MaxOff: 7, UseAfterRelease: true},
+		},
+	}
+	v := Screen(p)
+	if !v.Rejected() {
+		t.Fatalf("not rejected: %+v", v)
+	}
+	var priors int
+	for _, s := range v.Provenance {
+		if s.Kind == ProvHandout && s.Native == "reader" && s.PC == 2 {
+			priors++
+		}
+	}
+	if priors != 1 {
+		t.Fatalf("prior hand-out to reader not in chain: %v", v.Provenance)
+	}
+	if v.PC != 3 || v.Native != "stale" {
+		t.Fatalf("fault site = pc %d native %q, want pc 3 stale", v.PC, v.Native)
+	}
+}
+
+// TestScreenMergedAllocSite: two newarray sites merging into one slot lose
+// the unique allocation pc; the chain must degrade gracefully, not lie.
+func TestScreenMergedAllocSite(t *testing.T) {
+	p := &Program{
+		Method: &interp.Method{
+			Name: "merged", MaxLocals: 1, MaxRefs: 1,
+			NativeNames: []string{"stale"},
+			Code: []interp.Inst{
+				{Op: interp.OpLoad, A: 0},
+				{Op: interp.OpJmpIfZero, A: 4},
+				{Op: interp.OpConst, A: 18},
+				{Op: interp.OpJmp, A: 5},
+				{Op: interp.OpConst, A: 18},
+				{Op: interp.OpNewArray, A: 0}, // single site: allocPC survives
+				{Op: interp.OpCallNative, A: 0, B: 0},
+				{Op: interp.OpConst, A: 0},
+				{Op: interp.OpReturn},
+			},
+		},
+		Natives: map[string]NativeSummary{"stale": {MinOff: 0, MaxOff: 7, UseAfterRelease: true}},
+	}
+	v := Screen(p)
+	if !v.Rejected() {
+		t.Fatalf("not rejected: %+v", v)
+	}
+	if v.Provenance[0].Kind != ProvAlloc || v.Provenance[0].PC != 5 {
+		t.Fatalf("alloc step = %+v, want pc 5", v.Provenance[0])
+	}
+
+	// Now genuinely merge two allocation sites.
+	p.Method.Code = []interp.Inst{
+		{Op: interp.OpLoad, A: 0},
+		{Op: interp.OpJmpIfZero, A: 5},
+		{Op: interp.OpConst, A: 18},
+		{Op: interp.OpNewArray, A: 0},
+		{Op: interp.OpJmp, A: 7},
+		{Op: interp.OpConst, A: 18},
+		{Op: interp.OpNewArray, A: 0},
+		{Op: interp.OpCallNative, A: 0, B: 0},
+		{Op: interp.OpConst, A: 0},
+		{Op: interp.OpReturn},
+	}
+	v = Screen(p)
+	if !v.Rejected() {
+		t.Fatalf("merged: not rejected: %+v", v)
+	}
+	if v.Provenance[0].Kind != ProvAlloc || v.Provenance[0].PC != -1 {
+		t.Fatalf("merged alloc step = %+v, want pc -1", v.Provenance[0])
+	}
+}
+
+func TestScreenVerdictJSONRoundTrip(t *testing.T) {
+	raw, err := os.ReadFile("testdata/bad/use_after_release.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseProgram(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Screen(p)
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"verdict":"provably-faulting"`) {
+		t.Fatalf("verdict not marshalled by name: %s", data)
+	}
+	var back ScreenVerdict
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Verdict != VerdictFault || back.PC != v.PC || len(back.Provenance) != len(v.Provenance) {
+		t.Fatalf("round trip mangled verdict: %+v vs %+v", back, v)
+	}
+}
+
+func TestScreenCacheHitAndLRU(t *testing.T) {
+	c := NewScreenCache(2)
+	bad, err := os.ReadFile("testdata/bad/oob_write.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, hit, err := c.ScreenBytes(bad)
+	if err != nil || hit {
+		t.Fatalf("first screen: hit=%v err=%v", hit, err)
+	}
+	if !v1.Rejected() || v1.Cached {
+		t.Fatalf("first verdict: %+v", v1)
+	}
+	v2, hit, err := c.ScreenBytes(bad)
+	if err != nil || !hit {
+		t.Fatalf("second screen: hit=%v err=%v", hit, err)
+	}
+	if !v2.Rejected() || !v2.Cached {
+		t.Fatalf("cached verdict: %+v", v2)
+	}
+	if v1.Cached {
+		t.Fatal("cache hit mutated the stored verdict")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", hits, misses)
+	}
+
+	// Fill past capacity: the oldest key must fall out.
+	for i := 0; i < 2; i++ {
+		p := screenProg(int64(8+i), NativeSummary{MinOff: 0, MaxOff: 7})
+		raw, err := MarshalProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, hit, err := c.ScreenBytes(raw); err != nil || hit {
+			t.Fatalf("fill %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, hit, err := c.ScreenBytes(bad); err != nil || hit {
+		t.Fatalf("evicted key still hit=%v err=%v", hit, err)
+	}
+}
+
+func TestScreenCacheParseErrorNotCached(t *testing.T) {
+	c := NewScreenCache(0)
+	if _, _, err := c.ScreenBytes([]byte(`{"method":`)); err == nil {
+		t.Fatal("no error for malformed program")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("parse failure cached: len=%d", c.Len())
+	}
+}
+
+func TestScreenCacheConcurrent(t *testing.T) {
+	c := NewScreenCache(8)
+	bad, err := os.ReadFile("testdata/bad/forged_tag.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				v, _, err := c.ScreenBytes(bad)
+				if err != nil || !v.Rejected() {
+					t.Errorf("screen: %+v err=%v", v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 16*50 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 16*50)
+	}
+}

@@ -68,6 +68,8 @@ type TLB struct {
 // no further bounds check. addr itself must lie strictly inside the mapping
 // (addr < End) even for size 0, mirroring how resolving the one-past-the-end
 // address of a mapping faults on hardware.
+//
+//mte4jni:fastpath
 func (t *TLB) Lookup(addr uint64, size int) any {
 	for i := range t.Entries {
 		e := &t.Entries[i]
@@ -81,6 +83,8 @@ func (t *TLB) Lookup(addr uint64, size int) any {
 }
 
 // Insert caches a translation, evicting round-robin.
+//
+//mte4jni:fastpath
 func (t *TLB) Insert(base, end uint64, ref any) {
 	t.Entries[t.next] = TLBEntry{Base: base, End: end, Ref: ref}
 	t.next++
@@ -90,6 +94,8 @@ func (t *TLB) Insert(base, end uint64, ref any) {
 }
 
 // Flush empties the TLB and stamps it with the given epoch.
+//
+//mte4jni:fastpath
 func (t *TLB) Flush(epoch uint64) {
 	*t = TLB{Epoch: epoch, hits: t.hits, misses: t.misses}
 }

@@ -136,3 +136,53 @@ func Differential(p *analysis.Program, seed int64) (*DiffResult, error) {
 	}
 	return &DiffResult{Result: res, Outcome: out}, nil
 }
+
+// ScreenDisagreement is an admission-screening soundness violation: the
+// screen's decision contradicts what the program actually did.
+type ScreenDisagreement struct {
+	// Verdict is the admission decision.
+	Verdict *analysis.ScreenVerdict
+	// Outcome is what actually happened.
+	Outcome *Outcome
+	// Program is the offending program, for replay.
+	Program *analysis.Program
+}
+
+// Error implements the error interface.
+func (d *ScreenDisagreement) Error() string {
+	got := "no fault"
+	if d.Outcome.Faulted() {
+		got = "fault: " + d.Outcome.Fault.Error()
+	}
+	data, _ := analysis.MarshalProgram(d.Program)
+	return fmt.Sprintf("screen differential: verdict %s (%s) but dynamic outcome %s\nprogram:\n%s\n%s",
+		d.Verdict.Verdict, d.Verdict.Reason, got, interp.Disassemble(d.Program.Method), data)
+}
+
+// ScreenDifferential screens p exactly the way the serving layer does —
+// through the JSON wire form, so marshalling round-trips are part of what
+// is being checked — and then executes it. A rejected program that runs
+// clean, or a screened-safe program that faults, comes back as a
+// *ScreenDisagreement error.
+func ScreenDifferential(p *analysis.Program, seed int64) (*analysis.ScreenVerdict, *Outcome, error) {
+	raw, err := analysis.MarshalProgram(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("screen differential: marshal: %w", err)
+	}
+	wire, err := analysis.ParseProgram(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("screen differential: reparse: %w", err)
+	}
+	v := analysis.Screen(wire)
+	out, err := Execute(p, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v.Rejected() && !out.Faulted() {
+		return nil, nil, &ScreenDisagreement{Verdict: v, Outcome: out, Program: p}
+	}
+	if v.Verdict == analysis.VerdictSafe && out.Faulted() {
+		return nil, nil, &ScreenDisagreement{Verdict: v, Outcome: out, Program: p}
+	}
+	return v, out, nil
+}

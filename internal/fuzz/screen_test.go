@@ -1,0 +1,67 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/pool"
+)
+
+// TestScreenDifferentialKnownPrograms: the admission screen must reject
+// exactly the programs that deterministically fault, including everything
+// the load generator's -reject-rate corpus submits.
+func TestScreenDifferentialKnownPrograms(t *testing.T) {
+	for _, name := range pool.BadProgramNames {
+		v, out, err := ScreenDifferential(pool.BadProgram(name), 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !v.Rejected() {
+			t.Errorf("%s: not rejected: %+v", name, v)
+		}
+		if !out.Faulted() {
+			t.Errorf("%s: rejected program ran clean", name)
+		}
+	}
+	v, out, err := ScreenDifferential(pool.SafeProgram(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Verdict != analysis.VerdictSafe || out.Faulted() {
+		t.Fatalf("safe program: verdict=%v faulted=%v", v.Verdict, out.Faulted())
+	}
+}
+
+// TestScreenDifferentialGenerated is the soundness gate for the provenance
+// domain at scale: over the 250-seed corpus the admission decision must
+// never contradict the dynamic outcome (ScreenDifferential errors on any
+// disagreement), and every rejection must carry a provenance chain.
+func TestScreenDifferentialGenerated(t *testing.T) {
+	const programs = 250
+	var rejected, admittedSafe, admittedUnknown int
+	for seed := int64(0); seed < programs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := GenProgram(rng)
+		v, _, err := ScreenDifferential(p, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		switch {
+		case v.Rejected():
+			rejected++
+			if len(v.Provenance) == 0 || v.PC < 0 || v.Native == "" {
+				t.Fatalf("seed %d: rejection without provenance: %+v", seed, v)
+			}
+		case v.Verdict == analysis.VerdictSafe:
+			admittedSafe++
+		default:
+			admittedUnknown++
+		}
+	}
+	t.Logf("screen decisions over %d programs: rejected=%d safe=%d unknown=%d",
+		programs, rejected, admittedSafe, admittedUnknown)
+	if rejected == 0 || admittedSafe == 0 {
+		t.Errorf("corpus degenerated: rejected=%d safe=%d", rejected, admittedSafe)
+	}
+}

@@ -42,6 +42,8 @@ import (
 
 // replicate8 spreads a byte to all eight lanes of a uint64, the SWAR
 // broadcast used by both the tag compare and the tag fill.
+//
+//mte4jni:fastpath
 func replicate8(b uint8) uint64 { return uint64(b) * 0x0101_0101_0101_0101 }
 
 // tagMismatchIndex returns the index of the first tag byte in span that
@@ -49,6 +51,8 @@ func replicate8(b uint8) uint64 { return uint64(b) * 0x0101_0101_0101_0101 }
 // per step against the tag-replicated word; XOR leaves a nonzero byte lane
 // exactly at each mismatch, and the lowest set lane is the first faulting
 // granule — the one hardware reports.
+//
+//mte4jni:fastpath
 func tagMismatchIndex(span []uint8, want uint8) int {
 	w := replicate8(want)
 	i := 0
@@ -69,6 +73,8 @@ func tagMismatchIndex(span []uint8, want uint8) int {
 // thread's TLB, falling back to the snapshot binary search and refilling the
 // TLB on a miss. It returns nil when no mapping contains the whole access.
 // See the Space doc comment for the epoch invalidation contract.
+//
+//mte4jni:fastpath
 func (s *Space) lookup(ctx *cpu.Context, addr mte.Addr, size int) *Mapping {
 	tlb := ctx.TLB()
 	if epoch := s.epoch.Load(); epoch != tlb.Epoch {
@@ -88,6 +94,8 @@ func (s *Space) lookup(ctx *cpu.Context, addr mte.Addr, size int) *Mapping {
 // checkAccess validates one access and returns (mapping, fault). A non-nil
 // fault means the access must not take effect. Async tag mismatches are
 // latched here and reported as nil so the caller proceeds.
+//
+//mte4jni:fastpath
 func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.AccessKind) (*Mapping, *mte.Fault) {
 	addr := p.Addr()
 	m := s.lookup(ctx, addr, size)
@@ -171,6 +179,8 @@ func (s *Space) newFault(ctx *cpu.Context, kind mte.FaultKind, access mte.Access
 }
 
 // Load8 reads one byte through a checked access.
+//
+//mte4jni:fastpath
 func (s *Space) Load8(ctx *cpu.Context, p mte.Ptr) (uint8, *mte.Fault) {
 	m, f := s.checkAccess(ctx, p, 1, mte.AccessLoad)
 	if f != nil {
@@ -180,6 +190,8 @@ func (s *Space) Load8(ctx *cpu.Context, p mte.Ptr) (uint8, *mte.Fault) {
 }
 
 // Store8 writes one byte through a checked access.
+//
+//mte4jni:fastpath
 func (s *Space) Store8(ctx *cpu.Context, p mte.Ptr, v uint8) *mte.Fault {
 	m, f := s.checkAccess(ctx, p, 1, mte.AccessStore)
 	if f != nil {
@@ -192,6 +204,8 @@ func (s *Space) Store8(ctx *cpu.Context, p mte.Ptr, v uint8) *mte.Fault {
 }
 
 // Load16 reads a little-endian 16-bit value.
+//
+//mte4jni:fastpath
 func (s *Space) Load16(ctx *cpu.Context, p mte.Ptr) (uint16, *mte.Fault) {
 	m, f := s.checkAccess(ctx, p, 2, mte.AccessLoad)
 	if f != nil {
@@ -202,6 +216,8 @@ func (s *Space) Load16(ctx *cpu.Context, p mte.Ptr) (uint16, *mte.Fault) {
 }
 
 // Store16 writes a little-endian 16-bit value.
+//
+//mte4jni:fastpath
 func (s *Space) Store16(ctx *cpu.Context, p mte.Ptr, v uint16) *mte.Fault {
 	m, f := s.checkAccess(ctx, p, 2, mte.AccessStore)
 	if f != nil {
@@ -214,6 +230,8 @@ func (s *Space) Store16(ctx *cpu.Context, p mte.Ptr, v uint16) *mte.Fault {
 }
 
 // Load32 reads a little-endian 32-bit value.
+//
+//mte4jni:fastpath
 func (s *Space) Load32(ctx *cpu.Context, p mte.Ptr) (uint32, *mte.Fault) {
 	m, f := s.checkAccess(ctx, p, 4, mte.AccessLoad)
 	if f != nil {
@@ -224,6 +242,8 @@ func (s *Space) Load32(ctx *cpu.Context, p mte.Ptr) (uint32, *mte.Fault) {
 }
 
 // Store32 writes a little-endian 32-bit value.
+//
+//mte4jni:fastpath
 func (s *Space) Store32(ctx *cpu.Context, p mte.Ptr, v uint32) *mte.Fault {
 	m, f := s.checkAccess(ctx, p, 4, mte.AccessStore)
 	if f != nil {
@@ -236,6 +256,8 @@ func (s *Space) Store32(ctx *cpu.Context, p mte.Ptr, v uint32) *mte.Fault {
 }
 
 // Load64 reads a little-endian 64-bit value.
+//
+//mte4jni:fastpath
 func (s *Space) Load64(ctx *cpu.Context, p mte.Ptr) (uint64, *mte.Fault) {
 	m, f := s.checkAccess(ctx, p, 8, mte.AccessLoad)
 	if f != nil {
@@ -246,6 +268,8 @@ func (s *Space) Load64(ctx *cpu.Context, p mte.Ptr) (uint64, *mte.Fault) {
 }
 
 // Store64 writes a little-endian 64-bit value.
+//
+//mte4jni:fastpath
 func (s *Space) Store64(ctx *cpu.Context, p mte.Ptr, v uint64) *mte.Fault {
 	m, f := s.checkAccess(ctx, p, 8, mte.AccessStore)
 	if f != nil {
@@ -261,6 +285,8 @@ func (s *Space) Store64(ctx *cpu.Context, p mte.Ptr, v uint64) *mte.Fault {
 // dst, the simulated equivalent of an unrolled load loop (or memcpy out of
 // the Java heap). Tag checking is done per covered granule, matching how the
 // hardware checks a sequence of loads.
+//
+//mte4jni:fastpath
 func (s *Space) CopyOut(ctx *cpu.Context, p mte.Ptr, dst []byte) *mte.Fault {
 	m, f := s.checkAccess(ctx, p, len(dst), mte.AccessLoad)
 	if f != nil {
@@ -274,6 +300,8 @@ func (s *Space) CopyOut(ctx *cpu.Context, p mte.Ptr, dst []byte) *mte.Fault {
 }
 
 // CopyIn performs a checked bulk write of src to simulated memory at p.
+//
+//mte4jni:fastpath
 func (s *Space) CopyIn(ctx *cpu.Context, p mte.Ptr, src []byte) *mte.Fault {
 	m, f := s.checkAccess(ctx, p, len(src), mte.AccessStore)
 	if f != nil {
@@ -302,6 +330,8 @@ func (s *Space) CopyIn(ctx *cpu.Context, p mte.Ptr, src []byte) *mte.Fault {
 //     fault in sync mode, the load fault is the one reported; in async mode
 //     both mismatches are latched (first fault kept, second coalesced)
 //     before the copy proceeds.
+//
+//mte4jni:fastpath
 func (s *Space) Move(ctx *cpu.Context, dst, src mte.Ptr, n int) *mte.Fault {
 	sm, f := s.checkAccess(ctx, src, n, mte.AccessLoad)
 	if f != nil {

@@ -55,3 +55,30 @@ func OOBProgram() *analysis.Program {
 		Write:  true,
 	})
 }
+
+// BadProgramNames lists the known provably-faulting inline programs, in the
+// round-robin order the load generator's -reject-rate mode submits them.
+var BadProgramNames = []string{"reject_oob", "reject_stale", "reject_forge"}
+
+// BadProgram returns a named provably-faulting program — one the static
+// admission screen must reject with 422 when submitted inline. The three
+// names cover the three illicit-access classes the screen proves: an
+// out-of-bounds store into the neighbour granule, a use-after-release
+// through a stale pointer, and a dereference through forged tag bits.
+func BadProgram(name string) *analysis.Program {
+	switch name {
+	case "reject_oob":
+		p := OOBProgram()
+		p.Method.Name = name
+		return p
+	case "reject_stale":
+		return canned(name, analysis.NativeSummary{
+			MinOff: 0, MaxOff: cannedLen*4 - 1, UseAfterRelease: true,
+		})
+	case "reject_forge":
+		return canned(name, analysis.NativeSummary{
+			MinOff: 0, MaxOff: cannedLen*4 - 1, Write: true, ForgeTag: true,
+		})
+	}
+	return nil
+}

@@ -94,6 +94,9 @@ type TelemetrySnapshot struct {
 	RequestsTotal         uint64           `json:"requests_total"`
 	FaultsTotal           uint64           `json:"faults_total"`
 	ErrorsTotal           uint64           `json:"errors_total"`
+	ScreenedTotal         uint64           `json:"screened_total"`
+	ScreenRejectedTotal   uint64           `json:"screen_rejected_total"`
+	ScreenCacheHits       uint64           `json:"screen_cache_hits"`
 	UniqueFaultSignatures int              `json:"unique_fault_signatures"`
 	DroppedFaultRecords   uint64           `json:"dropped_fault_records"`
 	Latency               LatencySummary   `json:"latency"`
@@ -119,6 +122,11 @@ type Sink struct {
 
 	requests, faults, errors uint64
 	latency                  LatencySummary
+
+	// Admission-screening counters: every inline program screened by the
+	// server, how many were rejected pre-execution, and how many verdicts
+	// came from the screen cache.
+	screened, screenRejected, screenCacheHits uint64
 }
 
 // NewSink creates a sink whose fault ring keeps at most capacity records
@@ -163,6 +171,22 @@ func (s *Sink) ObserveRequest(d time.Duration, faulted, failed bool) {
 		}
 	}
 	s.latency.BucketsUS[idx]++
+}
+
+// ObserveScreen records one static admission screening of an inline
+// program: whether the program was rejected pre-execution and whether the
+// verdict was served from the screen cache. Rejected screenings never reach
+// ObserveRequest — screening is admission control, not request execution.
+func (s *Sink) ObserveScreen(rejected, cacheHit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.screened++
+	if rejected {
+		s.screenRejected++
+	}
+	if cacheHit {
+		s.screenCacheHits++
+	}
 }
 
 // RecordFault folds a fault into the ring and the dedup table, returning the
@@ -214,6 +238,9 @@ func (s *Sink) Snapshot() TelemetrySnapshot {
 		RequestsTotal:         s.requests,
 		FaultsTotal:           s.faults,
 		ErrorsTotal:           s.errors,
+		ScreenedTotal:         s.screened,
+		ScreenRejectedTotal:   s.screenRejected,
+		ScreenCacheHits:       s.screenCacheHits,
 		UniqueFaultSignatures: len(s.sigs),
 		DroppedFaultRecords:   s.seq - uint64(len(s.ring)),
 		Latency:               s.latency,

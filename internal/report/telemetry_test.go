@@ -92,3 +92,21 @@ func TestSinkRingBounded(t *testing.T) {
 		t.Fatalf("RecordFault bumped FaultsTotal to %d", snap.FaultsTotal)
 	}
 }
+
+func TestSinkScreenCounters(t *testing.T) {
+	s := NewSink(8)
+	s.ObserveScreen(false, false) // admitted, cold
+	s.ObserveScreen(true, false)  // rejected, cold
+	s.ObserveScreen(true, true)   // rejected, cached
+	s.ObserveScreen(false, true)  // admitted, cached
+
+	snap := s.Snapshot()
+	if snap.ScreenedTotal != 4 || snap.ScreenRejectedTotal != 2 || snap.ScreenCacheHits != 2 {
+		t.Fatalf("screen counters = %d/%d/%d, want 4/2/2",
+			snap.ScreenedTotal, snap.ScreenRejectedTotal, snap.ScreenCacheHits)
+	}
+	// Screening is admission control: it must not count as request traffic.
+	if snap.RequestsTotal != 0 {
+		t.Fatalf("screening leaked into requests_total: %d", snap.RequestsTotal)
+	}
+}

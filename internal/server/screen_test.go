@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/pool"
+)
+
+// postProgram submits an inline program and decodes the 422 rejection when
+// one comes back.
+func postProgram(t *testing.T, ts *httptest.Server, raw []byte) (int, *RejectResponse) {
+	t.Helper()
+	body, _ := json.Marshal(RunRequest{Scheme: "sync", Program: raw})
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		return resp.StatusCode, nil
+	}
+	var rej RejectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, &rej
+}
+
+// TestScreenRejectsBadPrograms is the acceptance-criteria check: every
+// seeded bad program submitted to /run comes back 422 with the structured
+// verdict, and no pool session is ever created for any of them.
+func TestScreenRejectsBadPrograms(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	files, err := filepath.Glob("../analysis/testdata/bad/*.json")
+	if err != nil || len(files) < 3 {
+		t.Fatalf("glob: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, rej := postProgram(t, ts, raw)
+		if code != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422", f, code)
+			continue
+		}
+		v := rej.Verdict
+		if rej.Error == "" || v == nil || !v.Rejected() {
+			t.Errorf("%s: incomplete rejection: %+v", f, rej)
+			continue
+		}
+		if v.Rule != analysis.RuleNativeFault || v.PC < 0 || v.Native == "" || len(v.Provenance) == 0 {
+			t.Errorf("%s: verdict missing detail: %+v", f, v)
+		}
+	}
+
+	// Rejections consume nothing: no sessions, no request traffic — only
+	// the screening counters move.
+	var m MetricsResponse
+	getJSON(t, ts, "/metrics", &m)
+	if m.Pool.Created != 0 || len(s.Pool().Sessions()) != 0 {
+		t.Fatalf("rejected programs consumed sessions: %+v", m.Pool)
+	}
+	if m.RequestsTotal != 0 || m.Pool.Quarantined != 0 {
+		t.Fatalf("rejected programs counted as requests: %+v", m)
+	}
+	if m.ScreenedTotal != uint64(len(files)) || m.ScreenRejectedTotal != uint64(len(files)) {
+		t.Fatalf("screen counters = %d/%d, want %d/%d",
+			m.ScreenedTotal, m.ScreenRejectedTotal, len(files), len(files))
+	}
+}
+
+func TestScreenCacheHitOnResubmit(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	raw, err := os.ReadFile("../analysis/testdata/bad/use_after_release.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, rej := postProgram(t, ts, raw)
+	if code != 422 || rej.Verdict.Cached {
+		t.Fatalf("first submit: code=%d cached=%v", code, rej != nil && rej.Verdict.Cached)
+	}
+	code, rej = postProgram(t, ts, raw)
+	if code != 422 || !rej.Verdict.Cached {
+		t.Fatalf("resubmit: code=%d, verdict not served from cache: %+v", code, rej.Verdict)
+	}
+	var m MetricsResponse
+	getJSON(t, ts, "/metrics", &m)
+	if m.ScreenedTotal != 2 || m.ScreenRejectedTotal != 2 || m.ScreenCacheHits != 1 {
+		t.Fatalf("screen counters = %d/%d/%d, want 2/2/1",
+			m.ScreenedTotal, m.ScreenRejectedTotal, m.ScreenCacheHits)
+	}
+	if hits, misses := s.ScreenCache().Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("cache stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+// TestScreenAdmitsSafeAndUnknown: only *provably faulting* programs are
+// rejected — safe programs run, and unknown-verdict programs are admitted
+// and left to the runtime scheme.
+func TestScreenAdmitsSafeAndUnknown(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	safeRaw, err := analysis.MarshalProgram(pool.SafeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out := postRun(t, ts, RunRequest{Scheme: "sync", Program: safeRaw})
+	if code != http.StatusOK || !out.OK {
+		t.Fatalf("safe program: code=%d %+v", code, out)
+	}
+
+	// A native with no behavioural summary screens unknown; the server must
+	// admit it (here it fails at run time with a managed error, not a 422).
+	unknown := []byte(`{
+	  "method": {
+	    "name": "unknown", "maxLocals": 1, "maxRefs": 1,
+	    "nativeNames": ["mystery"],
+	    "code": [
+	      {"op": "const", "a": 8},
+	      {"op": "newarray"},
+	      {"op": "callnative"},
+	      {"op": "const", "a": 0},
+	      {"op": "return"}
+	    ]
+	  }
+	}`)
+	code, out = postRun(t, ts, RunRequest{Scheme: "sync", Program: unknown})
+	if code != http.StatusOK {
+		t.Fatalf("unknown program: code=%d, want 200 (admitted)", code)
+	}
+	if out.OK || out.Error == "" {
+		t.Fatalf("unknown program should fail at run time: %+v", out)
+	}
+
+	var m MetricsResponse
+	getJSON(t, ts, "/metrics", &m)
+	if m.ScreenedTotal != 2 || m.ScreenRejectedTotal != 0 {
+		t.Fatalf("screen counters = %d/%d, want 2/0", m.ScreenedTotal, m.ScreenRejectedTotal)
+	}
+	if m.RequestsTotal != 2 {
+		t.Fatalf("admitted programs must count as requests: %d", m.RequestsTotal)
+	}
+}
+
+// TestScreenExemptsCannedProbes: the canned oob probe exists to exercise the
+// runtime fault path end to end, so it must keep reaching a session even
+// though the same program submitted inline is screened out.
+func TestScreenExemptsCannedProbes(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	code, out := postRun(t, ts, RunRequest{Scheme: "sync", Canned: "oob"})
+	if code != http.StatusOK || out.Fault == nil {
+		t.Fatalf("canned oob: code=%d %+v", code, out)
+	}
+
+	oobRaw, err := analysis.MarshalProgram(pool.OOBProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, rej := postProgram(t, ts, oobRaw); code != 422 || rej.Verdict == nil {
+		t.Fatalf("inline oob: code=%d, want 422", code)
+	}
+}
+
+// TestScreenRejectsAllBadProgramBuilders: the load generator's -reject-rate
+// corpus must actually be rejected, each with its own provenance shape.
+func TestScreenRejectsAllBadProgramBuilders(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, name := range pool.BadProgramNames {
+		p := pool.BadProgram(name)
+		if p == nil {
+			t.Fatalf("no builder for %s", name)
+		}
+		raw, err := analysis.MarshalProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, rej := postProgram(t, ts, raw)
+		if code != 422 || rej.Verdict == nil || len(rej.Verdict.Provenance) == 0 {
+			t.Errorf("%s: code=%d rej=%+v", name, code, rej)
+		}
+	}
+}

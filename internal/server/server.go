@@ -42,16 +42,20 @@ type Config struct {
 	// AcquireTimeout bounds how long a request waits for a session before
 	// the server sheds it with 503 (default 5s).
 	AcquireTimeout time.Duration
+	// ScreenCacheSize bounds the admission-screen verdict cache
+	// (analysis.DefaultScreenCacheSize when 0).
+	ScreenCacheSize int
 }
 
 // Server is the serving daemon. Create with New, mount via Handler, stop
 // with Shutdown.
 type Server struct {
-	cfg   Config
-	pool  *pool.Pool
-	sink  *report.Sink
-	start time.Time
-	http  *http.Server
+	cfg    Config
+	pool   *pool.Pool
+	sink   *report.Sink
+	screen *analysis.ScreenCache
+	start  time.Time
+	http   *http.Server
 }
 
 // New builds a Server and its pool.
@@ -60,10 +64,11 @@ func New(cfg Config) *Server {
 		cfg.AcquireTimeout = 5 * time.Second
 	}
 	s := &Server{
-		cfg:   cfg,
-		pool:  pool.New(cfg.Pool),
-		sink:  report.NewSink(cfg.SinkCapacity),
-		start: time.Now(),
+		cfg:    cfg,
+		pool:   pool.New(cfg.Pool),
+		sink:   report.NewSink(cfg.SinkCapacity),
+		screen: analysis.NewScreenCache(cfg.ScreenCacheSize),
+		start:  time.Now(),
 	}
 	s.http = &http.Server{
 		Handler:           s.Handler(),
@@ -79,6 +84,9 @@ func (s *Server) Pool() *pool.Pool { return s.pool }
 
 // Sink exposes the telemetry sink, for tests.
 func (s *Server) Sink() *report.Sink { return s.sink }
+
+// ScreenCache exposes the admission-screen verdict cache, for tests.
+func (s *Server) ScreenCache() *analysis.ScreenCache { return s.screen }
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -161,6 +169,14 @@ type RunResponse struct {
 	Fault      *report.FaultRecord `json:"fault,omitempty"`
 }
 
+// RejectResponse is the 422 reply for a program the static admission screen
+// proves will fault: the human-readable error plus the full machine-readable
+// verdict (rule, pc, native, provenance chain).
+type RejectResponse struct {
+	Error   string                  `json:"error"`
+	Verdict *analysis.ScreenVerdict `json:"verdict"`
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		jsonError(w, http.StatusMethodNotAllowed, "POST only")
@@ -190,6 +206,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Program) > 0 {
 		selected++
+		// Static admission screen: inline programs the analyzer proves will
+		// fault are rejected here with the structured verdict, before any
+		// session is leased or quarantine slot risked. Canned probes are
+		// deliberately exempt — they exist to exercise the runtime fault
+		// path end to end.
+		verdict, cacheHit, serr := s.screen.ScreenBytes(req.Program)
+		if serr != nil {
+			jsonError(w, http.StatusBadRequest, "bad program: %v", serr)
+			return
+		}
+		s.sink.ObserveScreen(verdict.Rejected(), cacheHit)
+		if verdict.Rejected() {
+			writeJSON(w, http.StatusUnprocessableEntity, RejectResponse{
+				Error:   fmt.Sprintf("program rejected by static admission screen: %s", verdict.Reason),
+				Verdict: verdict,
+			})
+			return
+		}
 		prog, err = analysis.ParseProgram(req.Program)
 		if err != nil {
 			jsonError(w, http.StatusBadRequest, "bad program: %v", err)

@@ -50,23 +50,29 @@ done
 URL="http://$(cat "$ADDR_FILE")"
 
 # Mixed run: 50 requests, every 10th a deliberately-faulting OOB probe.
-# First traffic against a fresh server, so the load generator's /metrics
-# reconciliation checks the server's cumulative counters exactly.
+# The load generator reconciles the *change* in /metrics over each run, so
+# every run below gets the full reconciliation even on a warm server.
 "$BIN" load -url "$URL" -n 50 -c 8 -fault-every 10
 
 # Full-capacity burst: 64 concurrent workers saturating all 64 sessions,
-# with faults sprinkled in. Counters are now cumulative across both runs,
-# so skip the generator's exact-match reconcile; per-request verdict
-# checks (fault iff injected) still apply.
-"$BIN" load -url "$URL" -n 192 -c 64 -fault-every 16 -no-reconcile
+# with faults sprinkled in.
+"$BIN" load -url "$URL" -n 192 -c 64 -fault-every 16
 
-# Optional cross-check of the cumulative counters (50+192 requests,
-# 5+12 faults) when curl is available; the fresh-server reconcile above
-# already gated the counter plumbing.
+# Admission-screen run: every 4th request submits a known provably-faulting
+# inline program that must come back 422-with-verdict without consuming a
+# session (-reject-rate wins over -fault-every on overlapping indices:
+# 15 rejects, 3 injected faults, 45 executed requests). The generator
+# reconciles the screening counters (screened/rejected/cache-hit) too.
+"$BIN" load -url "$URL" -n 60 -c 8 -fault-every 10 -reject-rate 4
+
+# Optional cross-check of the cumulative counters (50+192+45 executed
+# requests, 5+12+3 faults, 15 screenings all rejected) when curl is
+# available; the per-run delta reconciles above already gated the plumbing.
 if command -v curl >/dev/null 2>&1; then
 	METRICS="$TMP/metrics.json"
 	curl -fsS "$URL/metrics" >"$METRICS"
-	for want in '"requests_total":242' '"faults_total":17' '"quarantined":17'; do
+	for want in '"requests_total":287' '"faults_total":20' '"quarantined":20' \
+		'"screened_total":15' '"screen_rejected_total":15'; do
 		if ! grep -q "$want" "$METRICS"; then
 			echo "serve-smoke: /metrics missing $want:" >&2
 			cat "$METRICS" >&2
@@ -84,4 +90,4 @@ if ! wait "$SERVE_PID"; then
 fi
 SERVE_PID=""
 
-echo "serve-smoke: ok (242 requests, 17 injected faults detected, clean shutdown)"
+echo "serve-smoke: ok (287 requests, 20 injected faults detected, 15 bad programs screened out, clean shutdown)"

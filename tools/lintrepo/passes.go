@@ -1,0 +1,338 @@
+package main
+
+// The four repo-invariant passes. Each works on plain syntax (go/ast, no
+// type information — the repo is stdlib-only, so there is no go/analysis
+// driver to borrow a type checker from); where syntax alone is ambiguous
+// the pass errs toward silence and documents the heuristic.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// diagnostic is one finding, positioned for file:line:col rendering.
+type diagnostic struct {
+	pos token.Pos
+	msg string
+}
+
+// runPasses applies every pass that claims the package and returns the
+// findings in source order (the order the walks produce them).
+func runPasses(fset *token.FileSet, importPath string, files []*ast.File) []diagnostic {
+	var diags []diagnostic
+	diags = append(diags, checkNoinlineFault(importPath, files)...)
+	diags = append(diags, checkMemEncapsulation(importPath, files)...)
+	diags = append(diags, checkFastpath(files)...)
+	diags = append(diags, checkAtomicConsistency(files)...)
+	return diags
+}
+
+// hasDirective reports whether the declaration's doc block contains the
+// given comment directive (an exact //-comment line, no leading space).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: noinline-fault.
+//
+// internal/mem outlines all fault construction into //go:noinline helpers so
+// the fault-free access path performs zero allocations (the property
+// TestCheckedAccessAllocs pins). A new *mte.Fault composite literal in a
+// function the compiler may inline would silently drag the Backtrace
+// allocation back onto the hot path; this pass makes that a lint failure
+// instead of a perf regression.
+
+// faultConstructorPkg is the only package the noinline rule applies to.
+const faultConstructorPkg = modulePath + "/internal/mem"
+
+func checkNoinlineFault(importPath string, files []*ast.File) []diagnostic {
+	if importPath != faultConstructorPkg {
+		return nil
+	}
+	var diags []diagnostic
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || hasDirective(fn.Doc, "//go:noinline") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok || !isSelector(cl.Type, "mte", "Fault") {
+					return true
+				}
+				diags = append(diags, diagnostic{
+					pos: fn.Pos(),
+					msg: fmt.Sprintf("%s constructs mte.Fault but is not marked //go:noinline: fault construction must stay outlined so the fault-free access path does not allocate", fn.Name.Name),
+				})
+				return false
+			})
+		}
+	}
+	return diags
+}
+
+// isSelector reports whether e is the selector expression pkg.name.
+func isSelector(e ast.Expr, pkg, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: mem-encapsulation.
+//
+// Space's raw internals — direct tag-storage writes, unchecked byte
+// windows, scan-lock plumbing — are implementation surface for the
+// memory-management tier, not API for the serving and analysis layers
+// above it. Only the tier that simulates the machine may call them;
+// everything else must go through checked accesses (Load*/Store*/Copy*)
+// or the heap/VM abstractions.
+
+// spaceInternals are the Space/Mapping methods the upper layers must not
+// call. Bytes is handled separately (see memBytesSuspicious): the name
+// collides with bytes.Buffer.Bytes and friends, so it is only flagged when
+// the receiver is syntactically tied to a mem mapping.
+var spaceInternals = map[string]bool{
+	"SetTagRange":    true,
+	"ZeroTagRange":   true,
+	"ReadRaw":        true,
+	"WriteRaw":       true,
+	"EnableScanSync": true,
+	"LockScan":       true,
+	"UnlockScan":     true,
+}
+
+// memTier are the packages allowed to touch Space internals: the machine
+// simulation itself plus the differential fuzzer and the root package's
+// figure/bench drivers, which deliberately poke raw state to stage
+// scenarios.
+var memTier = map[string]bool{
+	modulePath:                           true,
+	modulePath + "/internal/mem":         true,
+	modulePath + "/internal/heap":        true,
+	modulePath + "/internal/vm":          true,
+	modulePath + "/internal/core":        true,
+	modulePath + "/internal/jni":         true,
+	modulePath + "/internal/guardedcopy": true,
+	modulePath + "/internal/fuzz":        true,
+}
+
+func checkMemEncapsulation(importPath string, files []*ast.File) []diagnostic {
+	if memTier[importPath] {
+		return nil
+	}
+	var diags []diagnostic
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case spaceInternals[name]:
+			case name == "Bytes" && memBytesSuspicious(sel.X):
+			default:
+				return true
+			}
+			diags = append(diags, diagnostic{
+				pos: call.Pos(),
+				msg: fmt.Sprintf("call to %s reaches into mem.Space internals from %s: raw tag storage and scan locks are only for the memory-management tier (internal/{mem,heap,vm,core,jni,guardedcopy,fuzz}); use checked accesses or the heap/VM API", name, importPath),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// memBytesSuspicious reports whether the receiver of a .Bytes() call is
+// syntactically a mem mapping — i.e. the expression itself goes through a
+// Mapping() accessor (vm.JavaHeap.Mapping().Bytes(...)). Plain identifiers
+// (bytes.Buffer and friends) are left alone: without type information the
+// name alone proves nothing, and a denied package holding a *mem.Mapping in
+// a local would already have been flagged at whatever internals call
+// produced it.
+func memBytesSuspicious(recv ast.Expr) bool {
+	found := false
+	ast.Inspect(recv, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Mapping" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: fastpath.
+//
+// Functions annotated //mte4jni:fastpath are the per-access engine: they run
+// once per simulated load/store and are covered by zero-allocation tests.
+// The pass rejects constructs that allocate or take timestamps — the two
+// regressions that creep in silently and only show up later as a bench
+// delta: make/new/append, &composite literals, closures, go/defer (defer
+// also costs on the happy path), and time.Now/time.Since/fmt calls.
+
+// fastpathDirective marks a function as per-access hot path.
+const fastpathDirective = "//mte4jni:fastpath"
+
+func checkFastpath(files []*ast.File) []diagnostic {
+	var diags []diagnostic
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, fastpathDirective) {
+				continue
+			}
+			diags = append(diags, checkFastpathBody(fn)...)
+		}
+	}
+	return diags
+}
+
+func checkFastpathBody(fn *ast.FuncDecl) []diagnostic {
+	var diags []diagnostic
+	bad := func(pos token.Pos, what string) {
+		diags = append(diags, diagnostic{
+			pos: pos,
+			msg: fmt.Sprintf("fastpath function %s %s: %s functions run once per simulated access and must not allocate or take timestamps", fn.Name.Name, what, fastpathDirective),
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "make" || fun.Name == "new" || fun.Name == "append" {
+					bad(n.Pos(), fmt.Sprintf("allocates via %s", fun.Name))
+				}
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok {
+					switch {
+					case id.Name == "time" && (fun.Sel.Name == "Now" || fun.Sel.Name == "Since"):
+						bad(n.Pos(), "calls time."+fun.Sel.Name)
+					case id.Name == "fmt":
+						bad(n.Pos(), "calls fmt."+fun.Sel.Name)
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					bad(n.Pos(), "heap-allocates a &composite literal")
+				}
+			}
+		case *ast.FuncLit:
+			bad(n.Pos(), "creates a closure")
+			return false
+		case *ast.GoStmt:
+			bad(n.Pos(), "starts a goroutine")
+		case *ast.DeferStmt:
+			bad(n.Pos(), "defers a call")
+		}
+		return true
+	})
+	return diags
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: atomic-consistency.
+//
+// A field read or written through sync/atomic anywhere in a package must be
+// accessed that way everywhere in the package: one plain `s.f = v` next to
+// an atomic.LoadUint64(&s.f) is a data race the race detector only catches
+// if a test happens to interleave the two. The pass collects every field
+// name that appears as &x.f in an atomic call, then flags plain assignments
+// and ++/-- on selectors with those names.
+//
+// Matching is by field name only (no type information), which is exactly as
+// strong as the repo's naming discipline — a false positive is resolved by
+// renaming one of the fields, which the race-prone code needed anyway for a
+// human reader.
+
+func checkAtomicConsistency(files []*ast.File) []diagnostic {
+	atomicFields := map[string]token.Pos{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !strings.HasPrefix(sel.Sel.Name, "Load") &&
+				!strings.HasPrefix(sel.Sel.Name, "Store") &&
+				!strings.HasPrefix(sel.Sel.Name, "Add") &&
+				!strings.HasPrefix(sel.Sel.Name, "Swap") &&
+				!strings.HasPrefix(sel.Sel.Name, "CompareAndSwap") {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fsel, ok := un.X.(*ast.SelectorExpr); ok {
+					if _, seen := atomicFields[fsel.Sel.Name]; !seen {
+						atomicFields[fsel.Sel.Name] = fsel.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	var diags []diagnostic
+	flag := func(sel *ast.SelectorExpr, how string) {
+		if _, ok := atomicFields[sel.Sel.Name]; !ok {
+			return
+		}
+		diags = append(diags, diagnostic{
+			pos: sel.Pos(),
+			msg: fmt.Sprintf("field %s is accessed with sync/atomic elsewhere in this package but %s here: mixed plain/atomic access is a data race", sel.Sel.Name, how),
+		})
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						flag(sel, "plainly assigned")
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, ok := n.X.(*ast.SelectorExpr); ok {
+					flag(sel, "plainly incremented")
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,24 @@
+// Fixture for the atomic-consistency pass: counter.n is loaded atomically
+// in hits() but plainly assigned in reset() and incremented in bump() —
+// both must be flagged. The untouched field m must not.
+package pool
+
+import "sync/atomic"
+
+type counter struct {
+	n uint64
+	m uint64
+}
+
+func (c *counter) hits() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counter) reset() {
+	c.n = 0 // flagged: plain store to an atomically-read field
+	c.m = 0 // fine: m is never touched atomically
+}
+
+func (c *counter) bump() {
+	c.n++ // flagged: plain read-modify-write
+}

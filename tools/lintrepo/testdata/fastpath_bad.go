@@ -1,0 +1,41 @@
+// Fixture for the fastpath pass: slowLookup carries the annotation and
+// violates it five ways; fastLookup carries it and is clean; unannotated
+// may do anything.
+package mem
+
+import (
+	"fmt"
+	"time"
+)
+
+// slowLookup is annotated hot but allocates and takes timestamps.
+//
+//mte4jni:fastpath
+func slowLookup(addr uint64) int {
+	start := time.Now() // flagged
+	buf := make([]byte, 8)
+	defer fmt.Println(start) // flagged twice: defer + fmt call
+	f := &record{addr: addr} // flagged
+	_ = f
+	return len(buf)
+}
+
+// fastLookup is annotated hot and stays in the zero-cost regime.
+//
+//mte4jni:fastpath
+func fastLookup(addr uint64, tags []uint8) int {
+	for i := range tags {
+		if uint64(tags[i]) == addr&0xF {
+			return i
+		}
+	}
+	return -1
+}
+
+// unannotated is ordinary code: no constraints.
+func unannotated() []byte {
+	defer fmt.Println(time.Now())
+	return make([]byte, 8)
+}
+
+type record struct{ addr uint64 }

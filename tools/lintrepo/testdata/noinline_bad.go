@@ -1,0 +1,24 @@
+// Fixture for the noinline-fault pass, analyzed as mte4jni/internal/mem:
+// badFault must be flagged (fault construction without //go:noinline),
+// goodFault and unrelated must not.
+package mem
+
+import "mte4jni/internal/mte"
+
+// badFault builds a fault inline — the compiler may inline it into the hot
+// path, dragging the allocation along. The pass must flag it.
+func badFault(kind mte.FaultKind) *mte.Fault {
+	return &mte.Fault{Kind: kind}
+}
+
+// goodFault is the sanctioned shape: outlined by directive.
+//
+//go:noinline
+func goodFault(kind mte.FaultKind) *mte.Fault {
+	return &mte.Fault{Kind: kind}
+}
+
+// unrelated constructs no fault and needs no directive.
+func unrelated() int {
+	return 7
+}
