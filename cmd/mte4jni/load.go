@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +37,9 @@ func runLoad(args []string) error {
 	iters := fs.Int("iters", 1, "workload iterations per request")
 	faultEvery := fs.Int("fault-every", 0, "make every k-th request the deliberately-faulting OOB probe (0 = never)")
 	rejectRate := fs.Int("reject-rate", 0, "make every k-th request a known-bad inline program the admission screen must reject with 422 (0 = never; wins over -fault-every)")
+	cancelRate := fs.Int("cancel-rate", 0, "make every k-th request a runaway spin program whose connection the client abandons after -cancel-after (0 = never; the server must count it canceled_total and recycle the lease)")
+	cancelAfter := fs.Duration("cancel-after", 50*time.Millisecond, "how long a -cancel-rate request runs before the client disconnects")
+	deadlineRate := fs.Int("deadline-rate", 0, "make every k-th request a runaway spin program the server's -run-timeout must cut off with 504 (0 = never)")
 	noReconcile := fs.Bool("no-reconcile", false, "skip the /metrics reconciliation (server is shared with other clients)")
 	fs.Parse(args)
 	if _, err := server.ParseScheme(*scheme); err != nil {
@@ -53,6 +57,17 @@ func runLoad(args []string) error {
 			return fmt.Errorf("load: marshal %s: %w", name, err)
 		}
 		badProgs = append(badProgs, raw)
+	}
+
+	// The runaway probe for cancel/deadline injection: a pure countdown loop
+	// the admission screen admits but no sane budget lets finish.
+	var spinProg []byte
+	if *cancelRate > 0 || *deadlineRate > 0 {
+		raw, err := analysis.MarshalProgram(pool.SpinProgram(1 << 40))
+		if err != nil {
+			return fmt.Errorf("load: marshal spin program: %w", err)
+		}
+		spinProg = raw
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -76,11 +91,16 @@ func runLoad(args []string) error {
 			defer wg.Done()
 			for i := range jobs {
 				req := server.RunRequest{Scheme: *scheme}
+				// Injection precedence: reject > cancel > deadline > fault.
 				reject := *rejectRate > 0 && (i+1)%*rejectRate == 0
-				injected := !reject && *faultEvery > 0 && (i+1)%*faultEvery == 0
+				canceled := !reject && *cancelRate > 0 && (i+1)%*cancelRate == 0
+				deadlined := !reject && !canceled && *deadlineRate > 0 && (i+1)%*deadlineRate == 0
+				injected := !reject && !canceled && !deadlined && *faultEvery > 0 && (i+1)%*faultEvery == 0
 				switch {
 				case reject:
 					req.Program = badProgs[i%len(badProgs)]
+				case canceled, deadlined:
+					req.Program = spinProg
 				case injected:
 					req.Canned = "oob"
 				case *workload != "":
@@ -89,7 +109,14 @@ func runLoad(args []string) error {
 				default:
 					req.Canned = "safe"
 				}
-				outcomes[i] = fire(client, *url, req, injected, reject)
+				switch {
+				case canceled:
+					outcomes[i] = fireCancel(client, *url, req, *cancelAfter)
+				case deadlined:
+					outcomes[i] = fireDeadline(client, *url, req)
+				default:
+					outcomes[i] = fire(client, *url, req, injected, reject)
+				}
 			}
 		}()
 	}
@@ -101,7 +128,7 @@ func runLoad(args []string) error {
 	wall := time.Since(start)
 
 	// Aggregate.
-	var ok, faulted, injected, rejected, failed int
+	var ok, faulted, injected, rejected, canceled, deadlined, failed int
 	lats := make([]time.Duration, 0, *n)
 	for i, o := range outcomes {
 		if o.err != nil {
@@ -111,8 +138,14 @@ func runLoad(args []string) error {
 			}
 			continue
 		}
-		lats = append(lats, o.latency)
 		switch {
+		case o.canceled:
+			// An abandoned connection has no server response, so no
+			// meaningful latency sample either.
+			canceled++
+			continue
+		case o.deadlined:
+			deadlined++
 		case o.rejected:
 			rejected++
 		case o.faulted:
@@ -120,6 +153,7 @@ func runLoad(args []string) error {
 		default:
 			ok++
 		}
+		lats = append(lats, o.latency)
 		if o.injected {
 			injected++
 		}
@@ -134,8 +168,8 @@ func runLoad(args []string) error {
 	}
 	fmt.Printf("load: %d requests over %d workers in %v (%.0f req/s)\n",
 		*n, *c, wall.Round(time.Millisecond), float64(*n)/wall.Seconds())
-	fmt.Printf("  ok=%d faulted=%d (injected %d) rejected=%d transport-errors=%d\n",
-		ok, faulted, injected, rejected, failed)
+	fmt.Printf("  ok=%d faulted=%d (injected %d) rejected=%d canceled=%d deadlined=%d transport-errors=%d\n",
+		ok, faulted, injected, rejected, canceled, deadlined, failed)
 	if len(lats) > 0 {
 		fmt.Printf("  latency: p50=%v p95=%v p99=%v max=%v\n",
 			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
@@ -150,9 +184,23 @@ func runLoad(args []string) error {
 	}
 
 	if !*noReconcile {
+		// A client-side disconnect is observed by the server asynchronously:
+		// the interpreter notices on its next cancellation poll, counts the
+		// abort, and releases the lease *after* the client has already moved
+		// on. Poll until the abort counters and the lease ledger settle
+		// before comparing deltas.
 		var after server.MetricsResponse
-		if err := getJSON(client, *url+"/metrics", &after); err != nil {
-			return fmt.Errorf("load: fetching /metrics: %w", err)
+		settleBy := time.Now().Add(15 * time.Second)
+		for {
+			if err := getJSON(client, *url+"/metrics", &after); err != nil {
+				return fmt.Errorf("load: fetching /metrics: %w", err)
+			}
+			settled := after.CanceledTotal-before.CanceledTotal >= uint64(canceled) &&
+				after.Pool.Leased == 0
+			if settled || time.Now().After(settleBy) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 		dRequests := after.RequestsTotal - before.RequestsTotal
 		dFaults := after.FaultsTotal - before.FaultsTotal
@@ -160,26 +208,71 @@ func runLoad(args []string) error {
 		dScreened := after.ScreenedTotal - before.ScreenedTotal
 		dRejected := after.ScreenRejectedTotal - before.ScreenRejectedTotal
 		dCacheHits := after.ScreenCacheHits - before.ScreenCacheHits
+		dCanceled := after.CanceledTotal - before.CanceledTotal
+		dDeadline := after.DeadlineExceededTotal - before.DeadlineExceededTotal
+		dErrors := after.ErrorsTotal - before.ErrorsTotal
+		dCanceledLeases := after.Pool.CanceledLeases - before.Pool.CanceledLeases
 		fmt.Printf("  server: +requests=%d +faults=%d +screened=%d +rejected=%d +cache-hits=%d +quarantined=%d\n",
 			dRequests, dFaults, dScreened, dRejected, dCacheHits, dQuarantined)
+		if canceled+deadlined > 0 {
+			fmt.Printf("  server: +canceled=%d +deadline-exceeded=%d +canceled-leases=%d leased-now=%d\n",
+				dCanceled, dDeadline, dCanceledLeases, after.Pool.Leased)
+		}
+		// Abort accounting must be exact: every client disconnect and every
+		// deadline cutoff shows up in its counter, exactly once, and never
+		// doubles as an error.
+		if dCanceled != uint64(canceled) {
+			return fmt.Errorf("load: canceled_total off: server counted +%d, client abandoned %d requests", dCanceled, canceled)
+		}
+		if dDeadline != uint64(deadlined) {
+			return fmt.Errorf("load: deadline_exceeded_total off: server counted +%d, client expected %d", dDeadline, deadlined)
+		}
+		if dErrors != 0 {
+			return fmt.Errorf("load: +%d errors_total: aborts or faults misclassified as errors", dErrors)
+		}
+		if after.Pool.Leased != 0 {
+			return fmt.Errorf("load: %d leases still outstanding after drain: leaked lease", after.Pool.Leased)
+		}
+		if dCanceledLeases > uint64(canceled+deadlined) {
+			return fmt.Errorf("load: +%d canceled leases for %d injected aborts", dCanceledLeases, canceled+deadlined)
+		}
 		// A rejected program never becomes a request: the screen turns it
-		// away before a session is leased or a request observed.
-		if dRequests != uint64(*n-rejected) || dFaults != uint64(faulted) {
-			return fmt.Errorf("load: metrics do not reconcile: server saw +%d requests / +%d faults, client expected +%d / +%d",
-				dRequests, dFaults, *n-rejected, faulted)
+		// away before a session is leased or a request observed. An
+		// abandoned connection usually completes as a 499 request, but a
+		// cancel landing before the run starts legitimately short-circuits
+		// earlier — hence the canceled-wide tolerance (and exactness when no
+		// cancels were injected).
+		wantReqMax := uint64(*n - rejected)
+		wantReqMin := wantReqMax - uint64(canceled)
+		if dRequests > wantReqMax || dRequests < wantReqMin || dFaults != uint64(faulted) {
+			return fmt.Errorf("load: metrics do not reconcile: server saw +%d requests / +%d faults, client expected +%d..%d / +%d",
+				dRequests, dFaults, wantReqMin, wantReqMax, faulted)
 		}
 		if dQuarantined != uint64(faulted) {
 			return fmt.Errorf("load: %d faults but +%d sessions quarantined", faulted, dQuarantined)
 		}
-		if dScreened != uint64(rejected) || dRejected != uint64(rejected) {
-			return fmt.Errorf("load: screening counters do not reconcile: server screened +%d / rejected +%d, client sent %d bad programs",
-				dScreened, dRejected, rejected)
+		// Inline programs — bad ones and runaway spins alike — all pass the
+		// admission screen; only the bad ones are rejected. Cancels that
+		// disconnected before screening shave the screened total, same
+		// tolerance as requests above.
+		wantScreenMax := uint64(rejected + canceled + deadlined)
+		wantScreenMin := wantScreenMax - uint64(canceled)
+		if dScreened > wantScreenMax || dScreened < wantScreenMin || dRejected != uint64(rejected) {
+			return fmt.Errorf("load: screening counters do not reconcile: server screened +%d (want %d..%d) / rejected +%d (want %d)",
+				dScreened, wantScreenMin, wantScreenMax, dRejected, rejected)
 		}
-		// All but the first (cold) screening of each distinct bad program
-		// must be verdict-cache hits.
-		if rejected > 0 && dCacheHits+uint64(len(badProgs)) < uint64(rejected) {
-			return fmt.Errorf("load: screen cache ineffective: +%d hits for %d rejections over %d distinct programs",
-				dCacheHits, rejected, len(badProgs))
+		// All but the first (cold) screening of each distinct program must
+		// be verdict-cache hits.
+		distinct := 0
+		if rejected > 0 {
+			distinct += len(badProgs)
+		}
+		if canceled+deadlined > 0 {
+			distinct++ // the spin program
+		}
+		if dScreened > 0 && dCacheHits+uint64(distinct) < dScreened {
+			return fmt.Errorf("load: screen cache ineffective: +%d hits for %d screenings over %d distinct programs",
+				dCacheHits, dScreened, distinct)
 		}
 	}
 	return nil
@@ -187,11 +280,13 @@ func runLoad(args []string) error {
 
 // loadOutcome is one request's client-side classification.
 type loadOutcome struct {
-	latency  time.Duration
-	faulted  bool
-	injected bool
-	rejected bool
-	err      error
+	latency   time.Duration
+	faulted   bool
+	injected  bool
+	rejected  bool
+	canceled  bool
+	deadlined bool
+	err       error
 }
 
 // fire sends one /run request and classifies the outcome. A response is an
@@ -250,6 +345,69 @@ func fire(client *http.Client, base string, req server.RunRequest, injected, rej
 	if !injected && out.Error != "" {
 		o.err = fmt.Errorf("session %s: %s", out.Session, out.Error)
 	}
+	return o
+}
+
+// fireCancel sends a runaway /run request and abandons the connection after
+// cancelAfter, simulating a client that walks away mid-run. Success is the
+// client-side context error: the server never gets to answer. If a response
+// does come back the runaway finished before the disconnect — either the
+// server is missing -run-timeout/-step-budget headroom or the spin was too
+// short — and the outcome is an error because the server will not have
+// counted a cancel.
+func fireCancel(client *http.Client, base string, req server.RunRequest, cancelAfter time.Duration) (o loadOutcome) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cancelAfter)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/run", bytes.NewReader(body))
+	if err != nil {
+		o.err = err
+		return o
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(hreq)
+	o.latency = time.Since(start)
+	if err == nil {
+		resp.Body.Close()
+		o.err = fmt.Errorf("abandoned runaway completed before the disconnect (status %d): cancel not injected", resp.StatusCode)
+		return o
+	}
+	o.canceled = true
+	return o
+}
+
+// fireDeadline sends a runaway /run request and requires the server's
+// -run-timeout to cut it off: a 504 carrying abort="deadline_exceeded".
+func fireDeadline(client *http.Client, base string, req server.RunRequest) (o loadOutcome) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	start := time.Now()
+	resp, err := client.Post(base+"/run", "application/json", bytes.NewReader(body))
+	o.latency = time.Since(start)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	defer resp.Body.Close()
+	var out server.RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		o.err = fmt.Errorf("decoding response (status %d): %w", resp.StatusCode, err)
+		return o
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout || out.Abort != "deadline_exceeded" {
+		o.err = fmt.Errorf("runaway not cut off by -run-timeout: status %d abort=%q (is the server running with -run-timeout?)",
+			resp.StatusCode, out.Abort)
+		return o
+	}
+	o.deadlined = true
 	return o
 }
 

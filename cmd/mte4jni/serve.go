@@ -28,6 +28,9 @@ func runServe(args []string) error {
 	seed := fs.Int64("seed", 1, "base tag-RNG seed (session n runs with seed+n)")
 	faultRing := fs.Int("fault-ring", report.DefaultSinkCapacity, "fault records retained for /metrics")
 	acquireTimeout := fs.Duration("acquire-timeout", 5*time.Second, "how long a request may wait for a session")
+	runTimeout := fs.Duration("run-timeout", 0, "per-request execution deadline, lease wait included (0 = none); expiry returns 504")
+	stepBudget := fs.Int64("step-budget", 0, "interpreter steps allowed per inline-program run (0 = interpreter default)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "how long graceful shutdown may drain in-flight requests")
 	fs.Parse(args)
 
 	srv := server.New(server.Config{
@@ -39,6 +42,8 @@ func runServe(args []string) error {
 		},
 		SinkCapacity:   *faultRing,
 		AcquireTimeout: *acquireTimeout,
+		RunTimeout:     *runTimeout,
+		StepBudget:     *stepBudget,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -67,8 +72,15 @@ func runServe(args []string) error {
 	}
 	stop()
 	fmt.Fprintln(os.Stderr, "mte4jni serve: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// The shutdown context derives from the signal context rather than a
+	// fresh Background(): WithoutCancel strips the already-fired first
+	// signal (which would expire the drain instantly) while keeping the
+	// context lineage, the timeout bounds the drain, and a second signal
+	// during the drain aborts it immediately.
+	shutdownCtx, cancel := signal.NotifyContext(context.WithoutCancel(ctx), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	shutdownCtx, cancelTimeout := context.WithTimeout(shutdownCtx, *shutdownTimeout)
+	defer cancelTimeout()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

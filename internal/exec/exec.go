@@ -1,0 +1,288 @@
+// Package exec defines the execution-context spine of the serving runtime:
+// one *Context created at the HTTP edge and threaded through every layer a
+// request touches — admission screening, the pool lease, the VM session, the
+// JNI trampolines, the interpreter dispatch loop and the workload kernels —
+// down to fault reporting.
+//
+// The Context carries three things:
+//
+//   - cancellation and deadline, by wrapping a standard context.Context (it
+//     implements context.Context itself, so it flows through APIs that speak
+//     the standard interface, like pool.Acquire);
+//   - a step/fuel budget for the interpreter, so a runaway program is bounded
+//     by policy rather than by the interpreter's hardcoded MaxSteps;
+//   - a zero-allocation span recorder over the fixed request lifecycle
+//     (edge → screen → lease → exec → release), so per-request tracing costs
+//     two time.Now calls per phase and nothing on any per-access path.
+//
+// Cancellation is cooperative: nothing in the simulated runtime is preempted.
+// The interpreter polls Canceled on an amortized countdown (every
+// interp.CancelPollInterval steps), the JNI trampoline checks it once at
+// native entry, and workload kernels check it at phase boundaries. The
+// per-access fast path (//mte4jni:fastpath in internal/mem) is untouched —
+// the same constraint that makes CHERI-style per-access instrumentation
+// viable only when the hot loop stays closed.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Phase indexes the fixed request-lifecycle spans the Context records.
+type Phase int
+
+const (
+	// PhaseEdge covers HTTP decode and request validation.
+	PhaseEdge Phase = iota
+	// PhaseScreen covers static admission screening of inline programs.
+	PhaseScreen
+	// PhaseLease covers waiting for and acquiring a pool session.
+	PhaseLease
+	// PhaseExec covers interpreter / workload execution inside the session.
+	PhaseExec
+	// PhaseRelease covers returning the session (recycle or retire).
+	PhaseRelease
+	// NumPhases sizes the fixed span arrays.
+	NumPhases
+)
+
+// String names the phase as it appears in span summaries and /metrics.
+func (p Phase) String() string {
+	switch p {
+	case PhaseEdge:
+		return "edge"
+	case PhaseScreen:
+		return "screen"
+	case PhaseLease:
+		return "lease"
+	case PhaseExec:
+		return "exec"
+	case PhaseRelease:
+		return "release"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Span is one completed phase timing, offsets relative to Context creation.
+type Span struct {
+	Phase      string `json:"phase"`
+	StartNS    int64  `json:"start_ns"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// ErrStepsExceeded is the sentinel a *StepsError matches via errors.Is: the
+// run consumed its whole step/fuel budget. Budget exhaustion is a policy
+// limit, not a memory fault — sessions that hit it are recycled, never
+// quarantined.
+var ErrStepsExceeded = errors.New("exec: step budget exceeded")
+
+// StepsError reports interpreter fuel exhaustion with the budget in force.
+type StepsError struct {
+	// Method names the bytecode method that was executing.
+	Method string
+	// Steps is the count consumed; Budget is the limit it exceeded.
+	Steps, Budget int64
+}
+
+// Error implements the error interface.
+func (e *StepsError) Error() string {
+	return fmt.Sprintf("exec: %s: exceeded step budget (%d steps, budget %d)", e.Method, e.Steps, e.Budget)
+}
+
+// Is matches ErrStepsExceeded.
+func (e *StepsError) Is(target error) bool { return target == ErrStepsExceeded }
+
+// Abort classifies why an execution ended early, for structured responses
+// and the /metrics counters.
+type Abort int
+
+const (
+	// AbortNone: the run completed (cleanly, with a fault, or with an
+	// ordinary error).
+	AbortNone Abort = iota
+	// AbortCanceled: the context was canceled (client disconnect).
+	AbortCanceled
+	// AbortDeadline: the context's deadline expired (run timeout).
+	AbortDeadline
+	// AbortSteps: the step/fuel budget was exhausted.
+	AbortSteps
+)
+
+// String renders the wire form used in RunResponse.Abort ("" for AbortNone).
+func (a Abort) String() string {
+	switch a {
+	case AbortCanceled:
+		return "canceled"
+	case AbortDeadline:
+		return "deadline_exceeded"
+	case AbortSteps:
+		return "steps_exceeded"
+	default:
+		return ""
+	}
+}
+
+// Classify maps an execution error to its abort kind: context cancellation,
+// deadline expiry, fuel exhaustion, or none (any other error, including nil).
+func Classify(err error) Abort {
+	switch {
+	case err == nil:
+		return AbortNone
+	case errors.Is(err, context.Canceled):
+		return AbortCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return AbortDeadline
+	case errors.Is(err, ErrStepsExceeded):
+		return AbortSteps
+	default:
+		return AbortNone
+	}
+}
+
+// Options configures New.
+type Options struct {
+	// StepBudget bounds interpreter steps per run (0 = the interpreter's
+	// own default).
+	StepBudget int64
+}
+
+// Context is the per-request execution context. It implements
+// context.Context (delegating to the parent it wraps) and is additionally a
+// fuel meter and a fixed-size span recorder. A nil *Context is valid and
+// means "detached": never canceled, no deadline, no budget, spans dropped —
+// so library code can call its methods unconditionally.
+//
+// A Context is owned by one request. Begin/End are not safe for concurrent
+// use; Canceled and the context.Context methods are (they only read
+// immutable fields and the parent's channel).
+type Context struct {
+	parent context.Context
+	done   <-chan struct{}
+	start  time.Time
+
+	stepBudget int64
+
+	phaseStart [NumPhases]time.Duration // offset from start; 0 = not begun
+	phaseDur   [NumPhases]time.Duration
+	phaseDone  [NumPhases]bool
+}
+
+// New creates the execution context for one request, wrapping the parent's
+// cancellation and deadline (parent may be nil for a detached context).
+func New(parent context.Context, opts Options) *Context {
+	c := &Context{parent: parent, start: time.Now(), stepBudget: opts.StepBudget}
+	if parent != nil {
+		c.done = parent.Done()
+	}
+	return c
+}
+
+// Detached returns a fresh context with no cancellation, deadline or budget
+// — the shape tests and direct (non-served) execution use.
+func Detached() *Context { return New(nil, Options{}) }
+
+// --- context.Context ------------------------------------------------------
+
+// Deadline implements context.Context.
+func (c *Context) Deadline() (time.Time, bool) {
+	if c == nil || c.parent == nil {
+		return time.Time{}, false
+	}
+	return c.parent.Deadline()
+}
+
+// Done implements context.Context.
+func (c *Context) Done() <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	return c.done
+}
+
+// Err implements context.Context.
+func (c *Context) Err() error {
+	if c == nil || c.parent == nil {
+		return nil
+	}
+	return c.parent.Err()
+}
+
+// Value implements context.Context.
+func (c *Context) Value(key any) any {
+	if c == nil || c.parent == nil {
+		return nil
+	}
+	return c.parent.Value(key)
+}
+
+// --- cancellation polling -------------------------------------------------
+
+// Canceled is the cooperative cancellation poll: non-blocking, nil-receiver
+// safe, and allocation-free on the not-canceled path. It returns the
+// parent's error (context.Canceled or context.DeadlineExceeded) once the
+// context is done, nil before.
+func (c *Context) Canceled() error {
+	if c == nil || c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.parent.Err()
+	default:
+		return nil
+	}
+}
+
+// StepBudget returns the per-run interpreter step budget (0 = unset).
+func (c *Context) StepBudget() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.stepBudget
+}
+
+// --- span recording -------------------------------------------------------
+
+// Begin marks the start of a lifecycle phase. Zero-allocation; out-of-range
+// phases and nil contexts are ignored.
+func (c *Context) Begin(p Phase) {
+	if c == nil || p < 0 || p >= NumPhases {
+		return
+	}
+	c.phaseStart[p] = time.Since(c.start)
+	c.phaseDone[p] = false
+}
+
+// End marks the end of a lifecycle phase begun with Begin. Zero-allocation.
+func (c *Context) End(p Phase) {
+	if c == nil || p < 0 || p >= NumPhases {
+		return
+	}
+	c.phaseDur[p] = time.Since(c.start) - c.phaseStart[p]
+	c.phaseDone[p] = true
+}
+
+// Spans materializes the completed phase timings in lifecycle order. This is
+// the reporting path: it allocates, and is called once per request after
+// execution, never on a hot path.
+func (c *Context) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	var out []Span
+	for p := Phase(0); p < NumPhases; p++ {
+		if !c.phaseDone[p] {
+			continue
+		}
+		out = append(out, Span{
+			Phase:      p.String(),
+			StartNS:    c.phaseStart[p].Nanoseconds(),
+			DurationNS: c.phaseDur[p].Nanoseconds(),
+		})
+	}
+	return out
+}

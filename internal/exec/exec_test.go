@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNilContextIsDetached(t *testing.T) {
+	var ec *Context
+	if err := ec.Canceled(); err != nil {
+		t.Fatalf("nil.Canceled() = %v, want nil", err)
+	}
+	if err := ec.Err(); err != nil {
+		t.Fatalf("nil.Err() = %v, want nil", err)
+	}
+	if d := ec.Done(); d != nil {
+		t.Fatalf("nil.Done() = %v, want nil", d)
+	}
+	if _, ok := ec.Deadline(); ok {
+		t.Fatal("nil.Deadline() reported a deadline")
+	}
+	if b := ec.StepBudget(); b != 0 {
+		t.Fatalf("nil.StepBudget() = %d, want 0", b)
+	}
+	ec.Begin(PhaseExec)
+	ec.End(PhaseExec)
+	if s := ec.Spans(); s != nil {
+		t.Fatalf("nil.Spans() = %v, want nil", s)
+	}
+}
+
+func TestDetachedNeverCancels(t *testing.T) {
+	ec := Detached()
+	if err := ec.Canceled(); err != nil {
+		t.Fatalf("Canceled() = %v, want nil", err)
+	}
+	if ec.Done() != nil {
+		t.Fatal("detached Done() should be nil")
+	}
+}
+
+func TestCancellationPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ec := New(ctx, Options{})
+	if err := ec.Canceled(); err != nil {
+		t.Fatalf("pre-cancel Canceled() = %v, want nil", err)
+	}
+	cancel()
+	if err := ec.Canceled(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Canceled() = %v, want context.Canceled", err)
+	}
+	if err := ec.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+func TestDeadlinePropagates(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	ec := New(ctx, Options{})
+	if _, ok := ec.Deadline(); !ok {
+		t.Fatal("Deadline() not reported")
+	}
+	<-ec.Done()
+	if err := ec.Canceled(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Canceled() = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestCanceledPollAllocsFree(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ec := New(ctx, Options{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ec.Canceled() != nil {
+			t.Fatal("unexpected cancel")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Canceled poll allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestSpanRecorderAllocsFree(t *testing.T) {
+	ec := Detached()
+	allocs := testing.AllocsPerRun(1000, func() {
+		ec.Begin(PhaseExec)
+		ec.End(PhaseExec)
+	})
+	if allocs != 0 {
+		t.Fatalf("Begin/End allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestSpansOrderAndCompleteness(t *testing.T) {
+	ec := Detached()
+	// Record out of order; only completed phases appear, in lifecycle order.
+	ec.Begin(PhaseExec)
+	ec.End(PhaseExec)
+	ec.Begin(PhaseEdge)
+	ec.End(PhaseEdge)
+	ec.Begin(PhaseLease) // begun, never ended: dropped
+	spans := ec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("Spans() = %v, want 2 entries", spans)
+	}
+	if spans[0].Phase != "edge" || spans[1].Phase != "exec" {
+		t.Fatalf("Spans() order = [%s %s], want [edge exec]", spans[0].Phase, spans[1].Phase)
+	}
+	for _, s := range spans {
+		if s.DurationNS < 0 {
+			t.Fatalf("span %s has negative duration %d", s.Phase, s.DurationNS)
+		}
+	}
+}
+
+func TestStepsErrorMatchesSentinel(t *testing.T) {
+	err := fmt.Errorf("run failed: %w", &StepsError{Method: "m", Steps: 10, Budget: 5})
+	if !errors.Is(err, ErrStepsExceeded) {
+		t.Fatal("wrapped StepsError does not match ErrStepsExceeded")
+	}
+	// interp tests and callers grep for the word "steps" in the message.
+	if got := err.Error(); !contains(got, "step") {
+		t.Fatalf("StepsError message %q does not mention steps", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Abort
+	}{
+		{nil, AbortNone},
+		{errors.New("boom"), AbortNone},
+		{context.Canceled, AbortCanceled},
+		{fmt.Errorf("wrap: %w", context.Canceled), AbortCanceled},
+		{context.DeadlineExceeded, AbortDeadline},
+		{&StepsError{Method: "m", Steps: 2, Budget: 1}, AbortSteps},
+		{fmt.Errorf("wrap: %w", ErrStepsExceeded), AbortSteps},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestAbortStrings(t *testing.T) {
+	if AbortNone.String() != "" {
+		t.Fatalf("AbortNone = %q, want empty", AbortNone.String())
+	}
+	if AbortCanceled.String() != "canceled" ||
+		AbortDeadline.String() != "deadline_exceeded" ||
+		AbortSteps.String() != "steps_exceeded" {
+		t.Fatal("abort wire strings changed")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -37,7 +37,7 @@ func TestPoolDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("program %d: acquire: %v", i, err)
 		}
-		res := s.RunProgram(prog)
+		res := s.RunProgram(nil, prog)
 		live := s.Runtime().VM().LiveObjects()
 		bytes := s.Runtime().VM().JavaHeap.Stats().BytesInUse
 

@@ -1,0 +1,133 @@
+package interp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mte4jni/internal/exec"
+	"mte4jni/internal/interp"
+)
+
+// spinN returns a method that loops n (local 0) times and returns 0 —
+// 7 dispatched instructions per iteration.
+func spinN() *interp.Method {
+	return &interp.Method{
+		Name: "spinN", MaxLocals: 1,
+		Code: []interp.Inst{
+			{Op: interp.OpLoad, A: 0},
+			{Op: interp.OpJmpIfZero, A: 7},
+			{Op: interp.OpLoad, A: 0},
+			{Op: interp.OpConst, A: 1},
+			{Op: interp.OpSub},
+			{Op: interp.OpStore, A: 0},
+			{Op: interp.OpJmp, A: 0},
+			{Op: interp.OpConst, A: 0},
+			{Op: interp.OpReturn},
+		},
+	}
+}
+
+func TestInvokeCtxPreCanceled(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ec := exec.New(ctx, exec.Options{})
+	_, fault, err := ip.InvokeCtx(ec, spinN(), 10)
+	if fault != nil {
+		t.Fatalf("fault = %v", fault)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ip.Steps != 0 {
+		t.Fatalf("pre-canceled run executed %d steps", ip.Steps)
+	}
+}
+
+func TestInvokeCtxCancelMidLoop(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	ip.MaxSteps = 1 << 40 // cancellation, not fuel, must end the run
+	ctx, cancel := context.WithCancel(context.Background())
+	ec := exec.New(ctx, exec.Options{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := ip.InvokeCtx(ec, spinN(), 1<<40)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled run did not return")
+	}
+	if exec.Classify(ec.Err()) != exec.AbortCanceled {
+		t.Fatalf("classify = %v", exec.Classify(ec.Err()))
+	}
+}
+
+func TestInvokeCtxDeadlineMidLoop(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	ip.MaxSteps = 1 << 40
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ec := exec.New(ctx, exec.Options{})
+	_, _, err := ip.InvokeCtx(ec, spinN(), 1<<40)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestInvokeCtxStepBudget(t *testing.T) {
+	ip, _ := newInterp(t, false)
+	ec := exec.New(nil, exec.Options{StepBudget: 500})
+	_, fault, err := ip.InvokeCtx(ec, spinN(), 1<<40)
+	if fault != nil {
+		t.Fatalf("fault = %v", fault)
+	}
+	if !errors.Is(err, exec.ErrStepsExceeded) {
+		t.Fatalf("err = %v, want ErrStepsExceeded", err)
+	}
+	var se *exec.StepsError
+	if !errors.As(err, &se) || se.Budget != 500 {
+		t.Fatalf("steps error = %+v", err)
+	}
+	if exec.Classify(err) != exec.AbortSteps {
+		t.Fatalf("classify = %v", exec.Classify(err))
+	}
+}
+
+// TestDispatchLoopAllocsWithCancelPolling is the satellite bench guard: with
+// a live cancellable context bound, a long loop must allocate exactly as
+// much per Invoke as a short one — i.e. the dispatch loop including the
+// amortized cancellation poll adds 0 allocs/op. (Invoke's fixed setup —
+// locals/refs/stack/closures — allocates a constant amount, which the
+// differential subtracts out.)
+func TestDispatchLoopAllocsWithCancelPolling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ec := exec.New(ctx, exec.Options{})
+
+	measure := func(n int64) float64 {
+		ip, _ := newInterp(t, false)
+		ip.MaxSteps = 1 << 40
+		m := spinN()
+		return testing.AllocsPerRun(50, func() {
+			if _, fault, err := ip.InvokeCtx(ec, m, n); fault != nil || err != nil {
+				t.Fatalf("fault=%v err=%v", fault, err)
+			}
+		})
+	}
+	short := measure(100)   // ~700 steps: under one poll interval
+	long := measure(10_000) // ~70k steps: ~68 cancellation polls
+	if long != short {
+		t.Fatalf("dispatch loop allocates: %v allocs/op short vs %v long (delta %v over ~69k extra steps)",
+			short, long, long-short)
+	}
+}

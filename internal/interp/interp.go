@@ -18,10 +18,19 @@ package interp
 import (
 	"fmt"
 
+	"mte4jni/internal/exec"
 	"mte4jni/internal/jni"
 	"mte4jni/internal/mte"
 	"mte4jni/internal/vm"
 )
+
+// CancelPollInterval is how many dispatched instructions run between
+// cancellation polls in InvokeCtx. The poll itself is a non-blocking,
+// allocation-free channel select (exec.Context.Canceled), but even that is
+// too much per instruction; amortizing over 1024 steps keeps the dispatch
+// loop's cost unmeasurable while bounding cancellation latency to ~a few
+// microseconds of bytecode.
+const CancelPollInterval = 1024
 
 // Opcode enumerates the instructions.
 type Opcode int
@@ -158,11 +167,24 @@ func (ip *Interp) RegisterNative(name string, m NativeMethod) {
 	ip.natives[name] = m
 }
 
-// Invoke executes m with the given integer arguments in its first locals.
-// It returns the method's return value. A managed exception surfaces as a
-// *ThrownException error; a native memory fault surfaces as the *mte.Fault
-// (the process "crash").
+// Invoke executes m detached: no cancellation, deadline, or external step
+// budget beyond ip.MaxSteps. It is InvokeCtx with a nil execution context.
 func (ip *Interp) Invoke(m *Method, args ...int64) (int64, *mte.Fault, error) {
+	return ip.InvokeCtx(nil, m, args...)
+}
+
+// InvokeCtx executes m with the given integer arguments in its first locals,
+// under the execution context ec (nil = detached). It returns the method's
+// return value. A managed exception surfaces as a *ThrownException error; a
+// native memory fault surfaces as the *mte.Fault (the process "crash").
+//
+// ec supplies two policies: a step budget (ec.StepBudget overrides
+// ip.MaxSteps when set) whose exhaustion surfaces as a *exec.StepsError, and
+// cooperative cancellation, polled every CancelPollInterval steps via a
+// countdown so the fault-free dispatch path stays at 0 allocs/op. A
+// canceled run returns an error matching context.Canceled or
+// context.DeadlineExceeded via errors.Is.
+func (ip *Interp) InvokeCtx(ec *exec.Context, m *Method, args ...int64) (int64, *mte.Fault, error) {
 	if len(args) > m.MaxLocals {
 		return 0, nil, fmt.Errorf("interp: %s: %d args exceed %d locals", m.Name, len(args), m.MaxLocals)
 	}
@@ -180,15 +202,30 @@ func (ip *Interp) Invoke(m *Method, args ...int64) (int64, *mte.Fault, error) {
 		return v
 	}
 
-	maxSteps := ip.MaxSteps
+	maxSteps := ec.StepBudget()
+	if maxSteps == 0 {
+		maxSteps = ip.MaxSteps
+	}
 	if maxSteps == 0 {
 		maxSteps = 1 << 24
 	}
 
+	if cerr := ec.Canceled(); cerr != nil {
+		return 0, nil, fmt.Errorf("interp: %s: %w", m.Name, cerr)
+	}
+	cancelCountdown := int64(CancelPollInterval)
+
 	for pc := 0; pc < len(m.Code); pc++ {
 		ip.Steps++
 		if ip.Steps > maxSteps {
-			return 0, nil, fmt.Errorf("interp: %s: exceeded %d steps", m.Name, maxSteps)
+			return 0, nil, &exec.StepsError{Method: m.Name, Steps: ip.Steps, Budget: maxSteps}
+		}
+		cancelCountdown--
+		if cancelCountdown <= 0 {
+			cancelCountdown = CancelPollInterval
+			if cerr := ec.Canceled(); cerr != nil {
+				return 0, nil, fmt.Errorf("interp: %s: %w", m.Name, cerr)
+			}
 		}
 		in := m.Code[pc]
 
@@ -309,6 +346,12 @@ func (ip *Interp) Invoke(m *Method, args ...int64) (int64, *mte.Fault, error) {
 				return 0, fault, nil
 			}
 			if nerr != nil {
+				// Cancellation and budget errors from inside the native are
+				// the request ending, not a managed exception: propagate them
+				// unwrapped so errors.Is classification survives.
+				if exec.Classify(nerr) != exec.AbortNone {
+					return 0, nil, nerr
+				}
 				return 0, nil, throw(pc, "java.lang.RuntimeException", nerr.Error())
 			}
 		case OpReturn:

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mte4jni/internal/exec"
 	"mte4jni/internal/mte"
 	"mte4jni/internal/vm"
 )
@@ -42,6 +43,12 @@ type Env struct {
 
 	// tracer, when set, receives TraceEvents (see trace.go).
 	tracer atomic.Pointer[Tracer]
+
+	// execCtx is the execution context of the request currently driving this
+	// env (nil = detached). It rides on the Env the way ART threads its
+	// per-thread state through JNIEnv: native bodies and workload kernels
+	// reach it via Exec() without every call signature changing.
+	execCtx *exec.Context
 }
 
 // acquisition records one outstanding Get so the matching Release can be
@@ -85,6 +92,16 @@ func (e *Env) Checker() Checker { return e.checker }
 
 // Scheme returns the protection scheme name for reports.
 func (e *Env) Scheme() string { return e.checker.Name() }
+
+// BindExec attaches the execution context of the request about to run on
+// this env (nil detaches). The env is owned by a single goroutine per lease,
+// so no synchronization is needed; the pool binds before a run and detaches
+// after.
+func (e *Env) BindExec(ec *exec.Context) { e.execCtx = ec }
+
+// Exec returns the bound execution context (may be nil). All exec.Context
+// methods are nil-receiver safe, so callers can use the result directly.
+func (e *Env) Exec() *exec.Context { return e.execCtx }
 
 // OutstandingAcquisitions reports how many Gets have not been released —
 // CheckJNI flags a nonzero count at thread detach as a leak.

@@ -56,6 +56,13 @@ type NativeFunc func(env *Env) error
 // the Release interface's error); err is any ordinary error returned by the
 // native body or the runtime.
 func (e *Env) CallNative(name string, kind NativeKind, fn NativeFunc) (fault *mte.Fault, err error) {
+	// Native entry is a cancellation checkpoint: a request whose context has
+	// already ended never pays for the trampoline transition or the native
+	// body. The poll is nil-safe and allocation-free when no context is
+	// bound, so detached execution (benchmarks, tests) is unaffected.
+	if cerr := e.execCtx.Canceled(); cerr != nil {
+		return nil, cerr
+	}
 	t := e.thread
 
 	// Entry trampoline. The previous TCO value and thread state are saved

@@ -1,0 +1,251 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mte4jni"
+	"mte4jni/internal/exec"
+	"mte4jni/internal/workloads"
+)
+
+// TestQueuedWaiterCancelReleasesSlot is the waiter-queue token-accounting
+// test: cancel an Acquire while it is queued at full capacity and prove the
+// next waiter still gets the slot — no semaphore token leaks, no phantom
+// 503. Run under -race it also pins the waiter bookkeeping's
+// synchronization.
+func TestQueuedWaiterCancelReleasesSlot(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 1, MaxWaiters: 4})
+
+	holder, err := p.Acquire(context.Background(), mte4jni.NoProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue a waiter, then cancel it while it waits.
+	canceledCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := p.Acquire(canceledCtx, mte4jni.NoProtection)
+		waiterErr <- err
+	}()
+	waitForWaiters(t, p, 1)
+	cancelWaiter()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err = %v, want context.Canceled", err)
+	}
+	waitForWaiters(t, p, 0)
+
+	// Queue a second waiter; releasing the holder must hand it the slot —
+	// if the canceled waiter leaked a token (or consumed the released one),
+	// this waiter would hang or be shed.
+	secondDone := make(chan error, 1)
+	var second *Session
+	go func() {
+		s, err := p.Acquire(context.Background(), mte4jni.NoProtection)
+		second = s
+		secondDone <- err
+	}()
+	waitForWaiters(t, p, 1)
+	p.Release(holder)
+	select {
+	case err := <-secondDone:
+		if err != nil {
+			t.Fatalf("second waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second waiter never got the released slot: token leaked")
+	}
+	p.Release(second)
+
+	st := p.Stats()
+	if st.Leased != 0 || st.Waiters != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+	// Fresh Acquire must still succeed immediately: capacity intact.
+	s, err := p.Acquire(context.Background(), mte4jni.NoProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(s)
+	if got := p.Stats().Rejected; got != 0 {
+		t.Fatalf("phantom 503s: Rejected = %d", got)
+	}
+}
+
+// TestQueuedWaiterCancelStorm hammers the waiter path with concurrent
+// cancels racing releases; afterwards capacity must be exactly restored.
+func TestQueuedWaiterCancelStorm(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 2, MaxWaiters: 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i%7)*time.Millisecond)
+			defer cancel()
+			s, err := p.Acquire(ctx, mte4jni.NoProtection)
+			if err != nil {
+				return // canceled in queue or shed: both fine here
+			}
+			p.Release(s)
+		}(i)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Leased != 0 || st.Waiters != 0 {
+		t.Fatalf("stats after storm: %+v", st)
+	}
+	// All tokens must be back: MaxSessions concurrent acquires succeed.
+	a, err := p.Acquire(context.Background(), mte4jni.NoProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Acquire(context.Background(), mte4jni.NoProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(a)
+	p.Release(b)
+}
+
+// TestCanceledLeaseRecycledNotReleased pins the dirty-lease rule: a lease
+// whose run was canceled goes through GC-verified recycling (counted in
+// CanceledLeases), and the session stays poolable.
+func TestCanceledLeaseRecycledNotReleased(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 1})
+	s, err := p.Acquire(context.Background(), mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ec := exec.New(ctx, exec.Options{})
+	res := s.RunProgram(ec, SpinProgram(1<<40))
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("res.Err = %v, want context.Canceled", res.Err)
+	}
+	if s.Abort() != exec.AbortCanceled {
+		t.Fatalf("abort latch = %v", s.Abort())
+	}
+	gen := s.Generation()
+	p.Release(s)
+	st := p.Stats()
+	if st.CanceledLeases != 1 {
+		t.Fatalf("CanceledLeases = %d, want 1", st.CanceledLeases)
+	}
+	if st.Quarantined != 0 || st.Retired != 0 {
+		t.Fatalf("canceled lease was retired/quarantined: %+v", st)
+	}
+	// The same session comes back warm, a generation later, abort cleared.
+	s2, err := p.Acquire(context.Background(), mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s || s2.Generation() != gen+1 || s2.Abort() != exec.AbortNone {
+		t.Fatalf("recycled session: same=%v gen=%d (was %d) abort=%v", s2 == s, s2.Generation(), gen, s2.Abort())
+	}
+	p.Release(s2)
+}
+
+// TestCanceledLeaseWithOutstandingAcquisitionRetires pins the other half of
+// the dirty-lease rule: a canceled run that left a JNI acquisition
+// outstanding retires the session instead of recycling it.
+func TestCanceledLeaseWithOutstandingAcquisitionRetires(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 1})
+	s, err := p.Acquire(context.Background(), mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a native interrupted between Get and Release: acquire a
+	// handout, then latch a canceled run.
+	env := s.Env()
+	arr, err := env.NewIntArray(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.GetIntArrayElements(arr); err != nil {
+		t.Fatal(err)
+	}
+	if env.OutstandingAcquisitions() != 1 {
+		t.Fatalf("outstanding = %d", env.OutstandingAcquisitions())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := s.RunProgram(exec.New(ctx, exec.Options{}), SpinProgram(1))
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("res.Err = %v", res.Err)
+	}
+	p.Release(s)
+	st := p.Stats()
+	if st.CanceledLeases != 1 || st.Retired != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want CanceledLeases=1 Retired=1", st)
+	}
+	if recs := p.Quarantined(); len(recs) != 1 || recs[0].Reason == "" {
+		t.Fatalf("retirement record missing: %+v", recs)
+	}
+}
+
+// TestStepsExceededLeaseRecycles pins that fuel exhaustion is not dirty:
+// the session recycles normally and CanceledLeases stays 0.
+func TestStepsExceededLeaseRecycles(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 1})
+	s, err := p.Acquire(context.Background(), mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.RunProgram(exec.New(nil, exec.Options{StepBudget: 1000}), SpinProgram(1<<40))
+	if !errors.Is(res.Err, exec.ErrStepsExceeded) {
+		t.Fatalf("res.Err = %v, want ErrStepsExceeded", res.Err)
+	}
+	if s.Abort() != exec.AbortSteps {
+		t.Fatalf("abort latch = %v", s.Abort())
+	}
+	p.Release(s)
+	st := p.Stats()
+	if st.CanceledLeases != 0 || st.Retired != 0 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want clean recycle", st)
+	}
+	if st.Idle != 1 {
+		t.Fatalf("Idle = %d, want 1", st.Idle)
+	}
+}
+
+// TestWorkloadCancelMidRun proves a canceled context cuts a workload off at
+// a phase boundary and surfaces through RunWorkload.
+func TestWorkloadCancelMidRun(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 1})
+	s, err := p.Acquire(context.Background(), mte4jni.MTESync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the first trampoline entry must refuse
+	res := s.RunWorkload(exec.New(ctx, exec.Options{}), "File Compression", workloads.ScaleSmall, 4)
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("res.Err = %v, want context.Canceled", res.Err)
+	}
+	if res.Faulted() {
+		t.Fatal("cancellation reported as MTE fault")
+	}
+	p.Release(s)
+	if st := p.Stats(); st.CanceledLeases != 1 {
+		t.Fatalf("CanceledLeases = %d", st.CanceledLeases)
+	}
+}
+
+// waitForWaiters polls the pool until the waiter count settles at want.
+func waitForWaiters(t *testing.T, p *Pool, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Stats().Waiters == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("waiters never reached %d (now %d)", want, p.Stats().Waiters)
+}

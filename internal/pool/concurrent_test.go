@@ -82,7 +82,7 @@ func TestConcurrentSessions(t *testing.T) {
 
 				var res *RunResult
 				if injectFaults && l == leases-1 {
-					res = s.RunProgram(OOBProgram())
+					res = s.RunProgram(nil, OOBProgram())
 					if !res.Faulted() {
 						errs <- fmt.Errorf("g%d: injected OOB did not fault under %v", g, scheme)
 					} else {
@@ -90,7 +90,7 @@ func TestConcurrentSessions(t *testing.T) {
 						count(&faultsInjected, g)
 					}
 				} else {
-					res = s.RunWorkload("Background Blur", workloads.ScaleSmall, 4)
+					res = s.RunWorkload(nil, "Background Blur", workloads.ScaleSmall, 4)
 					if res.Err != nil {
 						errs <- fmt.Errorf("g%d lease %d: workload: %w", g, l, res.Err)
 					}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mte4jni"
+	"mte4jni/internal/exec"
 )
 
 // Errors returned by Acquire.
@@ -89,6 +90,11 @@ type Stats struct {
 	Quarantined uint64 `json:"quarantined"`
 	Retired     uint64 `json:"retired"`
 	Rejected    uint64 `json:"rejected"`
+	// CanceledLeases counts leases released after a canceled or
+	// deadline-exceeded run — each went through the dirty-lease path
+	// (GC-verified recycle, or retirement when the interrupted native left
+	// JNI acquisitions outstanding), never a blind re-lease.
+	CanceledLeases uint64 `json:"canceled_leases"`
 }
 
 // QuarantineRecord remembers why a session left the pool.
@@ -218,15 +224,29 @@ func (p *Pool) Acquire(ctx context.Context, scheme mte4jni.Scheme) (*Session, er
 }
 
 // Release returns a leased session. A session whose lease saw an MTE fault
-// is quarantined — closed and replaced, never reused; a healthy session is
-// recycled (thread detached, garbage collected, hygiene-checked) back into
-// the warm pool. The capacity token is returned in every path.
+// is quarantined — closed and replaced, never reused; a canceled or
+// deadline-aborted lease is dirty: it still goes through the GC-verified
+// recycle below, except that an interrupted native body that left JNI
+// acquisitions outstanding retires the session outright (detaching a thread
+// with live handouts would tear pinned objects out from under the ledger).
+// A healthy session is recycled (thread detached, garbage collected,
+// hygiene-checked) back into the warm pool. The capacity token is returned
+// in every path.
 func (p *Pool) Release(s *Session) {
 	defer func() { p.slots <- struct{}{} }()
 
 	if f := s.TaintFault(); f != nil {
 		p.retire(s, true, fmt.Sprintf("MTE fault: %v", f))
 		return
+	}
+	if a := s.Abort(); a == exec.AbortCanceled || a == exec.AbortDeadline {
+		p.mu.Lock()
+		p.stats.CanceledLeases++
+		p.mu.Unlock()
+		if n := s.env.OutstandingAcquisitions(); n != 0 {
+			p.retire(s, false, fmt.Sprintf("lease aborted (%s) with %d outstanding JNI acquisitions", a, n))
+			return
+		}
 	}
 	if err := s.recycle(); err != nil {
 		p.retire(s, false, err.Error())

@@ -29,7 +29,7 @@ func TestAcquireReleaseReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	name := s1.Name()
-	res := s1.RunProgram(SafeProgram())
+	res := s1.RunProgram(nil, SafeProgram())
 	if res.Faulted() || res.Err != nil || res.Ret != 42 {
 		t.Fatalf("safe program: ret=%d fault=%v err=%v", res.Ret, res.Fault, res.Err)
 	}
@@ -70,7 +70,7 @@ func TestSchemesKeptApart(t *testing.T) {
 		t.Fatal("a NoProtection lease was served the warm MTESync session")
 	}
 	// The unchecked scheme must not fault on the OOB program.
-	if res := sNone.RunProgram(OOBProgram()); res.Faulted() || res.Err != nil {
+	if res := sNone.RunProgram(nil, OOBProgram()); res.Faulted() || res.Err != nil {
 		t.Fatalf("OOB under NoProtection: fault=%v err=%v", res.Fault, res.Err)
 	}
 	p.Release(sNone)
@@ -85,7 +85,7 @@ func TestFaultQuarantinesSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	crashed := s.Name()
-	res := s.RunProgram(OOBProgram())
+	res := s.RunProgram(nil, OOBProgram())
 	if !res.Faulted() {
 		t.Fatalf("OOB program did not fault under MTE+Sync (ret=%d err=%v)", res.Ret, res.Err)
 	}
@@ -105,7 +105,7 @@ func TestFaultQuarantinesSession(t *testing.T) {
 	if s2.Name() == crashed {
 		t.Fatal("quarantined session was reused")
 	}
-	if res := s2.RunProgram(SafeProgram()); res.Faulted() || res.Err != nil {
+	if res := s2.RunProgram(nil, SafeProgram()); res.Faulted() || res.Err != nil {
 		t.Fatalf("replacement session unhealthy: fault=%v err=%v", res.Fault, res.Err)
 	}
 	p.Release(s2)
@@ -241,14 +241,14 @@ func TestRunWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := s.RunWorkload("PDF Renderer", workloads.ScaleSmall, 2)
+	res := s.RunWorkload(nil, "PDF Renderer", workloads.ScaleSmall, 2)
 	if res.Faulted() || res.Err != nil {
 		t.Fatalf("workload run: fault=%v err=%v", res.Fault, res.Err)
 	}
 	if res.Ret != 2 {
 		t.Fatalf("ret = %d, want iteration count 2", res.Ret)
 	}
-	if res := s.RunWorkload("no-such-workload", workloads.ScaleSmall, 1); res.Err == nil {
+	if res := s.RunWorkload(nil, "no-such-workload", workloads.ScaleSmall, 1); res.Err == nil {
 		t.Fatal("unknown workload did not error")
 	}
 	p.Release(s)

@@ -56,6 +56,33 @@ func OOBProgram() *analysis.Program {
 	})
 }
 
+// SpinProgram returns a pure-bytecode countdown loop of n iterations
+// (7 dispatched instructions each, no native calls, no memory access — the
+// admission screen has nothing to reject). With n large it runs until the
+// step budget or the execution context cuts it off: the load generator's
+// -cancel-rate/-deadline-rate modes and the run-timeout tests use it as the
+// runaway tenant.
+func SpinProgram(n int64) *analysis.Program {
+	return &analysis.Program{
+		Method: &interp.Method{
+			Name: "serve_spin", MaxLocals: 1,
+			Code: []interp.Inst{
+				{Op: interp.OpConst, A: n},
+				{Op: interp.OpStore, A: 0},
+				{Op: interp.OpLoad, A: 0},
+				{Op: interp.OpJmpIfZero, A: 9},
+				{Op: interp.OpLoad, A: 0},
+				{Op: interp.OpConst, A: 1},
+				{Op: interp.OpSub},
+				{Op: interp.OpStore, A: 0},
+				{Op: interp.OpJmp, A: 2},
+				{Op: interp.OpConst, A: 42},
+				{Op: interp.OpReturn},
+			},
+		},
+	}
+}
+
 // BadProgramNames lists the known provably-faulting inline programs, in the
 // round-robin order the load generator's -reject-rate mode submits them.
 var BadProgramNames = []string{"reject_oob", "reject_stale", "reject_forge"}

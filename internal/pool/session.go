@@ -7,6 +7,7 @@ import (
 
 	"mte4jni"
 	"mte4jni/internal/analysis"
+	"mte4jni/internal/exec"
 	"mte4jni/internal/interp"
 	"mte4jni/internal/jni"
 	"mte4jni/internal/mte"
@@ -33,6 +34,13 @@ type Session struct {
 	// taint latches the first MTE fault of the current lease. Release
 	// quarantines any tainted session.
 	taint *mte.Fault
+
+	// abort latches why a run in the current lease was cut short (canceled /
+	// deadline / step budget). Release uses it to apply the dirty-lease rule:
+	// a canceled lease is never blindly re-leased — it goes through
+	// GC-verified recycling, or retirement if the interrupted native left
+	// JNI acquisitions outstanding.
+	abort exec.Abort
 }
 
 // newSession builds a fresh runtime for one pool slot. Each session gets its
@@ -80,6 +88,10 @@ func (s *Session) Generation() int { return int(s.gen.Load()) }
 // TaintFault returns the MTE fault that poisoned the current lease, if any.
 func (s *Session) TaintFault() *mte.Fault { return s.taint }
 
+// Abort returns the latched abort kind of the current lease (AbortNone when
+// every run completed).
+func (s *Session) Abort() exec.Abort { return s.abort }
+
 // RunResult is the outcome of one served run.
 type RunResult struct {
 	// Ret is the program's return value on a clean completion.
@@ -96,29 +108,37 @@ type RunResult struct {
 func (r *RunResult) Faulted() bool { return r.Fault != nil }
 
 // RunProgram executes an analysis.Program — the same JSON-loadable artifact
-// the lint CLI and the differential oracle consume — inside this session,
-// materialising its native summaries into real native bodies. A fault taints
-// the session for quarantine at release.
-func (s *Session) RunProgram(p *analysis.Program) *RunResult {
+// the lint CLI and the differential oracle consume — inside this session
+// under the execution context ec (nil = detached), materialising its native
+// summaries into real native bodies. A fault taints the session for
+// quarantine at release; a canceled/deadline/steps-exceeded run latches the
+// abort kind for the dirty-lease rule.
+func (s *Session) RunProgram(ec *exec.Context, p *analysis.Program) *RunResult {
 	s.runs.Add(1)
 	ip := interp.New(s.env)
 	for name, sum := range p.Natives {
 		ip.RegisterNative(name, interp.NativeMethod{Kind: sum.Kind, Body: sum.Materialize()})
 	}
+	s.env.BindExec(ec)
+	defer s.env.BindExec(nil)
 	start := time.Now()
 	res := &RunResult{}
-	res.Ret, res.Fault, res.Err = ip.Invoke(p.Method)
+	res.Ret, res.Fault, res.Err = ip.InvokeCtx(ec, p.Method)
 	res.Duration = time.Since(start)
 	if res.Fault != nil {
 		s.taint = res.Fault
 	}
+	s.latchAbort(res.Err)
 	return res
 }
 
 // RunWorkload executes iters iterations of a named GeekBench-style workload
-// (setup outside the timed region, then one JNI trampoline call per
-// iteration, then verification). A fault taints the session.
-func (s *Session) RunWorkload(name string, scale workloads.Scale, iters int) *RunResult {
+// under the execution context ec (nil = detached): setup outside the timed
+// region, then one JNI trampoline call per iteration, then verification. A
+// fault taints the session; an aborted run latches its kind. Cancellation is
+// checked between iterations (at native entry by the trampoline) and at the
+// kernels' own phase boundaries.
+func (s *Session) RunWorkload(ec *exec.Context, name string, scale workloads.Scale, iters int) *RunResult {
 	s.runs.Add(1)
 	if iters <= 0 {
 		iters = 1
@@ -129,8 +149,11 @@ func (s *Session) RunWorkload(name string, scale workloads.Scale, iters int) *Ru
 		res.Err = err
 		return res
 	}
+	s.env.BindExec(ec)
+	defer s.env.BindExec(nil)
 	if err := w.Setup(s.env); err != nil {
 		res.Err = fmt.Errorf("pool: %s setup: %w", name, err)
+		s.latchAbort(err)
 		return res
 	}
 	start := time.Now()
@@ -154,7 +177,15 @@ func (s *Session) RunWorkload(name string, scale workloads.Scale, iters int) *Ru
 			res.Ret = int64(iters)
 		}
 	}
+	s.latchAbort(res.Err)
 	return res
+}
+
+// latchAbort records the first abort of the current lease.
+func (s *Session) latchAbort(err error) {
+	if s.abort == exec.AbortNone {
+		s.abort = exec.Classify(err)
+	}
 }
 
 // recycle prepares a healthy session for its next lease: the lease's thread
@@ -175,6 +206,7 @@ func (s *Session) recycle() error {
 		return fmt.Errorf("pool: reattaching %s: %w", s.threadName(), err)
 	}
 	s.env = env
+	s.abort = exec.AbortNone
 	return nil
 }
 

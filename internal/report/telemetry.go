@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"mte4jni/internal/exec"
 	"mte4jni/internal/mte"
 )
 
@@ -89,17 +90,33 @@ type LatencySummary struct {
 	BucketsUS []uint64 `json:"buckets_us"`
 }
 
+// SpanStat aggregates one lifecycle phase's timings across requests, built
+// from the per-request exec.Context span recorders.
+type SpanStat struct {
+	Phase string `json:"phase"`
+	Count uint64 `json:"count"`
+	SumNS uint64 `json:"sum_ns"`
+	MaxNS uint64 `json:"max_ns"`
+}
+
 // TelemetrySnapshot is the /metrics payload.
 type TelemetrySnapshot struct {
-	RequestsTotal         uint64           `json:"requests_total"`
-	FaultsTotal           uint64           `json:"faults_total"`
-	ErrorsTotal           uint64           `json:"errors_total"`
-	ScreenedTotal         uint64           `json:"screened_total"`
-	ScreenRejectedTotal   uint64           `json:"screen_rejected_total"`
-	ScreenCacheHits       uint64           `json:"screen_cache_hits"`
+	RequestsTotal       uint64 `json:"requests_total"`
+	FaultsTotal         uint64 `json:"faults_total"`
+	ErrorsTotal         uint64 `json:"errors_total"`
+	ScreenedTotal       uint64 `json:"screened_total"`
+	ScreenRejectedTotal uint64 `json:"screen_rejected_total"`
+	ScreenCacheHits     uint64 `json:"screen_cache_hits"`
+	// Abort counters: requests ended by client cancellation, by the per-run
+	// deadline, and by interpreter fuel exhaustion. Disjoint from
+	// FaultsTotal — an abort is a policy cutoff, not a memory fault.
+	CanceledTotal         uint64           `json:"canceled_total"`
+	DeadlineExceededTotal uint64           `json:"deadline_exceeded_total"`
+	StepsExceededTotal    uint64           `json:"steps_exceeded_total"`
 	UniqueFaultSignatures int              `json:"unique_fault_signatures"`
 	DroppedFaultRecords   uint64           `json:"dropped_fault_records"`
 	Latency               LatencySummary   `json:"latency"`
+	Spans                 []SpanStat       `json:"request_spans,omitempty"`
 	Signatures            []SignatureCount `json:"fault_signatures,omitempty"`
 	Recent                []FaultRecord    `json:"recent_faults,omitempty"`
 }
@@ -127,6 +144,11 @@ type Sink struct {
 	// server, how many were rejected pre-execution, and how many verdicts
 	// came from the screen cache.
 	screened, screenRejected, screenCacheHits uint64
+
+	// aborts counts requests cut short, indexed by exec.Abort; spanStats
+	// aggregates per-phase request timings keyed by phase name.
+	aborts    [4]uint64
+	spanStats map[string]*SpanStat
 }
 
 // NewSink creates a sink whose fault ring keeps at most capacity records
@@ -136,8 +158,45 @@ func NewSink(capacity int) *Sink {
 		capacity = DefaultSinkCapacity
 	}
 	return &Sink{
-		capacity: capacity,
-		sigs:     make(map[FaultSignature]*SignatureCount),
+		capacity:  capacity,
+		sigs:      make(map[FaultSignature]*SignatureCount),
+		spanStats: make(map[string]*SpanStat),
+	}
+}
+
+// ObserveAbort records why a request was cut short; AbortNone is a no-op so
+// callers can pass every classification unconditionally.
+func (s *Sink) ObserveAbort(a exec.Abort) {
+	if a == exec.AbortNone {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(a) < len(s.aborts) {
+		s.aborts[a]++
+	}
+}
+
+// ObserveSpans folds one request's completed lifecycle spans into the
+// per-phase aggregates.
+func (s *Sink) ObserveSpans(spans []exec.Span) {
+	if len(spans) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sp := range spans {
+		st, ok := s.spanStats[sp.Phase]
+		if !ok {
+			st = &SpanStat{Phase: sp.Phase}
+			s.spanStats[sp.Phase] = st
+		}
+		ns := uint64(sp.DurationNS)
+		st.Count++
+		st.SumNS += ns
+		if ns > st.MaxNS {
+			st.MaxNS = ns
+		}
 	}
 }
 
@@ -241,12 +300,19 @@ func (s *Sink) Snapshot() TelemetrySnapshot {
 		ScreenedTotal:         s.screened,
 		ScreenRejectedTotal:   s.screenRejected,
 		ScreenCacheHits:       s.screenCacheHits,
+		CanceledTotal:         s.aborts[exec.AbortCanceled],
+		DeadlineExceededTotal: s.aborts[exec.AbortDeadline],
+		StepsExceededTotal:    s.aborts[exec.AbortSteps],
 		UniqueFaultSignatures: len(s.sigs),
 		DroppedFaultRecords:   s.seq - uint64(len(s.ring)),
 		Latency:               s.latency,
 	}
 	snap.Latency.BucketsUS = append([]uint64(nil), s.latency.BucketsUS...)
 	snap.Recent = append([]FaultRecord(nil), s.ring...)
+	for _, st := range s.spanStats {
+		snap.Spans = append(snap.Spans, *st)
+	}
+	sort.Slice(snap.Spans, func(i, j int) bool { return snap.Spans[i].Phase < snap.Spans[j].Phase })
 	for _, sc := range s.sigs {
 		snap.Signatures = append(snap.Signatures, *sc)
 	}

@@ -28,10 +28,16 @@ import (
 
 	"mte4jni"
 	"mte4jni/internal/analysis"
+	"mte4jni/internal/exec"
 	"mte4jni/internal/pool"
 	"mte4jni/internal/report"
 	"mte4jni/internal/workloads"
 )
+
+// StatusClientClosedRequest is the non-standard status (nginx's 499) a run
+// ended by client disconnect is answered with — the connection is usually
+// gone, but tests and proxies still see the distinction from 503/504.
+const StatusClientClosedRequest = 499
 
 // Config configures a Server.
 type Config struct {
@@ -45,6 +51,14 @@ type Config struct {
 	// ScreenCacheSize bounds the admission-screen verdict cache
 	// (analysis.DefaultScreenCacheSize when 0).
 	ScreenCacheSize int
+	// RunTimeout bounds one request end to end — lease wait included —
+	// via the execution context's deadline. Expiry returns 504 with
+	// abort="deadline_exceeded". Zero disables the per-run deadline.
+	RunTimeout time.Duration
+	// StepBudget bounds interpreter steps per inline-program run; exhaustion
+	// returns 200 with abort="steps_exceeded" and the session is recycled,
+	// not quarantined. Zero uses the interpreter's own default (1<<24).
+	StepBudget int64
 }
 
 // Server is the serving daemon. Create with New, mount via Handler, stop
@@ -159,14 +173,23 @@ type RunRequest struct {
 // the protection scheme did its job, and Fault carries the structured crash
 // report the serving layer exists to deliver.
 type RunResponse struct {
-	Session    string              `json:"session"`
-	Scheme     string              `json:"scheme"`
-	Workload   string              `json:"workload"`
-	OK         bool                `json:"ok"`
-	Ret        int64               `json:"ret,omitempty"`
-	DurationNS int64               `json:"duration_ns"`
-	Error      string              `json:"error,omitempty"`
-	Fault      *report.FaultRecord `json:"fault,omitempty"`
+	Session    string `json:"session"`
+	Scheme     string `json:"scheme"`
+	Workload   string `json:"workload"`
+	OK         bool   `json:"ok"`
+	Ret        int64  `json:"ret,omitempty"`
+	DurationNS int64  `json:"duration_ns"`
+	Error      string `json:"error,omitempty"`
+	// Abort distinguishes the policy cutoffs from faults and errors:
+	// "canceled" (client disconnect, HTTP 499), "deadline_exceeded"
+	// (-run-timeout, HTTP 504), "steps_exceeded" (fuel budget, HTTP 200 —
+	// the request was served, the program was just cut off). Empty when the
+	// run was not aborted.
+	Abort string `json:"abort,omitempty"`
+	// Spans are the request's lifecycle phase timings (edge → screen →
+	// lease → exec → release) from the execution-context recorder.
+	Spans []exec.Span         `json:"spans,omitempty"`
+	Fault *report.FaultRecord `json:"fault,omitempty"`
 }
 
 // RejectResponse is the 422 reply for a program the static admission screen
@@ -182,8 +205,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+
+	// The execution context is born here, at the HTTP edge, and is the one
+	// object threaded through screening, the pool lease, the session, the
+	// JNI trampolines and the interpreter loop. It wraps r.Context(), so a
+	// client disconnect cancels the whole chain; RunTimeout adds the per-run
+	// deadline on top (covering lease wait too — a slow queue eats into the
+	// same budget the run does).
+	reqCtx := r.Context()
+	if s.cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(reqCtx, s.cfg.RunTimeout)
+		defer cancel()
+	}
+	ec := exec.New(reqCtx, exec.Options{StepBudget: s.cfg.StepBudget})
+
+	ec.Begin(exec.PhaseEdge)
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// A disconnect racing the body read is a cancellation, not a bad
+		// request — count it so the canceled_total delta stays exact no
+		// matter which phase the cancel lands in.
+		if ec.Canceled() != nil {
+			s.sink.ObserveAbort(exec.AbortCanceled)
+			jsonError(w, StatusClientClosedRequest, "client canceled during request read")
+			return
+		}
 		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -211,7 +258,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// session is leased or quarantine slot risked. Canned probes are
 		// deliberately exempt — they exist to exercise the runtime fault
 		// path end to end.
+		ec.Begin(exec.PhaseScreen)
 		verdict, cacheHit, serr := s.screen.ScreenBytes(req.Program)
+		ec.End(exec.PhaseScreen)
 		if serr != nil {
 			jsonError(w, http.StatusBadRequest, "bad program: %v", serr)
 			return
@@ -257,13 +306,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "unknown scale %q (small, default)", req.Scale)
 		return
 	}
+	ec.End(exec.PhaseEdge)
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AcquireTimeout)
+	// The acquire timeout layers on the execution context, so whichever
+	// expires first — queue-shed deadline, run deadline, client disconnect —
+	// ends the wait; errIsOverload below tells the cases apart.
+	acquireCtx, cancel := context.WithTimeout(ec, s.cfg.AcquireTimeout)
 	defer cancel()
 	start := time.Now()
-	sess, err := s.pool.Acquire(ctx, scheme)
+	ec.Begin(exec.PhaseLease)
+	sess, err := s.pool.Acquire(acquireCtx, scheme)
+	ec.End(exec.PhaseLease)
 	if err != nil {
 		switch {
+		case exec.Classify(ec.Err()) == exec.AbortDeadline:
+			s.sink.ObserveAbort(exec.AbortDeadline)
+			jsonError(w, http.StatusGatewayTimeout, "run timeout while waiting for a session: %v", err)
+		case exec.Classify(ec.Err()) == exec.AbortCanceled:
+			s.sink.ObserveAbort(exec.AbortCanceled)
+			jsonError(w, StatusClientClosedRequest, "client canceled while waiting for a session")
 		case errors.Is(err, pool.ErrOverloaded), errors.Is(err, context.DeadlineExceeded):
 			jsonError(w, http.StatusServiceUnavailable, "overloaded: %v", err)
 		case errors.Is(err, pool.ErrClosed):
@@ -273,12 +334,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	ec.Begin(exec.PhaseExec)
 	var res *pool.RunResult
 	if prog != nil {
-		res = sess.RunProgram(prog)
+		res = sess.RunProgram(ec, prog)
 	} else {
-		res = sess.RunWorkload(workload, scale, req.Iterations)
+		res = sess.RunWorkload(ec, workload, scale, req.Iterations)
 	}
+	ec.End(exec.PhaseExec)
+	abort := exec.Classify(res.Err)
 	resp := RunResponse{
 		Session:    sess.Name(),
 		Scheme:     scheme.String(),
@@ -286,6 +350,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		OK:         !res.Faulted() && res.Err == nil,
 		Ret:        res.Ret,
 		DurationNS: res.Duration.Nanoseconds(),
+		Abort:      abort.String(),
 	}
 	if res.Err != nil {
 		resp.Error = res.Err.Error()
@@ -294,9 +359,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		rec, _ := s.sink.RecordFault(sess.Name(), workload, res.Fault)
 		resp.Fault = &rec
 	}
+	ec.Begin(exec.PhaseRelease)
 	s.pool.Release(sess)
-	s.sink.ObserveRequest(time.Since(start), res.Faulted(), res.Err != nil)
-	writeJSON(w, http.StatusOK, resp)
+	ec.End(exec.PhaseRelease)
+
+	resp.Spans = ec.Spans()
+	s.sink.ObserveAbort(abort)
+	s.sink.ObserveSpans(resp.Spans)
+	// Aborts carry their own counters; failed counts only genuine errors.
+	s.sink.ObserveRequest(time.Since(start), res.Faulted(), res.Err != nil && abort == exec.AbortNone)
+	status := http.StatusOK
+	switch abort {
+	case exec.AbortCanceled:
+		// The client is almost certainly gone; the status is for proxies,
+		// tests and logs.
+		status = StatusClientClosedRequest
+	case exec.AbortDeadline:
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, resp)
 }
 
 // SessionsResponse is the GET /sessions reply.

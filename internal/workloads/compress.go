@@ -94,6 +94,9 @@ func (w *FileCompression) Run(env *jni.Env) error {
 	if err != nil {
 		return err
 	}
+	if err := checkpoint(env); err != nil {
+		return err
+	}
 	out := lz77Compress(data)
 	w.ratio = float64(out) / float64(len(data))
 	return nil
@@ -154,6 +157,9 @@ func (w *AssetCompression) Setup(env *jni.Env) error {
 func (w *AssetCompression) Run(env *jni.Env) error {
 	vals, err := acquireInts(env, w.mesh)
 	if err != nil {
+		return err
+	}
+	if err := checkpoint(env); err != nil {
 		return err
 	}
 	// Delta encode.

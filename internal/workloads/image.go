@@ -404,7 +404,10 @@ func (w *BackgroundBlur) Run(env *jni.Env) error {
 			}
 		}
 	}
-	blurPass(src, tmp, 1, dim, dim)   // horizontal
+	blurPass(src, tmp, 1, dim, dim) // horizontal
+	if err := checkpoint(env); err != nil {
+		return err
+	}
 	blurPass(tmp, src, dim, dim, dim) // vertical
 	var sum int64
 	for _, px := range src {

@@ -282,6 +282,9 @@ func (w *RayTracer) Run(env *jni.Env) error {
 	}
 
 	for y := 0; y < dim; y++ {
+		if err := checkpoint(env); err != nil {
+			return err
+		}
 		for x := 0; x < dim; x++ {
 			d := vec3{
 				(float64(x) - float64(dim)/2) / float64(dim),

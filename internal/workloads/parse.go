@@ -283,6 +283,11 @@ func (w *TextProcessing) Run(env *jni.Env) error {
 		var h uint32
 		inWord := false
 		for i := 0; i < n; i++ {
+			if i&0xFFFF == 0 { // amortized mid-phase cancellation poll
+				if err := checkpoint(env); err != nil {
+					return err
+				}
+			}
 			c := env.LoadByte(p.Add(int64(i))) // checked per-byte access
 			switch {
 			case c >= 'a' && c <= 'z':

@@ -106,10 +106,20 @@ func ByName(name string, s Scale) (Workload, error) {
 
 // --- shared helpers ---------------------------------------------------------
 
+// checkpoint polls the execution context bound to env at a workload phase
+// boundary (acquire → compute → publish). Kernels stay cancellable without
+// per-element checks: the shared acquire/publish helpers call it, and heavy
+// compute loops add their own mid-phase calls. Nil-safe and allocation-free
+// when no context is bound, so benchmarks are unaffected.
+func checkpoint(env *jni.Env) error { return env.Exec().Canceled() }
+
 // acquireBytes obtains a byte[]'s raw pointer, bulk-copies its payload into
 // a native buffer, and releases the pointer. It is the canonical bulk-in
 // pattern.
 func acquireBytes(env *jni.Env, arr *vm.Object) ([]byte, error) {
+	if err := checkpoint(env); err != nil {
+		return nil, err
+	}
 	p, err := env.GetByteArrayElements(arr)
 	if err != nil {
 		return nil, err
@@ -124,6 +134,9 @@ func acquireBytes(env *jni.Env, arr *vm.Object) ([]byte, error) {
 
 // publishBytes bulk-copies a native buffer back into a Java byte[].
 func publishBytes(env *jni.Env, arr *vm.Object, data []byte) error {
+	if err := checkpoint(env); err != nil {
+		return err
+	}
 	p, err := env.GetByteArrayElements(arr)
 	if err != nil {
 		return err
@@ -134,6 +147,9 @@ func publishBytes(env *jni.Env, arr *vm.Object, data []byte) error {
 
 // acquireInts bulk-copies a Java int[] into native memory.
 func acquireInts(env *jni.Env, arr *vm.Object) ([]int32, error) {
+	if err := checkpoint(env); err != nil {
+		return nil, err
+	}
 	p, err := env.GetIntArrayElements(arr)
 	if err != nil {
 		return nil, err
@@ -152,6 +168,9 @@ func acquireInts(env *jni.Env, arr *vm.Object) ([]int32, error) {
 
 // publishInts bulk-copies native int32 data back into a Java int[].
 func publishInts(env *jni.Env, arr *vm.Object, data []int32) error {
+	if err := checkpoint(env); err != nil {
+		return err
+	}
 	raw := make([]byte, len(data)*4)
 	for i, v := range data {
 		u := uint32(v)
@@ -168,6 +187,9 @@ func publishInts(env *jni.Env, arr *vm.Object, data []int32) error {
 // withCritical acquires arr's payload pointer for the duration of fn — the
 // pattern intensive workloads use for per-element checked access.
 func withCritical(env *jni.Env, arr *vm.Object, fn func(p mte.Ptr) error) error {
+	if err := checkpoint(env); err != nil {
+		return err
+	}
 	p, err := env.GetPrimitiveArrayCritical(arr)
 	if err != nil {
 		return err

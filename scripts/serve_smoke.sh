@@ -90,4 +90,63 @@ if ! wait "$SERVE_PID"; then
 fi
 SERVE_PID=""
 
-echo "serve-smoke: ok (287 requests, 20 injected faults detected, 15 bad programs screened out, clean shutdown)"
+# --- Execution-context spine: cancellation and deadline run -----------------
+# A second instance with the spine's budgets enabled: a 400ms per-request
+# wall-clock deadline and a deliberately huge step budget, so runaway
+# programs are cut off by -run-timeout, never by fuel. The load run injects
+# client disconnects (-cancel-rate) and runaway programs the deadline must
+# kill (-deadline-rate) alongside faults and screen rejects; the generator
+# reconciles canceled_total/deadline_exceeded_total exactly and fails if any
+# lease leaks (pool.leased != 0 after the drain).
+ADDR_FILE2="$TMP/addr2"
+LOG2="$TMP/serve2.log"
+"$BIN" serve -addr 127.0.0.1:0 -addr-file "$ADDR_FILE2" -sessions 8 -heap-mb 16 \
+	-run-timeout 400ms -step-budget $((1 << 40)) -shutdown-timeout 5s >"$LOG2" 2>&1 &
+SERVE_PID=$!
+
+i=0
+while [ ! -s "$ADDR_FILE2" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "serve-smoke: spine server never published its address" >&2
+		cat "$LOG2" >&2
+		exit 1
+	fi
+	if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+		echo "serve-smoke: spine server exited during startup" >&2
+		cat "$LOG2" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+URL2="http://$(cat "$ADDR_FILE2")"
+
+# 40 requests: 8 client-canceled runaways, 4 deadline-killed runaways,
+# 3 screen rejects, 4 injected faults (precedence reject > cancel >
+# deadline > fault keeps the classes disjoint at these rates).
+"$BIN" load -url "$URL2" -n 40 -c 8 -fault-every 9 -reject-rate 11 \
+	-cancel-rate 5 -deadline-rate 7
+
+# Cross-check the abort counters and the lease ledger cumulatively.
+if command -v curl >/dev/null 2>&1; then
+	METRICS2="$TMP/metrics2.json"
+	curl -fsS "$URL2/metrics" >"$METRICS2"
+	for want in '"canceled_total":8' '"deadline_exceeded_total":4' \
+		'"leased":0' '"quarantined":4'; do
+		if ! grep -q "$want" "$METRICS2"; then
+			echo "serve-smoke: spine /metrics missing $want:" >&2
+			cat "$METRICS2" >&2
+			exit 1
+		fi
+	done
+fi
+
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+	echo "serve-smoke: spine server did not shut down cleanly" >&2
+	cat "$LOG2" >&2
+	exit 1
+fi
+SERVE_PID=""
+
+echo "serve-smoke: ok (287 + 37 requests, 24 injected faults detected, 18 bad programs screened out, 8 cancels + 4 deadlines reconciled, clean shutdown)"

@@ -16,6 +16,10 @@
 //   - atomic-consistency: a struct field accessed through sync/atomic
 //     anywhere in a package must not also be plainly assigned in that
 //     package.
+//   - no-bare-context: context.Background()/context.TODO() are forbidden
+//     outside cmd/ packages, main functions, and tests, keeping the
+//     execution-context spine (cancellation, deadlines, tracing) unbroken
+//     from the HTTP edge to the interpreter loop.
 //
 // The tool speaks the cmd/go vet-tool protocol directly (the golang.org/x/
 // tools unitchecker is not vendored here, and the repo is stdlib-only):

@@ -26,6 +26,7 @@ func runPasses(fset *token.FileSet, importPath string, files []*ast.File) []diag
 	diags = append(diags, checkMemEncapsulation(importPath, files)...)
 	diags = append(diags, checkFastpath(files)...)
 	diags = append(diags, checkAtomicConsistency(files)...)
+	diags = append(diags, checkNoBareContext(importPath, files)...)
 	return diags
 }
 
@@ -269,6 +270,55 @@ func checkFastpathBody(fn *ast.FuncDecl) []diagnostic {
 // strong as the repo's naming discipline — a false positive is resolved by
 // renaming one of the fields, which the race-prone code needed anyway for a
 // human reader.
+
+// ---------------------------------------------------------------------------
+// Pass 5: no-bare-context.
+//
+// The execution-context spine (DESIGN.md "Execution-context spine") only
+// works if cancellation and deadlines flow unbroken from the HTTP edge to
+// the interpreter loop. A context.Background() (or TODO()) in library code
+// severs that flow: whatever runs under it can no longer be canceled by the
+// request that asked for it. Fresh root contexts are therefore only allowed
+// where roots genuinely exist — command entrypoints (cmd/...), main
+// functions, and tests (the driver never parses _test.go files).
+
+func checkNoBareContext(importPath string, files []*ast.File) []diagnostic {
+	if strings.HasPrefix(importPath, modulePath+"/cmd/") {
+		return nil
+	}
+	var diags []diagnostic
+	check := func(body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 0 {
+				return true
+			}
+			if !isSelector(call.Fun, "context", "Background") && !isSelector(call.Fun, "context", "TODO") {
+				return true
+			}
+			sel := call.Fun.(*ast.SelectorExpr)
+			diags = append(diags, diagnostic{
+				pos: call.Pos(),
+				msg: fmt.Sprintf("context.%s() severs the execution-context spine: thread the caller's context through instead (bare root contexts belong only in cmd/ entrypoints, main functions, and tests)", sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if fn.Name.Name == "main" || fn.Body == nil {
+					continue
+				}
+				check(fn.Body)
+				continue
+			}
+			// Package-level var initializers can sever the spine too.
+			check(decl)
+		}
+	}
+	return diags
+}
 
 func checkAtomicConsistency(files []*ast.File) []diagnostic {
 	atomicFields := map[string]token.Pos{}

@@ -95,6 +95,23 @@ func TestAtomicConsistencyPass(t *testing.T) {
 	)
 }
 
+func TestNoBareContextPass(t *testing.T) {
+	got := lintFixture(t, "mte4jni/internal/server", "noctx_bad.go")
+	wantDiags(t, got,
+		"context.Background() severs the execution-context spine",
+		"context.TODO() severs the execution-context spine",
+	)
+	if !strings.Contains(got[0], "noctx_bad.go:10:") {
+		t.Errorf("diagnostic not anchored at the offending call: %q", got[0])
+	}
+}
+
+// Command entrypoints are process roots: the same source under cmd/ is
+// allowed to create root contexts.
+func TestNoBareContextAllowsCmd(t *testing.T) {
+	wantDiags(t, lintFixture(t, "mte4jni/cmd/mte4jni", "noctx_bad.go"))
+}
+
 // TestLintConfigDriver exercises the vet-tool protocol driver end to end on
 // a written vet.cfg: diagnostics rendered as file:line:col, the facts file
 // recorded, and exit-worthy count returned.

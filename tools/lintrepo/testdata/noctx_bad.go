@@ -1,0 +1,24 @@
+// Fixture for the no-bare-context pass, analyzed as a library package
+// (e.g. mte4jni/internal/server): the context.Background() and
+// context.TODO() calls in ordinary functions must be flagged; deriving
+// from a threaded context, a main function, and cmd/ packages must not.
+package server
+
+import "context"
+
+func runDetached() {
+	ctx := context.Background() // flagged: severs the spine
+	_ = ctx
+}
+
+var pkgCtx = context.TODO() // flagged: package-level root context
+
+func runThreaded(ctx context.Context) {
+	derived, cancel := context.WithCancel(ctx) // fine: derived from the caller
+	defer cancel()
+	_ = derived
+}
+
+func main() {
+	_ = context.Background() // fine: main functions are process roots
+}
