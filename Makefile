@@ -39,13 +39,15 @@ lint-repo:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Quick perf sanity: the paper's Figure 5/6 benchmarks at -benchtime=10x plus
-# the zero-allocation guards on the fault-free checked path and the TLAB hit
-# path. Catches perf-path regressions (fast path falling off, allocations
-# creeping in) in seconds rather than validating absolute numbers.
+# Quick perf sanity: the paper's Figure 5/6 benchmarks plus the elided-vs-
+# checked proof-carrying pair at -benchtime=10x, and the zero-allocation
+# guards on the fault-free checked path, the guard-free elided path, and the
+# TLAB hit path. Catches perf-path regressions (fast path falling off,
+# allocations creeping in) in seconds rather than validating absolute numbers.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig5SingleThread|BenchmarkFig6MultiThread' -benchtime=10x .
-	$(GO) test -run 'TestCheckedAccessAllocs' ./internal/mem
+	$(GO) test -run '^$$' -bench 'BenchmarkFig5SingleThread|BenchmarkFig5Elision|BenchmarkFig6MultiThread' -benchtime=10x .
+	$(GO) test -run 'TestCheckedAccessAllocs|TestUnguardedAccessAllocs' ./internal/mem
+	$(GO) test -run 'TestElidedDispatchAllocs' ./internal/interp
 	$(GO) test -run 'TestAllocTLABHitAllocs' ./internal/heap
 
 # End-to-end gate for the serving layer: `mte4jni serve` with the full

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/interp"
 	"mte4jni/internal/jni"
 	"mte4jni/internal/workloads"
 )
@@ -75,6 +77,49 @@ func BenchmarkFig5SingleThread(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkFig5Elision is the proof-carrying elision experiment: the same
+// screened-safe program (a hot loop of statically proven in-bounds array
+// accesses plus one in-payload native call) under MTE-Sync, executed fully
+// checked versus with its compiled elision mask bound. The delta is the tag
+// check cost the admission screen's proofs discharge.
+func BenchmarkFig5Elision(b *testing.B) {
+	p := elisionBenchProgram()
+	v := analysis.Screen(p)
+	if v.Verdict != analysis.VerdictSafe || v.Elision == nil {
+		b.Fatalf("elision bench program not screened safe: %+v", v)
+	}
+	for _, elide := range []bool{false, true} {
+		variant := "checked"
+		if elide {
+			variant = "elided"
+		}
+		b.Run(variant, func(b *testing.B) {
+			_, env := benchEnv(b, Config{Scheme: MTESync, HeapSize: 256 << 20})
+			ip := interp.New(env)
+			// One interpreter runs all b.N iterations; the cumulative step
+			// budget is a safety net, not part of the measured work.
+			ip.MaxSteps = 1 << 62
+			for name, sum := range p.Natives {
+				ip.RegisterNative(name, interp.NativeMethod{Kind: sum.Kind, Body: sum.Materialize()})
+			}
+			if elide {
+				if err := v.Elision.ValidateBinding(p); err != nil {
+					b.Fatal(err)
+				}
+				ip.BindElision(v.Elision.Mask())
+			}
+			b.SetBytes(elisionBenchBytesPerOp)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ret, fault, err := ip.InvokeCtx(nil, p.Method)
+				if ret != 7 || fault != nil || err != nil {
+					b.Fatalf("ret=%d fault=%v err=%v", ret, fault, err)
+				}
+			}
+		})
 	}
 }
 

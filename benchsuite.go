@@ -358,6 +358,106 @@ func suiteCases() []suiteCase {
 		})
 	}
 
+	// Proof-carrying elision on the screened-safe hot loop: the same program
+	// executed fully checked versus with its compiled elision mask bound —
+	// the measurable win of discharging the tag-check guards statically.
+	for _, elide := range []bool{false, true} {
+		elide := elide
+		variant := "checked"
+		if elide {
+			variant = "elided"
+		}
+		cases = append(cases, suiteCase{
+			name: "Fig5Elision/" + variant,
+			setup: func() (func(int) error, int64, error) {
+				p := elisionBenchProgram()
+				v := analysis.Screen(p)
+				if v.Verdict != analysis.VerdictSafe || v.Elision == nil {
+					return nil, 0, fmt.Errorf("elision bench program not screened safe: %+v", v)
+				}
+				rt, err := New(Config{Scheme: MTESync, HeapSize: 256 << 20})
+				if err != nil {
+					return nil, 0, err
+				}
+				env, err := rt.AttachEnv("bench")
+				if err != nil {
+					return nil, 0, err
+				}
+				ip := interp.New(env)
+				// One interpreter runs every iteration; lift the cumulative
+				// step-budget safety net out of the measurement's way.
+				ip.MaxSteps = 1 << 62
+				for name, sum := range p.Natives {
+					ip.RegisterNative(name, interp.NativeMethod{Kind: sum.Kind, Body: sum.Materialize()})
+				}
+				if elide {
+					if err := v.Elision.ValidateBinding(p); err != nil {
+						return nil, 0, err
+					}
+					ip.BindElision(v.Elision.Mask())
+				}
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						ret, fault, err := ip.InvokeCtx(nil, p.Method)
+						if fault != nil {
+							return fmt.Errorf("fault: %v", fault)
+						}
+						if err != nil {
+							return err
+						}
+						if ret != 7 {
+							return fmt.Errorf("ret = %d, want 7", ret)
+						}
+					}
+					return nil
+				}, elisionBenchBytesPerOp, nil
+			},
+		})
+	}
+
+	// Guard-free access-engine microbenchmarks: the same load/store unit with
+	// the SWAR tag compare elided, the per-access cost a discharged proof
+	// buys back.
+	cases = append(cases,
+		suiteCase{
+			name: "mem/Load64Unguarded",
+			setup: func() (func(int) error, int64, error) {
+				s, m, ctx, err := suiteSpace()
+				if err != nil {
+					return nil, 0, err
+				}
+				p := mte.MakePtr(m.Base(), 0x5)
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						if _, f := s.Load64Unguarded(ctx, p); f != nil {
+							return fmt.Errorf("fault: %v", f)
+						}
+					}
+					return nil
+				}, 8, nil
+			},
+		},
+		suiteCase{
+			name: "mem/CopyOutUnguarded/n=16384",
+			setup: func() (func(int) error, int64, error) {
+				s, m, ctx, err := suiteSpace()
+				if err != nil {
+					return nil, 0, err
+				}
+				p := mte.MakePtr(m.Base(), 0x5)
+				buf := make([]byte, 16384)
+				return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						if f := s.CopyOutUnguarded(ctx, p, buf); f != nil {
+							return fmt.Errorf("fault: %v", f)
+						}
+					}
+					return nil
+				}, 16384, nil
+			},
+		},
+	)
+
 	// The serving layer's admission screen on an inline program: the cold
 	// path (parse + abstract interpretation, what a verdict-cache miss
 	// costs) versus a verdict-cache hit (one hash + map lookup, what every
@@ -433,6 +533,71 @@ func screenBenchProgram() []byte {
 		panic(err) // static input: cannot fail
 	}
 	return raw
+}
+
+// Elision benchmark program shape: a 64-iteration loop over 16 proven
+// in-bounds aget and 16 aput sites on an int[16], then one in-payload
+// native call — every heap access in it elides under the compiled mask.
+const (
+	elisionBenchArrLen = 16
+	elisionBenchSites  = 16
+	elisionBenchLoops  = 64
+	// Bytes of proven array traffic per run: 4 bytes per access, one aget
+	// and one aput per site per loop iteration.
+	elisionBenchBytesPerOp = int64(elisionBenchLoops * elisionBenchSites * 2 * 4)
+)
+
+// elisionBenchProgram builds the proof-carrying elision benchmark input: a
+// screened-safe program whose hot loop is nothing but statically proven
+// in-bounds array traffic. Under the elision mask every access dispatches
+// as a guard-free superinstruction; fully checked, every access pays the
+// SWAR tag compare — the pair isolates what the proofs buy.
+func elisionBenchProgram() *analysis.Program {
+	code := []interp.Inst{
+		{Op: interp.OpConst, A: elisionBenchArrLen},
+		{Op: interp.OpNewArray, A: 0},
+		{Op: interp.OpConst, A: elisionBenchLoops},
+		{Op: interp.OpStore, A: 0},
+	}
+	loopStart := int64(len(code))
+	for i := 0; i < elisionBenchSites; i++ {
+		idx := int64(i % elisionBenchArrLen)
+		code = append(code,
+			interp.Inst{Op: interp.OpConst, A: idx},
+			interp.Inst{Op: interp.OpArrayGet, A: 0},
+			interp.Inst{Op: interp.OpStore, A: 1},
+			interp.Inst{Op: interp.OpConst, A: idx},
+			interp.Inst{Op: interp.OpConst, A: 7},
+			interp.Inst{Op: interp.OpArrayPut, A: 0},
+		)
+	}
+	exit := int64(len(code)) + 7
+	code = append(code,
+		interp.Inst{Op: interp.OpLoad, A: 0},
+		interp.Inst{Op: interp.OpConst, A: 1},
+		interp.Inst{Op: interp.OpSub},
+		interp.Inst{Op: interp.OpStore, A: 0},
+		interp.Inst{Op: interp.OpLoad, A: 0},
+		interp.Inst{Op: interp.OpJmpIfZero, A: exit},
+		interp.Inst{Op: interp.OpJmp, A: loopStart},
+		// exit:
+		interp.Inst{Op: interp.OpCallNative, A: 0, B: 0},
+		interp.Inst{Op: interp.OpConst, A: 7},
+		interp.Inst{Op: interp.OpReturn},
+	)
+	return &analysis.Program{
+		Method: &interp.Method{
+			Name:        "fig5_elide",
+			Code:        code,
+			MaxLocals:   2,
+			MaxRefs:     1,
+			NativeNames: []string{"bulk"},
+		},
+		Natives: map[string]analysis.NativeSummary{
+			// In-payload: int[16] is 64 bytes, granule-rounded end 64.
+			"bulk": {MinOff: 0, MaxOff: 63},
+		},
+	}
 }
 
 // suiteSpace builds the standard microbenchmark space: a 1 MiB tagged

@@ -78,7 +78,14 @@ func runLint(args []string) error {
 		count(res.Diags, f)
 		fmt.Printf("%s: verdict: %s\n", f, res.Verdict)
 		if *disasm {
-			fmt.Print(interp.DisassembleAnnotated(p.Method, analysis.Annotations(res.Diags)))
+			// Each heap-access PC carries its elision decision next to the
+			// analyzer's findings: "elide: <proof>" where the guard is
+			// statically discharged, "checked: <why not>" everywhere else.
+			notes := analysis.Annotations(res.Diags)
+			for pc, ns := range analysis.ElideAnnotations(res) {
+				notes[pc] = append(notes[pc], ns...)
+			}
+			fmt.Print(interp.DisassembleAnnotated(p.Method, notes))
 		}
 		if *dynamic {
 			dr, err := fuzz.Differential(p, *seed)

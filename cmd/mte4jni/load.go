@@ -129,6 +129,7 @@ func runLoad(args []string) error {
 
 	// Aggregate.
 	var ok, faulted, injected, rejected, canceled, deadlined, failed int
+	var elidedSites, invalidated int
 	lats := make([]time.Duration, 0, *n)
 	for i, o := range outcomes {
 		if o.err != nil {
@@ -137,6 +138,13 @@ func runLoad(args []string) error {
 				fmt.Fprintf(os.Stderr, "load: request %d: %v\n", i, o.err)
 			}
 			continue
+		}
+		// Elision accounting is summed over every response the server actually
+		// sent; abandoned connections have no response and the runaway spin
+		// program has no elidable sites, so aborts contribute exactly zero.
+		elidedSites += o.elidedSites
+		if o.invalidated {
+			invalidated++
 		}
 		switch {
 		case o.canceled:
@@ -170,6 +178,7 @@ func runLoad(args []string) error {
 		*n, *c, wall.Round(time.Millisecond), float64(*n)/wall.Seconds())
 	fmt.Printf("  ok=%d faulted=%d (injected %d) rejected=%d canceled=%d deadlined=%d transport-errors=%d\n",
 		ok, faulted, injected, rejected, canceled, deadlined, failed)
+	fmt.Printf("  elision: guard-free sites=%d invalidated-runs=%d\n", elidedSites, invalidated)
 	if len(lats) > 0 {
 		fmt.Printf("  latency: p50=%v p95=%v p99=%v max=%v\n",
 			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
@@ -212,8 +221,11 @@ func runLoad(args []string) error {
 		dDeadline := after.DeadlineExceededTotal - before.DeadlineExceededTotal
 		dErrors := after.ErrorsTotal - before.ErrorsTotal
 		dCanceledLeases := after.Pool.CanceledLeases - before.Pool.CanceledLeases
+		dElided := after.ElidedSitesTotal - before.ElidedSitesTotal
+		dInvalidated := after.ElisionInvalidatedTotal - before.ElisionInvalidatedTotal
 		fmt.Printf("  server: +requests=%d +faults=%d +screened=%d +rejected=%d +cache-hits=%d +quarantined=%d\n",
 			dRequests, dFaults, dScreened, dRejected, dCacheHits, dQuarantined)
+		fmt.Printf("  server: +elided-sites=%d +elision-invalidated=%d\n", dElided, dInvalidated)
 		if canceled+deadlined > 0 {
 			fmt.Printf("  server: +canceled=%d +deadline-exceeded=%d +canceled-leases=%d leased-now=%d\n",
 				dCanceled, dDeadline, dCanceledLeases, after.Pool.Leased)
@@ -229,6 +241,16 @@ func runLoad(args []string) error {
 		}
 		if dErrors != 0 {
 			return fmt.Errorf("load: +%d errors_total: aborts or faults misclassified as errors", dErrors)
+		}
+		// Elision accounting is exact, with no cancel tolerance: every
+		// guard-free site the server credited came back in a response the
+		// client summed (aborted runs carry zero elidable sites), and a proof
+		// invalidation anywhere is a loud soundness event, never absorbed.
+		if dElided != uint64(elidedSites) {
+			return fmt.Errorf("load: elided_sites_total off: server credited +%d guard-free sites, client responses summed %d", dElided, elidedSites)
+		}
+		if dInvalidated != uint64(invalidated) {
+			return fmt.Errorf("load: elision_invalidated_total off: server counted +%d fallbacks, client observed %d", dInvalidated, invalidated)
 		}
 		if after.Pool.Leased != 0 {
 			return fmt.Errorf("load: %d leases still outstanding after drain: leaked lease", after.Pool.Leased)
@@ -280,13 +302,15 @@ func runLoad(args []string) error {
 
 // loadOutcome is one request's client-side classification.
 type loadOutcome struct {
-	latency   time.Duration
-	faulted   bool
-	injected  bool
-	rejected  bool
-	canceled  bool
-	deadlined bool
-	err       error
+	latency     time.Duration
+	faulted     bool
+	injected    bool
+	rejected    bool
+	canceled    bool
+	deadlined   bool
+	elidedSites int
+	invalidated bool
+	err         error
 }
 
 // fire sends one /run request and classifies the outcome. A response is an
@@ -336,6 +360,8 @@ func fire(client *http.Client, base string, req server.RunRequest, injected, rej
 		return o
 	}
 	o.faulted = out.Fault != nil
+	o.elidedSites = out.ElidedSites
+	o.invalidated = out.ElisionInvalidated
 	if injected && out.Fault == nil {
 		o.err = fmt.Errorf("injected fault came back clean (session %s)", out.Session)
 	}
@@ -344,6 +370,17 @@ func fire(client *http.Client, base string, req server.RunRequest, injected, rej
 	}
 	if !injected && out.Error != "" {
 		o.err = fmt.Errorf("session %s: %s", out.Session, out.Error)
+	}
+	// The canned safe probe is screened VerdictSafe, so its proofs must have
+	// compiled into at least one guard-free site; a fully checked safe run
+	// means the elision pipeline silently fell apart.
+	if req.Canned == "safe" && o.err == nil {
+		if out.ElidedSites == 0 {
+			o.err = fmt.Errorf("session %s: safe probe ran fully checked: no elided sites in response", out.Session)
+		}
+		if out.ElisionInvalidated {
+			o.err = fmt.Errorf("session %s: safe probe's elision proofs were invalidated mid-run", out.Session)
+		}
 	}
 	return o
 }
@@ -408,6 +445,10 @@ func fireDeadline(client *http.Client, base string, req server.RunRequest) (o lo
 		return o
 	}
 	o.deadlined = true
+	// The spin program has no elidable sites, but sum whatever the server
+	// reported so the reconciliation stays exact rather than assumed.
+	o.elidedSites = out.ElidedSites
+	o.invalidated = out.ElisionInvalidated
 	return o
 }
 

@@ -95,6 +95,11 @@ type MethodResult struct {
 	// Provenance traces the faulting pointer from its managed allocation to
 	// the dereference when FaultSite is set.
 	Provenance ProvChain
+	// Elision is the compiled proof-carrying elision mask: every reachable
+	// heap access whose guard the analysis discharged, with per-PC proofs
+	// (nil only when the method never reached the fixpoint, e.g. malformed
+	// bytecode).
+	Elision *Elision
 }
 
 // Annotations returns the per-pc disassembly notes for this result:
@@ -282,6 +287,7 @@ type analyzer struct {
 	// reporting-phase accumulators
 	diags     []Diagnostic
 	sites     []CallSite
+	proofs    []ElisionProof
 	faultSite *CallSite
 	faultProv ProvChain
 	reporting bool
@@ -431,6 +437,7 @@ func (a *analyzer) step(pc int, st *absState) stepResult {
 			throw()
 			return res
 		}
+		a.elideBounds(pc, "aget", idx, r)
 		push(full())
 		flow(pc + 1)
 	case interp.OpArrayPut:
@@ -445,6 +452,7 @@ func (a *analyzer) step(pc int, st *absState) stepResult {
 			throw()
 			return res
 		}
+		a.elideBounds(pc, "aput", idx, r)
 		flow(pc + 1)
 	case interp.OpArrayLength:
 		r, ok := checkRef(in.A)
@@ -469,6 +477,16 @@ func (a *analyzer) step(pc int, st *absState) stepResult {
 				"native %q has no behavioural summary; outcome unknown", name)
 		} else {
 			site.Verdict, site.Reason = siteVerdict(sum, r.length)
+			if site.Verdict == VerdictSafe && a.reporting && !a.clash[pc] && r.init == triYes {
+				// The safe verdict stands on the summary's offsets and the
+				// length lower bound of a definitely-allocated array: record
+				// those facts and elide the tag checks for this call.
+				a.proofs = append(a.proofs, ElisionProof{
+					PC: pc, Op: "callnative", Reason: site.Reason, Native: name,
+					Touches: sum.Touches(), MinOff: sum.MinOff, MaxOff: sum.MaxOff,
+					LenLo: max64(0, r.length.Lo),
+				})
+			}
 			if sum.Kind == jni.CriticalNative && sum.Touches() {
 				a.emit(pc, RuleCriticalHeap, SevWarning,
 					"@CriticalNative %q touches the Java heap with checking unarmed", name)
@@ -499,6 +517,25 @@ func (a *analyzer) step(pc int, st *absState) stepResult {
 		throw()
 	}
 	return res
+}
+
+// elideBounds records an in-bounds proof for an array access whose guard
+// the interval analysis discharged: the index interval is provably inside
+// [0, length) of a definitely-allocated array, at a pc whose abstract state
+// is trustworthy (no stack-depth clash). Called only after boundsCheck
+// passed, during the reporting phase over the final fixpoint states.
+func (a *analyzer) elideBounds(pc int, op string, idx iv, r refState) {
+	if !a.reporting || a.clash[pc] {
+		return
+	}
+	if r.init != triYes || idx.Lo < 0 || idx.Hi >= r.length.Lo {
+		return
+	}
+	a.proofs = append(a.proofs, ElisionProof{
+		PC: pc, Op: op,
+		Reason: fmt.Sprintf("index ∈ %s proven within [0,%d)", idx, r.length.Lo),
+		IdxLo:  idx.Lo, IdxHi: idx.Hi, LenLo: r.length.Lo,
+	})
 }
 
 // boundsCheck emits OOB diagnostics for an array access and reports whether
@@ -632,6 +669,7 @@ func analyzeMethod(m *interp.Method, natives map[string]NativeSummary, file stri
 
 	res.Diags = a.diags
 	res.CallSites = a.sites
+	res.Elision = compileElision(&Program{Method: m, Natives: natives}, a.proofs)
 	SortDiagnostics(res.Diags)
 
 	// Whole-method verdict. Safe: no reachable native call can fault (a

@@ -33,6 +33,11 @@ type ScreenVerdict struct {
 	Diagnostics []string `json:"diagnostics,omitempty"`
 	// Cached marks a verdict served from the screen cache.
 	Cached bool `json:"cached,omitempty"`
+	// Elision is the compiled proof-carrying elision mask, attached only to
+	// safe verdicts — the execution side binds it to skip proven guards.
+	// Never serialized: proofs ride the admission path, not the wire. The
+	// Elision is immutable after compilation, so cache copies share it.
+	Elision *Elision `json:"-"`
 }
 
 // Rejected reports whether the verdict rejects the program at admission.
@@ -62,6 +67,7 @@ func Screen(p *Program) *ScreenVerdict {
 		v.Provenance = res.Provenance
 	case VerdictSafe:
 		v.Reason = "no execution can raise an MTE tag-check fault"
+		v.Elision = res.Elision
 	default:
 		v.Reason = unknownReason(res)
 	}

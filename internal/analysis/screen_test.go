@@ -296,6 +296,121 @@ func TestScreenCacheParseErrorNotCached(t *testing.T) {
 	}
 }
 
+// TestScreenCacheConcurrentChurn drives a deliberately undersized cache with
+// many distinct programs from many goroutines at once, so hits, misses, and
+// evictions interleave freely (the -race run is the point). Every fetch —
+// cold, cached, or re-screened after eviction — must return a structurally
+// complete verdict with its provenance chain intact.
+func TestScreenCacheConcurrentChurn(t *testing.T) {
+	const progs, workers, rounds = 24, 8, 40
+	c := NewScreenCache(4)
+	raws := make([][]byte, progs)
+	for i := range raws {
+		// Distinct lengths give distinct bytes, hence distinct cache keys;
+		// every one is a provable OOB write (one granule past the payload,
+		// inside the neighbour-exclusion window) carrying a derive step.
+		elems := int64(8 + i)
+		raw, err := MarshalProgram(screenProg(elems, NativeSummary{MinOff: 0, MaxOff: elems*4 + 12, Write: true}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws[i] = raw
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				v, _, err := c.ScreenBytes(raws[(w*rounds+j)%progs])
+				if err != nil || !v.Rejected() {
+					t.Errorf("worker %d: %+v err=%v", w, v, err)
+					return
+				}
+				if len(v.Provenance) < 3 || v.Provenance[len(v.Provenance)-1].Kind != ProvDeref {
+					t.Errorf("worker %d: provenance chain damaged under churn: %v", w, v.Provenance)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 4 {
+		t.Fatalf("cache grew past its bound under churn: len=%d", c.Len())
+	}
+	if hits, misses := c.Stats(); hits+misses != workers*rounds {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, workers*rounds)
+	}
+}
+
+// TestScreenCacheCopyOnHitIsolation: a cache hit hands out a copy, so a
+// caller scribbling on its verdict cannot poison later hits — while the
+// compiled Elision (immutable by contract) is shared across copies rather
+// than recompiled.
+func TestScreenCacheCopyOnHitIsolation(t *testing.T) {
+	c := NewScreenCache(0)
+	raw, err := MarshalProgram(screenProg(16, NativeSummary{MinOff: 0, MaxOff: 63}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, hit, err := c.ScreenBytes(raw)
+	if err != nil || hit || v1.Verdict != VerdictSafe || v1.Elision == nil {
+		t.Fatalf("cold screen: hit=%v err=%v %+v", hit, err, v1)
+	}
+	v2, hit, err := c.ScreenBytes(raw)
+	if err != nil || !hit {
+		t.Fatalf("warm screen: hit=%v err=%v", hit, err)
+	}
+	if v2.Elision != v1.Elision {
+		t.Fatal("cache hit recompiled the elision instead of sharing the immutable proofs")
+	}
+	// Scribble on the hit's copy; the cache's stored verdict must not move.
+	v2.Verdict, v2.Reason, v2.PC = VerdictFault, "scribbled", 99
+	v3, hit, err := c.ScreenBytes(raw)
+	if err != nil || !hit {
+		t.Fatalf("third screen: hit=%v err=%v", hit, err)
+	}
+	if v3.Verdict != VerdictSafe || v3.Reason != v1.Reason || v3.PC != v1.PC {
+		t.Fatalf("caller mutation leaked into the cache: %+v", v3)
+	}
+}
+
+// TestScreenProvenanceDerivedOffsets: the derive step must carry the exact
+// byte-offset window the native's pointer arithmetic reaches from the
+// handed-out base, and a zero-offset dereference (no arithmetic at all)
+// must omit the derive step entirely.
+func TestScreenProvenanceDerivedOffsets(t *testing.T) {
+	v := Screen(screenProg(18, NativeSummary{MinOff: 4, MaxOff: 84, Write: true}))
+	if !v.Rejected() {
+		t.Fatalf("not rejected: %+v", v)
+	}
+	var derive *ProvStep
+	for i := range v.Provenance {
+		if v.Provenance[i].Kind == ProvDerive {
+			derive = &v.Provenance[i]
+		}
+	}
+	if derive == nil {
+		t.Fatalf("no derive step in %v", v.Provenance)
+	}
+	if derive.Native != "touch" || derive.PC != 2 {
+		t.Errorf("derive step anchored at %+v, want pc 2 native touch", derive)
+	}
+	if !strings.Contains(derive.Detail, "[4,84]") {
+		t.Errorf("derive step does not carry the derived offset window: %q", derive.Detail)
+	}
+
+	v0 := Screen(screenProg(2, NativeSummary{MinOff: 0, MaxOff: 0, ForgeTag: true}))
+	if !v0.Rejected() {
+		t.Fatalf("forged zero-offset deref not rejected: %+v", v0)
+	}
+	for _, s := range v0.Provenance {
+		if s.Kind == ProvDerive {
+			t.Fatalf("zero-offset dereference grew a derive step: %v", v0.Provenance)
+		}
+	}
+}
+
 func TestScreenCacheConcurrent(t *testing.T) {
 	c := NewScreenCache(8)
 	bad, err := os.ReadFile("testdata/bad/forged_tag.json")

@@ -1,0 +1,150 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/jni"
+	"mte4jni/internal/mte"
+)
+
+// TestElidedEngineDifferential drives the reference, checked-fast and elided
+// engines over randomized streams in both check modes. Zero disagreements is
+// the acceptance bar: the unguarded path may only ever skip the tag compare,
+// never change a value, a fault verdict, or final memory/tag state.
+func TestElidedEngineDifferential(t *testing.T) {
+	steps := 2000
+	seeds := 8
+	if testing.Short() {
+		steps, seeds = 500, 2
+	}
+	for _, mode := range []mte.CheckMode{mte.TCFSync, mte.TCFAsync} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				if err := DifferentialElidedEngines(int64(3000+seed), steps, mode); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestElidedEngineDifferentialCheckingOff covers TCF-none, where the proof
+// predicate is trivially true and every in-mapping access takes the
+// unguarded path.
+func TestElidedEngineDifferentialCheckingOff(t *testing.T) {
+	if err := DifferentialElidedEngines(42, 1000, mte.TCFNone); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElisionLockstepKnownSafe: hand-written provably-safe programs must
+// compile a nonempty elision mask, run guard-free in lockstep with the
+// checked engine, and pass the proof witness.
+func TestElisionLockstepKnownSafe(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *analysis.Program
+	}{
+		{"in-payload-write", spine(8, analysis.NativeSummary{MinOff: 0, MaxOff: 31, Write: true})},
+		{"no-heap-access", spine(8, analysis.NativeSummary{MinOff: 1, MaxOff: 0})},
+		{"padding-read", spine(7, analysis.NativeSummary{MinOff: 28, MaxOff: 31})},
+		{"critical-native", spine(8, analysis.NativeSummary{Kind: jni.CriticalNative, MinOff: 0, MaxOff: 31, Write: true})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := ElisionLockstep(tc.prog, 42)
+			if err != nil {
+				t.Fatalf("lockstep: %v", err)
+			}
+			if out.Elision == nil || out.Elision.Sites() == 0 {
+				t.Fatalf("provably-safe program compiled no elision mask")
+			}
+			if out.Faulted() {
+				t.Errorf("elided run faulted: %v", out.Fault)
+			}
+			if out.Invalidations != 0 {
+				t.Errorf("elided run counted %d invalidations, want 0", out.Invalidations)
+			}
+			if pr := out.Elision.Proof(2); pr == nil || pr.Op != "callnative" {
+				t.Errorf("call site at pc 2 not elided: %+v", out.Elision.Proofs())
+			}
+		})
+	}
+}
+
+// TestElisionLockstepGenerated is the soundness oracle at scale: 250
+// generated programs each run fully checked and elided, with zero tolerated
+// divergence in results or fault verdicts and a proof witness validated for
+// every elided PC. Programs whose whole-program verdict is unknown or fault
+// still participate — their discharged array bounds and safe call sites are
+// elided while the rest stays checked, which is exactly the mixed regime
+// production runs see.
+func TestElisionLockstepGenerated(t *testing.T) {
+	const programs = 250
+	var masked, sites, executedArrays, elidedCalls int
+	for seed := int64(0); seed < programs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, res := GenProgram(rng)
+		out, err := ElisionLockstep(p, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Elision == nil {
+			continue
+		}
+		if n := out.Elision.Sites(); n > 0 {
+			masked++
+			sites += n
+		}
+		executedArrays += len(out.Audit.Executed)
+		for _, pr := range out.Elision.Proofs() {
+			if pr.Op == "callnative" {
+				elidedCalls++
+			}
+		}
+		_ = res
+	}
+	t.Logf("elision over %d programs: %d masked, %d sites, %d guard-free array PCs executed, %d elided call sites",
+		programs, masked, sites, executedArrays, elidedCalls)
+	// The corpus must actually exercise the elided paths, or the lockstep
+	// proves nothing.
+	if masked == 0 || elidedCalls == 0 {
+		t.Errorf("corpus degenerated: masked=%d elidedCalls=%d", masked, elidedCalls)
+	}
+}
+
+// TestWitnessCatchesForgedProof plants a proof the dynamic run contradicts
+// and checks the witness rejects it: a native that touches offsets beyond
+// what a (deliberately mismatched) summary-derived proof allows.
+func TestWitnessCatchesForgedProof(t *testing.T) {
+	// An honest safe program, run elided.
+	p := spine(8, analysis.NativeSummary{MinOff: 0, MaxOff: 31, Write: true})
+	out, err := ExecuteElided(p, 42)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if err := WitnessProofs(p, out); err != nil {
+		t.Fatalf("honest witness rejected: %v", err)
+	}
+	// Now swap in a program whose summary promises a smaller payload than
+	// what was actually touched; the traced accesses at offset 31 escape the
+	// forged length fact (1 element ⇒ tag-rounded payload [0,16)).
+	forged := spine(8, analysis.NativeSummary{MinOff: 0, MaxOff: 31, Write: true})
+	fres := forged.Analyze("")
+	if fres.Elision == nil {
+		t.Fatal("no elision compiled for forged program")
+	}
+	pr := fres.Elision.Proofs()
+	for i := range pr {
+		if pr[i].Op == "callnative" {
+			pr[i].LenLo = 1 // forge the length fact the verdict depended on
+		}
+	}
+	out.Elision = fres.Elision
+	if err := WitnessProofs(forged, out); err == nil {
+		t.Error("witness accepted a forged length fact")
+	}
+}

@@ -1,0 +1,208 @@
+// Proof-carrying tag-check elision: the interpreter side.
+//
+// The static screener (internal/analysis) proves, per heap-access
+// instruction, that no execution can make its guard fire — array indices
+// proven in bounds by the interval analysis, native call sites whose
+// summaries stay inside the handout payload. Those verdicts compile into an
+// ElisionMask: a bitset over the method's PCs. When a mask is bound, the
+// interpreter rewrites the bytecode once per method into an internal form
+// where proven array accesses dispatch to guard-free superinstructions and
+// proven native call sites arm the env's unguarded access path for the
+// duration of the call.
+//
+// The rewrite is strictly an execution-side cache: internal opcodes never
+// appear in serialized programs, are rejected by Validate, and are invisible
+// to Disassemble, which always renders the original code.
+
+package interp
+
+// ElisionMask is a compact bitset over a method's instruction PCs marking
+// heap accesses whose guards the screening proofs discharged statically.
+// Only the proof compiler in internal/analysis may construct one (enforced
+// by tools/lintrepo): a mask is a claim that skipping the guard is sound,
+// and that claim is only ever justified by the abstract interpreter.
+type ElisionMask struct {
+	words []uint64
+	n     int
+	sites int
+}
+
+// NewElisionMask builds a mask over a method of codeLen instructions with
+// the given PCs marked. Out-of-range PCs are ignored; duplicates count once.
+func NewElisionMask(codeLen int, pcs []int) *ElisionMask {
+	m := &ElisionMask{words: make([]uint64, (codeLen+63)/64), n: codeLen}
+	for _, pc := range pcs {
+		if pc < 0 || pc >= codeLen {
+			continue
+		}
+		if m.words[pc>>6]&(1<<(uint(pc)&63)) == 0 {
+			m.words[pc>>6] |= 1 << (uint(pc) & 63)
+			m.sites++
+		}
+	}
+	return m
+}
+
+// Elided reports whether the guard at pc is proven unnecessary. It sits on
+// the dispatch loop's native-call path and must stay allocation-free.
+func (m *ElisionMask) Elided(pc int) bool {
+	return uint(pc) < uint(m.n) && m.words[pc>>6]&(1<<(uint(pc)&63)) != 0
+}
+
+// Len returns the code length the mask was compiled for; a mask only binds
+// to a method of exactly this length.
+func (m *ElisionMask) Len() int { return m.n }
+
+// Sites returns the number of distinct elided PCs.
+func (m *ElisionMask) Sites() int { return m.sites }
+
+// PCs returns the elided PCs in ascending order.
+func (m *ElisionMask) PCs() []int {
+	pcs := make([]int, 0, m.sites)
+	for pc := 0; pc < m.n; pc++ {
+		if m.Elided(pc) {
+			pcs = append(pcs, pc)
+		}
+	}
+	return pcs
+}
+
+// Internal opcodes the bind-time rewrite emits. They live past OpReturn so
+// the public opcode space is untouched; Validate rejects them and they are
+// never serialized.
+const (
+	// opElidedArrayGet is OpArrayGet with the bounds guard discharged.
+	opElidedArrayGet Opcode = iota + OpReturn + 1
+	// opElidedArrayPut is OpArrayPut with the bounds guard discharged.
+	opElidedArrayPut
+	// opElidedConstAGet fuses OpConst (A = index) with a following elided
+	// OpArrayGet (B = ref slot) into one guard-free superinstruction; the
+	// dispatch loop advances past both.
+	opElidedConstAGet
+	// opElidedConstAPut fuses OpConst (A = value) with a following elided
+	// OpArrayPut (B = ref slot); the index still comes from the stack.
+	opElidedConstAPut
+)
+
+// elidedOpName names the internal opcodes for debug renderings; String
+// falls back to it past the public name table.
+func elidedOpName(o Opcode) string {
+	switch o {
+	case opElidedArrayGet:
+		return "aget!"
+	case opElidedArrayPut:
+		return "aput!"
+	case opElidedConstAGet:
+		return "const+aget!"
+	case opElidedConstAPut:
+		return "const+aput!"
+	}
+	return ""
+}
+
+// boundElision is the interpreter's execution-side view of a bound mask:
+// the mask itself plus the rewritten code cached for the last method run.
+type boundElision struct {
+	mask *ElisionMask
+	m    *Method
+	code []Inst
+}
+
+// BindElision installs a compiled elision mask for subsequent InvokeCtx
+// calls. The caller (the pool lease path) is responsible for validating the
+// proof digest against the program before binding; the interpreter only
+// checks the structural precondition that the mask covers the method's code
+// exactly. Binding nil returns to fully-checked execution.
+func (ip *Interp) BindElision(mask *ElisionMask) {
+	if mask == nil {
+		ip.elision = nil
+		return
+	}
+	ip.elision = &boundElision{mask: mask}
+}
+
+// ElisionAudit records every guard-free array access for the soundness
+// oracle: which elided PCs actually executed, and any access whose index the
+// discharged guard would in fact have caught. A non-empty Violations list is
+// a proof-compiler bug.
+type ElisionAudit struct {
+	// Executed maps an elided array-access PC to its execution count.
+	Executed map[int]int
+	// Violations lists accesses the elided guard would have rejected.
+	Violations []AuditViolation
+}
+
+// AuditViolation is one guard-free access that escaped its proof.
+type AuditViolation struct {
+	PC     int
+	Index  int64
+	Length int64
+}
+
+// AuditElision attaches (and returns) an audit sink for subsequent runs.
+// Test-only: auditing is off the fast path only by the nil check.
+func (ip *Interp) AuditElision() *ElisionAudit {
+	ip.audit = &ElisionAudit{Executed: make(map[int]int)}
+	return ip.audit
+}
+
+// elidedCode returns the execution form of m under the bound mask: the
+// original code when no mask binds (or the mask does not fit), otherwise a
+// rewritten copy with proven accesses as internal opcodes, cached per
+// method so repeat invocations pay nothing.
+func (ip *Interp) elidedCode(m *Method) ([]Inst, bool) {
+	el := ip.elision
+	if el == nil || el.mask.Len() != len(m.Code) {
+		return m.Code, false
+	}
+	if el.m != m {
+		el.m = m
+		el.code = rewriteElided(m.Code, el.mask)
+	}
+	return el.code, true
+}
+
+// rewriteElided lowers proven array accesses to their guard-free internal
+// opcodes and then fuses each OpConst feeding one into a superinstruction.
+// The fused-over access at pc+1 is kept verbatim so a jump landing there
+// still executes the standalone elided form.
+func rewriteElided(code []Inst, mask *ElisionMask) []Inst {
+	out := make([]Inst, len(code))
+	copy(out, code)
+	for pc := range out {
+		if !mask.Elided(pc) {
+			continue
+		}
+		switch out[pc].Op {
+		case OpArrayGet:
+			out[pc].Op = opElidedArrayGet
+		case OpArrayPut:
+			out[pc].Op = opElidedArrayPut
+		}
+	}
+	for pc := 0; pc+1 < len(out); pc++ {
+		if out[pc].Op != OpConst {
+			continue
+		}
+		switch out[pc+1].Op {
+		case opElidedArrayGet:
+			// const idx; aget! ref  =>  one dispatch, index as immediate.
+			out[pc] = Inst{Op: opElidedConstAGet, A: out[pc].A, B: out[pc+1].A}
+		case opElidedArrayPut:
+			// const val; aput! ref  =>  one dispatch, value as immediate.
+			out[pc] = Inst{Op: opElidedConstAPut, A: out[pc].A, B: out[pc+1].A}
+		}
+	}
+	return out
+}
+
+// auditElided records one guard-free array access when an audit sink is
+// attached. pc is the access instruction's original PC (for fused
+// superinstructions, the fused-over access at pc+1).
+func (ip *Interp) auditElided(pc int, idx int64, arr interface{ Len() int }) {
+	ip.audit.Executed[pc]++
+	if idx < 0 || idx >= int64(arr.Len()) {
+		ip.audit.Violations = append(ip.audit.Violations,
+			AuditViolation{PC: pc, Index: idx, Length: int64(arr.Len())})
+	}
+}

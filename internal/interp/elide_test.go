@@ -1,0 +1,99 @@
+package interp_test
+
+import (
+	"testing"
+
+	"mte4jni/internal/interp"
+)
+
+// elideLoopN builds the elided-dispatch guard program: local 0 counts down
+// around a loop whose body is a proven in-bounds const-index aget (fused to
+// const+aget! under the mask) and a standalone-elidable aput. The mask over
+// the two access PCs is what BindElision installs.
+func elideLoopN() (*interp.Method, *interp.ElisionMask) {
+	m := &interp.Method{
+		Name: "elideLoopN", MaxLocals: 2, MaxRefs: 1,
+		Code: []interp.Inst{
+			{Op: interp.OpConst, A: 8},
+			{Op: interp.OpNewArray, A: 0},
+			// loop:
+			{Op: interp.OpLoad, A: 0},
+			{Op: interp.OpJmpIfZero},   // target patched to the exit below
+			{Op: interp.OpConst, A: 3}, // index (fuses into const+aget!)
+			{Op: interp.OpArrayGet, A: 0},
+			{Op: interp.OpStore, A: 1},
+			{Op: interp.OpConst, A: 5},  // index
+			{Op: interp.OpConst, A: 11}, // value (fuses into const+aput!)
+			{Op: interp.OpArrayPut, A: 0},
+			{Op: interp.OpLoad, A: 0},
+			{Op: interp.OpConst, A: 1},
+			{Op: interp.OpSub},
+			{Op: interp.OpStore, A: 0},
+			{Op: interp.OpJmp, A: 2},
+			// exit:
+			{Op: interp.OpConst, A: 0},
+			{Op: interp.OpReturn},
+		},
+	}
+	m.Code[3].A = int64(len(m.Code) - 2)
+	return m, interp.NewElisionMask(len(m.Code), []int{5, 9})
+}
+
+// TestElidedDispatchMatchesChecked pins the rewritten guard-free form to the
+// checked semantics on this program: same return value, and under an audit
+// sink both elided sites execute once per loop iteration with zero
+// violations.
+func TestElidedDispatchMatchesChecked(t *testing.T) {
+	m, mask := elideLoopN()
+	ip, _ := newInterp(t, true)
+	want, fault, err := ip.Invoke(m, 7)
+	if fault != nil || err != nil {
+		t.Fatalf("checked: fault=%v err=%v", fault, err)
+	}
+	ip2, _ := newInterp(t, true)
+	ip2.BindElision(mask)
+	audit := ip2.AuditElision()
+	got, fault, err := ip2.Invoke(m, 7)
+	if fault != nil || err != nil {
+		t.Fatalf("elided: fault=%v err=%v", fault, err)
+	}
+	if got != want {
+		t.Fatalf("elided ret = %d, checked ret = %d", got, want)
+	}
+	if audit.Executed[5] != 7 || audit.Executed[9] != 7 {
+		t.Fatalf("elided sites executed %v, want 7 each at pcs 5 and 9", audit.Executed)
+	}
+	if len(audit.Violations) != 0 {
+		t.Fatalf("audit violations on a proven program: %v", audit.Violations)
+	}
+}
+
+// TestElidedDispatchAllocs is the satellite bench guard for the elided
+// access path: with a mask bound, a long loop of guard-free superinstruction
+// accesses must allocate exactly as much per Invoke as a short one — the
+// mask lookup, the rewrite cache hit, and the unchecked array accessors add
+// 0 allocs/op to the dispatch loop. (Invoke's fixed setup and the one
+// OpNewArray allocate a constant amount, which the differential subtracts
+// out.)
+func TestElidedDispatchAllocs(t *testing.T) {
+	m, mask := elideLoopN()
+	measure := func(n int64) float64 {
+		ip, _ := newInterp(t, true)
+		ip.MaxSteps = 1 << 40
+		ip.BindElision(mask)
+		// Warm the per-method rewrite cache so the measured runs hit it.
+		if _, fault, err := ip.Invoke(m, 1); fault != nil || err != nil {
+			t.Fatalf("fault=%v err=%v", fault, err)
+		}
+		return testing.AllocsPerRun(50, func() {
+			if _, fault, err := ip.Invoke(m, n); fault != nil || err != nil {
+				t.Fatalf("fault=%v err=%v", fault, err)
+			}
+		})
+	}
+	short := measure(10)   // ~130 steps
+	long := measure(5_000) // ~65k steps of elided array traffic
+	if long != short {
+		t.Fatalf("elided dispatch loop allocates: %v allocs/op short vs %v long", short, long)
+	}
+}

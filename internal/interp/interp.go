@@ -81,6 +81,9 @@ func (o Opcode) String() string {
 	if int(o) < len(names) {
 		return names[o]
 	}
+	if s := elidedOpName(o); s != "" {
+		return s
+	}
 	return fmt.Sprintf("Opcode(%d)", int(o))
 }
 
@@ -95,6 +98,9 @@ var operandNeeds = map[Opcode]int{
 	OpStore: 1, OpAdd: 2, OpSub: 2, OpMul: 2, OpDiv: 2, OpRem: 2,
 	OpJmpIfZero: 1, OpJmpIfNeg: 1, OpNewArray: 1, OpArrayGet: 1,
 	OpArrayPut: 2, OpReturn: 1,
+	// Internal elided forms: the const+aget fusion carries its index as an
+	// immediate, the const+aput fusion still pops the index.
+	opElidedArrayGet: 1, opElidedArrayPut: 2, opElidedConstAPut: 1,
 }
 
 // OperandNeeds returns the minimum operand-stack depth the opcode requires,
@@ -142,6 +148,11 @@ type NativeMethod struct {
 type Interp struct {
 	env     *jni.Env
 	natives map[string]NativeMethod
+
+	// elision is the bound proof-carrying mask (nil = fully checked), and
+	// audit the optional soundness recorder for guard-free accesses.
+	elision *boundElision
+	audit   *ElisionAudit
 
 	// maxStack bounds the operand stack, standing in for StackOverflowError.
 	maxStack int
@@ -215,7 +226,15 @@ func (ip *Interp) InvokeCtx(ec *exec.Context, m *Method, args ...int64) (int64, 
 	}
 	cancelCountdown := int64(CancelPollInterval)
 
-	for pc := 0; pc < len(m.Code); pc++ {
+	// Under a bound elision mask, run the rewritten guard-free form and
+	// prime the env's invalidation tracking for this run.
+	code, elided := ip.elidedCode(m)
+	if elided {
+		ip.env.PrimeElision()
+		defer ip.env.ClearElision()
+	}
+
+	for pc := 0; pc < len(code); pc++ {
 		ip.Steps++
 		if ip.Steps > maxSteps {
 			return 0, nil, &exec.StepsError{Method: m.Name, Steps: ip.Steps, Budget: maxSteps}
@@ -227,7 +246,7 @@ func (ip *Interp) InvokeCtx(ec *exec.Context, m *Method, args ...int64) (int64, 
 				return 0, nil, fmt.Errorf("interp: %s: %w", m.Name, cerr)
 			}
 		}
-		in := m.Code[pc]
+		in := code[pc]
 
 		// Operand-count validation, the verifier's job in a real VM.
 		needs := operandNeeds[in.Op]
@@ -318,6 +337,53 @@ func (ip *Interp) InvokeCtx(ec *exec.Context, m *Method, args ...int64) (int64, 
 				return 0, nil, throw(pc, "java.lang.ArrayIndexOutOfBoundsException",
 					fmt.Sprintf("Index %d out of bounds for length %d", idx, arr.Len()))
 			}
+		case opElidedArrayGet:
+			// Guard-free form of OpArrayGet: the screening proof discharged
+			// the bounds check, so the element address is computed directly.
+			idx := pop()
+			arr, err := ip.getRef(refs, in.A, m, pc)
+			if err != nil {
+				return 0, nil, err
+			}
+			if ip.audit != nil {
+				ip.auditElided(pc, idx, arr)
+			}
+			stack = append(stack, int64(arr.GetIntUnchecked(int(idx))))
+		case opElidedArrayPut:
+			v := pop()
+			idx := pop()
+			arr, err := ip.getRef(refs, in.A, m, pc)
+			if err != nil {
+				return 0, nil, err
+			}
+			if ip.audit != nil {
+				ip.auditElided(pc, idx, arr)
+			}
+			arr.SetIntUnchecked(int(idx), int32(v))
+		case opElidedConstAGet:
+			// Superinstruction: OpConst(index) + elided OpArrayGet in one
+			// dispatch. The fused-over access sits at pc+1; skip it.
+			arr, err := ip.getRef(refs, in.B, m, pc)
+			if err != nil {
+				return 0, nil, err
+			}
+			if ip.audit != nil {
+				ip.auditElided(pc+1, in.A, arr)
+			}
+			stack = append(stack, int64(arr.GetIntUnchecked(int(in.A))))
+			pc++
+		case opElidedConstAPut:
+			// Superinstruction: OpConst(value) + elided OpArrayPut.
+			idx := pop()
+			arr, err := ip.getRef(refs, in.B, m, pc)
+			if err != nil {
+				return 0, nil, err
+			}
+			if ip.audit != nil {
+				ip.auditElided(pc+1, idx, arr)
+			}
+			arr.SetIntUnchecked(int(idx), int32(in.A))
+			pc++
 		case OpArrayLength:
 			arr, err := ip.getRef(refs, in.A, m, pc)
 			if err != nil {
@@ -337,9 +403,18 @@ func (ip *Interp) InvokeCtx(ec *exec.Context, m *Method, args ...int64) (int64, 
 			if err != nil {
 				return 0, nil, err
 			}
+			// The mask lookup on the dispatch path: a proven call site arms
+			// the env's unguarded access variants for this call only.
+			armed := false
+			if elided && ip.elision.mask.Elided(pc) {
+				armed = ip.env.ArmElision()
+			}
 			fault, nerr := ip.env.CallNative(name, nm.Kind, func(e *jni.Env) error {
 				return nm.Body(e, arr)
 			})
+			if armed {
+				ip.env.DisarmElision()
+			}
 			if fault != nil {
 				// The native crashed: the whole "process" goes down, which
 				// is exactly what distinguishes this from a managed throw.

@@ -1,0 +1,94 @@
+package jni
+
+// Proof-carrying elision state: the env-side gate between the interpreter's
+// elision mask and the unguarded access variants in internal/mem.
+//
+// The interpreter primes the env once per run of a mask-bound program and
+// arms it around each call site the screening proof covered; while armed,
+// the Load/Store/Copy helpers in env.go route through the *Unguarded
+// variants, which skip the tag compare. Everything the proof assumed is
+// re-checked here at the cheapest possible point:
+//
+//   - remap: PrimeElision snapshots the address space's remap epoch, and
+//     ArmElision refuses (invalidating the run) if it has moved — a Map or
+//     Unmap may have changed what the proven offsets resolve to;
+//   - release/retire: releasing a handout while armed retires the proof for
+//     the remainder of the native call (armed -> stale); the next access
+//     counts one invalidation and runs fully checked;
+//   - native summary mismatch: caught before the env is ever primed, by
+//     analysis.Elision.ValidateBinding at pool bind time.
+//
+// Like the BindExec context, all of this state is owned by the single
+// goroutine driving the lease, so plain fields suffice.
+
+// elisionState is the per-run gate state. armed routes accesses unguarded;
+// stale marks a proof fact retired mid-call (fall back to checked and count
+// the invalidation on the next access); epoch is the remap epoch the proofs
+// were validated against.
+type elisionState struct {
+	primed bool
+	armed  bool
+	stale  bool
+	epoch  uint64
+}
+
+// PrimeElision readies the env for one run of a program whose elision proofs
+// validated at bind time, snapshotting the remap epoch they assumed.
+func (e *Env) PrimeElision() {
+	e.elide = elisionState{primed: true, epoch: e.vm.Space.Epoch()}
+}
+
+// ClearElision detaches the elision state after a run. The invalidation
+// counter survives — the pool reads it across runs as a delta.
+func (e *Env) ClearElision() { e.elide = elisionState{} }
+
+// ArmElision arms guard-free access for one proven native call. It refuses —
+// counting an invalidation — when the address space has been remapped since
+// the proofs were validated; the call then runs fully checked.
+func (e *Env) ArmElision() bool {
+	if !e.elide.primed {
+		return false
+	}
+	if e.vm.Space.Epoch() != e.elide.epoch {
+		e.elideInvalidations++
+		return false
+	}
+	e.elide.armed = true
+	return true
+}
+
+// DisarmElision ends the armed window at native-call exit, clearing any
+// mid-call staleness: each call site's proof stands on its own.
+func (e *Env) DisarmElision() {
+	e.elide.armed = false
+	e.elide.stale = false
+}
+
+// retireElision is the release/retire invalidation hook: a handout released
+// while the gate is armed takes the facts its proof depended on with it, so
+// the remainder of the call falls back to checked access.
+func (e *Env) retireElision() {
+	if e.elide.armed {
+		e.elide.armed = false
+		e.elide.stale = true
+	}
+}
+
+// elided reports whether the next access may skip its tag compare. An access
+// arriving after a mid-call retirement observes stale, books the
+// invalidation once, and runs checked.
+func (e *Env) elided() bool {
+	if e.elide.armed {
+		return true
+	}
+	if e.elide.stale {
+		e.elide.stale = false
+		e.elideInvalidations++
+	}
+	return false
+}
+
+// ElisionInvalidations returns the monotonic count of proof invalidations
+// observed on this env; callers snapshot it around a run to derive a
+// per-run verdict.
+func (e *Env) ElisionInvalidations() uint64 { return e.elideInvalidations }

@@ -49,6 +49,12 @@ type Env struct {
 	// per-thread state through JNIEnv: native bodies and workload kernels
 	// reach it via Exec() without every call signature changing.
 	execCtx *exec.Context
+
+	// elide is the proof-carrying elision gate (see elide.go); like execCtx
+	// it is owned by the lease's goroutine. elideInvalidations counts proof
+	// invalidations monotonically across runs.
+	elide              elisionState
+	elideInvalidations uint64
 }
 
 // acquisition records one outstanding Get so the matching Release can be
@@ -196,7 +202,13 @@ func (e *Env) traceAccess(iface string, p mte.Ptr, size int, write bool) {
 // LoadInt performs a checked 32-bit load through a raw pointer.
 func (e *Env) LoadInt(p mte.Ptr) int32 {
 	e.traceAccess("LoadInt", p, 4, false)
-	v, f := e.vm.Space.Load32(e.thread.Ctx(), p)
+	var v uint32
+	var f *mte.Fault
+	if e.elided() {
+		v, f = e.vm.Space.Load32Unguarded(e.thread.Ctx(), p)
+	} else {
+		v, f = e.vm.Space.Load32(e.thread.Ctx(), p)
+	}
 	if f != nil {
 		e.fault(f)
 	}
@@ -206,7 +218,13 @@ func (e *Env) LoadInt(p mte.Ptr) int32 {
 // StoreInt performs a checked 32-bit store through a raw pointer.
 func (e *Env) StoreInt(p mte.Ptr, v int32) {
 	e.traceAccess("StoreInt", p, 4, true)
-	if f := e.vm.Space.Store32(e.thread.Ctx(), p, uint32(v)); f != nil {
+	var f *mte.Fault
+	if e.elided() {
+		f = e.vm.Space.Store32Unguarded(e.thread.Ctx(), p, uint32(v))
+	} else {
+		f = e.vm.Space.Store32(e.thread.Ctx(), p, uint32(v))
+	}
+	if f != nil {
 		e.fault(f)
 	}
 }
@@ -214,7 +232,13 @@ func (e *Env) StoreInt(p mte.Ptr, v int32) {
 // LoadByte performs a checked 8-bit load.
 func (e *Env) LoadByte(p mte.Ptr) byte {
 	e.traceAccess("LoadByte", p, 1, false)
-	v, f := e.vm.Space.Load8(e.thread.Ctx(), p)
+	var v uint8
+	var f *mte.Fault
+	if e.elided() {
+		v, f = e.vm.Space.Load8Unguarded(e.thread.Ctx(), p)
+	} else {
+		v, f = e.vm.Space.Load8(e.thread.Ctx(), p)
+	}
 	if f != nil {
 		e.fault(f)
 	}
@@ -224,7 +248,13 @@ func (e *Env) LoadByte(p mte.Ptr) byte {
 // StoreByte performs a checked 8-bit store.
 func (e *Env) StoreByte(p mte.Ptr, v byte) {
 	e.traceAccess("StoreByte", p, 1, true)
-	if f := e.vm.Space.Store8(e.thread.Ctx(), p, v); f != nil {
+	var f *mte.Fault
+	if e.elided() {
+		f = e.vm.Space.Store8Unguarded(e.thread.Ctx(), p, v)
+	} else {
+		f = e.vm.Space.Store8(e.thread.Ctx(), p, v)
+	}
+	if f != nil {
 		e.fault(f)
 	}
 }
@@ -232,7 +262,13 @@ func (e *Env) StoreByte(p mte.Ptr, v byte) {
 // LoadChar performs a checked 16-bit load (Java char / UTF-16 unit).
 func (e *Env) LoadChar(p mte.Ptr) uint16 {
 	e.traceAccess("LoadChar", p, 2, false)
-	v, f := e.vm.Space.Load16(e.thread.Ctx(), p)
+	var v uint16
+	var f *mte.Fault
+	if e.elided() {
+		v, f = e.vm.Space.Load16Unguarded(e.thread.Ctx(), p)
+	} else {
+		v, f = e.vm.Space.Load16(e.thread.Ctx(), p)
+	}
 	if f != nil {
 		e.fault(f)
 	}
@@ -242,7 +278,13 @@ func (e *Env) LoadChar(p mte.Ptr) uint16 {
 // StoreChar performs a checked 16-bit store.
 func (e *Env) StoreChar(p mte.Ptr, v uint16) {
 	e.traceAccess("StoreChar", p, 2, true)
-	if f := e.vm.Space.Store16(e.thread.Ctx(), p, v); f != nil {
+	var f *mte.Fault
+	if e.elided() {
+		f = e.vm.Space.Store16Unguarded(e.thread.Ctx(), p, v)
+	} else {
+		f = e.vm.Space.Store16(e.thread.Ctx(), p, v)
+	}
+	if f != nil {
 		e.fault(f)
 	}
 }
@@ -250,7 +292,13 @@ func (e *Env) StoreChar(p mte.Ptr, v uint16) {
 // LoadLong performs a checked 64-bit load.
 func (e *Env) LoadLong(p mte.Ptr) int64 {
 	e.traceAccess("LoadLong", p, 8, false)
-	v, f := e.vm.Space.Load64(e.thread.Ctx(), p)
+	var v uint64
+	var f *mte.Fault
+	if e.elided() {
+		v, f = e.vm.Space.Load64Unguarded(e.thread.Ctx(), p)
+	} else {
+		v, f = e.vm.Space.Load64(e.thread.Ctx(), p)
+	}
 	if f != nil {
 		e.fault(f)
 	}
@@ -260,7 +308,13 @@ func (e *Env) LoadLong(p mte.Ptr) int64 {
 // StoreLong performs a checked 64-bit store.
 func (e *Env) StoreLong(p mte.Ptr, v int64) {
 	e.traceAccess("StoreLong", p, 8, true)
-	if f := e.vm.Space.Store64(e.thread.Ctx(), p, uint64(v)); f != nil {
+	var f *mte.Fault
+	if e.elided() {
+		f = e.vm.Space.Store64Unguarded(e.thread.Ctx(), p, uint64(v))
+	} else {
+		f = e.vm.Space.Store64(e.thread.Ctx(), p, uint64(v))
+	}
+	if f != nil {
 		e.fault(f)
 	}
 }
@@ -270,7 +324,13 @@ func (e *Env) StoreLong(p mte.Ptr, v int64) {
 func (e *Env) Memcpy(dst, src mte.Ptr, n int) {
 	e.traceAccess("Memcpy", src, n, false)
 	e.traceAccess("Memcpy", dst, n, true)
-	if f := e.vm.Space.Move(e.thread.Ctx(), dst, src, n); f != nil {
+	var f *mte.Fault
+	if e.elided() {
+		f = e.vm.Space.MoveUnguarded(e.thread.Ctx(), dst, src, n)
+	} else {
+		f = e.vm.Space.Move(e.thread.Ctx(), dst, src, n)
+	}
+	if f != nil {
 		e.fault(f)
 	}
 }
@@ -279,7 +339,13 @@ func (e *Env) Memcpy(dst, src mte.Ptr, n int) {
 // native (Go) buffer, checked.
 func (e *Env) CopyToNative(dst []byte, src mte.Ptr) {
 	e.traceAccess("CopyToNative", src, len(dst), false)
-	if f := e.vm.Space.CopyOut(e.thread.Ctx(), src, dst); f != nil {
+	var f *mte.Fault
+	if e.elided() {
+		f = e.vm.Space.CopyOutUnguarded(e.thread.Ctx(), src, dst)
+	} else {
+		f = e.vm.Space.CopyOut(e.thread.Ctx(), src, dst)
+	}
+	if f != nil {
 		e.fault(f)
 	}
 }
@@ -287,7 +353,13 @@ func (e *Env) CopyToNative(dst []byte, src mte.Ptr) {
 // CopyFromNative writes src into simulated memory at dst, checked.
 func (e *Env) CopyFromNative(dst mte.Ptr, src []byte) {
 	e.traceAccess("CopyFromNative", dst, len(src), true)
-	if f := e.vm.Space.CopyIn(e.thread.Ctx(), dst, src); f != nil {
+	var f *mte.Fault
+	if e.elided() {
+		f = e.vm.Space.CopyInUnguarded(e.thread.Ctx(), dst, src)
+	} else {
+		f = e.vm.Space.CopyIn(e.thread.Ctx(), dst, src)
+	}
+	if f != nil {
 		e.fault(f)
 	}
 }

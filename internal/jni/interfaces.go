@@ -37,6 +37,10 @@ func (e *Env) release(match *vm.Object, iface string, p mte.Ptr, mode ReleaseMod
 	if err != nil {
 		return err
 	}
+	// Releasing a handout retires the facts any active elision proof depended
+	// on (the checker may retag the payload right here), so the rest of this
+	// native call falls back to checked access.
+	e.retireElision()
 	checkErr := e.checker.Release(e.thread, a.obj, a.ptr, a.begin, a.end, mode)
 	if mode == JNICommit && checkErr == nil {
 		// JNI_COMMIT: the content was written back but the pointer remains

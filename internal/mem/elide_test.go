@@ -1,0 +1,85 @@
+package mem
+
+import (
+	"testing"
+
+	"mte4jni/internal/mte"
+)
+
+// TestUnguardedVariantsMatchChecked pins the semantics of the guard-free
+// access variants on the fault-free path: with matching tags they must
+// return exactly what the checked accessors return, and with a *mismatched*
+// tag they must still succeed — skipping the tag compare is the entire
+// point; soundness comes from the caller's discharged proof, never from the
+// variant itself.
+func TestUnguardedVariantsMatchChecked(t *testing.T) {
+	s, m := newTestSpace(t)
+	ctx := checkingCtx(mte.TCFSync)
+	if _, err := m.SetTagRange(m.Base(), m.Base()+4096, 0x7); err != nil {
+		t.Fatal(err)
+	}
+	good := mte.MakePtr(m.Base(), 0x7)
+	if f := s.Store64(ctx, good, 0x1122334455667788); f != nil {
+		t.Fatal(f)
+	}
+	want, f := s.Load64(ctx, good)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if got, f := s.Load64Unguarded(ctx, good); f != nil || got != want {
+		t.Fatalf("Load64Unguarded = %#x, %v; want %#x, nil", got, f, want)
+	}
+	// The forged pointer would fault checked; unguarded it must not.
+	bad := mte.MakePtr(m.Base(), 0x9)
+	if _, f := s.Load64(ctx, bad); f == nil {
+		t.Fatal("checked Load64 with mismatched tag did not fault")
+	}
+	if got, f := s.Load64Unguarded(ctx, bad); f != nil || got != want {
+		t.Fatalf("Load64Unguarded past a mismatched tag = %#x, %v; want %#x, nil", got, f, want)
+	}
+	// Mapping and protection checks stay: an unmapped address still faults.
+	if _, f := s.Load64Unguarded(ctx, mte.MakePtr(m.End()+1<<20, 0x7)); f == nil {
+		t.Fatal("Load64Unguarded off the mapping did not fault")
+	}
+}
+
+// TestUnguardedAccessAllocs pins the zero-allocation property of the
+// guard-free elided path: the whole point of compiling screening verdicts
+// into elision is a cheaper per-access regime, so the unguarded variants
+// must not allocate on the fault-free path any more than the checked ones
+// do.
+func TestUnguardedAccessAllocs(t *testing.T) {
+	for _, mode := range []mte.CheckMode{mte.TCFSync, mte.TCFAsync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s, m := newTestSpace(t)
+			ctx := checkingCtx(mode)
+			if _, err := m.SetTagRange(m.Base(), m.Base()+4096, 0x7); err != nil {
+				t.Fatal(err)
+			}
+			p := mte.MakePtr(m.Base(), 0x7)
+			buf := make([]byte, 1024)
+
+			if avg := testing.AllocsPerRun(200, func() {
+				if _, f := s.Load64Unguarded(ctx, p); f != nil {
+					t.Fatal(f)
+				}
+			}); avg != 0 {
+				t.Fatalf("Load64Unguarded allocates %v per op on the fault-free path", avg)
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				if f := s.Store64Unguarded(ctx, p, 0xDEAD); f != nil {
+					t.Fatal(f)
+				}
+			}); avg != 0 {
+				t.Fatalf("Store64Unguarded allocates %v per op on the fault-free path", avg)
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				if f := s.CopyOutUnguarded(ctx, p, buf); f != nil {
+					t.Fatal(f)
+				}
+			}); avg != 0 {
+				t.Fatalf("CopyOutUnguarded allocates %v per op on the fault-free path", avg)
+			}
+		})
+	}
+}

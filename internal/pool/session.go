@@ -102,6 +102,13 @@ type RunResult struct {
 	Err error `json:"-"`
 	// Duration is the wall-clock execution time.
 	Duration time.Duration `json:"duration_ns"`
+	// ElidedSites is the number of statically proven guard-free sites the run
+	// was bound with (0 when the run executed fully checked).
+	ElidedSites int `json:"-"`
+	// ElisionInvalidated reports that a proof-carrying run fell back to
+	// checked access — the binding digest mismatched, the heap remapped
+	// between prime and arm, or a release retired the facts mid-call.
+	ElisionInvalidated bool `json:"-"`
 }
 
 // Faulted reports whether the run ended in an MTE fault.
@@ -114,17 +121,50 @@ func (r *RunResult) Faulted() bool { return r.Fault != nil }
 // quarantine at release; a canceled/deadline/steps-exceeded run latches the
 // abort kind for the dirty-lease rule.
 func (s *Session) RunProgram(ec *exec.Context, p *analysis.Program) *RunResult {
+	return s.runProgram(ec, p, nil)
+}
+
+// RunProgramElided executes a program with its screening verdict's compiled
+// elision mask bound, so the interpreter skips tag checks at statically
+// proven sites. The proofs are re-validated against the program at bind time
+// (ValidateBinding); a digest mismatch — the native summary changed between
+// screening and execution — counts as one invalidated run and falls back to
+// the fully checked path. Runtime invalidations (remap between prime and
+// arm, release retiring the handout mid-call) are detected by the env and
+// surfaced the same way.
+func (s *Session) RunProgramElided(ec *exec.Context, p *analysis.Program, el *analysis.Elision) *RunResult {
+	if el == nil {
+		return s.runProgram(ec, p, nil)
+	}
+	if err := el.ValidateBinding(p); err != nil {
+		res := s.runProgram(ec, p, nil)
+		res.ElisionInvalidated = true
+		return res
+	}
+	return s.runProgram(ec, p, el)
+}
+
+func (s *Session) runProgram(ec *exec.Context, p *analysis.Program, el *analysis.Elision) *RunResult {
 	s.runs.Add(1)
 	ip := interp.New(s.env)
 	for name, sum := range p.Natives {
 		ip.RegisterNative(name, interp.NativeMethod{Kind: sum.Kind, Body: sum.Materialize()})
 	}
+	res := &RunResult{}
+	var invalBefore uint64
+	if el != nil {
+		ip.BindElision(el.Mask())
+		res.ElidedSites = el.Sites()
+		invalBefore = s.env.ElisionInvalidations()
+	}
 	s.env.BindExec(ec)
 	defer s.env.BindExec(nil)
 	start := time.Now()
-	res := &RunResult{}
 	res.Ret, res.Fault, res.Err = ip.InvokeCtx(ec, p.Method)
 	res.Duration = time.Since(start)
+	if el != nil && s.env.ElisionInvalidations() > invalBefore {
+		res.ElisionInvalidated = true
+	}
 	if res.Fault != nil {
 		s.taint = res.Fault
 	}

@@ -110,15 +110,20 @@ type TelemetrySnapshot struct {
 	// Abort counters: requests ended by client cancellation, by the per-run
 	// deadline, and by interpreter fuel exhaustion. Disjoint from
 	// FaultsTotal — an abort is a policy cutoff, not a memory fault.
-	CanceledTotal         uint64           `json:"canceled_total"`
-	DeadlineExceededTotal uint64           `json:"deadline_exceeded_total"`
-	StepsExceededTotal    uint64           `json:"steps_exceeded_total"`
-	UniqueFaultSignatures int              `json:"unique_fault_signatures"`
-	DroppedFaultRecords   uint64           `json:"dropped_fault_records"`
-	Latency               LatencySummary   `json:"latency"`
-	Spans                 []SpanStat       `json:"request_spans,omitempty"`
-	Signatures            []SignatureCount `json:"fault_signatures,omitempty"`
-	Recent                []FaultRecord    `json:"recent_faults,omitempty"`
+	CanceledTotal         uint64 `json:"canceled_total"`
+	DeadlineExceededTotal uint64 `json:"deadline_exceeded_total"`
+	StepsExceededTotal    uint64 `json:"steps_exceeded_total"`
+	// Elision counters: the total number of statically proven guard-free
+	// sites bound into served runs, and how many proof-carrying runs fell
+	// back to checked access (digest mismatch, remap, release retirement).
+	ElidedSitesTotal        uint64           `json:"elided_sites_total"`
+	ElisionInvalidatedTotal uint64           `json:"elision_invalidated_total"`
+	UniqueFaultSignatures   int              `json:"unique_fault_signatures"`
+	DroppedFaultRecords     uint64           `json:"dropped_fault_records"`
+	Latency                 LatencySummary   `json:"latency"`
+	Spans                   []SpanStat       `json:"request_spans,omitempty"`
+	Signatures              []SignatureCount `json:"fault_signatures,omitempty"`
+	Recent                  []FaultRecord    `json:"recent_faults,omitempty"`
 }
 
 // DefaultSinkCapacity bounds the fault ring when NewSink is given zero.
@@ -149,6 +154,10 @@ type Sink struct {
 	// aggregates per-phase request timings keyed by phase name.
 	aborts    [4]uint64
 	spanStats map[string]*SpanStat
+
+	// Elision counters: proven guard-free sites bound into runs, and runs
+	// whose proofs were invalidated back to checked access.
+	elidedSites, elisionInvalidated uint64
 }
 
 // NewSink creates a sink whose fault ring keeps at most capacity records
@@ -248,6 +257,20 @@ func (s *Sink) ObserveScreen(rejected, cacheHit bool) {
 	}
 }
 
+// ObserveElision records one proof-carrying run: how many proven guard-free
+// sites its elision mask bound, and whether the proofs were invalidated back
+// to checked access (bind-time digest mismatch, remap between prime and arm,
+// or a release retiring the facts mid-call). Runs with no mask bound never
+// reach here.
+func (s *Sink) ObserveElision(sites uint64, invalidated bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.elidedSites += sites
+	if invalidated {
+		s.elisionInvalidated++
+	}
+}
+
 // RecordFault folds a fault into the ring and the dedup table, returning the
 // stored record (with its sequence number) and whether its signature was new.
 func (s *Sink) RecordFault(session, workload string, f *mte.Fault) (FaultRecord, bool) {
@@ -294,18 +317,20 @@ func (s *Sink) Snapshot() TelemetrySnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := TelemetrySnapshot{
-		RequestsTotal:         s.requests,
-		FaultsTotal:           s.faults,
-		ErrorsTotal:           s.errors,
-		ScreenedTotal:         s.screened,
-		ScreenRejectedTotal:   s.screenRejected,
-		ScreenCacheHits:       s.screenCacheHits,
-		CanceledTotal:         s.aborts[exec.AbortCanceled],
-		DeadlineExceededTotal: s.aborts[exec.AbortDeadline],
-		StepsExceededTotal:    s.aborts[exec.AbortSteps],
-		UniqueFaultSignatures: len(s.sigs),
-		DroppedFaultRecords:   s.seq - uint64(len(s.ring)),
-		Latency:               s.latency,
+		RequestsTotal:           s.requests,
+		FaultsTotal:             s.faults,
+		ErrorsTotal:             s.errors,
+		ScreenedTotal:           s.screened,
+		ScreenRejectedTotal:     s.screenRejected,
+		ScreenCacheHits:         s.screenCacheHits,
+		CanceledTotal:           s.aborts[exec.AbortCanceled],
+		DeadlineExceededTotal:   s.aborts[exec.AbortDeadline],
+		StepsExceededTotal:      s.aborts[exec.AbortSteps],
+		ElidedSitesTotal:        s.elidedSites,
+		ElisionInvalidatedTotal: s.elisionInvalidated,
+		UniqueFaultSignatures:   len(s.sigs),
+		DroppedFaultRecords:     s.seq - uint64(len(s.ring)),
+		Latency:                 s.latency,
 	}
 	snap.Latency.BucketsUS = append([]uint64(nil), s.latency.BucketsUS...)
 	snap.Recent = append([]FaultRecord(nil), s.ring...)

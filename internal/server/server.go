@@ -24,6 +24,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"mte4jni"
@@ -70,6 +71,12 @@ type Server struct {
 	screen *analysis.ScreenCache
 	start  time.Time
 	http   *http.Server
+
+	// safeElide lazily compiles the elision proofs for the canned "safe"
+	// probe — once per server, outside the screened_total accounting (canned
+	// probes are exempt from admission screening by design).
+	safeElideOnce sync.Once
+	safeElide     *analysis.Elision
 }
 
 // New builds a Server and its pool.
@@ -101,6 +108,19 @@ func (s *Server) Sink() *report.Sink { return s.sink }
 
 // ScreenCache exposes the admission-screen verdict cache, for tests.
 func (s *Server) ScreenCache() *analysis.ScreenCache { return s.screen }
+
+// safeElision returns the compiled elision for the canned "safe" probe,
+// screening it on first use. The probe is byte-stable, so one compilation
+// serves every request; the screen bypasses the cache and the telemetry
+// counters, keeping screened_total a pure inline-program metric.
+func (s *Server) safeElision() *analysis.Elision {
+	s.safeElideOnce.Do(func() {
+		if v := analysis.Screen(pool.SafeProgram()); v.Verdict == analysis.VerdictSafe {
+			s.safeElide = v.Elision
+		}
+	})
+	return s.safeElide
+}
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -190,6 +210,11 @@ type RunResponse struct {
 	// lease → exec → release) from the execution-context recorder.
 	Spans []exec.Span         `json:"spans,omitempty"`
 	Fault *report.FaultRecord `json:"fault,omitempty"`
+	// ElidedSites counts the statically proven guard-free sites this run was
+	// bound with; ElisionInvalidated reports the proofs fell back to checked
+	// access mid-run. Both zero for runs without a compiled elision.
+	ElidedSites        int  `json:"elided_sites,omitempty"`
+	ElisionInvalidated bool `json:"elision_invalidated,omitempty"`
 }
 
 // RejectResponse is the 422 reply for a program the static admission screen
@@ -244,6 +269,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// consumed by malformed requests.
 	var (
 		prog     *analysis.Program
+		elision  *analysis.Elision
 		workload string
 	)
 	selected := 0
@@ -278,6 +304,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			jsonError(w, http.StatusBadRequest, "bad program: %v", err)
 			return
 		}
+		// A safe verdict carries its compiled elision proofs; binding them to
+		// the freshly parsed program is re-validated inside RunProgramElided.
+		elision = verdict.Elision
 		workload = prog.Method.Name
 	}
 	if req.Canned != "" {
@@ -285,6 +314,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		switch req.Canned {
 		case "safe":
 			prog = pool.SafeProgram()
+			elision = s.safeElision()
 		case "oob":
 			prog = pool.OOBProgram()
 		default:
@@ -337,20 +367,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ec.Begin(exec.PhaseExec)
 	var res *pool.RunResult
 	if prog != nil {
-		res = sess.RunProgram(ec, prog)
+		res = sess.RunProgramElided(ec, prog, elision)
 	} else {
 		res = sess.RunWorkload(ec, workload, scale, req.Iterations)
 	}
 	ec.End(exec.PhaseExec)
 	abort := exec.Classify(res.Err)
 	resp := RunResponse{
-		Session:    sess.Name(),
-		Scheme:     scheme.String(),
-		Workload:   workload,
-		OK:         !res.Faulted() && res.Err == nil,
-		Ret:        res.Ret,
-		DurationNS: res.Duration.Nanoseconds(),
-		Abort:      abort.String(),
+		Session:            sess.Name(),
+		Scheme:             scheme.String(),
+		Workload:           workload,
+		OK:                 !res.Faulted() && res.Err == nil,
+		Ret:                res.Ret,
+		DurationNS:         res.Duration.Nanoseconds(),
+		Abort:              abort.String(),
+		ElidedSites:        res.ElidedSites,
+		ElisionInvalidated: res.ElisionInvalidated,
+	}
+	if res.ElidedSites > 0 || res.ElisionInvalidated {
+		s.sink.ObserveElision(uint64(res.ElidedSites), res.ElisionInvalidated)
 	}
 	if res.Err != nil {
 		resp.Error = res.Err.Error()

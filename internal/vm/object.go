@@ -129,6 +129,29 @@ func (o *Object) GetElem(i int) (uint64, error) {
 	return binary.LittleEndian.Uint64(buf[:]), nil
 }
 
+// GetIntUnchecked loads element i of an int array with no bounds check —
+// the landing site for the interpreter's elided array accesses, reachable
+// only when the screening proof discharged the guard (i proven within
+// [0, Len) by the interval analysis). ReadRaw errors cannot occur for an
+// in-payload element and are swallowed to keep the guard-free path lean; an
+// out-of-proof index here is a proof-compiler bug that the elision audit
+// and the fuzz witness exist to catch.
+func (o *Object) GetIntUnchecked(i int) int32 {
+	var buf [4]byte
+	a := o.DataBegin() + mte.Addr(i*4)
+	_ = o.vm.JavaHeap.Mapping().ReadRaw(a, buf[:])
+	return int32(binary.LittleEndian.Uint32(buf[:]))
+}
+
+// SetIntUnchecked stores element i of an int array with no bounds check;
+// see GetIntUnchecked for the reachability contract.
+func (o *Object) SetIntUnchecked(i int, v int32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(v))
+	a := o.DataBegin() + mte.Addr(i*4)
+	_ = o.vm.JavaHeap.Mapping().WriteRaw(a, buf[:])
+}
+
 // SetInt and GetInt are convenience accessors for the most common test
 // arrays.
 func (o *Object) SetInt(i int, v int32) error { return o.SetElem(i, uint64(uint32(v))) }

@@ -68,11 +68,14 @@ URL="http://$(cat "$ADDR_FILE")"
 # Optional cross-check of the cumulative counters (50+192+45 executed
 # requests, 5+12+3 faults, 15 screenings all rejected) when curl is
 # available; the per-run delta reconciles above already gated the plumbing.
+# The 45+180+42 = 267 canned-safe executions each ran proof-carrying with
+# exactly one guard-free site, and none may have fallen back to checked.
 if command -v curl >/dev/null 2>&1; then
 	METRICS="$TMP/metrics.json"
 	curl -fsS "$URL/metrics" >"$METRICS"
 	for want in '"requests_total":287' '"faults_total":20' '"quarantined":20' \
-		'"screened_total":15' '"screen_rejected_total":15'; do
+		'"screened_total":15' '"screen_rejected_total":15' \
+		'"elided_sites_total":267' '"elision_invalidated_total":0'; do
 		if ! grep -q "$want" "$METRICS"; then
 			echo "serve-smoke: /metrics missing $want:" >&2
 			cat "$METRICS" >&2
@@ -132,7 +135,8 @@ if command -v curl >/dev/null 2>&1; then
 	METRICS2="$TMP/metrics2.json"
 	curl -fsS "$URL2/metrics" >"$METRICS2"
 	for want in '"canceled_total":8' '"deadline_exceeded_total":4' \
-		'"leased":0' '"quarantined":4'; do
+		'"leased":0' '"quarantined":4' \
+		'"elided_sites_total":21' '"elision_invalidated_total":0'; do
 		if ! grep -q "$want" "$METRICS2"; then
 			echo "serve-smoke: spine /metrics missing $want:" >&2
 			cat "$METRICS2" >&2
@@ -149,4 +153,4 @@ if ! wait "$SERVE_PID"; then
 fi
 SERVE_PID=""
 
-echo "serve-smoke: ok (287 + 37 requests, 24 injected faults detected, 18 bad programs screened out, 8 cancels + 4 deadlines reconciled, clean shutdown)"
+echo "serve-smoke: ok (287 + 37 requests, 24 injected faults detected, 18 bad programs screened out, 8 cancels + 4 deadlines reconciled, 267 + 21 guard-free sites with zero proof invalidations, clean shutdown)"

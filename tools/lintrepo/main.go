@@ -20,6 +20,14 @@
 //     outside cmd/ packages, main functions, and tests, keeping the
 //     execution-context spine (cancellation, deadlines, tracing) unbroken
 //     from the HTTP edge to the interpreter loop.
+//   - elision-encapsulation: only the proof compiler (internal/analysis) —
+//     and internal/interp, which defines the type — may construct an
+//     interp.ElisionMask; a mask minted anywhere else is an unproven
+//     soundness claim.
+//   - unguarded-gate: the *Unguarded access variants are callable only from
+//     the elision tier, and inside internal/jni only behind an if that
+//     consults the elided() gate, so invalidated proofs fall back to
+//     checked access.
 //
 // The tool speaks the cmd/go vet-tool protocol directly (the golang.org/x/
 // tools unitchecker is not vendored here, and the repo is stdlib-only):

@@ -1,6 +1,6 @@
 package main
 
-// The four repo-invariant passes. Each works on plain syntax (go/ast, no
+// The repo-invariant passes. Each works on plain syntax (go/ast, no
 // type information — the repo is stdlib-only, so there is no go/analysis
 // driver to borrow a type checker from); where syntax alone is ambiguous
 // the pass errs toward silence and documents the heuristic.
@@ -27,6 +27,8 @@ func runPasses(fset *token.FileSet, importPath string, files []*ast.File) []diag
 	diags = append(diags, checkFastpath(files)...)
 	diags = append(diags, checkAtomicConsistency(files)...)
 	diags = append(diags, checkNoBareContext(importPath, files)...)
+	diags = append(diags, checkElisionEncapsulation(importPath, files)...)
+	diags = append(diags, checkUnguardedGate(importPath, files)...)
 	return diags
 }
 
@@ -318,6 +320,151 @@ func checkNoBareContext(importPath string, files []*ast.File) []diagnostic {
 		}
 	}
 	return diags
+}
+
+// ---------------------------------------------------------------------------
+// Pass 6: elision-encapsulation.
+//
+// An interp.ElisionMask is a soundness claim — "skipping the tag check at
+// these PCs cannot change behaviour" — and the only thing entitled to make
+// that claim is the proof compiler in internal/analysis, which derives it
+// from discharged screening verdicts. A mask minted anywhere else (a
+// convenient NewElisionMask in a bench, a composite literal in a handler)
+// is an unproven elision: this pass makes it a lint failure. interp itself
+// is allowed, since it defines the type and its own tests exercise it.
+
+// elisionCompilerTier are the packages allowed to construct elision masks.
+var elisionCompilerTier = map[string]bool{
+	modulePath + "/internal/analysis": true,
+	modulePath + "/internal/interp":   true,
+}
+
+func checkElisionEncapsulation(importPath string, files []*ast.File) []diagnostic {
+	if elisionCompilerTier[importPath] {
+		return nil
+	}
+	var diags []diagnostic
+	flag := func(pos token.Pos, what string) {
+		diags = append(diags, diagnostic{
+			pos: pos,
+			msg: fmt.Sprintf("%s constructs an elision mask outside the proof compiler: a mask is a soundness claim only internal/analysis may mint from discharged screening proofs; thread a compiled analysis.Elision through instead", what),
+		})
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "NewElisionMask" {
+					flag(n.Pos(), "call to NewElisionMask")
+				} else if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "NewElisionMask" {
+					flag(n.Pos(), "call to NewElisionMask")
+				}
+			case *ast.CompositeLit:
+				switch t := n.Type.(type) {
+				case *ast.SelectorExpr:
+					if t.Sel.Name == "ElisionMask" {
+						flag(n.Pos(), "ElisionMask composite literal")
+					}
+				case *ast.Ident:
+					if t.Name == "ElisionMask" {
+						flag(n.Pos(), "ElisionMask composite literal")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// ---------------------------------------------------------------------------
+// Pass 7: unguarded-gate.
+//
+// The *Unguarded access variants (internal/mem) skip the SWAR tag compare.
+// Two invariants keep them sound: only the elision tier — the root bench
+// drivers, internal/mem itself, the jni env, and the fuzz oracle — may call
+// them at all; and inside internal/jni every call must sit lexically inside
+// an if whose condition consults the elided() gate, so an invalidated proof
+// (release, remap, digest mismatch) falls back to checked access instead of
+// silently staying guard-free. The gate detection is syntactic (an
+// identifier named "elided" anywhere in the condition), exactly as strong
+// as the env's naming discipline.
+
+// unguardedTier are the packages allowed to call *Unguarded accessors.
+var unguardedTier = map[string]bool{
+	modulePath:                    true,
+	modulePath + "/internal/mem":  true,
+	modulePath + "/internal/jni":  true,
+	modulePath + "/internal/fuzz": true,
+}
+
+func checkUnguardedGate(importPath string, files []*ast.File) []diagnostic {
+	inTier := unguardedTier[importPath]
+	gateRequired := importPath == modulePath+"/internal/jni"
+	if inTier && !gateRequired {
+		return nil
+	}
+	var diags []diagnostic
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Collect the gated regions: bodies of ifs that consult elided().
+			var gated [][2]token.Pos
+			if gateRequired {
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					if ifs, ok := n.(*ast.IfStmt); ok && condMentionsElided(ifs.Cond) {
+						gated = append(gated, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+					}
+					return true
+				})
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !strings.HasSuffix(sel.Sel.Name, "Unguarded") {
+					return true
+				}
+				if !inTier {
+					diags = append(diags, diagnostic{
+						pos: call.Pos(),
+						msg: fmt.Sprintf("call to %s takes the unguarded access path from %s: guard-free variants belong to the elision tier (root bench drivers, internal/{mem,jni,fuzz}); use the checked accessors", sel.Sel.Name, importPath),
+					})
+					return true
+				}
+				for _, r := range gated {
+					if call.Pos() >= r[0] && call.End() <= r[1] {
+						return true
+					}
+				}
+				diags = append(diags, diagnostic{
+					pos: call.Pos(),
+					msg: fmt.Sprintf("call to %s in %s is not behind the elision gate: unguarded access must sit inside an if whose condition consults elided(), so invalidated proofs fall back to checked access", sel.Sel.Name, fn.Name.Name),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// condMentionsElided reports whether the condition consults the env's
+// elision gate — any identifier named "elided" (e.elided(), elided, ...).
+func condMentionsElided(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "elided" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 func checkAtomicConsistency(files []*ast.File) []diagnostic {

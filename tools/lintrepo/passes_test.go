@@ -112,6 +112,45 @@ func TestNoBareContextAllowsCmd(t *testing.T) {
 	wantDiags(t, lintFixture(t, "mte4jni/cmd/mte4jni", "noctx_bad.go"))
 }
 
+func TestElisionEncapsulationPass(t *testing.T) {
+	got := lintFixture(t, "mte4jni/internal/server", "elision_bad.go")
+	wantDiags(t, got,
+		"call to NewElisionMask constructs an elision mask outside the proof compiler",
+		"ElisionMask composite literal constructs an elision mask outside the proof compiler",
+		"ElisionMask composite literal constructs an elision mask outside the proof compiler",
+	)
+}
+
+// Only the proof compiler (and interp, which defines the type) may mint
+// masks; the same source there is clean.
+func TestElisionEncapsulationAllowsCompilerTier(t *testing.T) {
+	for _, pkg := range []string{"mte4jni/internal/analysis", "mte4jni/internal/interp"} {
+		wantDiags(t, lintFixture(t, pkg, "elision_bad.go"))
+	}
+}
+
+func TestUnguardedGatePass(t *testing.T) {
+	// Outside the elision tier every *Unguarded call is flagged, gated or not.
+	got := lintFixture(t, "mte4jni/internal/server", "unguarded_bad.go")
+	wantDiags(t, got,
+		"call to Load32Unguarded takes the unguarded access path from mte4jni/internal/server",
+		"call to Load32Unguarded takes the unguarded access path from mte4jni/internal/server",
+	)
+	// In internal/jni the gated call is sanctioned; the ungated one is not.
+	got = lintFixture(t, "mte4jni/internal/jni", "unguarded_bad.go")
+	wantDiags(t, got,
+		"call to Load32Unguarded in ungatedLoad is not behind the elision gate",
+	)
+}
+
+// The rest of the elision tier (mem itself, the fuzz oracle, root bench
+// drivers) may call unguarded variants without the jni gate shape.
+func TestUnguardedGateAllowsElisionTier(t *testing.T) {
+	for _, pkg := range []string{"mte4jni", "mte4jni/internal/mem", "mte4jni/internal/fuzz"} {
+		wantDiags(t, lintFixture(t, pkg, "unguarded_bad.go"))
+	}
+}
+
 // TestLintConfigDriver exercises the vet-tool protocol driver end to end on
 // a written vet.cfg: diagnostics rendered as file:line:col, the facts file
 // recorded, and exit-worthy count returned.

@@ -1,0 +1,18 @@
+// Fixture for the elision-encapsulation pass: minting an elision mask
+// outside the proof compiler. Parsed, never compiled.
+package fixture
+
+import "mte4jni/internal/interp"
+
+func forgeMask(n int) *interp.ElisionMask {
+	m := interp.NewElisionMask(n, []int{0, 2}) // flagged: unproven claim
+	_ = interp.ElisionMask{}                   // flagged: literal mask
+	_ = &interp.ElisionMask{}                  // flagged: literal mask
+	return m
+}
+
+// Compiled proofs threaded through are the sanctioned shape; nothing here
+// constructs a mask, so nothing is flagged.
+func useCompiled(el interface{ Mask() *interp.ElisionMask }) *interp.ElisionMask {
+	return el.Mask()
+}

@@ -1,0 +1,30 @@
+// Fixture for the unguarded-gate pass. Linted twice: under an out-of-tier
+// import path every *Unguarded call is flagged; under internal/jni only the
+// ungated one is. Parsed, never compiled.
+package fixture
+
+type fixtureSpace struct{}
+
+func (fixtureSpace) Load32(p uint64) uint32          { return 0 }
+func (fixtureSpace) Load32Unguarded(p uint64) uint32 { return 0 }
+
+type fixtureEnv struct{ space fixtureSpace }
+
+func (e *fixtureEnv) elided() bool { return false }
+
+// gatedLoad is the sanctioned shape: the unguarded call sits inside the
+// elided() gate, so an invalidated proof falls back to the checked path.
+func (e *fixtureEnv) gatedLoad(p uint64) uint32 {
+	var v uint32
+	if e.elided() {
+		v = e.space.Load32Unguarded(p)
+	} else {
+		v = e.space.Load32(p)
+	}
+	return v
+}
+
+// ungatedLoad skips the gate: flagged under internal/jni.
+func (e *fixtureEnv) ungatedLoad(p uint64) uint32 {
+	return e.space.Load32Unguarded(p)
+}
