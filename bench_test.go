@@ -396,3 +396,48 @@ func BenchmarkCheckedAccess(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTagFootprint measures the hierarchical tag store's resident
+// footprint for a session-shaped working set: 32 pinned (acquired, hence
+// tagged) int[1024] arrays on a 64 MiB heap, with acquire/release churn on
+// one more. Alongside ns/op for the churn it reports two end-of-run gauges
+// the snapshot schema understands (tagB/op, flatTagB/op): resident tag
+// bytes under the two-level store versus what the flat per-granule array
+// would hold resident for the same mappings.
+func BenchmarkTagFootprint(b *testing.B) {
+	b.Run("session", func(b *testing.B) {
+		rt, env := benchEnv(b, Config{Scheme: MTESync, HeapSize: 64 << 20})
+		p := rt.Protector()
+		th := env.Thread()
+		for i := 0; i < 32; i++ {
+			arr, err := env.NewIntArray(1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Acquire(th, arr, arr.DataBegin(), arr.DataEnd()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		churn, err := env.NewIntArray(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ptr, err := p.Acquire(th, churn, churn.DataBegin(), churn.DataEnd())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Release(th, churn, ptr, churn.DataBegin(), churn.DataEnd(), ReleaseDefault); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		ts := rt.VM().Space.TagStats()
+		b.ReportMetric(float64(ts.BytesResident), "tagB/op")
+		b.ReportMetric(float64(ts.BytesFlatEquiv), "flatTagB/op")
+		if ts.BytesFlatEquiv < 10*ts.BytesResident {
+			b.Fatalf("tag residency not >=10x under flat: resident=%d flat=%d", ts.BytesResident, ts.BytesFlatEquiv)
+		}
+	})
+}

@@ -39,6 +39,10 @@ type BenchSuiteOptions struct {
 type suiteCase struct {
 	name  string
 	setup func() (fn func(n int) error, bytesPerOp int64, err error)
+	// post, when set, runs after the case is measured and may annotate the
+	// result with end-of-run gauges (e.g. resident tag bytes). It must not
+	// mutate the timing fields.
+	post func(*bench.Result)
 }
 
 // RunBenchSuite measures every suite case and returns the snapshot.
@@ -56,6 +60,9 @@ func RunBenchSuite(o BenchSuiteOptions) (*bench.Snapshot, error) {
 		res, err := runSuiteCase(c, target)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", c.name, err)
+		}
+		if c.post != nil {
+			c.post(&res)
 		}
 		snap.Add(res)
 	}
@@ -503,6 +510,60 @@ func suiteCases() []suiteCase {
 			},
 		},
 	)
+
+	// Hierarchical tag-storage footprint: a session-shaped working set — a
+	// 64 MiB heap with 32 pinned (acquired, hence tagged) int[1024] arrays
+	// and steady acquire/release churn on one more. The post hook records
+	// the two-level store's resident tag bytes at end of run against what
+	// the flat per-granule array would hold resident for the same mappings;
+	// PR 7's headline claim is the >=10x gap between the two.
+	var footSpace *mem.Space
+	cases = append(cases, suiteCase{
+		name: "mem/TagFootprint/session",
+		setup: func() (func(int) error, int64, error) {
+			rt, err := New(Config{Scheme: MTESync, HeapSize: 64 << 20})
+			if err != nil {
+				return nil, 0, err
+			}
+			footSpace = rt.VM().Space
+			env, err := rt.AttachEnv("bench")
+			if err != nil {
+				return nil, 0, err
+			}
+			p := rt.Protector()
+			th := env.Thread()
+			for i := 0; i < 32; i++ {
+				arr, err := env.NewIntArray(1024)
+				if err != nil {
+					return nil, 0, err
+				}
+				if _, err := p.Acquire(th, arr, arr.DataBegin(), arr.DataEnd()); err != nil {
+					return nil, 0, err
+				}
+			}
+			churn, err := env.NewIntArray(1024)
+			if err != nil {
+				return nil, 0, err
+			}
+			return func(iters int) error {
+				for i := 0; i < iters; i++ {
+					ptr, err := p.Acquire(th, churn, churn.DataBegin(), churn.DataEnd())
+					if err != nil {
+						return err
+					}
+					if err := p.Release(th, churn, ptr, churn.DataBegin(), churn.DataEnd(), ReleaseDefault); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, 0, nil
+		},
+		post: func(r *bench.Result) {
+			ts := footSpace.TagStats()
+			r.TagBytesPerOp = float64(ts.BytesResident)
+			r.TagBytesFlatPerOp = float64(ts.BytesFlatEquiv)
+		},
+	})
 
 	return cases
 }

@@ -36,6 +36,13 @@ type Result struct {
 	// when measured (-benchmem or the built-in suite).
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// TagBytesPerOp and TagBytesFlatPerOp are set by the tag-footprint
+	// cases: the hierarchical tag store's resident bytes after the
+	// workload, and what the flat per-granule array would have paid for
+	// the same mappings. Both are end-of-run gauges, not per-iteration
+	// rates; 0 for cases that do not measure tag residency.
+	TagBytesPerOp     float64 `json:"tag_bytes_per_op,omitempty"`
+	TagBytesFlatPerOp float64 `json:"tag_bytes_flat_per_op,omitempty"`
 }
 
 // Snapshot is a full benchmark run plus the environment it ran in.
@@ -143,6 +150,10 @@ func ParseGoBench(r io.Reader) ([]Result, error) {
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			case "tagB/op":
+				res.TagBytesPerOp = v
+			case "flatTagB/op":
+				res.TagBytesFlatPerOp = v
 			}
 		}
 		out = append(out, res)

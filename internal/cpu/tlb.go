@@ -45,6 +45,14 @@ type TLBEntry struct {
 	Base, End uint64
 	// Ref is the *mem.Mapping this entry translates to.
 	Ref any
+	// Aux carries one extra translation-scoped pointer alongside the
+	// mapping — package mem caches the mapping's tag-table here (nil for
+	// untagged mappings), saving a dependent load per checked access.
+	// Anything cached in Aux must be immutable for the mapping's lifetime,
+	// because Aux shares Ref's invalidation contract exactly: it is only
+	// dropped by an epoch flush. Per-page tag pointers must NOT go here —
+	// SetTagRange swaps them without an epoch bump.
+	Aux any
 }
 
 // TLB is a per-thread translation cache. The zero value is an empty TLB,
@@ -63,30 +71,34 @@ type TLB struct {
 	hits, misses uint64
 }
 
-// Lookup returns the cached mapping containing [addr, addr+size), or nil on
-// a miss. A hit guarantees containment of the whole access, so callers need
-// no further bounds check. addr itself must lie strictly inside the mapping
-// (addr < End) even for size 0, mirroring how resolving the one-past-the-end
-// address of a mapping faults on hardware.
+// Lookup returns the cached entry for the mapping containing
+// [addr, addr+size), or nil on a miss. A hit guarantees containment of the
+// whole access, so callers need no further bounds check, and the returned
+// entry stays valid until the next Insert or Flush — callers read Ref/Aux
+// immediately, they do not retain the pointer. addr itself must lie strictly
+// inside the mapping (addr < End) even for size 0, mirroring how resolving
+// the one-past-the-end address of a mapping faults on hardware.
 //
 //mte4jni:fastpath
-func (t *TLB) Lookup(addr uint64, size int) any {
+func (t *TLB) Lookup(addr uint64, size int) *TLBEntry {
 	for i := range t.Entries {
 		e := &t.Entries[i]
 		if addr >= e.Base && addr < e.End && addr+uint64(size) <= e.End {
 			t.hits++
-			return e.Ref
+			return e
 		}
 	}
 	t.misses++
 	return nil
 }
 
-// Insert caches a translation, evicting round-robin.
+// Insert caches a translation, evicting round-robin. aux rides along under
+// the Aux contract documented on TLBEntry (immutable per mapping; nil is
+// fine).
 //
 //mte4jni:fastpath
-func (t *TLB) Insert(base, end uint64, ref any) {
-	t.Entries[t.next] = TLBEntry{Base: base, End: end, Ref: ref}
+func (t *TLB) Insert(base, end uint64, ref, aux any) {
+	t.Entries[t.next] = TLBEntry{Base: base, End: end, Ref: ref, Aux: aux}
 	t.next++
 	if t.next == TLBSize {
 		t.next = 0

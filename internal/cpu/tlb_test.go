@@ -12,12 +12,12 @@ func TestTLBLookupInsertFlush(t *testing.T) {
 	if tlb.Lookup(100, 8) != nil {
 		t.Fatal("empty TLB hit")
 	}
-	ref := new(int)
-	tlb.Insert(100, 200, ref)
-	if got := tlb.Lookup(100, 8); got != ref {
-		t.Fatal("inserted entry not found")
+	ref, aux := new(int), new(int)
+	tlb.Insert(100, 200, ref, aux)
+	if got := tlb.Lookup(100, 8); got == nil || got.Ref != any(ref) || got.Aux != any(aux) {
+		t.Fatal("inserted entry not found with ref and aux intact")
 	}
-	if got := tlb.Lookup(192, 8); got != ref {
+	if got := tlb.Lookup(192, 8); got == nil || got.Ref != any(ref) {
 		t.Fatal("last full access inside entry missed")
 	}
 	if tlb.Lookup(193, 8) != nil {
@@ -26,7 +26,7 @@ func TestTLBLookupInsertFlush(t *testing.T) {
 	if tlb.Lookup(200, 0) != nil {
 		t.Fatal("zero-size access at one-past-the-end hit; must miss like Resolve faults")
 	}
-	if tlb.Lookup(199, 0) != ref {
+	if got := tlb.Lookup(199, 0); got == nil || got.Ref != any(ref) {
 		t.Fatal("zero-size access on the last byte missed")
 	}
 	tlb.Flush(7)
@@ -47,14 +47,14 @@ func TestTLBRoundRobinEviction(t *testing.T) {
 	refs := make([]*int, TLBSize+1)
 	for i := range refs {
 		refs[i] = new(int)
-		tlb.Insert(uint64(i*1000), uint64(i*1000+100), refs[i])
+		tlb.Insert(uint64(i*1000), uint64(i*1000+100), refs[i], nil)
 	}
 	// Entry 0 was evicted by the TLBSize'th insert; the rest survive.
 	if tlb.Lookup(0, 8) != nil {
 		t.Fatal("oldest entry not evicted")
 	}
 	for i := 1; i <= TLBSize; i++ {
-		if tlb.Lookup(uint64(i*1000), 8) != refs[i] {
+		if got := tlb.Lookup(uint64(i*1000), 8); got == nil || got.Ref != any(refs[i]) {
 			t.Fatalf("entry %d evicted out of round-robin order", i)
 		}
 	}

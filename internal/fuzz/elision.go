@@ -114,6 +114,11 @@ func DifferentialElidedEngines(seed int64, steps int, mode mte.CheckMode) error 
 	if err := mapTriple(fast, refW, elw, "rodata", 4096, mem.ProtRead|mem.ProtMTE); err != nil {
 		return err
 	}
+	// Large, mostly-untouched tagged mapping: sparse-space coverage for the
+	// hierarchical tag table under all three engines (see engine.go).
+	if err := mapTriple(fast, refW, elw, "sparse", 1<<20, mem.ProtRead|mem.ProtWrite|mem.ProtMTE); err != nil {
+		return err
+	}
 
 	randPtr := func() mte.Ptr {
 		m := fast.maps[rng.Intn(len(fast.maps))]
@@ -330,12 +335,37 @@ func DifferentialElidedEngines(seed int64, steps int, mode mte.CheckMode) error 
 			if !ma.Tagged() {
 				continue
 			}
-			begin := ma.Base() + mte.Addr(rng.Intn(int(ma.Size())))
-			end := begin + mte.Addr(rng.Intn(256))
+			// Same tag-table-transition span shapes as the two-world
+			// differential (engine.go case 9): whole pages, page-crossing
+			// spans, whole mapping, short partial paints, with a bias
+			// toward tag 0 for the zero-dedup path.
+			var begin, end mte.Addr
+			const tagPage = 16384 // one tag page spans 16 KiB of data
+			switch rng.Intn(6) {
+			case 0: // whole tag pages, tag-page aligned
+				pages := int(ma.Size() / tagPage)
+				if pages == 0 {
+					pages = 1
+				}
+				start := mte.Addr(rng.Intn(pages)) * tagPage
+				begin = ma.Base() + start
+				end = begin + mte.Addr(1+rng.Intn(3))*tagPage
+			case 1: // page-crossing span from mid-page
+				begin = ma.Base() + mte.Addr(rng.Intn(int(ma.Size())))
+				end = begin + mte.Addr(tagPage/2+rng.Intn(3*tagPage))
+			case 2: // whole mapping
+				begin, end = ma.Base(), ma.End()
+			default: // short partial-page paint
+				begin = ma.Base() + mte.Addr(rng.Intn(int(ma.Size())))
+				end = begin + mte.Addr(rng.Intn(256))
+			}
 			if end > ma.End() {
 				end = ma.End()
 			}
 			tag := mte.Tag(rng.Intn(16))
+			if rng.Intn(4) == 0 {
+				tag = 0
+			}
 			na, errA := ma.SetTagRange(begin, end, tag)
 			nb, errB := mb.SetTagRange(begin, end, tag)
 			nc, errC := mc.SetTagRange(begin, end, tag)

@@ -91,6 +91,14 @@ func DifferentialEngines(seed int64, steps int, mode mte.CheckMode) error {
 	if err := mapBoth(fast, refW, "rodata", 4096, mem.ProtRead|mem.ProtMTE); err != nil {
 		return err
 	}
+	// A large, mostly-untouched tagged mapping: the sparse-space shape the
+	// hierarchical tag table is built for. Most of its tag pages stay
+	// deduplicated against the canonical zero page for the whole run, so the
+	// sweep below also proves lazily materialized storage reads back
+	// identically to the reference world's.
+	if err := mapBoth(fast, refW, "sparse", 1<<20, mem.ProtRead|mem.ProtWrite|mem.ProtMTE); err != nil {
+		return err
+	}
 
 	// randPtr picks an address biased toward interesting places: inside a
 	// mapping (at random alignment), exactly at a boundary, or in the guard
@@ -236,12 +244,40 @@ func DifferentialEngines(seed int64, steps int, mode mte.CheckMode) error {
 			if !ma.Tagged() {
 				continue
 			}
-			begin := ma.Base() + mte.Addr(rng.Intn(int(ma.Size())))
-			end := begin + mte.Addr(rng.Intn(256))
+			// Span shapes chosen to drive every tag-table transition:
+			// short partial-page paints (copy-on-tag materialization),
+			// page-aligned whole-page spans (uniform sentinel swaps),
+			// page-crossing spans (edge materialization + interior swaps
+			// in one call), and occasional whole-mapping repaints. A
+			// quarter of the retags use tag 0, exercising the zero-dedup
+			// path and copy-on-tag followed by retag-back-to-uniform.
+			var begin, end mte.Addr
+			const tagPage = 16384 // one tag page spans 16 KiB of data
+			switch rng.Intn(6) {
+			case 0: // whole tag pages, tag-page aligned
+				pages := int(ma.Size() / tagPage)
+				if pages == 0 {
+					pages = 1
+				}
+				start := mte.Addr(rng.Intn(pages)) * tagPage
+				begin = ma.Base() + start
+				end = begin + mte.Addr(1+rng.Intn(3))*tagPage
+			case 1: // page-crossing span from mid-page
+				begin = ma.Base() + mte.Addr(rng.Intn(int(ma.Size())))
+				end = begin + mte.Addr(tagPage/2+rng.Intn(3*tagPage))
+			case 2: // whole mapping
+				begin, end = ma.Base(), ma.End()
+			default: // short partial-page paint
+				begin = ma.Base() + mte.Addr(rng.Intn(int(ma.Size())))
+				end = begin + mte.Addr(rng.Intn(256))
+			}
 			if end > ma.End() {
 				end = ma.End()
 			}
 			tag := mte.Tag(rng.Intn(16))
+			if rng.Intn(4) == 0 {
+				tag = 0
+			}
 			na, errA := ma.SetTagRange(begin, end, tag)
 			nb, errB := mb.SetTagRange(begin, end, tag)
 			if na != nb || (errA == nil) != (errB == nil) {

@@ -40,6 +40,45 @@ func TestHeapClose(t *testing.T) {
 	}
 }
 
+// Closing an MTE heap must return its materialized tag pages to the space
+// freelist: resident tag bytes drop to the directory-free baseline, so warm
+// pool recycling (close + remap) reuses pages instead of churning garbage.
+func TestHeapCloseReleasesTagPages(t *testing.T) {
+	space := mem.NewSpace()
+	h, err := New(space, Config{Name: "close-tags", Size: 1 << 20, Alignment: 16, MTE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate and tag enough objects to materialize tag pages, the way the
+	// protector tags objects on Acquire (partial-page SetTagRange spans).
+	for i := 0; i < 64; i++ {
+		addr, err := h.Alloc(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Mapping().SetTagRange(addr, addr+48, mte.Tag(1+i%15)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := space.TagStats()
+	if before.PagesResident == 0 {
+		t.Fatal("tagged allocations materialized no pages; test needs a denser workload")
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := space.TagStats()
+	if after.PagesResident != 0 {
+		t.Fatalf("PagesResident = %d after Close, want 0", after.PagesResident)
+	}
+	if space.TagBytesResident() != 0 {
+		t.Fatalf("TagBytesResident = %d after Close, want 0", space.TagBytesResident())
+	}
+	if after.FreePages < before.PagesResident {
+		t.Fatalf("FreePages = %d, want >= %d (pages recycled, not dropped)", after.FreePages, before.PagesResident)
+	}
+}
+
 // Closing a heap that had TLABs and free-list entries in flight drops them
 // all; nothing dangles into the unmapped region.
 func TestHeapCloseDropsAllocatorState(t *testing.T) {

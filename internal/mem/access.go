@@ -71,24 +71,34 @@ func tagMismatchIndex(span []uint8, want uint8) int {
 
 // lookup resolves the mapping fully containing [addr, addr+size) through the
 // thread's TLB, falling back to the snapshot binary search and refilling the
-// TLB on a miss. It returns nil when no mapping contains the whole access.
-// See the Space doc comment for the epoch invalidation contract.
+// TLB on a miss. It returns (nil, nil) when no mapping contains the whole
+// access. The second result is the mapping's tag table (nil for untagged
+// mappings), cached in the TLB entry's Aux slot so a hit resolves both
+// pointers in one probe — sound because the table (the directory slice, not
+// its entries) is immutable for the mapping's lifetime and shares the
+// mapping's epoch invalidation. See the Space doc comment for the epoch
+// contract.
 //
 //mte4jni:fastpath
-func (s *Space) lookup(ctx *cpu.Context, addr mte.Addr, size int) *Mapping {
+func (s *Space) lookup(ctx *cpu.Context, addr mte.Addr, size int) (*Mapping, *tagTable) {
 	tlb := ctx.TLB()
 	if epoch := s.epoch.Load(); epoch != tlb.Epoch {
 		tlb.Flush(epoch)
 	}
-	if ref := tlb.Lookup(uint64(addr), size); ref != nil {
-		return ref.(*Mapping)
+	if e := tlb.Lookup(uint64(addr), size); e != nil {
+		tt, _ := e.Aux.(*tagTable)
+		return e.Ref.(*Mapping), tt
 	}
 	m, ok := s.Resolve(addr)
 	if !ok || !m.contains(addr, size) {
-		return nil
+		return nil, nil
 	}
-	tlb.Insert(uint64(m.base), uint64(m.End()), m)
-	return m
+	var aux any
+	if m.tags != nil {
+		aux = m.tags
+	}
+	tlb.Insert(uint64(m.base), uint64(m.End()), m, aux)
+	return m, m.tags
 }
 
 // checkAccess validates one access and returns (mapping, fault). A non-nil
@@ -98,7 +108,7 @@ func (s *Space) lookup(ctx *cpu.Context, addr mte.Addr, size int) *Mapping {
 //mte4jni:fastpath
 func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.AccessKind) (*Mapping, *mte.Fault) {
 	addr := p.Addr()
-	m := s.lookup(ctx, addr, size)
+	m, tt := s.lookup(ctx, addr, size)
 	if m == nil {
 		return nil, s.newFault(ctx, mte.FaultUnmapped, kind, p, size, p.Tag(), 0)
 	}
@@ -109,15 +119,16 @@ func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.Acce
 	if m.prot&need == 0 {
 		return nil, s.newFault(ctx, mte.FaultProtection, kind, p, size, p.Tag(), 0)
 	}
-	if m.tags == nil || !ctx.Checking() {
+	if tt == nil || !ctx.Checking() {
 		return m, nil
 	}
 	want := uint8(p.Tag())
 	gi := m.granuleIndex(addr)
 	if off := uint64(addr) & (mte.GranuleSize - 1); off+uint64(size) <= mte.GranuleSize {
 		// Single-granule fast path: the access does not cross a granule
-		// boundary, so exactly one tag compare decides it — the common case
-		// for all of Load8..Load64/Store8..Store64.
+		// boundary, so one directory load plus one tag compare decides it —
+		// the common case for all of Load8..Load64/Store8..Store64. Uniform
+		// and private pages are both byte arrays; the compare does not care.
 		if size == 0 && off == 0 {
 			// A zero-length access starting on a granule boundary covers no
 			// granule at all and is never tag-checked (GranuleRange yields an
@@ -125,17 +136,37 @@ func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.Acce
 			// granule they start in, as the reference engine always has.
 			return m, nil
 		}
-		if m.tags[gi] == want {
-			return m, nil
+		if got := tt.page(gi >> tagPageShift)[gi&tagPageMask]; got != want {
+			return s.tagFault(ctx, m, p, size, kind, mte.Tag(got))
 		}
-		return s.tagFault(ctx, m, p, size, kind, mte.Tag(m.tags[gi]))
+		return m, nil
 	}
-	// Span path: SWAR compare of all covered granule tags. size >= 1 here
-	// (a zero-size span cannot cross a granule boundary), so addr+size-1 is
-	// the last touched byte.
-	span := m.tags[gi : m.granuleIndex(addr+mte.Addr(size)-1)+1]
-	if i := tagMismatchIndex(span, want); i >= 0 {
-		return s.tagFault(ctx, m, p, size, kind, mte.Tag(span[i]))
+	// Span path: per tag page, SWAR compare of the covered granule tags —
+	// same word sweep as before, segmented at page boundaries, with one new
+	// fast-out: a directory entry that *is* the canonical page of the wanted
+	// tag matches 256 granules without reading a tag byte. Mismatch order is
+	// preserved (pages ascend, the sweep finds the first bad lane), so the
+	// faulting granule is identical to the reference engine's. size >= 1
+	// here (a zero-size span cannot cross a granule boundary), so
+	// addr+size-1 is the last touched byte.
+	lastGi := m.granuleIndex(addr + mte.Addr(size) - 1)
+	match := canonical(want)
+	firstPage, lastPage := gi>>tagPageShift, lastGi>>tagPageShift
+	for pi := firstPage; pi <= lastPage; pi++ {
+		pg := tt.page(pi)
+		if pg == match {
+			continue
+		}
+		segLo, segHi := 0, tagPageGranules
+		if pi == firstPage {
+			segLo = gi & tagPageMask
+		}
+		if pi == lastPage {
+			segHi = lastGi&tagPageMask + 1
+		}
+		if i := tagMismatchIndex(pg[segLo:segHi], want); i >= 0 {
+			return s.tagFault(ctx, m, p, size, kind, mte.Tag(pg[segLo+i]))
+		}
 	}
 	return m, nil
 }

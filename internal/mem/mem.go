@@ -17,7 +17,6 @@
 package mem
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -75,17 +74,22 @@ type Mapping struct {
 	prot Prot
 	name string
 	data []byte
-	// tags holds one allocation tag per granule when the mapping is
-	// ProtMTE; nil otherwise.
+	// tags is the mapping's hierarchical tag table when the mapping is
+	// ProtMTE; nil otherwise. See tagtable.go for the two-level layout
+	// (directory of canonical uniform pages and materialized private
+	// pages) and its concurrency rules.
 	//
-	// Storage is plain bytes, not atomics, mirroring how cheap hardware tag
-	// operations are relative to data accesses. This is race-safe under the
-	// system's synchronization discipline: a granule's tag is only written
-	// while its object's entry lock (package core) is held with no other
-	// holder (refs 0->1 and 1->0 transitions), every reader's acquire of
-	// the same entry lock establishes the happens-before edge, and threads
-	// with checking disabled (TCO set) never read tags at all.
-	tags []uint8
+	// Tag bytes inside a page are plain bytes, not atomics, mirroring how
+	// cheap hardware tag operations are relative to data accesses. This is
+	// race-safe under the system's synchronization discipline: a granule's
+	// tag is only written while its object's entry lock (package core) is
+	// held with no other holder (refs 0->1 and 1->0 transitions), every
+	// reader's acquire of the same entry lock establishes the
+	// happens-before edge, and threads with checking disabled (TCO set)
+	// never read tags at all. Directory entries are atomic pointers on top
+	// of that discipline, so page materialization publishes only fully
+	// built pages.
+	tags *tagTable
 
 	// Concurrent-scan synchronization. On hardware a GC thread reading a
 	// word another thread is storing to is an ordinary (if unordered) pair
@@ -172,7 +176,8 @@ func (m *Mapping) TagAt(addr mte.Addr) mte.Tag {
 	if m.tags == nil {
 		return 0
 	}
-	return mte.Tag(m.tags[m.granuleIndex(addr)])
+	gi := m.granuleIndex(addr)
+	return mte.Tag(m.tags.page(gi >> tagPageShift)[gi&tagPageMask])
 }
 
 // SetTagRange applies tag to every granule overlapping [begin, end),
@@ -181,12 +186,16 @@ func (m *Mapping) TagAt(addr mte.Addr) mte.Tag {
 // error: tagging is a VM-internal operation, so this is a bug, not a
 // recoverable fault.
 //
-// The write is a word-at-a-time fill — eight granule tags per store, the
-// software analogue of the st2g/dc gva fill loops MTE-aware allocators use —
-// rather than a byte loop, because tag application sits on the Acquire and
-// Release hot paths of every Fig5/Fig6 iteration. Large spans switch to a
-// doubling copy (seed a word-filled prefix, then memmove it over the rest,
-// doubling each time), which runs at memcpy bandwidth.
+// Tagging goes through the hierarchical tag table (tagtable.go): every tag
+// page fully covered by the range becomes a single directory swap to the
+// canonical uniform page of the tag — O(1) per 4 KiB regardless of span
+// length, no byte traffic, and releasing any private page the entry held —
+// while the partial edge pages are word-filled (eight granule tags per
+// store, the software analogue of the st2g/dc gva fill loops MTE-aware
+// allocators use), materializing copy-on-tag if still canonical. Tag
+// application sits on the Acquire and Release hot paths of every Fig5/Fig6
+// iteration, so the edge fill stays byte-loop-free; it replaces PR 2's
+// doubling-copy fill, which touched every tag byte of large spans.
 func (m *Mapping) SetTagRange(begin, end mte.Addr, tag mte.Tag) (int, error) {
 	if m.tags == nil {
 		return 0, fmt.Errorf("mem: SetTagRange on non-MTE mapping %q", m.name)
@@ -195,27 +204,9 @@ func (m *Mapping) SetTagRange(begin, end mte.Addr, tag mte.Tag) (int, error) {
 	if gb < m.base || ge > m.End() {
 		return 0, fmt.Errorf("mem: SetTagRange [%v,%v) outside mapping %q [%v,%v)", begin, end, m.name, m.base, m.End())
 	}
-	span := m.tags[m.granuleIndex(gb):m.granuleIndex(ge)]
-	b := uint8(tag & 0xF)
-	w := uint64(b) * 0x0101010101010101
-	const seed = 64
-	if n := len(span); n > 2*seed {
-		for i := 0; i < seed; i += 8 {
-			binary.LittleEndian.PutUint64(span[i:], w)
-		}
-		for filled := seed; filled < n; filled *= 2 {
-			copy(span[filled:], span[:filled])
-		}
-		return n, nil
-	}
-	i := 0
-	for ; i+8 <= len(span); i += 8 {
-		binary.LittleEndian.PutUint64(span[i:], w)
-	}
-	for ; i < len(span); i++ {
-		span[i] = b
-	}
-	return len(span), nil
+	lo, hi := m.granuleIndex(gb), m.granuleIndex(ge)
+	m.tags.setRange(lo, hi, uint8(tag&0xF))
+	return hi - lo, nil
 }
 
 // ZeroTagRange clears the tags of every granule overlapping [begin, end),
@@ -279,6 +270,18 @@ type Space struct {
 	snapshot atomic.Pointer[[]*Mapping]
 	// epoch counts Map calls; bumped after the snapshot is published.
 	epoch atomic.Uint64
+
+	// Hierarchical tag-storage accounting and page recycling (tagtable.go).
+	// tagFree is the freelist of displaced/released private tag pages;
+	// the atomics are the counters surfaced by TagStats.
+	tagFreeMu        sync.Mutex
+	tagFree          []*tagPage
+	tagMaterialized  atomic.Uint64
+	tagUniform       atomic.Uint64
+	tagZeroDedup     atomic.Uint64
+	tagResidentPages atomic.Int64
+	tagDirBytes      atomic.Int64
+	tagFlatBytes     atomic.Int64
 }
 
 // NewSpace creates an empty address space.
@@ -311,7 +314,10 @@ func (s *Space) Map(name string, size uint64, prot Prot) (*Mapping, error) {
 		data: make([]byte, rounded),
 	}
 	if prot&ProtMTE != 0 {
-		m.tags = make([]uint8, rounded/mte.GranuleSize)
+		// Lazy hierarchical tag storage: every page starts deduplicated
+		// against the shared zero page, so a fresh mapping costs only its
+		// directory (8 bytes per 4 KiB) instead of one tag byte per granule.
+		m.tags = newTagTable(s, int(rounded/mte.GranuleSize))
 	}
 	s.nextBase += mte.Addr(rounded + guardGap)
 
@@ -359,6 +365,11 @@ func (s *Space) Unmap(m *Mapping) error {
 	s.epoch.Add(1)
 	// Release the backing storage. contains() now fails for every access, so
 	// retained handles degrade to errors rather than touching freed state.
+	// Materialized tag pages go back to the space freelist instead of
+	// becoming garbage — pooled VMs unmap and remap heaps constantly.
+	if m.tags != nil {
+		m.tags.release()
+	}
 	m.data = nil
 	m.tags = nil
 	return nil

@@ -57,17 +57,20 @@ func (r *ReferenceEngine) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kin
 	if m.prot&need == 0 {
 		return nil, r.s.newFault(ctx, mte.FaultProtection, kind, p, size, p.Tag(), 0)
 	}
-	if m.tags == nil || !ctx.Checking() {
+	if !m.Tagged() || !ctx.Checking() {
 		return m, nil
 	}
 	gb, ge := mte.GranuleRange(addr, addr+mte.Addr(size))
-	want := uint8(p.Tag())
-	span := m.tags[m.granuleIndex(gb):m.granuleIndex(ge)]
-	for _, got := range span {
+	want := p.Tag()
+	// One TagAt per granule — the obviously-correct walk, deliberately
+	// blind to how tags are stored (flat array then, hierarchical table
+	// now), so it keeps its oracle value across storage rewrites.
+	for a := gb; a < ge; a += mte.GranuleSize {
+		got := m.TagAt(a)
 		if got == want {
 			continue
 		}
-		f := r.s.newFault(ctx, mte.FaultTagMismatch, kind, p, size, p.Tag(), mte.Tag(got))
+		f := r.s.newFault(ctx, mte.FaultTagMismatch, kind, p, size, p.Tag(), got)
 		if ctx.CheckMode() == mte.TCFAsync {
 			ctx.LatchAsyncFault(f)
 			return m, nil

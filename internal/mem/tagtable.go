@@ -1,0 +1,435 @@
+package mem
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// Hierarchical two-level tag storage (DESIGN.md "Hierarchical tag storage").
+//
+// The flat one-byte-per-granule tag array of PR 2 made per-VM tag footprint
+// proportional to mapped size: a 32 MiB pool session paid 2 MiB of tag bytes
+// whether it touched one object or a million. Following Partap & Boneh's
+// "Memory Tagging: A Memory Efficient Design" (PAPERS.md), tag storage is now
+// a two-level table: a root directory with one entry per tag page — a tag
+// page covers tagPageGranules granules of data (16 KiB, see the constant's
+// doc for the width trade-off) — where each entry points at either
+//
+//   - a canonical uniform page (&uniformPages[t]): the whole page carries tag
+//     t with no per-space backing storage. uniformPages[0] doubles as the
+//     shared zero-tag page every fresh mapping starts out deduplicated
+//     against, and SetTagRange installs uniform pages for every tag-page it
+//     fully covers — the common post-retag state — in O(1) per page;
+//   - a materialized private page: tagPageBytes bytes owned by this mapping,
+//     copy-on-tag allocated the first time a SetTagRange paints only part of
+//     a page (the only way a page becomes heterogeneous).
+//
+// The access fast path is unchanged in shape: one directory load resolves the
+// page, then the same single-byte compare (intra-granule accesses) or SWAR
+// word sweep (spans) as before runs over the page's bytes — canonical and
+// private pages are both plain byte arrays, so the compare code cannot tell
+// them apart and does not need to. Spans get one new fast-out: a page whose
+// directory entry *is* the canonical page of the wanted tag matches without
+// reading a single tag byte.
+//
+// # Concurrency
+//
+// Directory entries are atomic pointers. Readers do one atomic load (plain
+// load + acquire on real hardware — free on the architectures we simulate);
+// a materializing writer builds the complete private page off to the side
+// and publishes it with a CompareAndSwap, so a concurrent reader observes
+// either the old canonical page or the fully built private page, never a
+// half-copied one. In-place tag writes on an already-private page touch only
+// the granules of the range being retagged, which the object entry-lock
+// discipline documented on Mapping.tags already serializes against readers
+// of those same granules — exactly the contract the flat array relied on.
+// Full-page retags (atomic Swap to a canonical page) only race with partial
+// retags of the same page if two SetTagRange calls overlap, which the same
+// discipline forbids.
+//
+// Displaced and released private pages go to a per-Space freelist so steady
+// state allocation churn is zero (Unmap/heap.Close return pages; the next
+// materialization reuses them).
+//
+// # TLB interaction
+//
+// The per-thread TLB caches the resolved *tagTable next to the mapping (one
+// pointer, invalidated by the existing Space epoch exactly like the mapping
+// pointer — the directory is immutable for a mapping's lifetime). Individual
+// tag-page pointers are deliberately NOT cached in the TLB: SetTagRange swaps
+// directory entries without an epoch bump, so a cached page pointer could go
+// stale mid-lease; the directory load per access is the price of coherence.
+
+const (
+	// tagPageGranules is the number of granules one tag page covers. At 16
+	// bytes per granule a tag page spans tagPageGranules*16 = 16 KiB of
+	// data (four 4 KiB mapping pages). The width is a latency/footprint
+	// trade: wider pages shrink the directory 4x and let one atomic swap
+	// retag 16 KiB (keeping SetTagRange at parity with the flat array's
+	// word fill at the bench's n=16384 point), while a materialized page
+	// still costs only 1 KiB. Mappings are 4 KiB-rounded, not 16 KiB-
+	// rounded, so a mapping's last tag page may extend past its end; the
+	// out-of-range slots are simply never addressed.
+	tagPageGranules = 1024
+	// tagPageShift and tagPageMask split a granule index into (page index,
+	// in-page index).
+	tagPageShift = 10
+	tagPageMask  = tagPageGranules - 1
+	// tagPageBytes is the backing cost of one materialized page (one tag
+	// byte per granule).
+	tagPageBytes = tagPageGranules
+	// tagDirEntryBytes is the accounting cost of one directory entry.
+	tagDirEntryBytes = 8
+)
+
+// tagPage holds the tags of one page's worth of granules.
+type tagPage [tagPageGranules]uint8
+
+// uniformPages are the 16 canonical uniform pages, one per tag value: page t
+// holds tag t in every slot. They are shared by every Space and never
+// written after init; a directory entry pointing at one is the inline
+// "whole page is tag t" sentinel with no per-mapping storage behind it.
+var uniformPages [16]tagPage
+
+func init() {
+	for t := range uniformPages {
+		for i := range uniformPages[t] {
+			uniformPages[t][i] = uint8(t)
+		}
+	}
+}
+
+// canonical returns the shared uniform page for tag b.
+//
+//mte4jni:fastpath
+func canonical(b uint8) *tagPage { return &uniformPages[b&0xF] }
+
+// isCanonical reports whether pg is one of the shared uniform pages, by
+// pointer identity only. It deliberately reads no page bytes: pg may be a
+// private page another goroutine is word-filling (disjoint-granule retags
+// of one tag page are allowed concurrency), so even peeking at pg[0] to
+// pick the comparison target would be a data race.
+//
+//mte4jni:fastpath
+func isCanonical(pg *tagPage) bool {
+	for i := range uniformPages {
+		if pg == &uniformPages[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// tagTable is one mapping's two-level tag store: the directory plus a back
+// pointer to the owning Space for page recycling and accounting. The
+// directory slice itself is immutable after newTagTable; only the entries
+// move.
+type tagTable struct {
+	space *Space
+	dir   []atomic.Pointer[tagPage]
+	// priv is a one-bit-per-page "directory entry is a materialized private
+	// page" index (32 pages per word). The retag fast path tests one bit
+	// instead of comparing against all 16 canonical pages; see setPartial
+	// for the publication ordering that makes the bit trustworthy.
+	priv []atomic.Uint32
+	// granules is the mapping's true granule count, which the last
+	// directory entry may overshoot (mappings are 4 KiB-rounded, tag pages
+	// are wider); kept for the flat-equivalent accounting.
+	granules int
+}
+
+// privBit reports whether page pi is materialized. A set bit is published
+// only after the private page is fully built and installed in the
+// directory (setPartial), so an observer that sees the bit may reload the
+// directory entry and fill it in place without inspecting the page.
+//
+//mte4jni:fastpath
+func (t *tagTable) privBit(pi int) bool {
+	return t.priv[pi>>5].Load()>>(pi&31)&1 != 0
+}
+
+// setPrivBit / clearPrivBit flip page pi's bit with a CAS loop (neighbour
+// pages share the word and may flip their own bits concurrently). Both are
+// off the steady-state path: bits change only when a page materializes or
+// is displaced.
+func (t *tagTable) setPrivBit(pi int) {
+	w := &t.priv[pi>>5]
+	for {
+		old := w.Load()
+		if w.CompareAndSwap(old, old|1<<(pi&31)) {
+			return
+		}
+	}
+}
+
+func (t *tagTable) clearPrivBit(pi int) {
+	w := &t.priv[pi>>5]
+	for {
+		old := w.Load()
+		if w.CompareAndSwap(old, old&^(1<<(pi&31))) {
+			return
+		}
+	}
+}
+
+// newTagTable builds the table for a mapping of the given granule count
+// with every entry deduplicated against the canonical zero page. The
+// directory length rounds up: the tail of the last tag page may cover
+// granules past the mapping's end, which no access can ever index.
+func newTagTable(s *Space, granules int) *tagTable {
+	n := (granules + tagPageGranules - 1) / tagPageGranules
+	t := &tagTable{
+		space:    s,
+		dir:      make([]atomic.Pointer[tagPage], n),
+		priv:     make([]atomic.Uint32, (n+31)/32),
+		granules: granules,
+	}
+	zero := canonical(0)
+	for i := range t.dir {
+		t.dir[i].Store(zero)
+	}
+	s.tagZeroDedup.Add(uint64(n))
+	s.tagDirBytes.Add(int64(n)*tagDirEntryBytes + int64(len(t.priv))*4)
+	s.tagFlatBytes.Add(int64(granules))
+	return t
+}
+
+// page resolves one directory entry. This is the only raw directory read
+// outside this file (enforced by tools/lintrepo's tagtable-encapsulation
+// pass): the access engine goes through it so the storage representation
+// stays private to the table.
+//
+//mte4jni:fastpath
+func (t *tagTable) page(pi int) *tagPage { return t.dir[pi].Load() }
+
+// fillTags fills span with the tag byte — the software st2g/dc-gva fill
+// loop. Spans here are at most one tag page (tagPageBytes); whole pages
+// never reach a fill at all, they become directory swaps. Large spans seed
+// 64 bytes of word stores and then double with copy — the memmove-backed
+// fill the flat array used, which beats a store loop well before the
+// half-page fills the Fig5 acquire/release path produces.
+func fillTags(span []uint8, b uint8) {
+	w := replicate8(b)
+	const seed = 64
+	if n := len(span); n > 2*seed {
+		for i := 0; i < seed; i += 8 {
+			binary.LittleEndian.PutUint64(span[i:], w)
+		}
+		for filled := seed; filled < n; filled *= 2 {
+			copy(span[filled:], span[:filled])
+		}
+		return
+	}
+	i := 0
+	for ; i+8 <= len(span); i += 8 {
+		binary.LittleEndian.PutUint64(span[i:], w)
+	}
+	for ; i < len(span); i++ {
+		span[i] = b
+	}
+}
+
+// setRange paints granules [lo, hi) with tag b. Fully covered tag pages are
+// swapped to the canonical uniform page of b — O(1) per page, no byte
+// traffic — and partially covered edge pages are materialized copy-on-tag
+// (or filled in place when already private).
+//
+// The uniform sweep batches its accounting: one counter add per call rather
+// than per page, so the per-page cost of a large retag is a single atomic
+// pointer swap — the locked-instruction budget that keeps SetTagRange/n
+// competitive with the flat array's word fill at small n while staying
+// O(pages) instead of O(granules) at large n.
+func (t *tagTable) setRange(lo, hi int, b uint8) {
+	if lo >= hi {
+		return
+	}
+	first, last := lo>>tagPageShift, (hi-1)>>tagPageShift
+	if pi := first; lo&tagPageMask != 0 || pi == last && hi&tagPageMask != 0 {
+		segHi := tagPageGranules
+		if pi == last {
+			segHi = (hi-1)&tagPageMask + 1
+		}
+		t.setPartial(pi, lo&tagPageMask, segHi, b)
+		first++
+	}
+	if hi&tagPageMask != 0 && last >= first {
+		t.setPartial(last, 0, (hi-1)&tagPageMask+1, b)
+		last--
+	}
+	if first > last {
+		return
+	}
+	want := canonical(b)
+	s := t.space
+	uniform, displaced := 0, 0
+	for pi := first; pi <= last; pi++ {
+		if t.dir[pi].Load() == want {
+			continue
+		}
+		old := t.dir[pi].Swap(want)
+		if old == want {
+			continue
+		}
+		uniform++
+		if t.privBit(pi) {
+			t.clearPrivBit(pi)
+			s.putTagPage(old)
+			displaced++
+		}
+	}
+	if uniform > 0 {
+		s.tagUniform.Add(uint64(uniform))
+		if b&0xF == 0 {
+			s.tagZeroDedup.Add(uint64(uniform))
+		}
+	}
+	if displaced > 0 {
+		s.tagResidentPages.Add(-int64(displaced))
+	}
+}
+
+// setPartial paints granules [segLo, segHi) of page pi with b. A private
+// page is filled in place — the word fill touches only the bytes of the
+// range's own granules, the same unbracketed discipline the flat array's
+// fill relied on (readers of those granules are serialized by the object
+// entry locks, readers of other granules touch disjoint bytes); a canonical
+// page of a different color is materialized: a freelist page is built
+// complete — uniform background, then the painted span — and published with
+// a CAS, so concurrent readers see the old or the finished page, never a
+// torn one.
+//
+// The steady-state in-place branch keys off the priv bit, not a canonical-
+// page scan: the bit is set only after the CAS installs the finished page,
+// so seeing it means a fresh directory load yields a private page whose
+// other granules may be filled concurrently but whose identity is stable
+// (only exclusive whole-page retags displace a private page). The converse
+// window — directory already private, bit not yet visible — parks in the
+// isCanonical spin below until the publisher's bit lands, which also keeps
+// a CAS loser from treating the winner's page as a canonical background.
+func (t *tagTable) setPartial(pi, segLo, segHi int, b uint8) {
+	for {
+		if t.privBit(pi) {
+			cur := t.dir[pi].Load()
+			fillTags(cur[segLo:segHi], b)
+			return
+		}
+		cur := t.dir[pi].Load()
+		if !isCanonical(cur) {
+			// Publication in flight: the page is installed but its priv
+			// bit is not visible yet. Loop until it is.
+			continue
+		}
+		if cur[0] == b&0xF {
+			// The whole page already carries this tag.
+			return
+		}
+		np := t.space.takeTagPage()
+		fillTags(np[:], cur[0])
+		fillTags(np[segLo:segHi], b)
+		if t.dir[pi].CompareAndSwap(cur, np) {
+			t.setPrivBit(pi)
+			t.space.tagMaterialized.Add(1)
+			t.space.tagResidentPages.Add(1)
+			return
+		}
+		// Another thread repainted the page first; recycle and retry
+		// against whatever it installed.
+		t.space.putTagPage(np)
+	}
+}
+
+// release returns every materialized page to the Space freelist and drops
+// the directory from the accounting — the Unmap path. The entries are reset
+// to the zero page so a stale reader through a retained handle sees
+// well-formed (if meaningless) storage rather than a dangling page.
+func (t *tagTable) release() {
+	s := t.space
+	zero := canonical(0)
+	for i := range t.dir {
+		if pg := t.dir[i].Swap(zero); t.privBit(i) {
+			t.clearPrivBit(i)
+			s.putTagPage(pg)
+			s.tagResidentPages.Add(-1)
+		}
+	}
+	s.tagDirBytes.Add(-int64(len(t.dir))*tagDirEntryBytes - int64(len(t.priv))*4)
+	s.tagFlatBytes.Add(-int64(t.granules))
+}
+
+// takeTagPage pops a recycled page off the freelist, allocating only when
+// the freelist is dry.
+func (s *Space) takeTagPage() *tagPage {
+	s.tagFreeMu.Lock()
+	if n := len(s.tagFree); n > 0 {
+		pg := s.tagFree[n-1]
+		s.tagFree[n-1] = nil
+		s.tagFree = s.tagFree[:n-1]
+		s.tagFreeMu.Unlock()
+		return pg
+	}
+	s.tagFreeMu.Unlock()
+	return new(tagPage)
+}
+
+// putTagPage returns a displaced private page for reuse.
+func (s *Space) putTagPage(pg *tagPage) {
+	s.tagFreeMu.Lock()
+	s.tagFree = append(s.tagFree, pg)
+	s.tagFreeMu.Unlock()
+}
+
+// TagStats is a point-in-time view of the space's hierarchical tag-storage
+// accounting.
+type TagStats struct {
+	// PagesMaterialized counts copy-on-tag materializations (monotonic).
+	PagesMaterialized uint64
+	// PagesUniform counts directory entries repointed at a canonical
+	// uniform page by SetTagRange (monotonic; initial zero-page entries are
+	// counted under ZeroDedupHits instead).
+	PagesUniform uint64
+	// ZeroDedupHits counts directory entries sharing the canonical zero
+	// page: every entry of a fresh MTE mapping plus every full-page
+	// ZeroTagRange (monotonic).
+	ZeroDedupHits uint64
+	// PagesResident is the materialized-page gauge; FreePages counts
+	// recycled pages parked on the freelist (backed by memory but not
+	// attributed to any mapping).
+	PagesResident uint64
+	FreePages     uint64
+	// DirBytes is the root-directory overhead across live MTE mappings.
+	DirBytes uint64
+	// BytesResident is the tag-storage footprint the space actually pays:
+	// materialized pages plus directories.
+	BytesResident uint64
+	// BytesFlatEquiv is what the pre-hierarchical flat tag array would pay
+	// for the same mappings (one byte per granule of actual mapping size,
+	// allocated eagerly).
+	BytesFlatEquiv uint64
+}
+
+// TagStats returns the space's tag-storage accounting.
+func (s *Space) TagStats() TagStats {
+	s.tagFreeMu.Lock()
+	free := uint64(len(s.tagFree))
+	s.tagFreeMu.Unlock()
+	resident := uint64(s.tagResidentPages.Load())
+	dir := uint64(s.tagDirBytes.Load())
+	return TagStats{
+		PagesMaterialized: s.tagMaterialized.Load(),
+		PagesUniform:      s.tagUniform.Load(),
+		ZeroDedupHits:     s.tagZeroDedup.Load(),
+		PagesResident:     resident,
+		FreePages:         free,
+		DirBytes:          dir,
+		BytesResident:     resident*tagPageBytes + dir,
+		BytesFlatEquiv:    uint64(s.tagFlatBytes.Load()),
+	}
+}
+
+// TagBytesResident returns the bytes of tag storage currently backing the
+// space's MTE mappings: materialized private pages plus directory overhead.
+// Freelist pages are excluded — they are recycling capacity, not footprint
+// attributed to a mapping — and reported separately in TagStats.FreePages.
+func (s *Space) TagBytesResident() uint64 {
+	return uint64(s.tagResidentPages.Load())*tagPageBytes + uint64(s.tagDirBytes.Load())
+}

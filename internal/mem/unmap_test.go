@@ -72,3 +72,58 @@ func TestUnmapReleasesMapping(t *testing.T) {
 		t.Fatal("double Unmap succeeded")
 	}
 }
+
+// Unmap must return materialized tag pages to the space freelist and drop
+// the resident-byte accounting — pooled VMs unmap and remap heaps on every
+// recycle, so leaked tag pages would be per-lease garbage churn.
+func TestUnmapReturnsTagPagesToFreelist(t *testing.T) {
+	s := NewSpace()
+	m, err := s.Map("victim", 4*uint64(tagPageSpan), ProtRead|ProtWrite|ProtMTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialize three pages with partial paints.
+	for i := 0; i < 3; i++ {
+		base := m.Base() + mte.Addr(i)*tagPageSpan + 5*mte.GranuleSize
+		if _, err := m.SetTagRange(base, base+2*mte.GranuleSize, mte.Tag(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.TagStats()
+	if before.PagesResident != 3 {
+		t.Fatalf("PagesResident = %d before unmap, want 3", before.PagesResident)
+	}
+	if before.BytesResident == 0 || s.TagBytesResident() != before.BytesResident {
+		t.Fatalf("inconsistent resident accounting: %+v vs %d", before, s.TagBytesResident())
+	}
+
+	if err := s.Unmap(m); err != nil {
+		t.Fatal(err)
+	}
+	after := s.TagStats()
+	if after.PagesResident != 0 {
+		t.Fatalf("PagesResident = %d after unmap, want 0", after.PagesResident)
+	}
+	if after.FreePages != before.FreePages+3 {
+		t.Fatalf("FreePages = %d, want %d (pages recycled, not leaked)", after.FreePages, before.FreePages+3)
+	}
+	if after.BytesResident >= before.BytesResident {
+		t.Fatalf("BytesResident did not drop: %d -> %d", before.BytesResident, after.BytesResident)
+	}
+	if s.TagBytesResident() != 0 {
+		t.Fatalf("TagBytesResident = %d after unmapping the only MTE mapping, want 0", s.TagBytesResident())
+	}
+
+	// A new mapping's materializations draw from the freelist.
+	m2, err := s.Map("fresh", 16*1024, ProtRead|ProtWrite|ProtMTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.SetTagRange(m2.Base(), m2.Base()+mte.GranuleSize, 0xC); err != nil {
+		t.Fatal(err)
+	}
+	reused := s.TagStats()
+	if reused.FreePages != after.FreePages-1 {
+		t.Fatalf("FreePages = %d after re-materialization, want %d", reused.FreePages, after.FreePages-1)
+	}
+}

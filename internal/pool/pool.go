@@ -23,6 +23,7 @@ import (
 
 	"mte4jni"
 	"mte4jni/internal/exec"
+	"mte4jni/internal/mem"
 )
 
 // Errors returned by Acquire.
@@ -123,6 +124,12 @@ type Pool struct {
 	stats    Stats
 	recent   []QuarantineRecord // bounded at quarantineLog entries
 	leasedCt int
+	// retiredTags carries forward the monotonic tag-storage counters of
+	// sessions that have left the pool, so the pool-wide totals in
+	// TagStats never go backwards when a session is retired. Gauge fields
+	// (resident/dir/freelist bytes) die with the session's space and are
+	// not accumulated.
+	retiredTags mem.TagStats
 }
 
 // quarantineLog bounds the retained quarantine history.
@@ -257,6 +264,7 @@ func (p *Pool) Release(s *Session) {
 		p.mu.Unlock()
 		s.close()
 		p.mu.Lock()
+		p.accumulateTagsLocked(s)
 		delete(p.live, s.id)
 		p.leasedCt--
 		p.mu.Unlock()
@@ -271,6 +279,7 @@ func (p *Pool) Release(s *Session) {
 func (p *Pool) retire(s *Session, quarantine bool, reason string) {
 	s.close()
 	p.mu.Lock()
+	p.accumulateTagsLocked(s)
 	delete(p.live, s.id)
 	p.leasedCt--
 	if quarantine {
@@ -286,6 +295,46 @@ func (p *Pool) retire(s *Session, quarantine bool, reason string) {
 		p.recent = p.recent[len(p.recent)-quarantineLog:]
 	}
 	p.mu.Unlock()
+}
+
+// accumulateTagsLocked folds a departing session's monotonic tag-storage
+// counters into the pool carry-over. Caller holds p.mu; the session is
+// already closed, so its counters are final.
+func (p *Pool) accumulateTagsLocked(s *Session) {
+	st := s.rt.VM().Space.TagStats()
+	p.retiredTags.PagesMaterialized += st.PagesMaterialized
+	p.retiredTags.PagesUniform += st.PagesUniform
+	p.retiredTags.ZeroDedupHits += st.ZeroDedupHits
+}
+
+// TagStats aggregates hierarchical tag-storage accounting across the pool:
+// monotonic counters (materializations, uniform swaps, zero-dedup hits) sum
+// over live *and* departed sessions, while the residency gauges
+// (BytesResident, BytesFlatEquiv, page counts) reflect only sessions
+// currently live — that ratio is the pool's real tag-memory footprint
+// versus what the flat tag array of PR 2 would pay for the same mappings.
+func (p *Pool) TagStats() mem.TagStats {
+	p.mu.Lock()
+	agg := p.retiredTags
+	sessions := make([]*Session, 0, len(p.live))
+	for _, s := range p.live {
+		sessions = append(sessions, s)
+	}
+	p.mu.Unlock()
+	// Per-session reads happen outside p.mu: Space.TagStats is atomics plus
+	// the space's own freelist lock, safe against the session running.
+	for _, s := range sessions {
+		st := s.rt.VM().Space.TagStats()
+		agg.PagesMaterialized += st.PagesMaterialized
+		agg.PagesUniform += st.PagesUniform
+		agg.ZeroDedupHits += st.ZeroDedupHits
+		agg.PagesResident += st.PagesResident
+		agg.FreePages += st.FreePages
+		agg.DirBytes += st.DirBytes
+		agg.BytesResident += st.BytesResident
+		agg.BytesFlatEquiv += st.BytesFlatEquiv
+	}
+	return agg
 }
 
 // Stats returns a snapshot of the accounting counters.
@@ -368,4 +417,9 @@ func (p *Pool) Close() {
 	for _, s := range toClose {
 		s.close()
 	}
+	p.mu.Lock()
+	for _, s := range toClose {
+		p.accumulateTagsLocked(s)
+	}
+	p.mu.Unlock()
 }

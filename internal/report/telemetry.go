@@ -99,6 +99,26 @@ type SpanStat struct {
 	MaxNS uint64 `json:"max_ns"`
 }
 
+// TagTableStats is the hierarchical tag-storage slice of a telemetry
+// snapshot, pulled live from the pool's per-session spaces (internal/mem's
+// two-level tag table). The *_total fields are monotonic across session
+// retirement; the byte fields are gauges over currently live sessions.
+type TagTableStats struct {
+	// TagPagesMaterialized counts copy-on-tag page materializations;
+	// TagPagesUniform counts full-page retags satisfied by a canonical
+	// uniform-page swap; TagZeroDedupHits counts pages deduplicated against
+	// the shared zero page (fresh mappings plus full-page tag clears).
+	TagPagesMaterialized uint64 `json:"tag_pages_materialized_total"`
+	TagPagesUniform      uint64 `json:"tag_pages_uniform_total"`
+	TagZeroDedupHits     uint64 `json:"tag_zero_dedup_hits_total"`
+	// TagBytesResident is the tag storage live sessions actually pay
+	// (materialized pages + directories); TagBytesFlatEquiv is what the
+	// pre-hierarchical flat array would pay for the same mappings. Their
+	// ratio is the footprint reduction the two-level table buys.
+	TagBytesResident  uint64 `json:"tag_bytes_resident"`
+	TagBytesFlatEquiv uint64 `json:"tag_bytes_flat_equiv"`
+}
+
 // TelemetrySnapshot is the /metrics payload.
 type TelemetrySnapshot struct {
 	RequestsTotal       uint64 `json:"requests_total"`
@@ -116,14 +136,17 @@ type TelemetrySnapshot struct {
 	// Elision counters: the total number of statically proven guard-free
 	// sites bound into served runs, and how many proof-carrying runs fell
 	// back to checked access (digest mismatch, remap, release retirement).
-	ElidedSitesTotal        uint64           `json:"elided_sites_total"`
-	ElisionInvalidatedTotal uint64           `json:"elision_invalidated_total"`
-	UniqueFaultSignatures   int              `json:"unique_fault_signatures"`
-	DroppedFaultRecords     uint64           `json:"dropped_fault_records"`
-	Latency                 LatencySummary   `json:"latency"`
-	Spans                   []SpanStat       `json:"request_spans,omitempty"`
-	Signatures              []SignatureCount `json:"fault_signatures,omitempty"`
-	Recent                  []FaultRecord    `json:"recent_faults,omitempty"`
+	ElidedSitesTotal        uint64 `json:"elided_sites_total"`
+	ElisionInvalidatedTotal uint64 `json:"elision_invalidated_total"`
+	// TagTableStats surfaces the hierarchical tag-storage counters when a
+	// provider is wired (SetTagStatsProvider); flat zeros otherwise.
+	TagTableStats
+	UniqueFaultSignatures int              `json:"unique_fault_signatures"`
+	DroppedFaultRecords   uint64           `json:"dropped_fault_records"`
+	Latency               LatencySummary   `json:"latency"`
+	Spans                 []SpanStat       `json:"request_spans,omitempty"`
+	Signatures            []SignatureCount `json:"fault_signatures,omitempty"`
+	Recent                []FaultRecord    `json:"recent_faults,omitempty"`
 }
 
 // DefaultSinkCapacity bounds the fault ring when NewSink is given zero.
@@ -158,6 +181,12 @@ type Sink struct {
 	// Elision counters: proven guard-free sites bound into runs, and runs
 	// whose proofs were invalidated back to checked access.
 	elidedSites, elisionInvalidated uint64
+
+	// tagStats, when set, supplies the hierarchical tag-storage gauges for
+	// snapshots. The sink pulls rather than being pushed because resident
+	// bytes are a live property of the pool's session spaces, not an event
+	// stream.
+	tagStats func() TagTableStats
 }
 
 // NewSink creates a sink whose fault ring keeps at most capacity records
@@ -271,6 +300,16 @@ func (s *Sink) ObserveElision(sites uint64, invalidated bool) {
 	}
 }
 
+// SetTagStatsProvider wires the callback Snapshot uses to populate the
+// tag-storage fields — typically the pool's TagStats aggregation. The
+// provider is invoked outside the sink lock (it takes the pool's own locks),
+// so it must not call back into the sink.
+func (s *Sink) SetTagStatsProvider(fn func() TagTableStats) {
+	s.mu.Lock()
+	s.tagStats = fn
+	s.mu.Unlock()
+}
+
 // RecordFault folds a fault into the ring and the dedup table, returning the
 // stored record (with its sequence number) and whether its signature was new.
 func (s *Sink) RecordFault(session, workload string, f *mte.Fault) (FaultRecord, bool) {
@@ -314,9 +353,20 @@ func (s *Sink) RecordFault(session, workload string, f *mte.Fault) (FaultRecord,
 // Snapshot returns a consistent copy of all counters, the dedup table
 // (most-hit signatures first) and the retained fault records (oldest first).
 func (s *Sink) Snapshot() TelemetrySnapshot {
+	// Pull the tag-storage gauges before taking the sink lock: the provider
+	// acquires the pool's locks, and keeping the two lock domains disjoint
+	// rules out ordering inversions.
+	s.mu.Lock()
+	tagFn := s.tagStats
+	s.mu.Unlock()
+	var tags TagTableStats
+	if tagFn != nil {
+		tags = tagFn()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := TelemetrySnapshot{
+		TagTableStats:           tags,
 		RequestsTotal:           s.requests,
 		FaultsTotal:             s.faults,
 		ErrorsTotal:             s.errors,

@@ -91,6 +91,18 @@ func New(cfg Config) *Server {
 		screen: analysis.NewScreenCache(cfg.ScreenCacheSize),
 		start:  time.Now(),
 	}
+	// /metrics pulls the hierarchical tag-storage gauges straight from the
+	// pool's session spaces at snapshot time.
+	s.sink.SetTagStatsProvider(func() report.TagTableStats {
+		ts := s.pool.TagStats()
+		return report.TagTableStats{
+			TagPagesMaterialized: ts.PagesMaterialized,
+			TagPagesUniform:      ts.PagesUniform,
+			TagZeroDedupHits:     ts.ZeroDedupHits,
+			TagBytesResident:     ts.BytesResident,
+			TagBytesFlatEquiv:    ts.BytesFlatEquiv,
+		}
+	})
 	s.http = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,

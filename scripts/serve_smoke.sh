@@ -82,6 +82,35 @@ if command -v curl >/dev/null 2>&1; then
 			exit 1
 		fi
 	done
+
+	# Hierarchical tag-storage reconciliation. The warm pool still holds live
+	# sessions here, so: the counters must be present, the workloads must have
+	# exercised both lazy paths (materializations from partial-page object
+	# tagging, zero-dedup from fresh mappings), and the two-level table must
+	# be paying >=10x less than the flat tag array would for the same
+	# mappings — the headline claim of this storage design.
+	for key in tag_pages_materialized_total tag_pages_uniform_total \
+		tag_zero_dedup_hits_total tag_bytes_resident tag_bytes_flat_equiv; do
+		if ! grep -q "\"$key\":" "$METRICS"; then
+			echo "serve-smoke: /metrics missing tag-storage counter $key:" >&2
+			cat "$METRICS" >&2
+			exit 1
+		fi
+	done
+	materialized="$(sed -n 's/.*"tag_pages_materialized_total":\([0-9]*\).*/\1/p' "$METRICS")"
+	dedup="$(sed -n 's/.*"tag_zero_dedup_hits_total":\([0-9]*\).*/\1/p' "$METRICS")"
+	resident="$(sed -n 's/.*"tag_bytes_resident":\([0-9]*\).*/\1/p' "$METRICS")"
+	flat="$(sed -n 's/.*"tag_bytes_flat_equiv":\([0-9]*\).*/\1/p' "$METRICS")"
+	if [ "${materialized:-0}" -eq 0 ] || [ "${dedup:-0}" -eq 0 ]; then
+		echo "serve-smoke: tag-storage counters did not move (materialized=$materialized dedup=$dedup)" >&2
+		cat "$METRICS" >&2
+		exit 1
+	fi
+	if [ "${resident:-0}" -eq 0 ] || [ "${flat:-0}" -lt $((resident * 10)) ]; then
+		echo "serve-smoke: tag residency not >=10x under flat (resident=$resident flat=$flat)" >&2
+		cat "$METRICS" >&2
+		exit 1
+	fi
 fi
 
 # Graceful shutdown: SIGTERM must produce a clean exit 0.
@@ -153,4 +182,4 @@ if ! wait "$SERVE_PID"; then
 fi
 SERVE_PID=""
 
-echo "serve-smoke: ok (287 + 37 requests, 24 injected faults detected, 18 bad programs screened out, 8 cancels + 4 deadlines reconciled, 267 + 21 guard-free sites with zero proof invalidations, clean shutdown)"
+echo "serve-smoke: ok (287 + 37 requests, 24 injected faults detected, 18 bad programs screened out, 8 cancels + 4 deadlines reconciled, 267 + 21 guard-free sites with zero proof invalidations, tag residency >=10x under flat, clean shutdown)"

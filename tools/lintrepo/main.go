@@ -28,6 +28,12 @@
 //     the elision tier, and inside internal/jni only behind an if that
 //     consults the elided() gate, so invalidated proofs fall back to
 //     checked access.
+//   - tagtable-encapsulation: the hierarchical tag store's raw storage —
+//     the per-mapping page directory (tagTable.dir) and the canonical
+//     uniform-page array (uniformPages) — may only be named inside
+//     internal/mem/tagtable.go; all other code resolves pages through the
+//     page()/canonical() accessors, which uphold the publication and
+//     residency invariants.
 //
 // The tool speaks the cmd/go vet-tool protocol directly (the golang.org/x/
 // tools unitchecker is not vendored here, and the repo is stdlib-only):

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"path/filepath"
 	"strings"
 )
 
@@ -29,6 +30,7 @@ func runPasses(fset *token.FileSet, importPath string, files []*ast.File) []diag
 	diags = append(diags, checkNoBareContext(importPath, files)...)
 	diags = append(diags, checkElisionEncapsulation(importPath, files)...)
 	diags = append(diags, checkUnguardedGate(importPath, files)...)
+	diags = append(diags, checkTagTableEncapsulation(fset, importPath, files)...)
 	return diags
 }
 
@@ -526,6 +528,64 @@ func checkAtomicConsistency(files []*ast.File) []diagnostic {
 			case *ast.IncDecStmt:
 				if sel, ok := n.X.(*ast.SelectorExpr); ok {
 					flag(sel, "plainly incremented")
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// ---------------------------------------------------------------------------
+// Pass 8: tagtable-encapsulation.
+//
+// The hierarchical tag store (internal/mem/tagtable.go) owns two pieces of
+// raw storage: each mapping's directory of atomic page pointers
+// (tagTable.dir) and the canonical uniform-page array (uniformPages). Every
+// invariant the store guarantees — pages fully filled before CAS
+// publication, canonical pages never written, freelist recycling, residency
+// accounting — lives behind its methods plus the page()/canonical()
+// accessors. Code that indexes the directory or the canonical array
+// directly could observe a half-initialized page or skew the counters, so
+// this pass pins the boundary: inside internal/mem only tagtable.go may
+// name tagTable.dir or uniformPages. Outside the package both are
+// unexported and unreachable; indexing a `.dir` selector there is still
+// flagged as defense in depth against the storage being re-exposed through
+// a wrapper. Syntax-only caveat: any field named `dir` trips the rule, so
+// the name is effectively reserved for the tag directory in this module.
+
+// tagTableFile is the one file allowed to touch raw tag-page storage.
+const tagTableFile = "tagtable.go"
+
+func checkTagTableEncapsulation(fset *token.FileSet, importPath string, files []*ast.File) []diagnostic {
+	inMem := importPath == faultConstructorPkg
+	var diags []diagnostic
+	for _, f := range files {
+		if inMem && filepath.Base(fset.Position(f.Pos()).Filename) == tagTableFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if inMem && n.Sel.Name == "dir" {
+					diags = append(diags, diagnostic{
+						pos: n.Sel.Pos(),
+						msg: "selector .dir reaches into the tag-page directory outside tagtable.go: raw tag storage must go through tagTable methods (page/setRange/release) so page-publication and residency invariants hold",
+					})
+				}
+			case *ast.IndexExpr:
+				if sel, ok := n.X.(*ast.SelectorExpr); ok && !inMem && sel.Sel.Name == "dir" {
+					diags = append(diags, diagnostic{
+						pos: n.Pos(),
+						msg: "indexing a .dir field outside internal/mem looks like direct tag-page directory access: the two-level tag table is private to internal/mem and must stay behind Space accessors",
+					})
+				}
+			case *ast.Ident:
+				if inMem && n.Name == "uniformPages" {
+					diags = append(diags, diagnostic{
+						pos: n.Pos(),
+						msg: "uniformPages referenced outside tagtable.go: canonical tag pages are shared immutable storage and may only be reached via canonical()/isCanonical()",
+					})
 				}
 			}
 			return true

@@ -151,6 +151,45 @@ func TestUnguardedGateAllowsElisionTier(t *testing.T) {
 	}
 }
 
+func TestTagTableEncapsulationPass(t *testing.T) {
+	// Under internal/mem (a hypothetical sibling of tagtable.go) both the
+	// raw directory selector and the canonical-array reference are flagged;
+	// the accessor-based goodRead shape is not.
+	got := lintFixture(t, "mte4jni/internal/mem", "tagtable_bad.go")
+	wantDiags(t, got,
+		"selector .dir reaches into the tag-page directory outside tagtable.go",
+		"uniformPages referenced outside tagtable.go",
+	)
+	// Outside the package only the indexed directory access is flagged, as
+	// defense in depth against the storage being re-exposed.
+	got = lintFixture(t, "mte4jni/internal/server", "tagtable_bad.go")
+	wantDiags(t, got,
+		"indexing a .dir field outside internal/mem looks like direct tag-page directory access",
+	)
+}
+
+// tagtable.go itself is exempt by filename: the identical source parsed
+// as tagtable.go under internal/mem is clean, since that file is where the
+// raw storage legitimately lives.
+func TestTagTableEncapsulationExemptsTagTableFile(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "tagtable_bad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tagtable.go")
+	if err := os.WriteFile(path, src, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := runPasses(fset, "mte4jni/internal/mem", []*ast.File{f}); len(diags) != 0 {
+		t.Fatalf("got %d diagnostics for tagtable.go itself, want 0", len(diags))
+	}
+}
+
 // TestLintConfigDriver exercises the vet-tool protocol driver end to end on
 // a written vet.cfg: diagnostics rendered as file:line:col, the facts file
 // recorded, and exit-worthy count returned.
