@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint lint-repo check bench bench-smoke serve-smoke
+.PHONY: build test race vet fmt lint lint-repo check bench bench-smoke serve-smoke redteam-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,14 @@ bench-smoke:
 serve-smoke:
 	GO="$(GO)" sh ./scripts/serve_smoke.sh
 
+# Adversarial gate: the offline `mte4jni redteam` campaign must match the
+# analytic 15/16-per-probe brute-force model and account for every §2.3
+# guarded-copy blind spot, then a serve+load run with the escalating
+# defense enabled must reconcile every attack/throttle/reseed counter
+# exactly. See scripts/redteam_smoke.sh.
+redteam-smoke:
+	GO="$(GO)" sh ./scripts/redteam_smoke.sh
+
 # Extended tier-1 gate (see ROADMAP.md).
-check: fmt vet lint-repo race lint bench-smoke serve-smoke
+check: fmt vet lint-repo race lint bench-smoke serve-smoke redteam-smoke
 	@echo "check: ok"

@@ -40,14 +40,26 @@ func runLoad(args []string) error {
 	cancelRate := fs.Int("cancel-rate", 0, "make every k-th request a runaway spin program whose connection the client abandons after -cancel-after (0 = never; the server must count it canceled_total and recycle the lease)")
 	cancelAfter := fs.Duration("cancel-after", 50*time.Millisecond, "how long a -cancel-rate request runs before the client disconnects")
 	deadlineRate := fs.Int("deadline-rate", 0, "make every k-th request a runaway spin program the server's -run-timeout must cut off with 504 (0 = never)")
+	attackRate := fs.Int("attack-rate", 0, "make every k-th request the canned red-team attack probe as tenant \"redteam\" (0 = never; requires -c 1)")
+	attackDelayThreshold := fs.Int("attack-delay-threshold", 0, "mirror of the server's -attack-delay-threshold so the client replicates the escalation state machine for exact reconciliation")
+	attackQuarantineThreshold := fs.Int("attack-quarantine-threshold", 0, "mirror of the server's -attack-quarantine-threshold")
 	noReconcile := fs.Bool("no-reconcile", false, "skip the /metrics reconciliation (server is shared with other clients)")
 	fs.Parse(args)
-	if _, err := server.ParseScheme(*scheme); err != nil {
+	parsedScheme, err := server.ParseScheme(*scheme)
+	if err != nil {
 		return err
 	}
 	if *n <= 0 || *c <= 0 {
 		return fmt.Errorf("load: -n and -c must be positive")
 	}
+	// The escalation state machine is sequential by nature — which probe
+	// trips which tier depends on strict request order — so attack injection
+	// demands a single worker.
+	if *attackRate > 0 && *c != 1 {
+		return fmt.Errorf("load: -attack-rate requires -c 1 (escalation accounting is order-dependent)")
+	}
+	// The attack probe is detected exactly when the scheme is an MTE one.
+	expectDetect := parsedScheme.MTE()
 
 	// Marshal the reject corpus once; workers round-robin through it.
 	var badProgs [][]byte
@@ -84,6 +96,10 @@ func runLoad(args []string) error {
 	outcomes := make([]loadOutcome, *n)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	// attackFaults is the client's replica of the server's per-tenant fault
+	// count for tenant "redteam". Only touched when -attack-rate is set,
+	// which forces a single worker, so plain state is race-free.
+	attackFaults := 0
 	start := time.Now()
 	for w := 0; w < *c; w++ {
 		wg.Add(1)
@@ -91,16 +107,21 @@ func runLoad(args []string) error {
 			defer wg.Done()
 			for i := range jobs {
 				req := server.RunRequest{Scheme: *scheme}
-				// Injection precedence: reject > cancel > deadline > fault.
+				// Injection precedence: reject > cancel > deadline > attack >
+				// fault.
 				reject := *rejectRate > 0 && (i+1)%*rejectRate == 0
 				canceled := !reject && *cancelRate > 0 && (i+1)%*cancelRate == 0
 				deadlined := !reject && !canceled && *deadlineRate > 0 && (i+1)%*deadlineRate == 0
-				injected := !reject && !canceled && !deadlined && *faultEvery > 0 && (i+1)%*faultEvery == 0
+				attacked := !reject && !canceled && !deadlined && *attackRate > 0 && (i+1)%*attackRate == 0
+				injected := !reject && !canceled && !deadlined && !attacked && *faultEvery > 0 && (i+1)%*faultEvery == 0
 				switch {
 				case reject:
 					req.Program = badProgs[i%len(badProgs)]
 				case canceled, deadlined:
 					req.Program = spinProg
+				case attacked:
+					req.Canned = "attack"
+					req.Tenant = "redteam"
 				case injected:
 					req.Canned = "oob"
 				case *workload != "":
@@ -114,6 +135,18 @@ func runLoad(args []string) error {
 					outcomes[i] = fireCancel(client, *url, req, *cancelAfter)
 				case deadlined:
 					outcomes[i] = fireDeadline(client, *url, req)
+				case attacked:
+					// Replicate the server's escalation state machine: the
+					// tier in force for this admission follows from the
+					// detected-fault count so far.
+					expect429 := *attackQuarantineThreshold > 0 && attackFaults >= *attackQuarantineThreshold
+					throttled := !expect429 && *attackDelayThreshold > 0 && attackFaults >= *attackDelayThreshold
+					o := fireAttack(client, *url, req, expectDetect, expect429)
+					o.throttled = throttled && o.err == nil && !o.refused
+					if o.attackDetected {
+						attackFaults++
+					}
+					outcomes[i] = o
 				default:
 					outcomes[i] = fire(client, *url, req, injected, reject)
 				}
@@ -129,6 +162,7 @@ func runLoad(args []string) error {
 
 	// Aggregate.
 	var ok, faulted, injected, rejected, canceled, deadlined, failed int
+	var attacked, attackDetected, attackRefused, attackThrottled int
 	var elidedSites, invalidated int
 	lats := make([]time.Duration, 0, *n)
 	for i, o := range outcomes {
@@ -146,12 +180,24 @@ func runLoad(args []string) error {
 		if o.invalidated {
 			invalidated++
 		}
+		if o.throttled {
+			attackThrottled++
+		}
 		switch {
 		case o.canceled:
 			// An abandoned connection has no server response, so no
 			// meaningful latency sample either.
 			canceled++
 			continue
+		case o.refused:
+			// A 429'd attack probe never became a request.
+			attackRefused++
+			continue
+		case o.attacked:
+			attacked++
+			if o.attackDetected {
+				attackDetected++
+			}
 		case o.deadlined:
 			deadlined++
 		case o.rejected:
@@ -179,6 +225,10 @@ func runLoad(args []string) error {
 	fmt.Printf("  ok=%d faulted=%d (injected %d) rejected=%d canceled=%d deadlined=%d transport-errors=%d\n",
 		ok, faulted, injected, rejected, canceled, deadlined, failed)
 	fmt.Printf("  elision: guard-free sites=%d invalidated-runs=%d\n", elidedSites, invalidated)
+	if *attackRate > 0 {
+		fmt.Printf("  attack: probes=%d detected=%d throttled=%d refused-429=%d\n",
+			attacked, attackDetected, attackThrottled, attackRefused)
+	}
 	if len(lats) > 0 {
 		fmt.Printf("  latency: p50=%v p95=%v p99=%v max=%v\n",
 			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
@@ -223,6 +273,11 @@ func runLoad(args []string) error {
 		dCanceledLeases := after.Pool.CanceledLeases - before.Pool.CanceledLeases
 		dElided := after.ElidedSitesTotal - before.ElidedSitesTotal
 		dInvalidated := after.ElisionInvalidatedTotal - before.ElisionInvalidatedTotal
+		dAttackProbes := after.AttackProbesTotal - before.AttackProbesTotal
+		dDetections := after.DetectionsTotal - before.DetectionsTotal
+		dThrottled := after.Pool.ThrottledTotal - before.Pool.ThrottledTotal
+		dReseeds := after.Pool.ReseedsTotal - before.Pool.ReseedsTotal
+		dTenantsQuar := after.Pool.TenantsQuarantined - before.Pool.TenantsQuarantined
 		fmt.Printf("  server: +requests=%d +faults=%d +screened=%d +rejected=%d +cache-hits=%d +quarantined=%d\n",
 			dRequests, dFaults, dScreened, dRejected, dCacheHits, dQuarantined)
 		fmt.Printf("  server: +elided-sites=%d +elision-invalidated=%d\n", dElided, dInvalidated)
@@ -264,14 +319,57 @@ func runLoad(args []string) error {
 		// cancel landing before the run starts legitimately short-circuits
 		// earlier — hence the canceled-wide tolerance (and exactness when no
 		// cancels were injected).
-		wantReqMax := uint64(*n - rejected)
+		// A refused (429) attack probe never becomes a request; a detected
+		// one faults and quarantines its session exactly like an injected
+		// OOB probe.
+		wantFaults := uint64(faulted + attackDetected)
+		wantReqMax := uint64(*n - rejected - attackRefused)
 		wantReqMin := wantReqMax - uint64(canceled)
-		if dRequests > wantReqMax || dRequests < wantReqMin || dFaults != uint64(faulted) {
+		if dRequests > wantReqMax || dRequests < wantReqMin || dFaults != wantFaults {
 			return fmt.Errorf("load: metrics do not reconcile: server saw +%d requests / +%d faults, client expected +%d..%d / +%d",
-				dRequests, dFaults, wantReqMin, wantReqMax, faulted)
+				dRequests, dFaults, wantReqMin, wantReqMax, wantFaults)
 		}
-		if dQuarantined != uint64(faulted) {
-			return fmt.Errorf("load: %d faults but +%d sessions quarantined", faulted, dQuarantined)
+		if dQuarantined != wantFaults {
+			return fmt.Errorf("load: %d faults but +%d sessions quarantined", wantFaults, dQuarantined)
+		}
+		if *attackRate > 0 {
+			fmt.Printf("  server: +attack-probes=%d +detections=%d +throttled=%d +reseeds=%d +tenants-quarantined=%d +sessions-reseeded=%d\n",
+				dAttackProbes, dDetections, dThrottled, dReseeds, dTenantsQuar,
+				after.Pool.SessionsReseeded-before.Pool.SessionsReseeded)
+		}
+		// Adversarial accounting is exact: every served probe counts once,
+		// every detection counts once, and the escalation counters follow
+		// the client's replica of the state machine with no tolerance.
+		if dAttackProbes != uint64(attacked) {
+			return fmt.Errorf("load: attack_probes_total off: server counted +%d, client sent %d served probes", dAttackProbes, attacked)
+		}
+		if dDetections != uint64(attackDetected) {
+			return fmt.Errorf("load: detections_total off: server counted +%d, client observed %d detected probes", dDetections, attackDetected)
+		}
+		if dThrottled != uint64(attackThrottled) {
+			return fmt.Errorf("load: throttled_total off: server counted +%d, client expected %d delay-tier admissions", dThrottled, attackThrottled)
+		}
+		// Tier crossings are a pure function of the detected-fault count and
+		// the mirrored thresholds.
+		expReseeds := 0
+		// The delay tier is only ever entered when its threshold sits below
+		// the quarantine threshold (otherwise the tenant jumps straight to
+		// quarantine in a single crossing).
+		delayReachable := *attackDelayThreshold > 0 &&
+			(*attackQuarantineThreshold == 0 || *attackDelayThreshold < *attackQuarantineThreshold)
+		if delayReachable && attackDetected >= *attackDelayThreshold {
+			expReseeds++
+		}
+		expTenantsQuar := 0
+		if *attackQuarantineThreshold > 0 && attackDetected >= *attackQuarantineThreshold {
+			expReseeds++
+			expTenantsQuar = 1
+		}
+		if dReseeds != uint64(expReseeds) {
+			return fmt.Errorf("load: reseeds_total off: server counted +%d tier crossings, client expected %d", dReseeds, expReseeds)
+		}
+		if dTenantsQuar != uint64(expTenantsQuar) {
+			return fmt.Errorf("load: tenants_quarantined_total off: server counted +%d, client expected %d", dTenantsQuar, expTenantsQuar)
 		}
 		// Inline programs — bad ones and runaway spins alike — all pass the
 		// admission screen; only the bad ones are rejected. Cancels that
@@ -310,7 +408,15 @@ type loadOutcome struct {
 	deadlined   bool
 	elidedSites int
 	invalidated bool
-	err         error
+	// Attack-probe classification: attacked marks a served probe,
+	// attackDetected that the scheme caught it, refused a 429 from the
+	// quarantine tier, throttled an admission the client expected to pay
+	// the delay-tier penalty.
+	attacked       bool
+	attackDetected bool
+	refused        bool
+	throttled      bool
+	err            error
 }
 
 // fire sends one /run request and classifies the outcome. A response is an
@@ -415,6 +521,50 @@ func fireCancel(client *http.Client, base string, req server.RunRequest, cancelA
 		return o
 	}
 	o.canceled = true
+	return o
+}
+
+// fireAttack sends one canned attack probe as the red-team tenant and
+// holds the server to the deterministic script: a quarantined tenant gets
+// exactly 429, an admitted probe gets 200 with a fault verdict matching
+// the scheme (detected under MTE, landed silently otherwise).
+func fireAttack(client *http.Client, base string, req server.RunRequest, expectDetect, expect429 bool) (o loadOutcome) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	start := time.Now()
+	resp, err := client.Post(base+"/run", "application/json", bytes.NewReader(body))
+	o.latency = time.Since(start)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	defer resp.Body.Close()
+	if expect429 {
+		if resp.StatusCode != http.StatusTooManyRequests {
+			o.err = fmt.Errorf("quarantined tenant not refused: status %d, want 429", resp.StatusCode)
+			return o
+		}
+		o.refused = true
+		return o
+	}
+	var out server.RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		o.err = fmt.Errorf("decoding response (status %d): %w", resp.StatusCode, err)
+		return o
+	}
+	if resp.StatusCode != http.StatusOK {
+		o.err = fmt.Errorf("attack probe: status %d", resp.StatusCode)
+		return o
+	}
+	o.attacked = true
+	o.attackDetected = out.Fault != nil
+	if o.attackDetected != expectDetect {
+		o.err = fmt.Errorf("attack probe verdict off on session %s: detected=%v, scheme predicts %v",
+			out.Session, o.attackDetected, expectDetect)
+	}
 	return o
 }
 

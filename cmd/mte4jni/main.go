@@ -17,6 +17,7 @@
 //	mte4jni bench                   # benchmark-snapshot suite (BENCH_*.json)
 //	mte4jni serve                   # multi-tenant serving daemon (HTTP/JSON)
 //	mte4jni load                    # concurrent load generator against serve
+//	mte4jni redteam                 # offline adversarial campaign (JSON coverage report)
 //	mte4jni all                     # everything above, in order
 package main
 
@@ -70,6 +71,8 @@ func main() {
 		err = runServe(args)
 	case "load":
 		err = runLoad(args)
+	case "redteam":
+		err = runRedteam(args)
 	case "all":
 		err = runAll()
 	case "-h", "--help", "help":
@@ -101,7 +104,8 @@ commands:
   lint           static analysis of bytecode program files (-disasm, -dynamic)
   bench          benchmark-snapshot suite (-quick, -o file, -parse benchtext, -diff a b)
   serve          multi-tenant serving daemon: session pool behind an HTTP/JSON API
-  load           concurrent load generator for serve (-n, -c, -fault-every, -reject-rate)
+  load           concurrent load generator for serve (-n, -c, -fault-every, -attack-rate)
+  redteam        offline adversarial campaign: attack corpus x schemes -> JSON coverage report
   all            run everything with default settings`)
 }
 

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mte4jni/internal/redteam"
+)
+
+// runRedteam runs the offline adversarial campaign: the full adaptive
+// attack corpus (tag brute-forcing, async damage windows, GC-scan races,
+// the §2.3 guarded-copy blind-spot exploits) against every protection
+// scheme, reduced to a JSON coverage report — detection probability per
+// attack class × scheme, probes-to-detection, and the analytic-model
+// checks for the brute-force rows. Exit status is the report's own
+// verdict: nonzero when the empirical brute-force detection probability
+// drifts from the 15/16-per-probe model or a blind-spot exploit ends as a
+// silent undetected success.
+func runRedteam(args []string) error {
+	fs := flag.NewFlagSet("redteam", flag.ExitOnError)
+	trials := fs.Int("trials", 64, "trials per (attack, scheme) pair")
+	seed := fs.Int64("seed", 1, "campaign seed (per-pair harness seeds derive from it)")
+	maxProbes := fs.Int("max-probes", 16, "per-trial probe budget for the sweeping strategies")
+	tolerance := fs.Float64("tolerance", 0.05, "acceptable |empirical - 15/16| deviation for the randomized brute-force rows")
+	heapMB := fs.Int("heap-mb", 1, "per-harness Java heap size in MiB")
+	fs.Parse(args)
+
+	rep, err := redteam.Run(redteam.Config{
+		Trials:    *trials,
+		Seed:      *seed,
+		MaxProbes: *maxProbes,
+		Tolerance: *tolerance,
+		HeapSize:  uint64(*heapMB) << 20,
+	})
+	if err != nil {
+		return err
+	}
+	if err := emitJSON(rep); err != nil {
+		return err
+	}
+	if !rep.Pass {
+		return fmt.Errorf("redteam: campaign failed its gates (blind spots accounted: %v; see bruteforce_model_checks)",
+			rep.BlindSpotsAccounted)
+	}
+	return nil
+}

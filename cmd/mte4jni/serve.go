@@ -31,6 +31,9 @@ func runServe(args []string) error {
 	runTimeout := fs.Duration("run-timeout", 0, "per-request execution deadline, lease wait included (0 = none); expiry returns 504")
 	stepBudget := fs.Int64("step-budget", 0, "interpreter steps allowed per inline-program run (0 = interpreter default)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "how long graceful shutdown may drain in-flight requests")
+	attackDelayThreshold := fs.Int("attack-delay-threshold", 0, "per-tenant detected faults before admissions are throttled (0 = escalating defense delay tier off)")
+	attackQuarantineThreshold := fs.Int("attack-quarantine-threshold", 0, "per-tenant detected faults before admissions are refused with 429 (0 = quarantine tier off)")
+	attackDelay := fs.Duration("attack-delay", time.Millisecond, "admission delay in the throttling tier")
 	fs.Parse(args)
 
 	srv := server.New(server.Config{
@@ -39,6 +42,11 @@ func runServe(args []string) error {
 			MaxWaiters:  *waiters,
 			HeapSize:    uint64(*heapMB) << 20,
 			Seed:        *seed,
+			Defense: pool.DefenseConfig{
+				DelayThreshold:      *attackDelayThreshold,
+				QuarantineThreshold: *attackQuarantineThreshold,
+				Delay:               *attackDelay,
+			},
 		},
 		SinkCapacity:   *faultRing,
 		AcquireTimeout: *acquireTimeout,

@@ -46,12 +46,14 @@ type TLBEntry struct {
 	// Ref is the *mem.Mapping this entry translates to.
 	Ref any
 	// Aux carries one extra translation-scoped pointer alongside the
-	// mapping — package mem caches the mapping's tag-table here (nil for
-	// untagged mappings), saving a dependent load per checked access.
-	// Anything cached in Aux must be immutable for the mapping's lifetime,
-	// because Aux shares Ref's invalidation contract exactly: it is only
-	// dropped by an epoch flush. Per-page tag pointers must NOT go here —
-	// SetTagRange swaps them without an epoch bump.
+	// mapping — package mem caches the mapping's resolved tag state here
+	// (the materialized tag-page directory, the tag table while the lazy
+	// directory is still nil, or nil for untagged mappings), saving the
+	// dependent loads per checked access. Anything cached in Aux must be
+	// stable under Ref's invalidation contract: it is only dropped by an
+	// epoch flush, so every transition of the cached state (directory
+	// materialization) must bump the space epoch. Per-page tag pointers
+	// must NOT go here — SetTagRange swaps them without an epoch bump.
 	Aux any
 }
 

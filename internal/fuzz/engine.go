@@ -149,7 +149,7 @@ func DifferentialEngines(seed int64, steps int, mode mte.CheckMode) error {
 
 	buf := make([]byte, 1024)
 	for step := 0; step < steps; step++ {
-		switch rng.Intn(12) {
+		switch rng.Intn(13) {
 		case 0: // Load of a random width
 			p := randPtr()
 			var va, vb uint64
@@ -294,6 +294,15 @@ func DifferentialEngines(seed int64, steps int, mode mte.CheckMode) error {
 			suppressed := rng.Intn(2) == 0
 			fast.ctx.SetTCO(suppressed)
 			refW.ctx.SetTCO(suppressed)
+		case 12: // Tag reseed: ResetTags a random mapping in both worlds
+			// The defense-side reseed primitive (pool reseeds suspicious
+			// sessions between leases): a whole-mapping repaint to tag 0
+			// plus an epoch bump. Runs mid-stream so subsequent accesses
+			// prove the collapsed-to-canonical state and the flushed TLBs
+			// stay lockstep with the reference world.
+			mi := rng.Intn(len(fast.maps))
+			fast.space.ResetTags(fast.maps[mi])
+			refW.space.ResetTags(refW.maps[mi])
 		}
 	}
 

@@ -157,6 +157,15 @@ func New(space *mem.Space, cfg Config) (*Heap, error) {
 	return h, nil
 }
 
+// ResetTags repaints the whole heap mapping back to tag 0 and bumps the
+// space epoch — the reseed hook the serving pool uses when a session comes
+// under brute-force suspicion. The caller must hold the heap quiescent (no
+// live objects, no concurrent native access): the pool only reseeds
+// sessions it exclusively owns after a GC-verified recycle.
+func (h *Heap) ResetTags() {
+	h.space.ResetTags(h.mapping)
+}
+
 // Mapping returns the heap's underlying mapping (for tag operations and raw
 // access by the runtime).
 func (h *Heap) Mapping() *mem.Mapping { return h.mapping }

@@ -72,22 +72,24 @@ func tagMismatchIndex(span []uint8, want uint8) int {
 // lookup resolves the mapping fully containing [addr, addr+size) through the
 // thread's TLB, falling back to the snapshot binary search and refilling the
 // TLB on a miss. It returns (nil, nil) when no mapping contains the whole
-// access. The second result is the mapping's tag table (nil for untagged
-// mappings), cached in the TLB entry's Aux slot so a hit resolves both
-// pointers in one probe — sound because the table (the directory slice, not
-// its entries) is immutable for the mapping's lifetime and shares the
-// mapping's epoch invalidation. See the Space doc comment for the epoch
-// contract.
+// access. The second result is the mapping's tag state, cached in the TLB
+// entry's Aux slot so a hit resolves both pointers in one probe: the
+// resolved *tagDir once the directory is materialized (the fast path pays a
+// single pointer hop per tag check), the *tagTable while the lazy directory
+// is still nil, or nil for untagged mappings. Caching the directory is
+// sound because its slices are immutable after construction and the one
+// nil→non-nil transition bumps the space epoch (materialize), which flushes
+// every TLB exactly like any other mapping change. See the Space doc
+// comment for the epoch contract.
 //
 //mte4jni:fastpath
-func (s *Space) lookup(ctx *cpu.Context, addr mte.Addr, size int) (*Mapping, *tagTable) {
+func (s *Space) lookup(ctx *cpu.Context, addr mte.Addr, size int) (*Mapping, any) {
 	tlb := ctx.TLB()
 	if epoch := s.epoch.Load(); epoch != tlb.Epoch {
 		tlb.Flush(epoch)
 	}
 	if e := tlb.Lookup(uint64(addr), size); e != nil {
-		tt, _ := e.Aux.(*tagTable)
-		return e.Ref.(*Mapping), tt
+		return e.Ref.(*Mapping), e.Aux
 	}
 	m, ok := s.Resolve(addr)
 	if !ok || !m.contains(addr, size) {
@@ -95,10 +97,14 @@ func (s *Space) lookup(ctx *cpu.Context, addr mte.Addr, size int) (*Mapping, *ta
 	}
 	var aux any
 	if m.tags != nil {
-		aux = m.tags
+		if d := m.tags.directory(); d != nil {
+			aux = d
+		} else {
+			aux = m.tags
+		}
 	}
 	tlb.Insert(uint64(m.base), uint64(m.End()), m, aux)
-	return m, m.tags
+	return m, aux
 }
 
 // checkAccess validates one access and returns (mapping, fault). A non-nil
@@ -108,7 +114,7 @@ func (s *Space) lookup(ctx *cpu.Context, addr mte.Addr, size int) (*Mapping, *ta
 //mte4jni:fastpath
 func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.AccessKind) (*Mapping, *mte.Fault) {
 	addr := p.Addr()
-	m, tt := s.lookup(ctx, addr, size)
+	m, aux := s.lookup(ctx, addr, size)
 	if m == nil {
 		return nil, s.newFault(ctx, mte.FaultUnmapped, kind, p, size, p.Tag(), 0)
 	}
@@ -119,8 +125,17 @@ func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.Acce
 	if m.prot&need == 0 {
 		return nil, s.newFault(ctx, mte.FaultProtection, kind, p, size, p.Tag(), 0)
 	}
-	if tt == nil || !ctx.Checking() {
+	if aux == nil || !ctx.Checking() {
 		return m, nil
+	}
+	// The steady state is a materialized directory cached straight in the
+	// TLB (one predictable type check, no tagTable hop). The *tagTable case
+	// covers the window before the lazy directory exists: re-resolving it
+	// here keeps a racing first retag visible, and the materialize epoch
+	// bump retires the stale Aux at the next lookup anyway.
+	d, ok := aux.(*tagDir)
+	if !ok {
+		d = aux.(*tagTable).directory()
 	}
 	want := uint8(p.Tag())
 	gi := m.granuleIndex(addr)
@@ -136,8 +151,24 @@ func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.Acce
 			// granule they start in, as the reference engine always has.
 			return m, nil
 		}
-		if got := tt.page(gi >> tagPageShift)[gi&tagPageMask]; got != want {
+		if d == nil {
+			// Never-tagged mapping: every granule reads tag 0.
+			if want != 0 {
+				return s.tagFault(ctx, m, p, size, kind, 0)
+			}
+			return m, nil
+		}
+		if got := d.page(gi >> tagPageShift)[gi&tagPageMask]; got != want {
 			return s.tagFault(ctx, m, p, size, kind, mte.Tag(got))
+		}
+		return m, nil
+	}
+	if d == nil {
+		// Never-tagged mapping, span case: all tags are 0, so a non-zero
+		// pointer tag mismatches at the very first granule — the same
+		// granule and memory tag the reference engine reports.
+		if want != 0 {
+			return s.tagFault(ctx, m, p, size, kind, 0)
 		}
 		return m, nil
 	}
@@ -153,7 +184,7 @@ func (s *Space) checkAccess(ctx *cpu.Context, p mte.Ptr, size int, kind mte.Acce
 	match := canonical(want)
 	firstPage, lastPage := gi>>tagPageShift, lastGi>>tagPageShift
 	for pi := firstPage; pi <= lastPage; pi++ {
-		pg := tt.page(pi)
+		pg := d.page(pi)
 		if pg == match {
 			continue
 		}

@@ -274,14 +274,15 @@ type Space struct {
 	// Hierarchical tag-storage accounting and page recycling (tagtable.go).
 	// tagFree is the freelist of displaced/released private tag pages;
 	// the atomics are the counters surfaced by TagStats.
-	tagFreeMu        sync.Mutex
-	tagFree          []*tagPage
-	tagMaterialized  atomic.Uint64
-	tagUniform       atomic.Uint64
-	tagZeroDedup     atomic.Uint64
-	tagResidentPages atomic.Int64
-	tagDirBytes      atomic.Int64
-	tagFlatBytes     atomic.Int64
+	tagFreeMu           sync.Mutex
+	tagFree             []*tagPage
+	tagMaterialized     atomic.Uint64
+	tagUniform          atomic.Uint64
+	tagZeroDedup        atomic.Uint64
+	tagDirsMaterialized atomic.Uint64
+	tagResidentPages    atomic.Int64
+	tagDirBytes         atomic.Int64
+	tagFlatBytes        atomic.Int64
 }
 
 // NewSpace creates an empty address space.
@@ -315,8 +316,9 @@ func (s *Space) Map(name string, size uint64, prot Prot) (*Mapping, error) {
 	}
 	if prot&ProtMTE != 0 {
 		// Lazy hierarchical tag storage: every page starts deduplicated
-		// against the shared zero page, so a fresh mapping costs only its
-		// directory (8 bytes per 4 KiB) instead of one tag byte per granule.
+		// against the shared zero page, and even the page-pointer directory
+		// is deferred until the first tag touch — a mapped-but-untagged
+		// region costs zero tag bytes, directory included.
 		m.tags = newTagTable(s, int(rounded/mte.GranuleSize))
 	}
 	s.nextBase += mte.Addr(rounded + guardGap)
@@ -373,6 +375,25 @@ func (s *Space) Unmap(m *Mapping) error {
 	m.data = nil
 	m.tags = nil
 	return nil
+}
+
+// ResetTags repaints every granule of m back to tag 0 and bumps the space
+// epoch — the tag-reseed primitive. Painting zero collapses the mapping's
+// materialized tag pages back onto the canonical zero page (or leaves a
+// never-materialized directory untouched), so an attacker's learned tags go
+// stale wholesale; the epoch bump flushes per-thread TLBs and, more to the
+// point, invalidates any elision mask primed against the pre-reseed epoch
+// (jni.Env.ArmElision refuses a stale prime). Like retagging in general the
+// caller must hold the mapping quiescent: the pool reseeds only sessions it
+// exclusively owns, between leases.
+func (s *Space) ResetTags(m *Mapping) {
+	if m.tags != nil {
+		m.tags.setRange(0, m.tags.granules, 0)
+	}
+	// Snapshot is unchanged, so a flushed TLB re-resolves identical mapping
+	// state; the bump exists to invalidate epoch-stamped caches (TLB Aux,
+	// primed elision bindings).
+	s.epoch.Add(1)
 }
 
 // Resolve finds the mapping containing addr by binary search over the

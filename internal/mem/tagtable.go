@@ -51,6 +51,14 @@ import (
 // state allocation churn is zero (Unmap/heap.Close return pages; the next
 // materialization reuses them).
 //
+// The directory itself is lazy too: a fresh mapping's tagTable carries a nil
+// directory pointer, which every reader treats as "canonical zero page
+// everywhere" — the exact state an eagerly allocated directory would start
+// in. The first tag touch that needs real storage (a non-zero retag or a
+// partial-page paint) CAS-publishes the one-and-only directory; tag-0 paints
+// of a virgin mapping short-circuit without allocating. Mapped-but-untagged
+// address space therefore pays zero tag footprint, directory included.
+//
 // # TLB interaction
 //
 // The per-thread TLB caches the resolved *tagTable next to the mapping (one
@@ -120,22 +128,37 @@ func isCanonical(pg *tagPage) bool {
 	return false
 }
 
-// tagTable is one mapping's two-level tag store: the directory plus a back
-// pointer to the owning Space for page recycling and accounting. The
-// directory slice itself is immutable after newTagTable; only the entries
-// move.
-type tagTable struct {
-	space *Space
-	dir   []atomic.Pointer[tagPage]
+// tagDir is the materialized page-pointer directory of one mapping: the
+// atomic page pointers plus the private-page bit index. The slices are
+// immutable after construction; only the entries move.
+type tagDir struct {
+	pages []atomic.Pointer[tagPage]
 	// priv is a one-bit-per-page "directory entry is a materialized private
 	// page" index (32 pages per word). The retag fast path tests one bit
 	// instead of comparing against all 16 canonical pages; see setPartial
 	// for the publication ordering that makes the bit trustworthy.
 	priv []atomic.Uint32
+}
+
+// tagTable is one mapping's two-level tag store: a lazily materialized
+// directory plus a back pointer to the owning Space for page recycling and
+// accounting. A fresh mapping carries a nil directory — every granule is
+// implicitly tag 0, the same state an eager all-zero-canonical directory
+// would encode — so a huge mapping that is mapped but never tagged pays
+// zero directory footprint (ROADMAP PR 7 "remaining headroom"). The
+// directory materializes on the first tag touch that can produce a
+// non-zero observation: any non-zero setRange, or a partial-page paint.
+type tagTable struct {
+	space *Space
+	// dir is nil until the first tag touch; thereafter it points at the
+	// mapping's one-and-only directory (CAS-published, never replaced).
+	dir atomic.Pointer[tagDir]
 	// granules is the mapping's true granule count, which the last
 	// directory entry may overshoot (mappings are 4 KiB-rounded, tag pages
-	// are wider); kept for the flat-equivalent accounting.
+	// are wider); kept for the flat-equivalent accounting. npages is the
+	// directory length a materialization will allocate.
 	granules int
+	npages   int
 }
 
 // privBit reports whether page pi is materialized. A set bit is published
@@ -144,16 +167,16 @@ type tagTable struct {
 // directory entry and fill it in place without inspecting the page.
 //
 //mte4jni:fastpath
-func (t *tagTable) privBit(pi int) bool {
-	return t.priv[pi>>5].Load()>>(pi&31)&1 != 0
+func (d *tagDir) privBit(pi int) bool {
+	return d.priv[pi>>5].Load()>>(pi&31)&1 != 0
 }
 
 // setPrivBit / clearPrivBit flip page pi's bit with a CAS loop (neighbour
 // pages share the word and may flip their own bits concurrently). Both are
 // off the steady-state path: bits change only when a page materializes or
 // is displaced.
-func (t *tagTable) setPrivBit(pi int) {
-	w := &t.priv[pi>>5]
+func (d *tagDir) setPrivBit(pi int) {
+	w := &d.priv[pi>>5]
 	for {
 		old := w.Load()
 		if w.CompareAndSwap(old, old|1<<(pi&31)) {
@@ -162,8 +185,8 @@ func (t *tagTable) setPrivBit(pi int) {
 	}
 }
 
-func (t *tagTable) clearPrivBit(pi int) {
-	w := &t.priv[pi>>5]
+func (d *tagDir) clearPrivBit(pi int) {
+	w := &d.priv[pi>>5]
 	for {
 		old := w.Load()
 		if w.CompareAndSwap(old, old&^(1<<(pi&31))) {
@@ -172,35 +195,88 @@ func (t *tagTable) clearPrivBit(pi int) {
 	}
 }
 
-// newTagTable builds the table for a mapping of the given granule count
-// with every entry deduplicated against the canonical zero page. The
+// newTagTable builds the table for a mapping of the given granule count.
+// No directory is allocated yet: a nil directory reads as the canonical
+// zero page everywhere, which is exactly the fresh-mapping state. The
 // directory length rounds up: the tail of the last tag page may cover
 // granules past the mapping's end, which no access can ever index.
 func newTagTable(s *Space, granules int) *tagTable {
-	n := (granules + tagPageGranules - 1) / tagPageGranules
 	t := &tagTable{
 		space:    s,
-		dir:      make([]atomic.Pointer[tagPage], n),
-		priv:     make([]atomic.Uint32, (n+31)/32),
 		granules: granules,
+		npages:   (granules + tagPageGranules - 1) / tagPageGranules,
 	}
-	zero := canonical(0)
-	for i := range t.dir {
-		t.dir[i].Store(zero)
-	}
-	s.tagZeroDedup.Add(uint64(n))
-	s.tagDirBytes.Add(int64(n)*tagDirEntryBytes + int64(len(t.priv))*4)
 	s.tagFlatBytes.Add(int64(granules))
 	return t
 }
 
-// page resolves one directory entry. This is the only raw directory read
-// outside this file (enforced by tools/lintrepo's tagtable-encapsulation
-// pass): the access engine goes through it so the storage representation
-// stays private to the table.
+// materialize returns the directory, building it on first use: every entry
+// deduplicated against the canonical zero page (the state a nil directory
+// already encodes, so readers racing the CAS observe no tag change). The
+// loser of the publication race frees its candidate by dropping it; the
+// winner takes over the accounting the eager constructor used to do —
+// zero-dedup hits for the fresh entries plus the directory bytes — and
+// bumps the DirsMaterialized counter that makes laziness observable.
+func (t *tagTable) materialize() *tagDir {
+	for {
+		if d := t.dir.Load(); d != nil {
+			return d
+		}
+		n := t.npages
+		d := &tagDir{
+			pages: make([]atomic.Pointer[tagPage], n),
+			priv:  make([]atomic.Uint32, (n+31)/32),
+		}
+		zero := canonical(0)
+		for i := range d.pages {
+			d.pages[i].Store(zero)
+		}
+		if t.dir.CompareAndSwap(nil, d) {
+			s := t.space
+			s.tagDirsMaterialized.Add(1)
+			s.tagZeroDedup.Add(uint64(n))
+			s.tagDirBytes.Add(int64(n)*tagDirEntryBytes + int64(len(d.priv))*4)
+			// Publishing the directory invalidates every TLB entry whose Aux
+			// slot still says "unmaterialized" (lookup caches the resolved
+			// *tagDir there so the access fast path pays a single pointer
+			// hop; see Space.lookup). Materialization happens at most once
+			// per mapping, so the flush-everything cost is a non-event.
+			s.epoch.Add(1)
+			return d
+		}
+	}
+}
+
+// page resolves one directory entry. A nil directory — the mapping has
+// never been tagged — reads as the canonical zero page without
+// materializing anything, so checked loads over untouched mappings stay
+// allocation-free.
 //
 //mte4jni:fastpath
-func (t *tagTable) page(pi int) *tagPage { return t.dir[pi].Load() }
+func (t *tagTable) page(pi int) *tagPage {
+	d := t.dir.Load()
+	if d == nil {
+		return canonical(0)
+	}
+	return d.pages[pi].Load()
+}
+
+// directory returns the materialized directory, or nil when the mapping
+// has never been tagged. The access engine caches the result in the TLB
+// Aux slot; the nil→non-nil transition is covered by materialize's epoch
+// bump.
+//
+//mte4jni:fastpath
+func (t *tagTable) directory() *tagDir { return t.dir.Load() }
+
+// page resolves one entry of a materialized directory — the single pointer
+// load on the checked-access fast path. tagTable.page/tagDir.page are the
+// only raw directory reads outside construction (the storage representation
+// stays private to this file; tools/lintrepo's tagtable-encapsulation pass
+// enforces it).
+//
+//mte4jni:fastpath
+func (d *tagDir) page(pi int) *tagPage { return d.pages[pi].Load() }
 
 // fillTags fills span with the tag byte — the software st2g/dc-gva fill
 // loop. Spans here are at most one tag page (tagPageBytes); whole pages
@@ -243,17 +319,26 @@ func (t *tagTable) setRange(lo, hi int, b uint8) {
 	if lo >= hi {
 		return
 	}
+	if b&0xF == 0 && t.dir.Load() == nil {
+		// Painting tag 0 over a never-tagged mapping is a no-op: a nil
+		// directory already reads as all-zero. Staying lazy here skips the
+		// per-call uniform/zero-dedup accounting an eager directory would
+		// have recorded, which is deliberate — nothing was swapped because
+		// nothing exists yet.
+		return
+	}
+	d := t.materialize()
 	first, last := lo>>tagPageShift, (hi-1)>>tagPageShift
 	if pi := first; lo&tagPageMask != 0 || pi == last && hi&tagPageMask != 0 {
 		segHi := tagPageGranules
 		if pi == last {
 			segHi = (hi-1)&tagPageMask + 1
 		}
-		t.setPartial(pi, lo&tagPageMask, segHi, b)
+		t.setPartial(d, pi, lo&tagPageMask, segHi, b)
 		first++
 	}
 	if hi&tagPageMask != 0 && last >= first {
-		t.setPartial(last, 0, (hi-1)&tagPageMask+1, b)
+		t.setPartial(d, last, 0, (hi-1)&tagPageMask+1, b)
 		last--
 	}
 	if first > last {
@@ -263,16 +348,16 @@ func (t *tagTable) setRange(lo, hi int, b uint8) {
 	s := t.space
 	uniform, displaced := 0, 0
 	for pi := first; pi <= last; pi++ {
-		if t.dir[pi].Load() == want {
+		if d.pages[pi].Load() == want {
 			continue
 		}
-		old := t.dir[pi].Swap(want)
+		old := d.pages[pi].Swap(want)
 		if old == want {
 			continue
 		}
 		uniform++
-		if t.privBit(pi) {
-			t.clearPrivBit(pi)
+		if d.privBit(pi) {
+			d.clearPrivBit(pi)
 			s.putTagPage(old)
 			displaced++
 		}
@@ -306,14 +391,14 @@ func (t *tagTable) setRange(lo, hi int, b uint8) {
 // window — directory already private, bit not yet visible — parks in the
 // isCanonical spin below until the publisher's bit lands, which also keeps
 // a CAS loser from treating the winner's page as a canonical background.
-func (t *tagTable) setPartial(pi, segLo, segHi int, b uint8) {
+func (t *tagTable) setPartial(d *tagDir, pi, segLo, segHi int, b uint8) {
 	for {
-		if t.privBit(pi) {
-			cur := t.dir[pi].Load()
+		if d.privBit(pi) {
+			cur := d.pages[pi].Load()
 			fillTags(cur[segLo:segHi], b)
 			return
 		}
-		cur := t.dir[pi].Load()
+		cur := d.pages[pi].Load()
 		if !isCanonical(cur) {
 			// Publication in flight: the page is installed but its priv
 			// bit is not visible yet. Loop until it is.
@@ -326,8 +411,8 @@ func (t *tagTable) setPartial(pi, segLo, segHi int, b uint8) {
 		np := t.space.takeTagPage()
 		fillTags(np[:], cur[0])
 		fillTags(np[segLo:segHi], b)
-		if t.dir[pi].CompareAndSwap(cur, np) {
-			t.setPrivBit(pi)
+		if d.pages[pi].CompareAndSwap(cur, np) {
+			d.setPrivBit(pi)
 			t.space.tagMaterialized.Add(1)
 			t.space.tagResidentPages.Add(1)
 			return
@@ -341,19 +426,25 @@ func (t *tagTable) setPartial(pi, segLo, segHi int, b uint8) {
 // release returns every materialized page to the Space freelist and drops
 // the directory from the accounting — the Unmap path. The entries are reset
 // to the zero page so a stale reader through a retained handle sees
-// well-formed (if meaningless) storage rather than a dangling page.
+// well-formed (if meaningless) storage rather than a dangling page. A
+// never-materialized table has nothing to return: only the flat-equivalent
+// accounting unwinds.
 func (t *tagTable) release() {
 	s := t.space
+	s.tagFlatBytes.Add(-int64(t.granules))
+	d := t.dir.Load()
+	if d == nil {
+		return
+	}
 	zero := canonical(0)
-	for i := range t.dir {
-		if pg := t.dir[i].Swap(zero); t.privBit(i) {
-			t.clearPrivBit(i)
+	for i := range d.pages {
+		if pg := d.pages[i].Swap(zero); d.privBit(i) {
+			d.clearPrivBit(i)
 			s.putTagPage(pg)
 			s.tagResidentPages.Add(-1)
 		}
 	}
-	s.tagDirBytes.Add(-int64(len(t.dir))*tagDirEntryBytes - int64(len(t.priv))*4)
-	s.tagFlatBytes.Add(-int64(t.granules))
+	s.tagDirBytes.Add(-int64(len(d.pages))*tagDirEntryBytes - int64(len(d.priv))*4)
 }
 
 // takeTagPage pops a recycled page off the freelist, allocating only when
@@ -396,7 +487,14 @@ type TagStats struct {
 	// attributed to any mapping).
 	PagesResident uint64
 	FreePages     uint64
-	// DirBytes is the root-directory overhead across live MTE mappings.
+	// DirsMaterialized counts directory materializations (monotonic): a
+	// mapping's page-pointer directory is allocated lazily on the first
+	// tag touch, so mapped-but-never-tagged address space contributes
+	// nothing here and nothing to DirBytes.
+	DirsMaterialized uint64
+	// DirBytes is the root-directory overhead across live MTE mappings
+	// whose directory has materialized, reported separately from the
+	// page bytes so the directory's share of the footprint is visible.
 	DirBytes uint64
 	// BytesResident is the tag-storage footprint the space actually pays:
 	// materialized pages plus directories.
@@ -420,6 +518,7 @@ func (s *Space) TagStats() TagStats {
 		ZeroDedupHits:     s.tagZeroDedup.Load(),
 		PagesResident:     resident,
 		FreePages:         free,
+		DirsMaterialized:  s.tagDirsMaterialized.Load(),
 		DirBytes:          dir,
 		BytesResident:     resident*tagPageBytes + dir,
 		BytesFlatEquiv:    uint64(s.tagFlatBytes.Load()),

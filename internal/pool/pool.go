@@ -57,6 +57,9 @@ type Config struct {
 	// static/dynamic differential and the load generator's fault-injection
 	// accounting rely on.
 	DisableNeighborExclusion bool
+	// Defense is the escalating per-tenant defense policy (see defense.go).
+	// Disabled by default.
+	Defense DefenseConfig
 }
 
 func (c *Config) defaults() {
@@ -72,6 +75,7 @@ func (c *Config) defaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	c.Defense.defaults()
 }
 
 // Stats is a point-in-time view of pool accounting.
@@ -96,6 +100,15 @@ type Stats struct {
 	// (GC-verified recycle, or retirement when the interrupted native left
 	// JNI acquisitions outstanding), never a blind re-lease.
 	CanceledLeases uint64 `json:"canceled_leases"`
+	// Escalating-defense counters (see defense.go): ReseedsTotal counts
+	// reseed-epoch bumps (tier crossings), SessionsReseeded counts warm
+	// sessions that actually re-seeded at lease time, ThrottledTotal counts
+	// delay-tier admissions, TenantsQuarantined counts tenants escalated to
+	// outright refusal. All zero unless Config.Defense is enabled.
+	ReseedsTotal       uint64 `json:"reseeds_total"`
+	SessionsReseeded   uint64 `json:"sessions_reseeded_total"`
+	ThrottledTotal     uint64 `json:"throttled_total"`
+	TenantsQuarantined uint64 `json:"tenants_quarantined_total"`
 }
 
 // QuarantineRecord remembers why a session left the pool.
@@ -130,6 +143,13 @@ type Pool struct {
 	// (resident/dir/freelist bytes) die with the session's space and are
 	// not accumulated.
 	retiredTags mem.TagStats
+
+	// tenants tracks each tenant's standing with the escalating defense
+	// policy; reseedEpoch is bumped on every tier crossing, and warm
+	// sessions re-seed lazily when their own epoch lags it. Both guarded
+	// by mu.
+	tenants     map[string]*tenantState
+	reseedEpoch uint64
 }
 
 // quarantineLog bounds the retained quarantine history.
@@ -140,10 +160,11 @@ const quarantineLog = 32
 func New(cfg Config) *Pool {
 	cfg.defaults()
 	p := &Pool{
-		cfg:   cfg,
-		slots: make(chan struct{}, cfg.MaxSessions),
-		idle:  make(map[mte4jni.Scheme][]*Session),
-		live:  make(map[uint64]*Session),
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxSessions),
+		idle:    make(map[mte4jni.Scheme][]*Session),
+		live:    make(map[uint64]*Session),
+		tenants: make(map[string]*tenantState),
 	}
 	for i := 0; i < cfg.MaxSessions; i++ {
 		p.slots <- struct{}{}
@@ -159,6 +180,18 @@ func (p *Pool) Config() Config { return p.cfg }
 // is at capacity. It fails fast with ErrOverloaded when the waiting queue is
 // itself full, and with ctx.Err() when the context expires first.
 func (p *Pool) Acquire(ctx context.Context, scheme mte4jni.Scheme) (*Session, error) {
+	return p.AcquireFor(ctx, scheme, "")
+}
+
+// AcquireFor is Acquire with tenant attribution for the escalating defense
+// policy: a quarantined tenant is refused with ErrTenantQuarantined before
+// any capacity token is taken (so a locked-out attacker can neither hold a
+// slot nor grow the quarantine ring), and a delay-tier tenant pays the
+// admission penalty first. The empty tenant bypasses the policy entirely.
+func (p *Pool) AcquireFor(ctx context.Context, scheme mte4jni.Scheme, tenant string) (*Session, error) {
+	if err := p.admitTenant(ctx, tenant); err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -208,7 +241,19 @@ func (p *Pool) Acquire(ctx context.Context, scheme mte4jni.Scheme) (*Session, er
 		s.leases++
 		p.stats.Reused++
 		p.leasedCt++
+		epoch := p.reseedEpoch
+		needReseed := s.seedEpoch != epoch
+		if needReseed {
+			p.stats.SessionsReseeded++
+		}
 		p.mu.Unlock()
+		if needReseed {
+			// Tag-reseed-on-suspicion: the session was parked before the
+			// last tier crossing, so whatever tags an attacker learned from
+			// it are about to go stale. The lease is exclusively ours here —
+			// reseed outside the pool lock.
+			s.reseed(p.cfg.Seed, epoch)
+		}
 		return s, nil
 	}
 	p.nextID++
@@ -226,6 +271,9 @@ func (p *Pool) Acquire(ctx context.Context, scheme mte4jni.Scheme) (*Session, er
 	p.stats.Created++
 	p.leasedCt++
 	s.leases++
+	// A fresh session's tags are brand new: it is born at the current
+	// reseed epoch.
+	s.seedEpoch = p.reseedEpoch
 	p.mu.Unlock()
 	return s, nil
 }
@@ -305,11 +353,13 @@ func (p *Pool) accumulateTagsLocked(s *Session) {
 	p.retiredTags.PagesMaterialized += st.PagesMaterialized
 	p.retiredTags.PagesUniform += st.PagesUniform
 	p.retiredTags.ZeroDedupHits += st.ZeroDedupHits
+	p.retiredTags.DirsMaterialized += st.DirsMaterialized
 }
 
 // TagStats aggregates hierarchical tag-storage accounting across the pool:
-// monotonic counters (materializations, uniform swaps, zero-dedup hits) sum
-// over live *and* departed sessions, while the residency gauges
+// monotonic counters (page and directory materializations, uniform swaps,
+// zero-dedup hits) sum over live *and* departed sessions, while the residency
+// gauges
 // (BytesResident, BytesFlatEquiv, page counts) reflect only sessions
 // currently live — that ratio is the pool's real tag-memory footprint
 // versus what the flat tag array of PR 2 would pay for the same mappings.
@@ -328,6 +378,7 @@ func (p *Pool) TagStats() mem.TagStats {
 		agg.PagesMaterialized += st.PagesMaterialized
 		agg.PagesUniform += st.PagesUniform
 		agg.ZeroDedupHits += st.ZeroDedupHits
+		agg.DirsMaterialized += st.DirsMaterialized
 		agg.PagesResident += st.PagesResident
 		agg.FreePages += st.FreePages
 		agg.DirBytes += st.DirBytes

@@ -11,6 +11,7 @@ import (
 	"mte4jni/internal/interp"
 	"mte4jni/internal/jni"
 	"mte4jni/internal/mte"
+	"mte4jni/internal/redteam"
 	"mte4jni/internal/workloads"
 )
 
@@ -41,6 +42,12 @@ type Session struct {
 	// GC-verified recycling, or retirement if the interrupted native left
 	// JNI acquisitions outstanding.
 	abort exec.Abort
+
+	// seedEpoch is the pool reseed epoch this session's tag state was drawn
+	// at; when it lags the pool's, the warm-reuse path re-seeds before the
+	// lease is handed out. Guarded by the pool mutex (read/written only at
+	// lease boundaries).
+	seedEpoch uint64
 }
 
 // newSession builds a fresh runtime for one pool slot. Each session gets its
@@ -226,6 +233,45 @@ func (s *Session) latchAbort(err error) {
 	if s.abort == exec.AbortNone {
 		s.abort = exec.Classify(err)
 	}
+}
+
+// reseed is the tag-reseed-on-suspicion hook: a fresh tag-RNG stream
+// (derived from the pool seed, the session id, and the reseed epoch, so
+// reseeds stay reproducible yet unpredictable to a tenant) plus a full
+// heap tag reset. Any tag an attacker learned from this session in an
+// earlier lease is stale afterwards, and the space-epoch bump inside
+// ResetHeapTags invalidates every primed elision proof and TLB tag
+// snapshot that assumed the old layout. Called with the lease held
+// exclusively, on a freshly recycled (object-free) session.
+func (s *Session) reseed(baseSeed int64, epoch uint64) {
+	s.rt.VM().ReseedTagRNG(baseSeed + int64(s.id)*1_000_003 + int64(epoch)*7919)
+	s.rt.VM().ResetHeapTags()
+	s.seedEpoch = epoch
+}
+
+// RunAttackProbe serves the canned serving-tier attack probe
+// (redteam.ServingProbe): one forged-tag store whose outcome is
+// deterministic per scheme. A detected probe taints the session exactly
+// like any other MTE fault — quarantine at release — which is what makes
+// the probe observable to the escalating defense policy.
+func (s *Session) RunAttackProbe(ec *exec.Context) *RunResult {
+	s.runs.Add(1)
+	s.env.BindExec(ec)
+	defer s.env.BindExec(nil)
+	res := &RunResult{}
+	start := time.Now()
+	pr, err := redteam.ServingProbe(s.env)
+	res.Duration = time.Since(start)
+	res.Err = err
+	res.Fault = pr.Fault
+	if pr.Fault != nil {
+		s.taint = pr.Fault
+	}
+	if pr.Landed {
+		res.Ret = 1
+	}
+	s.latchAbort(res.Err)
+	return res
 }
 
 // recycle prepares a healthy session for its next lease: the lease's thread

@@ -1,0 +1,47 @@
+package redteam
+
+import "mte4jni"
+
+// ServingProbeResult is the outcome of one serving-tier attack probe.
+type ServingProbeResult struct {
+	// Fault is the detected violation (nil when the scheme missed).
+	Fault *mte4jni.Fault
+	// Landed reports whether the forged write reached memory.
+	Landed bool
+}
+
+// ServingProbe is the one attack program the serving tier exposes as the
+// canned "attack" request: a single forged-tag store through a freshly
+// acquired critical pointer with its low tag bit flipped — a guaranteed
+// mismatch, so the outcome is deterministic per scheme (always detected
+// under MTE sync/async, never under guarded copy or no protection). The
+// load generator and the redteam smoke rely on that determinism to
+// reconcile detections_total and the escalation counters exactly; the
+// probabilistic strategies live in the offline campaign, where exactness
+// is a statistical claim instead.
+//
+// The probe deliberately leaves the critical acquisition released and the
+// array garbage-collectable, so a detected probe taints only the session
+// (fault quarantine), never the pool's recycling invariants.
+func ServingProbe(env *mte4jni.Env) (ServingProbeResult, error) {
+	var res ServingProbeResult
+	arr, err := env.VM().NewIntArray(targetLen)
+	if err != nil {
+		return res, err
+	}
+	fault, cerr := env.CallNative("attack_probe", mte4jni.Regular, func(env *mte4jni.Env) error {
+		p, aerr := env.GetPrimitiveArrayCritical(arr)
+		if aerr != nil {
+			return aerr
+		}
+		forged := p.WithTag(p.Tag() ^ 0x1)
+		env.StoreInt(forged, 0x41414141)
+		res.Landed = env.LoadInt(p) == 0x41414141
+		return env.ReleasePrimitiveArrayCritical(arr, p, mte4jni.ReleaseDefault)
+	})
+	if cerr != nil {
+		return res, cerr
+	}
+	res.Fault = fault
+	return res, nil
+}

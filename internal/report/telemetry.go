@@ -111,12 +111,48 @@ type TagTableStats struct {
 	TagPagesMaterialized uint64 `json:"tag_pages_materialized_total"`
 	TagPagesUniform      uint64 `json:"tag_pages_uniform_total"`
 	TagZeroDedupHits     uint64 `json:"tag_zero_dedup_hits_total"`
+	// TagDirsMaterialized counts lazily allocated page-pointer directories
+	// (a mapping whose tags are never touched allocates no directory at
+	// all); TagDirBytes is the directory storage live sessions pay.
+	TagDirsMaterialized uint64 `json:"tag_dirs_materialized_total"`
+	TagDirBytes         uint64 `json:"tag_dir_bytes"`
 	// TagBytesResident is the tag storage live sessions actually pay
 	// (materialized pages + directories); TagBytesFlatEquiv is what the
 	// pre-hierarchical flat array would pay for the same mappings. Their
 	// ratio is the footprint reduction the two-level table buys.
 	TagBytesResident  uint64 `json:"tag_bytes_resident"`
 	TagBytesFlatEquiv uint64 `json:"tag_bytes_flat_equiv"`
+}
+
+// probeBucketBounds are the upper bounds of the probes-to-detect histogram
+// (the final implicit bucket is +inf). Powers of two because the analytic
+// detect-within-k curve 1-(1/16)^k is the reference the campaign gates
+// against at the same points.
+var probeBucketBounds = []int{1, 2, 4, 8, 16}
+
+// AttackSchemeStat is one protection scheme's adversarial scorecard.
+type AttackSchemeStat struct {
+	Scheme     string `json:"scheme"`
+	Probes     uint64 `json:"probes"`
+	Detections uint64 `json:"detections"`
+	// DetectionProbability is Detections/Probes — per-probe, so it is
+	// directly comparable to the analytic 15/16 brute-force model.
+	DetectionProbability float64 `json:"detection_probability"`
+}
+
+// AttackTelemetry is the adversarial slice of a snapshot: every attack
+// probe served, how many the scheme detected, the per-scheme detection
+// probability, and the probes/time-to-detect histograms.
+type AttackTelemetry struct {
+	AttackProbesTotal uint64             `json:"attack_probes_total"`
+	DetectionsTotal   uint64             `json:"detections_total"`
+	AttackSchemes     []AttackSchemeStat `json:"attack_schemes,omitempty"`
+	// ProbesToDetectBuckets counts detections by how many probes the
+	// attacker got in before the verdict, under probeBucketBounds (+inf
+	// last); TimeToDetectBucketsUS is the same by wall clock, under
+	// latencyBucketsUS.
+	ProbesToDetectBuckets []uint64 `json:"probes_to_detect_buckets,omitempty"`
+	TimeToDetectBucketsUS []uint64 `json:"time_to_detect_buckets_us,omitempty"`
 }
 
 // TelemetrySnapshot is the /metrics payload.
@@ -141,6 +177,8 @@ type TelemetrySnapshot struct {
 	// TagTableStats surfaces the hierarchical tag-storage counters when a
 	// provider is wired (SetTagStatsProvider); flat zeros otherwise.
 	TagTableStats
+	// AttackTelemetry surfaces the adversarial counters (ObserveAttackProbe).
+	AttackTelemetry
 	UniqueFaultSignatures int              `json:"unique_fault_signatures"`
 	DroppedFaultRecords   uint64           `json:"dropped_fault_records"`
 	Latency               LatencySummary   `json:"latency"`
@@ -182,6 +220,13 @@ type Sink struct {
 	// whose proofs were invalidated back to checked access.
 	elidedSites, elisionInvalidated uint64
 
+	// Adversarial counters: attack probes served, detections, per-scheme
+	// scorecards, and the probes/time-to-detect histograms.
+	attackProbes, detections uint64
+	attackSchemes            map[string]*AttackSchemeStat
+	probesToDetect           []uint64
+	timeToDetectUS           []uint64
+
 	// tagStats, when set, supplies the hierarchical tag-storage gauges for
 	// snapshots. The sink pulls rather than being pushed because resident
 	// bytes are a live property of the pool's session spaces, not an event
@@ -196,10 +241,58 @@ func NewSink(capacity int) *Sink {
 		capacity = DefaultSinkCapacity
 	}
 	return &Sink{
-		capacity:  capacity,
-		sigs:      make(map[FaultSignature]*SignatureCount),
-		spanStats: make(map[string]*SpanStat),
+		capacity:      capacity,
+		sigs:          make(map[FaultSignature]*SignatureCount),
+		spanStats:     make(map[string]*SpanStat),
+		attackSchemes: make(map[string]*AttackSchemeStat),
 	}
+}
+
+// ObserveAttackProbe records one served attack probe against the named
+// scheme: probes is how many forged accesses the attacker issued, detected
+// whether the scheme caught it, and d the wall clock from first probe to
+// verdict. Detections feed the probes-to-detect and time-to-detect
+// histograms; undetected probes only move the totals (and thus the
+// per-scheme detection probability down).
+func (s *Sink) ObserveAttackProbe(scheme string, probes int, detected bool, d time.Duration) {
+	if probes <= 0 {
+		probes = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attackProbes += uint64(probes)
+	sc, ok := s.attackSchemes[scheme]
+	if !ok {
+		sc = &AttackSchemeStat{Scheme: scheme}
+		s.attackSchemes[scheme] = sc
+	}
+	sc.Probes += uint64(probes)
+	if !detected {
+		return
+	}
+	s.detections++
+	sc.Detections++
+	if s.probesToDetect == nil {
+		s.probesToDetect = make([]uint64, len(probeBucketBounds)+1)
+		s.timeToDetectUS = make([]uint64, len(latencyBucketsUS)+1)
+	}
+	idx := len(probeBucketBounds)
+	for i, bound := range probeBucketBounds {
+		if probes <= bound {
+			idx = i
+			break
+		}
+	}
+	s.probesToDetect[idx]++
+	us := uint64(d.Nanoseconds()) / 1000
+	idx = len(latencyBucketsUS)
+	for i, bound := range latencyBucketsUS {
+		if us <= bound {
+			idx = i
+			break
+		}
+	}
+	s.timeToDetectUS[idx]++
 }
 
 // ObserveAbort records why a request was cut short; AbortNone is a no-op so
@@ -383,6 +476,20 @@ func (s *Sink) Snapshot() TelemetrySnapshot {
 		Latency:                 s.latency,
 	}
 	snap.Latency.BucketsUS = append([]uint64(nil), s.latency.BucketsUS...)
+	snap.AttackProbesTotal = s.attackProbes
+	snap.DetectionsTotal = s.detections
+	snap.ProbesToDetectBuckets = append([]uint64(nil), s.probesToDetect...)
+	snap.TimeToDetectBucketsUS = append([]uint64(nil), s.timeToDetectUS...)
+	for _, sc := range s.attackSchemes {
+		c := *sc
+		if c.Probes > 0 {
+			c.DetectionProbability = float64(c.Detections) / float64(c.Probes)
+		}
+		snap.AttackSchemes = append(snap.AttackSchemes, c)
+	}
+	sort.Slice(snap.AttackSchemes, func(i, j int) bool {
+		return snap.AttackSchemes[i].Scheme < snap.AttackSchemes[j].Scheme
+	})
 	snap.Recent = append([]FaultRecord(nil), s.ring...)
 	for _, st := range s.spanStats {
 		snap.Spans = append(snap.Spans, *st)

@@ -99,6 +99,8 @@ func New(cfg Config) *Server {
 			TagPagesMaterialized: ts.PagesMaterialized,
 			TagPagesUniform:      ts.PagesUniform,
 			TagZeroDedupHits:     ts.ZeroDedupHits,
+			TagDirsMaterialized:  ts.DirsMaterialized,
+			TagDirBytes:          ts.DirBytes,
 			TagBytesResident:     ts.BytesResident,
 			TagBytesFlatEquiv:    ts.BytesFlatEquiv,
 		}
@@ -196,9 +198,16 @@ type RunRequest struct {
 	// Program is an inline bytecode program in the analysis JSON format —
 	// the same artifact `mte4jni lint` consumes.
 	Program json.RawMessage `json:"program,omitempty"`
-	// Canned selects a built-in probe: "safe" (never faults) or "oob"
-	// (deterministically faults under the MTE schemes).
+	// Canned selects a built-in probe: "safe" (never faults), "oob"
+	// (deterministically faults under the MTE schemes), or "attack" (the
+	// serving-tier red-team probe: one forged-tag store, detected under the
+	// MTE schemes, landing silently under the others).
 	Canned string `json:"canned,omitempty"`
+	// Tenant attributes the request to a tenant for the pool's escalating
+	// defense policy (per-tenant fault tracking, throttling, quarantine,
+	// tag reseed). Empty bypasses the policy; it is a no-op unless the
+	// server was started with the defense thresholds configured.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // RunResponse is the POST /run reply. A fault is a successful HTTP exchange:
@@ -321,6 +330,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		elision = verdict.Elision
 		workload = prog.Method.Name
 	}
+	attack := false
 	if req.Canned != "" {
 		selected++
 		switch req.Canned {
@@ -329,8 +339,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			elision = s.safeElision()
 		case "oob":
 			prog = pool.OOBProgram()
+		case "attack":
+			attack = true
 		default:
-			jsonError(w, http.StatusBadRequest, "unknown canned probe %q (safe, oob)", req.Canned)
+			jsonError(w, http.StatusBadRequest, "unknown canned probe %q (safe, oob, attack)", req.Canned)
 			return
 		}
 		workload = "canned:" + req.Canned
@@ -357,10 +369,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	ec.Begin(exec.PhaseLease)
-	sess, err := s.pool.Acquire(acquireCtx, scheme)
+	sess, err := s.pool.AcquireFor(acquireCtx, scheme, req.Tenant)
 	ec.End(exec.PhaseLease)
 	if err != nil {
 		switch {
+		case errors.Is(err, pool.ErrTenantQuarantined):
+			// The escalating defense refused this tenant before any token
+			// was taken: the refusal is free for the pool and costly for
+			// the attacker.
+			jsonError(w, http.StatusTooManyRequests, "tenant quarantined: %v", err)
 		case exec.Classify(ec.Err()) == exec.AbortDeadline:
 			s.sink.ObserveAbort(exec.AbortDeadline)
 			jsonError(w, http.StatusGatewayTimeout, "run timeout while waiting for a session: %v", err)
@@ -378,9 +395,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ec.Begin(exec.PhaseExec)
 	var res *pool.RunResult
-	if prog != nil {
+	switch {
+	case attack:
+		res = sess.RunAttackProbe(ec)
+	case prog != nil:
 		res = sess.RunProgramElided(ec, prog, elision)
-	} else {
+	default:
 		res = sess.RunWorkload(ec, workload, scale, req.Iterations)
 	}
 	ec.End(exec.PhaseExec)
@@ -405,6 +425,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if res.Faulted() {
 		rec, _ := s.sink.RecordFault(sess.Name(), workload, res.Fault)
 		resp.Fault = &rec
+		// Per-tenant fault attribution feeds the escalation state machine
+		// for every faulting run, not just the canned attack probe — a real
+		// brute-forcer ships its own programs.
+		s.pool.ObserveFault(req.Tenant)
+	}
+	if attack {
+		s.sink.ObserveAttackProbe(scheme.String(), 1, res.Faulted(), res.Duration)
 	}
 	ec.Begin(exec.PhaseRelease)
 	s.pool.Release(sess)

@@ -218,6 +218,29 @@ func (v *VM) RandomTag(mask mte.ExcludeMask) mte.Tag {
 	return mte.IRG(v.rng, mask)
 }
 
+// ReseedTagRNG replaces the tag RNG with one seeded from seed — the other
+// half of the tag-reseed defense. After a reseed every refs-0→1 acquisition
+// in the protector draws from the new stream, so tag values an attacker
+// learned by surviving probes under the old stream carry no information
+// about future allocations.
+func (v *VM) ReseedTagRNG(seed int64) {
+	v.rngMu.Lock()
+	defer v.rngMu.Unlock()
+	v.rng = rand.New(rand.NewSource(seed))
+}
+
+// ResetHeapTags repaints the managed heap's tag storage back to zero (a
+// no-op for non-MTE VMs, whose heap carries no tags). Combined with
+// ReseedTagRNG this makes a recycled session's tag state indistinguishable
+// from a fresh VM's: stale learned tags fault again, and nothing about the
+// old RNG stream leaks into the new one. Caller must own the VM exclusively
+// with no live objects — the pool's post-GC recycle point.
+func (v *VM) ResetHeapTags() {
+	if v.opts.MTE {
+		v.JavaHeap.ResetTags()
+	}
+}
+
 // allocObject carves an object with the given class and element count out of
 // the Java heap and registers it.
 func (v *VM) allocObject(class *Class, length int) (*Object, error) {

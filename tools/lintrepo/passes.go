@@ -31,6 +31,7 @@ func runPasses(fset *token.FileSet, importPath string, files []*ast.File) []diag
 	diags = append(diags, checkElisionEncapsulation(importPath, files)...)
 	diags = append(diags, checkUnguardedGate(importPath, files)...)
 	diags = append(diags, checkTagTableEncapsulation(fset, importPath, files)...)
+	diags = append(diags, checkRedteamEncapsulation(importPath, files)...)
 	return diags
 }
 
@@ -586,6 +587,56 @@ func checkTagTableEncapsulation(fset *token.FileSet, importPath string, files []
 						pos: n.Pos(),
 						msg: "uniformPages referenced outside tagtable.go: canonical tag pages are shared immutable storage and may only be reached via canonical()/isCanonical()",
 					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// ---------------------------------------------------------------------------
+// Pass 9: redteam-encapsulation.
+//
+// The attack corpus in internal/redteam is deliberately dangerous code: each
+// New*Attack constructor builds an exploit (forged-tag stores, damage-window
+// races, guarded-copy blind-spot abuse) meant to run only inside the harness,
+// which pins the target, bounds the probe budget, and reduces the outcome to
+// a detection verdict. An attack instantiated elsewhere — a bench spraying
+// forged stores, a handler wiring an exploit into the serving path — would be
+// an unharnessed exploit with no verdict and no telemetry. This pass keeps
+// every New*Attack call inside internal/redteam; everything else consumes
+// attacks through redteam.Corpus(), redteam.Run(), or the serving-tier
+// ServingProbe, which carry their own harnessing.
+
+func checkRedteamEncapsulation(importPath string, files []*ast.File) []diagnostic {
+	if importPath == modulePath+"/internal/redteam" {
+		return nil
+	}
+	isAttackCtor := func(name string) bool {
+		return strings.HasPrefix(name, "New") && strings.HasSuffix(name, "Attack") && len(name) > len("NewAttack")
+	}
+	var diags []diagnostic
+	flag := func(pos token.Pos, name string) {
+		diags = append(diags, diagnostic{
+			pos: pos,
+			msg: fmt.Sprintf("call to %s outside internal/redteam: attack constructors build unharnessed exploits; drive the corpus through redteam.Run/redteam.Corpus (or redteam.ServingProbe in the serving tier) so every probe lands in a harness with a detection verdict", name),
+		})
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				if isAttackCtor(fun.Sel.Name) {
+					flag(call.Pos(), fun.Sel.Name)
+				}
+			case *ast.Ident:
+				if isAttackCtor(fun.Name) {
+					flag(call.Pos(), fun.Name)
 				}
 			}
 			return true

@@ -190,6 +190,21 @@ func TestTagTableEncapsulationExemptsTagTableFile(t *testing.T) {
 	}
 }
 
+func TestRedteamEncapsulationPass(t *testing.T) {
+	got := lintFixture(t, "mte4jni/internal/server", "redteam_bad.go")
+	wantDiags(t, got,
+		"call to NewBruteForceAttack outside internal/redteam",
+		"call to NewAsyncWindowAttack outside internal/redteam",
+		"call to NewGCRaceAttack outside internal/redteam",
+	)
+}
+
+// internal/redteam itself — the corpus, the harness, and their tests — may
+// construct attacks freely.
+func TestRedteamEncapsulationAllowsRedteam(t *testing.T) {
+	wantDiags(t, lintFixture(t, "mte4jni/internal/redteam", "redteam_bad.go"))
+}
+
 // TestLintConfigDriver exercises the vet-tool protocol driver end to end on
 // a written vet.cfg: diagnostics rendered as file:line:col, the facts file
 // recorded, and exit-worthy count returned.

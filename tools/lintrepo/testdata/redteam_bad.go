@@ -1,0 +1,24 @@
+// Fixture for the redteam-encapsulation pass: instantiating attack-corpus
+// exploits outside internal/redteam. Parsed, never compiled.
+package fixture
+
+import "mte4jni/internal/redteam"
+
+func forgeExploits() []redteam.Attack {
+	return []redteam.Attack{
+		redteam.NewBruteForceAttack(true, false), // flagged: unharnessed exploit
+		redteam.NewAsyncWindowAttack(8),          // flagged: unharnessed exploit
+		NewGCRaceAttack(),                        // flagged: bare-identifier call
+	}
+}
+
+// NewGCRaceAttack shadows the corpus constructor locally; the pass is
+// syntactic and flags the call above regardless — the name is the contract.
+func NewGCRaceAttack() redteam.Attack { return nil }
+
+// Consuming the corpus through its sanctioned entry points is the allowed
+// shape; nothing here calls a constructor, so nothing is flagged.
+func runSanctioned() (any, error) {
+	_ = redteam.Corpus
+	return redteam.Run(redteam.Config{Trials: 1})
+}
