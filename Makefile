@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint lint-repo check bench bench-smoke serve-smoke redteam-smoke
+.PHONY: build test race vet fmt lint lint-repo check bench bench-smoke serve-smoke redteam-smoke temporal-differential
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ bench-smoke:
 serve-smoke:
 	GO="$(GO)" sh ./scripts/serve_smoke.sh
 
+# Temporal-screening soundness gate: every red-team corpus attack program
+# must be statically flagged with its exact window class and four-step
+# provenance chain, every dynamic known-miss must be a static catch, and the
+# generated fuzz corpus must produce zero false flags.
+temporal-differential:
+	$(GO) test -run 'TestTemporalCorpusStatic|TestTemporalDynamicMissesAreStaticCatches|TestTemporalGeneratedNoFalseFlags' -v ./internal/fuzz
+
 # Adversarial gate: the offline `mte4jni redteam` campaign must match the
 # analytic 15/16-per-probe brute-force model and account for every §2.3
 # guarded-copy blind spot, then a serve+load run with the escalating
@@ -66,5 +73,5 @@ redteam-smoke:
 	GO="$(GO)" sh ./scripts/redteam_smoke.sh
 
 # Extended tier-1 gate (see ROADMAP.md).
-check: fmt vet lint-repo race lint bench-smoke serve-smoke redteam-smoke
+check: fmt vet lint-repo race lint temporal-differential bench-smoke serve-smoke redteam-smoke
 	@echo "check: ok"

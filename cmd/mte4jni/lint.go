@@ -85,6 +85,11 @@ func runLint(args []string) error {
 			for pc, ns := range analysis.ElideAnnotations(res) {
 				notes[pc] = append(notes[pc], ns...)
 			}
+			// Temporally exposed call sites carry their window class too:
+			// "window: <class>: <reason>".
+			for pc, ns := range analysis.TemporalAnnotations(res) {
+				notes[pc] = append(notes[pc], ns...)
+			}
 			fmt.Print(interp.DisassembleAnnotated(p.Method, notes))
 		}
 		if *dynamic {

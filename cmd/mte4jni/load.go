@@ -14,6 +14,7 @@ import (
 
 	"mte4jni/internal/analysis"
 	"mte4jni/internal/pool"
+	"mte4jni/internal/redteam"
 	"mte4jni/internal/server"
 )
 
@@ -41,6 +42,7 @@ func runLoad(args []string) error {
 	cancelAfter := fs.Duration("cancel-after", 50*time.Millisecond, "how long a -cancel-rate request runs before the client disconnects")
 	deadlineRate := fs.Int("deadline-rate", 0, "make every k-th request a runaway spin program the server's -run-timeout must cut off with 504 (0 = never)")
 	attackRate := fs.Int("attack-rate", 0, "make every k-th request the canned red-team attack probe as tenant \"redteam\" (0 = never; requires -c 1)")
+	temporalRate := fs.Int("temporal-rate", 0, "make every k-th request a red-team corpus program under its risky scheme, which the temporal screen must flag — and, for the policy-rejected shapes, 422 with the provenance chain (0 = never)")
 	attackDelayThreshold := fs.Int("attack-delay-threshold", 0, "mirror of the server's -attack-delay-threshold so the client replicates the escalation state machine for exact reconciliation")
 	attackQuarantineThreshold := fs.Int("attack-quarantine-threshold", 0, "mirror of the server's -attack-quarantine-threshold")
 	noReconcile := fs.Bool("no-reconcile", false, "skip the /metrics reconciliation (server is shared with other clients)")
@@ -69,6 +71,37 @@ func runLoad(args []string) error {
 			return fmt.Errorf("load: marshal %s: %w", name, err)
 		}
 		badProgs = append(badProgs, raw)
+	}
+
+	// The temporal corpus: four red-team attack shapes as inline programs,
+	// each submitted under the scheme whose checker is exposed to it. Three
+	// are provable faults the admission screen 422s (temporal findings riding
+	// along in the verdict); the lost update is admitted by the fault screen
+	// and rejected by the temporal policy — the server must run with the
+	// default -temporal-policy reject for the script to hold.
+	var temporalProgs []temporalEntry
+	if *temporalRate > 0 {
+		byName := make(map[string]redteam.CorpusProgram)
+		for _, cp := range redteam.CorpusPrograms() {
+			byName[cp.Name] = cp
+		}
+		for _, name := range []string{
+			"async-window/damage", "gc-race/scan-window",
+			"guardedcopy/oob-read", "guardedcopy/lost-update",
+		} {
+			cp, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("load: temporal corpus missing %s", name)
+			}
+			raw, err := analysis.MarshalProgram(cp.Program)
+			if err != nil {
+				return fmt.Errorf("load: marshal %s: %w", name, err)
+			}
+			temporalProgs = append(temporalProgs, temporalEntry{
+				raw: raw, scheme: cp.Scheme, class: string(cp.WantClass),
+				policyReject: name == "guardedcopy/lost-update",
+			})
+		}
 	}
 
 	// The runaway probe for cancel/deadline injection: a pure countdown loop
@@ -110,13 +143,23 @@ func runLoad(args []string) error {
 				// Injection precedence: reject > cancel > deadline > attack >
 				// fault.
 				reject := *rejectRate > 0 && (i+1)%*rejectRate == 0
-				canceled := !reject && *cancelRate > 0 && (i+1)%*cancelRate == 0
-				deadlined := !reject && !canceled && *deadlineRate > 0 && (i+1)%*deadlineRate == 0
-				attacked := !reject && !canceled && !deadlined && *attackRate > 0 && (i+1)%*attackRate == 0
-				injected := !reject && !canceled && !deadlined && !attacked && *faultEvery > 0 && (i+1)%*faultEvery == 0
+				temporal := !reject && *temporalRate > 0 && (i+1)%*temporalRate == 0
+				canceled := !reject && !temporal && *cancelRate > 0 && (i+1)%*cancelRate == 0
+				deadlined := !reject && !temporal && !canceled && *deadlineRate > 0 && (i+1)%*deadlineRate == 0
+				attacked := !reject && !temporal && !canceled && !deadlined && *attackRate > 0 && (i+1)%*attackRate == 0
+				injected := !reject && !temporal && !canceled && !deadlined && !attacked && *faultEvery > 0 && (i+1)%*faultEvery == 0
+				var te temporalEntry
+				if temporal {
+					// Round-robin by injection ordinal so every corpus shape
+					// gets an even share regardless of the rate.
+					te = temporalProgs[((i+1) / *temporalRate - 1)%len(temporalProgs)]
+				}
 				switch {
 				case reject:
 					req.Program = badProgs[i%len(badProgs)]
+				case temporal:
+					req.Scheme = te.scheme
+					req.Program = te.raw
 				case canceled, deadlined:
 					req.Program = spinProg
 				case attacked:
@@ -131,6 +174,8 @@ func runLoad(args []string) error {
 					req.Canned = "safe"
 				}
 				switch {
+				case temporal:
+					outcomes[i] = fireTemporal(client, *url, req, te)
 				case canceled:
 					outcomes[i] = fireCancel(client, *url, req, *cancelAfter)
 				case deadlined:
@@ -164,6 +209,8 @@ func runLoad(args []string) error {
 	var ok, faulted, injected, rejected, canceled, deadlined, failed int
 	var attacked, attackDetected, attackRefused, attackThrottled int
 	var elidedSites, invalidated int
+	var temporalFlagged, temporalPolicyRejected int
+	temporalByClass := make(map[string]int)
 	lats := make([]time.Duration, 0, *n)
 	for i, o := range outcomes {
 		if o.err != nil {
@@ -183,6 +230,12 @@ func runLoad(args []string) error {
 		if o.throttled {
 			attackThrottled++
 		}
+		if len(o.temporalClasses) > 0 {
+			temporalFlagged++
+			for _, c := range o.temporalClasses {
+				temporalByClass[c]++
+			}
+		}
 		switch {
 		case o.canceled:
 			// An abandoned connection has no server response, so no
@@ -200,6 +253,8 @@ func runLoad(args []string) error {
 			}
 		case o.deadlined:
 			deadlined++
+		case o.temporalRejected:
+			temporalPolicyRejected++
 		case o.rejected:
 			rejected++
 		case o.faulted:
@@ -228,6 +283,13 @@ func runLoad(args []string) error {
 	if *attackRate > 0 {
 		fmt.Printf("  attack: probes=%d detected=%d throttled=%d refused-429=%d\n",
 			attacked, attackDetected, attackThrottled, attackRefused)
+	}
+	if *temporalRate > 0 {
+		fmt.Printf("  temporal: flagged=%d window-risk=%d scan-race=%d blindspot=%d policy-rejected=%d\n",
+			temporalFlagged, temporalByClass[string(analysis.WindowRisk)],
+			temporalByClass[string(analysis.WindowScanRace)],
+			temporalByClass[string(analysis.WindowGuardedCopyBlindSpot)],
+			temporalPolicyRejected)
 	}
 	if len(lats) > 0 {
 		fmt.Printf("  latency: p50=%v p95=%v p99=%v max=%v\n",
@@ -323,7 +385,7 @@ func runLoad(args []string) error {
 		// one faults and quarantines its session exactly like an injected
 		// OOB probe.
 		wantFaults := uint64(faulted + attackDetected)
-		wantReqMax := uint64(*n - rejected - attackRefused)
+		wantReqMax := uint64(*n - rejected - temporalPolicyRejected - attackRefused)
 		wantReqMin := wantReqMax - uint64(canceled)
 		if dRequests > wantReqMax || dRequests < wantReqMin || dFaults != wantFaults {
 			return fmt.Errorf("load: metrics do not reconcile: server saw +%d requests / +%d faults, client expected +%d..%d / +%d",
@@ -371,11 +433,36 @@ func runLoad(args []string) error {
 		if dTenantsQuar != uint64(expTenantsQuar) {
 			return fmt.Errorf("load: tenants_quarantined_total off: server counted +%d, client expected %d", dTenantsQuar, expTenantsQuar)
 		}
+		// Temporal accounting is exact: every corpus submission was flagged
+		// under its expected window class, and only the policy rejections —
+		// exposed shapes the fault screen admitted — count as temporal
+		// rejections; the provable faults ride screen_rejected_total instead.
+		dTemporalFlagged := after.TemporalFlaggedTotal - before.TemporalFlaggedTotal
+		dTemporalRejected := after.TemporalRejectedTotal - before.TemporalRejectedTotal
+		dWindowRisk := after.TemporalWindowRisk - before.TemporalWindowRisk
+		dScanRace := after.TemporalScanRace - before.TemporalScanRace
+		dBlindSpot := after.TemporalBlindSpot - before.TemporalBlindSpot
+		if *temporalRate > 0 {
+			fmt.Printf("  server: +temporal-flagged=%d +window-risk=%d +scan-race=%d +blindspot=%d +temporal-rejected=%d\n",
+				dTemporalFlagged, dWindowRisk, dScanRace, dBlindSpot, dTemporalRejected)
+		}
+		if dTemporalFlagged != uint64(temporalFlagged) ||
+			dWindowRisk != uint64(temporalByClass[string(analysis.WindowRisk)]) ||
+			dScanRace != uint64(temporalByClass[string(analysis.WindowScanRace)]) ||
+			dBlindSpot != uint64(temporalByClass[string(analysis.WindowGuardedCopyBlindSpot)]) {
+			return fmt.Errorf("load: temporal counters do not reconcile: server flagged +%d (risk %d / race %d / blindspot %d), client submitted %d (%v)",
+				dTemporalFlagged, dWindowRisk, dScanRace, dBlindSpot, temporalFlagged, temporalByClass)
+		}
+		if dTemporalRejected != uint64(temporalPolicyRejected) {
+			return fmt.Errorf("load: temporal_rejected_total off: server counted +%d, client expected %d policy rejections",
+				dTemporalRejected, temporalPolicyRejected)
+		}
 		// Inline programs — bad ones and runaway spins alike — all pass the
 		// admission screen; only the bad ones are rejected. Cancels that
 		// disconnected before screening shave the screened total, same
-		// tolerance as requests above.
-		wantScreenMax := uint64(rejected + canceled + deadlined)
+		// tolerance as requests above. A temporal corpus submission is
+		// screened whichever way it is ultimately turned away.
+		wantScreenMax := uint64(rejected + temporalPolicyRejected + canceled + deadlined)
 		wantScreenMin := wantScreenMax - uint64(canceled)
 		if dScreened > wantScreenMax || dScreened < wantScreenMin || dRejected != uint64(rejected) {
 			return fmt.Errorf("load: screening counters do not reconcile: server screened +%d (want %d..%d) / rejected +%d (want %d)",
@@ -389,6 +476,13 @@ func runLoad(args []string) error {
 		}
 		if canceled+deadlined > 0 {
 			distinct++ // the spin program
+		}
+		if temporalFlagged > 0 {
+			d := len(temporalProgs)
+			if temporalFlagged < d {
+				d = temporalFlagged
+			}
+			distinct += d
 		}
 		if dScreened > 0 && dCacheHits+uint64(distinct) < dScreened {
 			return fmt.Errorf("load: screen cache ineffective: +%d hits for %d screenings over %d distinct programs",
@@ -416,7 +510,40 @@ type loadOutcome struct {
 	attackDetected bool
 	refused        bool
 	throttled      bool
-	err            error
+	// Temporal-screen classification: temporalClasses are the distinct
+	// window classes the response's verdict was flagged with (any screened
+	// submission can carry findings, including the bad-program corpus);
+	// temporalRejected marks a policy rejection — an exposed shape the fault
+	// screen admitted, counted in temporal_rejected_total rather than
+	// screen_rejected_total.
+	temporalClasses  []string
+	temporalRejected bool
+	err              error
+}
+
+// temporalClasses extracts the distinct window classes from a screen
+// verdict, mirroring the server's per-verdict set semantics for the
+// per-class temporal counters.
+func temporalClasses(v *analysis.ScreenVerdict) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, f := range v.Temporal {
+		c := string(f.Class)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// temporalEntry is one red-team corpus program the load generator submits
+// under its risky scheme, with the temporal verdict it holds the server to.
+type temporalEntry struct {
+	raw          []byte
+	scheme       string
+	class        string
+	policyReject bool
 }
 
 // fire sends one /run request and classifies the outcome. A response is an
@@ -453,7 +580,9 @@ func fire(client *http.Client, base string, req server.RunRequest, injected, rej
 		v := rej.Verdict
 		if v == nil || !v.Rejected() || v.PC < 0 || v.Native == "" || len(v.Provenance) == 0 {
 			o.err = fmt.Errorf("422 without a structured verdict: %+v", rej)
+			return o
 		}
+		o.temporalClasses = temporalClasses(v)
 		return o
 	}
 	var out server.RunResponse
@@ -564,6 +693,66 @@ func fireAttack(client *http.Client, base string, req server.RunRequest, expectD
 	if o.attackDetected != expectDetect {
 		o.err = fmt.Errorf("attack probe verdict off on session %s: detected=%v, scheme predicts %v",
 			out.Session, o.attackDetected, expectDetect)
+	}
+	return o
+}
+
+// fireTemporal submits one red-team corpus program under its risky scheme
+// and requires the 422 to carry the temporal evidence: a finding of the
+// expected window class with the full alloc → acquire → interfering-write →
+// late-check provenance chain. The provably-faulting shapes ride the
+// ordinary screen rejection; the policy-rejected shapes must come back with
+// a clean fault verdict and the temporal policy as the sole reason.
+func fireTemporal(client *http.Client, base string, req server.RunRequest, te temporalEntry) (o loadOutcome) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	start := time.Now()
+	resp, err := client.Post(base+"/run", "application/json", bytes.NewReader(body))
+	o.latency = time.Since(start)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		o.err = fmt.Errorf("temporal corpus program (%s under %s) not rejected: status %d", te.class, te.scheme, resp.StatusCode)
+		return o
+	}
+	var rej server.RejectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		o.err = fmt.Errorf("decoding 422 body: %w", err)
+		return o
+	}
+	v := rej.Verdict
+	if v == nil || len(v.Temporal) == 0 {
+		o.err = fmt.Errorf("422 without temporal findings: %+v", rej)
+		return o
+	}
+	f := v.Temporal[0]
+	if string(f.Class) != te.class {
+		o.err = fmt.Errorf("temporal class %q, want %q", f.Class, te.class)
+		return o
+	}
+	if len(f.Chain) != 4 {
+		o.err = fmt.Errorf("provenance chain has %d steps, want the full 4: %q", len(f.Chain), f.Chain.String())
+		return o
+	}
+	o.temporalClasses = temporalClasses(v)
+	if te.policyReject {
+		if v.Rejected() {
+			o.err = fmt.Errorf("policy-reject shape %q came back as a fault verdict", te.class)
+			return o
+		}
+		o.temporalRejected = true
+	} else {
+		if !v.Rejected() {
+			o.err = fmt.Errorf("provably-faulting shape %q not rejected by the fault screen", te.class)
+			return o
+		}
+		o.rejected = true
 	}
 	return o
 }

@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"mte4jni/internal/analysis"
 	"mte4jni/internal/pool"
 	"mte4jni/internal/report"
 	"mte4jni/internal/server"
@@ -34,7 +35,14 @@ func runServe(args []string) error {
 	attackDelayThreshold := fs.Int("attack-delay-threshold", 0, "per-tenant detected faults before admissions are throttled (0 = escalating defense delay tier off)")
 	attackQuarantineThreshold := fs.Int("attack-quarantine-threshold", 0, "per-tenant detected faults before admissions are refused with 429 (0 = quarantine tier off)")
 	attackDelay := fs.Duration("attack-delay", time.Millisecond, "admission delay in the throttling tier")
+	attackDecay := fs.Duration("attack-decay", 0, "interval after which an escalated tenant steps one defense tier back down (0 = escalation is permanent)")
+	temporalPolicy := fs.String("temporal-policy", "reject", "what to do with programs whose temporal exposure is live under the requested scheme: reject, force-sync, or log")
 	fs.Parse(args)
+
+	policy, err := analysis.ParseTemporalPolicy(*temporalPolicy)
+	if err != nil {
+		return err
+	}
 
 	srv := server.New(server.Config{
 		Pool: pool.Config{
@@ -46,12 +54,14 @@ func runServe(args []string) error {
 				DelayThreshold:      *attackDelayThreshold,
 				QuarantineThreshold: *attackQuarantineThreshold,
 				Delay:               *attackDelay,
+				DecayInterval:       *attackDecay,
 			},
 		},
 		SinkCapacity:   *faultRing,
 		AcquireTimeout: *acquireTimeout,
 		RunTimeout:     *runTimeout,
 		StepBudget:     *stepBudget,
+		TemporalPolicy: policy,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -55,6 +55,22 @@ type NativeSummary struct {
 	// ForgeTag makes the native flip pointer tag bits 56-59 (without irg)
 	// before accessing.
 	ForgeTag bool
+	// DamageOps is how many additional accesses the native issues after its
+	// primary touch sequence, all at MinOff — the "keep working after the
+	// violation" shape the red-team window attacks use. Under sync TCF a
+	// faulting first access suppresses them, so they never change the fault
+	// verdict; under deferred checking they are interfering writes inside
+	// the acquire/release window.
+	DamageOps int
+	// ConcurrentScan marks the hold window as overlapping a concurrent GC
+	// scan of the same heap (the native body runs while a collector thread
+	// reads live payloads).
+	ConcurrentScan bool
+	// ManagedRace marks a managed-side write to the same array committing
+	// while the native holds its hand-out — the lost-update shape: under a
+	// copying interface the release copy-back overwrites the managed write
+	// with the stale snapshot.
+	ManagedRace bool
 }
 
 // Touches reports whether the summary performs any heap access.
@@ -100,6 +116,9 @@ type MethodResult struct {
 	// (nil only when the method never reached the fixpoint, e.g. malformed
 	// bytecode).
 	Elision *Elision
+	// Temporal lists the call sites the temporal effect domain classified
+	// as exposed (temporal.go), in PC order.
+	Temporal []TemporalFinding
 }
 
 // Annotations returns the per-pc disassembly notes for this result:
@@ -288,6 +307,7 @@ type analyzer struct {
 	diags     []Diagnostic
 	sites     []CallSite
 	proofs    []ElisionProof
+	temporal  []TemporalFinding
 	faultSite *CallSite
 	faultProv ProvChain
 	reporting bool
@@ -477,14 +497,23 @@ func (a *analyzer) step(pc int, st *absState) stepResult {
 				"native %q has no behavioural summary; outcome unknown", name)
 		} else {
 			site.Verdict, site.Reason = siteVerdict(sum, r.length)
-			if site.Verdict == VerdictSafe && a.reporting && !a.clash[pc] && r.init == triYes {
+			windowClean := true
+			if a.reporting {
+				if f, exposed := temporalSite(pc, in.B, r, name, sum); exposed {
+					a.temporal = append(a.temporal, f)
+					windowClean = false
+				}
+			}
+			if site.Verdict == VerdictSafe && a.reporting && !a.clash[pc] && r.init == triYes && windowClean {
 				// The safe verdict stands on the summary's offsets and the
-				// length lower bound of a definitely-allocated array: record
-				// those facts and elide the tag checks for this call.
+				// length lower bound of a definitely-allocated array — and,
+				// since the temporal pass, on a clean window: an exposed
+				// site keeps its guards even when it cannot fault under
+				// sync, because the mask may run under a deferred checker.
 				a.proofs = append(a.proofs, ElisionProof{
 					PC: pc, Op: "callnative", Reason: site.Reason, Native: name,
 					Touches: sum.Touches(), MinOff: sum.MinOff, MaxOff: sum.MaxOff,
-					LenLo: max64(0, r.length.Lo),
+					LenLo: max64(0, r.length.Lo), WindowSafe: true,
 				})
 			}
 			if sum.Kind == jni.CriticalNative && sum.Touches() {
@@ -669,6 +698,7 @@ func analyzeMethod(m *interp.Method, natives map[string]NativeSummary, file stri
 
 	res.Diags = a.diags
 	res.CallSites = a.sites
+	res.Temporal = a.temporal
 	res.Elision = compileElision(&Program{Method: m, Natives: natives}, a.proofs)
 	SortDiagnostics(res.Diags)
 

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"mte4jni/internal/interp"
 )
@@ -45,6 +46,12 @@ type ElisionProof struct {
 	Touches bool   `json:"touches,omitempty"`
 	MinOff  int64  `json:"minOffset,omitempty"`
 	MaxOff  int64  `json:"maxOffset,omitempty"`
+	// WindowSafe records the discharged window-safety obligation for a call
+	// site: the temporal domain classified the acquire/release window clean
+	// (no interfering write can precede the check that would observe it).
+	// Sites with a non-clean exposure never get a proof at all — the
+	// obligation is part of what "elidable" means since the temporal pass.
+	WindowSafe bool `json:"windowSafe,omitempty"`
 
 	// Array-access facts: the index interval and the length lower bound the
 	// in-bounds proof used.
@@ -99,15 +106,35 @@ func (el *Elision) ValidateBinding(p *Program) error {
 }
 
 // programDigest hashes the canonical program text: method layout, every
-// instruction, and the native summaries sorted by name.
+// instruction, and the native summaries sorted by name. The text is built
+// with strconv appends into one buffer rather than per-line Fprintf — the
+// digest seals every screened program (compileElision runs on every
+// Analyze) and rendering was the hottest part of a cold screen. The byte
+// stream is unchanged: %q is strconv.AppendQuote, %d/%t are AppendInt and
+// AppendBool.
 func programDigest(p *Program) [sha256.Size]byte {
-	h := sha256.New()
-	fmt.Fprintf(h, "method %q locals=%d refs=%d\n", p.Method.Name, p.Method.MaxLocals, p.Method.MaxRefs)
+	buf := make([]byte, 0, 64*(1+len(p.Method.NativeNames)+len(p.Method.Code)+len(p.Natives)))
+	buf = append(buf, "method "...)
+	buf = strconv.AppendQuote(buf, p.Method.Name)
+	buf = append(buf, " locals="...)
+	buf = strconv.AppendInt(buf, int64(p.Method.MaxLocals), 10)
+	buf = append(buf, " refs="...)
+	buf = strconv.AppendInt(buf, int64(p.Method.MaxRefs), 10)
+	buf = append(buf, '\n')
 	for _, name := range p.Method.NativeNames {
-		fmt.Fprintf(h, "link %q\n", name)
+		buf = append(buf, "link "...)
+		buf = strconv.AppendQuote(buf, name)
+		buf = append(buf, '\n')
 	}
 	for pc, in := range p.Method.Code {
-		fmt.Fprintf(h, "%d: %d %d %d\n", pc, int(in.Op), in.A, in.B)
+		buf = strconv.AppendInt(buf, int64(pc), 10)
+		buf = append(buf, ':', ' ')
+		buf = strconv.AppendInt(buf, int64(in.Op), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, in.A, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, in.B, 10)
+		buf = append(buf, '\n')
 	}
 	names := make([]string, 0, len(p.Natives))
 	for name := range p.Natives {
@@ -116,12 +143,29 @@ func programDigest(p *Program) [sha256.Size]byte {
 	sort.Strings(names)
 	for _, name := range names {
 		s := p.Natives[name]
-		fmt.Fprintf(h, "native %q kind=%d off=[%d,%d] w=%t uar=%t forge=%t\n",
-			name, int(s.Kind), s.MinOff, s.MaxOff, s.Write, s.UseAfterRelease, s.ForgeTag)
+		buf = append(buf, "native "...)
+		buf = strconv.AppendQuote(buf, name)
+		buf = append(buf, " kind="...)
+		buf = strconv.AppendInt(buf, int64(s.Kind), 10)
+		buf = append(buf, " off=["...)
+		buf = strconv.AppendInt(buf, s.MinOff, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, s.MaxOff, 10)
+		buf = append(buf, "] w="...)
+		buf = strconv.AppendBool(buf, s.Write)
+		buf = append(buf, " uar="...)
+		buf = strconv.AppendBool(buf, s.UseAfterRelease)
+		buf = append(buf, " forge="...)
+		buf = strconv.AppendBool(buf, s.ForgeTag)
+		buf = append(buf, " dmg="...)
+		buf = strconv.AppendInt(buf, int64(s.DamageOps), 10)
+		buf = append(buf, " scan="...)
+		buf = strconv.AppendBool(buf, s.ConcurrentScan)
+		buf = append(buf, " race="...)
+		buf = strconv.AppendBool(buf, s.ManagedRace)
+		buf = append(buf, '\n')
 	}
-	var d [sha256.Size]byte
-	h.Sum(d[:0])
-	return d
+	return sha256.Sum256(buf)
 }
 
 // compileElision seals the reporting phase's elided PCs and proofs into an
@@ -137,13 +181,32 @@ func compileElision(p *Program, proofs []ElisionProof) *Elision {
 		proofs:        proofs,
 		programDigest: programDigest(p),
 	}
-	ph := sha256.New()
+	buf := make([]byte, 0, 96*len(proofs))
 	for _, pr := range proofs {
-		fmt.Fprintf(ph, "%d %s %q %q %t [%d,%d] [%d,%d] %d\n",
-			pr.PC, pr.Op, pr.Reason, pr.Native, pr.Touches, pr.MinOff, pr.MaxOff,
-			pr.IdxLo, pr.IdxHi, pr.LenLo)
+		buf = strconv.AppendInt(buf, int64(pr.PC), 10)
+		buf = append(buf, ' ')
+		buf = append(buf, pr.Op...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendQuote(buf, pr.Reason)
+		buf = append(buf, ' ')
+		buf = strconv.AppendQuote(buf, pr.Native)
+		buf = append(buf, ' ')
+		buf = strconv.AppendBool(buf, pr.Touches)
+		buf = append(buf, ' ')
+		buf = strconv.AppendBool(buf, pr.WindowSafe)
+		buf = append(buf, " ["...)
+		buf = strconv.AppendInt(buf, pr.MinOff, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, pr.MaxOff, 10)
+		buf = append(buf, "] ["...)
+		buf = strconv.AppendInt(buf, pr.IdxLo, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, pr.IdxHi, 10)
+		buf = append(buf, "] "...)
+		buf = strconv.AppendInt(buf, pr.LenLo, 10)
+		buf = append(buf, '\n')
 	}
-	ph.Sum(el.proofDigest[:0])
+	el.proofDigest = sha256.Sum256(buf)
 	return el
 }
 

@@ -45,6 +45,16 @@ func (s NativeSummary) Materialize() func(*jni.Env, *vm.Object) error {
 // touch performs the summary's byte accesses. A synchronous fault panics out
 // through the Env helper and is caught by the trampoline, so a faulting
 // first access suppresses the second — matching real sync-mode MTE.
+//
+// DamageOps repeats the MinOff access after the primary touch sequence: the
+// "keep working" shape the red-team window attacks use. Under sync TCF a
+// faulting primary access suppresses the repeats, and a safe summary's
+// repeats revisit an already-modelled offset, so the static/dynamic fault
+// differential is unchanged either way. ConcurrentScan and ManagedRace
+// declare properties of the *environment* (a collector thread scanning, a
+// managed mutator racing) that a single-threaded materialized body cannot
+// stage; they never change the sync tag-fault outcome, which is exactly why
+// the temporal domain — not the fault verdict — is what flags them.
 func (s NativeSummary) touch(e *jni.Env, base mte.Ptr) {
 	if !s.Touches() {
 		return
@@ -52,6 +62,9 @@ func (s NativeSummary) touch(e *jni.Env, base mte.Ptr) {
 	offs := []int64{s.MinOff}
 	if s.MaxOff != s.MinOff {
 		offs = append(offs, s.MaxOff)
+	}
+	for i := 0; i < s.DamageOps; i++ {
+		offs = append(offs, s.MinOff)
 	}
 	for _, off := range offs {
 		p := base.Add(off)

@@ -64,6 +64,9 @@ type nativeJSON struct {
 	Write           bool   `json:"write,omitempty"`
 	UseAfterRelease bool   `json:"useAfterRelease,omitempty"`
 	ForgeTag        bool   `json:"forgeTag,omitempty"`
+	DamageOps       int    `json:"damageOps,omitempty"`
+	ConcurrentScan  bool   `json:"concurrentScan,omitempty"`
+	ManagedRace     bool   `json:"managedRace,omitempty"`
 }
 
 // opByName maps Opcode.String() names back to opcodes.
@@ -126,6 +129,7 @@ func ParseProgram(data []byte) (*Program, error) {
 		p.Natives[name] = NativeSummary{
 			Kind: kind, MinOff: nj.MinOffset, MaxOff: nj.MaxOffset,
 			Write: nj.Write, UseAfterRelease: nj.UseAfterRelease, ForgeTag: nj.ForgeTag,
+			DamageOps: nj.DamageOps, ConcurrentScan: nj.ConcurrentScan, ManagedRace: nj.ManagedRace,
 		}
 	}
 	return p, nil
@@ -151,6 +155,7 @@ func MarshalProgram(p *Program) ([]byte, error) {
 			pj.Natives[name] = nativeJSON{
 				Kind: KindName(s.Kind), MinOffset: s.MinOff, MaxOffset: s.MaxOff,
 				Write: s.Write, UseAfterRelease: s.UseAfterRelease, ForgeTag: s.ForgeTag,
+				DamageOps: s.DamageOps, ConcurrentScan: s.ConcurrentScan, ManagedRace: s.ManagedRace,
 			}
 		}
 	}

@@ -37,6 +37,19 @@ const (
 	// neighbour-exclusion window (a cross-mapping escape candidate); it can
 	// appear in unknown-verdict reasoning but never proves a fault.
 	ProvEscape ProvKind = "escape"
+
+	// The temporal-chain kinds (temporal.go): an exposed call site is
+	// justified by alloc → acquire → interfering-write → late-check.
+
+	// ProvAcquire is the JNI hand-out opening the acquire/release critical
+	// window.
+	ProvAcquire ProvKind = "acquire"
+	// ProvWrite is the interfering native (or racing managed) write inside
+	// the window.
+	ProvWrite ProvKind = "interfering-write"
+	// ProvCheck is the deferred checkpoint that observes the violation too
+	// late — or, for the structural blind spots, never.
+	ProvCheck ProvKind = "late-check"
 )
 
 // ProvStep is one event in a provenance chain.

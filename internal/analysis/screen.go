@@ -33,6 +33,11 @@ type ScreenVerdict struct {
 	Diagnostics []string `json:"diagnostics,omitempty"`
 	// Cached marks a verdict served from the screen cache.
 	Cached bool `json:"cached,omitempty"`
+	// Temporal lists the call sites the temporal effect domain classified
+	// as exposed, with their alloc → acquire → interfering-write →
+	// late-check chains; the server's -temporal-policy decides what to do
+	// with them per requested scheme.
+	Temporal []TemporalFinding `json:"temporal,omitempty"`
 	// Elision is the compiled proof-carrying elision mask, attached only to
 	// safe verdicts — the execution side binds it to skip proven guards.
 	// Never serialized: proofs ride the admission path, not the wire. The
@@ -49,7 +54,7 @@ func (v *ScreenVerdict) Rejected() bool { return v.Verdict == VerdictFault }
 // that merely *may* fault — is admitted and left to the runtime schemes.
 func Screen(p *Program) *ScreenVerdict {
 	res := p.Analyze("")
-	v := &ScreenVerdict{Verdict: res.Verdict, PC: -1}
+	v := &ScreenVerdict{Verdict: res.Verdict, PC: -1, Temporal: res.Temporal}
 	for _, d := range res.Diags {
 		if d.Sev != SevInfo {
 			v.Diagnostics = append(v.Diagnostics, d.String())
@@ -100,10 +105,13 @@ func ProgramKey(raw []byte) [sha256.Size]byte { return sha256.Sum256(raw) }
 const DefaultScreenCacheSize = 1024
 
 // ScreenCache is a concurrency-safe LRU of screen verdicts keyed by program
-// hash.
+// hash. The key also covers the temporal admission policy the cache serves
+// under (SetTemporalPolicy): a verdict computed under one policy is never
+// served under another, even across a runtime policy flip.
 type ScreenCache struct {
 	mu      sync.Mutex
 	max     int
+	policy  TemporalPolicy
 	order   *list.List // front = most recently used
 	entries map[[sha256.Size]byte]*list.Element
 	hits    uint64
@@ -123,9 +131,42 @@ func NewScreenCache(max int) *ScreenCache {
 	}
 	return &ScreenCache{
 		max:     max,
+		policy:  TemporalReject,
 		order:   list.New(),
 		entries: make(map[[sha256.Size]byte]*list.Element),
 	}
+}
+
+// SetTemporalPolicy records the admission policy this cache's verdicts are
+// served under. The policy is part of the cache key, so flipping it makes
+// every earlier entry unreachable rather than silently reused.
+func (c *ScreenCache) SetTemporalPolicy(p TemporalPolicy) {
+	c.mu.Lock()
+	c.policy = p
+	c.mu.Unlock()
+}
+
+// policyKeyTags pre-renders each known policy's cache-key suffix so the hot
+// lookup path feeds the hash without converting strings per request.
+var policyKeyTags = map[TemporalPolicy][]byte{
+	TemporalReject:    []byte("\x00temporal-policy:" + TemporalReject),
+	TemporalForceSync: []byte("\x00temporal-policy:" + TemporalForceSync),
+	TemporalLog:       []byte("\x00temporal-policy:" + TemporalLog),
+}
+
+// key hashes the raw program bytes together with the temporal policy tag.
+func (c *ScreenCache) key(raw []byte, policy TemporalPolicy) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(raw)
+	if tag, ok := policyKeyTags[policy]; ok {
+		h.Write(tag)
+	} else {
+		h.Write([]byte("\x00temporal-policy:"))
+		h.Write([]byte(policy))
+	}
+	var k [sha256.Size]byte
+	h.Sum(k[:0])
+	return k
 }
 
 // ScreenBytes screens a raw JSON program, serving the verdict from cache
@@ -133,8 +174,8 @@ func NewScreenCache(max int) *ScreenCache {
 // cache hit (the returned verdict then has Cached set). Parse failures are
 // returned as errors and never cached.
 func (c *ScreenCache) ScreenBytes(raw []byte) (*ScreenVerdict, bool, error) {
-	key := ProgramKey(raw)
 	c.mu.Lock()
+	key := c.key(raw, c.policy)
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		c.hits++

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"testing"
+
+	"mte4jni/internal/jni"
+)
+
+// riskyProgramJSON is an inline program with an async damage window: forged
+// in-payload stores with post-violation damage repeats.
+const riskyProgramJSON = `{
+  "method": {
+    "name": "risky",
+    "maxLocals": 1, "maxRefs": 1,
+    "nativeNames": ["native0"],
+    "code": [
+      {"op": "const", "a": 16},
+      {"op": "newarray", "a": 0},
+      {"op": "callnative", "a": 0, "b": 0},
+      {"op": "const", "a": 0},
+      {"op": "return"}
+    ]
+  },
+  "natives": {
+    "native0": {"minOffset": 0, "maxOffset": 0, "write": true, "forgeTag": true, "damageOps": 3}
+  }
+}`
+
+func TestTemporalPolicyInCacheKey(t *testing.T) {
+	c := NewScreenCache(0)
+	raw := []byte(riskyProgramJSON)
+
+	if _, hit, err := c.ScreenBytes(raw); err != nil || hit {
+		t.Fatalf("first screen: hit=%t err=%v, want cold miss", hit, err)
+	}
+	v, hit, err := c.ScreenBytes(raw)
+	if err != nil || !hit {
+		t.Fatalf("second screen: hit=%t err=%v, want hit", hit, err)
+	}
+	if len(v.Temporal) == 0 || v.Temporal[0].Class != WindowRisk {
+		t.Fatalf("cached verdict lost temporal findings: %+v", v.Temporal)
+	}
+
+	// Flipping the admission policy must make every prior entry unreachable:
+	// a verdict computed under one policy is never served under another.
+	c.SetTemporalPolicy(TemporalForceSync)
+	if _, hit, err := c.ScreenBytes(raw); err != nil || hit {
+		t.Fatalf("post-flip screen: hit=%t err=%v, want miss", hit, err)
+	}
+	if _, hit, _ := c.ScreenBytes(raw); !hit {
+		t.Fatal("same policy resubmission after flip should hit")
+	}
+
+	// Flipping back reaches the original entry again.
+	c.SetTemporalPolicy(TemporalReject)
+	if _, hit, _ := c.ScreenBytes(raw); !hit {
+		t.Fatal("restoring the policy should reach the original entry")
+	}
+}
+
+func TestParseTemporalPolicy(t *testing.T) {
+	for in, want := range map[string]TemporalPolicy{
+		"": TemporalReject, "reject": TemporalReject,
+		"force-sync": TemporalForceSync, "log": TemporalLog,
+	} {
+		got, err := ParseTemporalPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTemporalPolicy(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseTemporalPolicy("strict"); err == nil {
+		t.Error("ParseTemporalPolicy should reject unknown values")
+	}
+}
+
+func TestExposedUnderMatrix(t *testing.T) {
+	cases := []struct {
+		class WindowClass
+		place jni.CheckPlacement
+		want  bool
+	}{
+		{WindowRisk, jni.PlaceTrampolineExit, true},
+		{WindowRisk, jni.PlaceAtRelease, false},
+		{WindowRisk, jni.PlacePerAccess, false},
+		{WindowScanRace, jni.PlaceTrampolineExit, true},
+		{WindowScanRace, jni.PlaceAtRelease, false},
+		{WindowGuardedCopyBlindSpot, jni.PlaceAtRelease, true},
+		{WindowGuardedCopyBlindSpot, jni.PlaceTrampolineExit, false},
+		{WindowClean, jni.PlaceTrampolineExit, false},
+		{WindowClean, jni.PlaceAtRelease, false},
+		{WindowRisk, jni.PlaceNever, false},
+	}
+	for _, tc := range cases {
+		if got := tc.class.ExposedUnder(tc.place); got != tc.want {
+			t.Errorf("%s.ExposedUnder(%s) = %t, want %t", tc.class, tc.place, got, tc.want)
+		}
+	}
+}
+
+func TestElisionProofsRequireCleanWindows(t *testing.T) {
+	// A temporally exposed site must not appear in the elision mask even when
+	// its own accesses are verdict-safe: a clean window is part of the proof
+	// obligation.
+	p, err := ParseProgram([]byte(`{
+	  "method": {
+	    "name": "raced",
+	    "maxLocals": 1, "maxRefs": 1,
+	    "nativeNames": ["native0"],
+	    "code": [
+	      {"op": "const", "a": 16},
+	      {"op": "newarray", "a": 0},
+	      {"op": "callnative", "a": 0, "b": 0},
+	      {"op": "const", "a": 0},
+	      {"op": "return"}
+	    ]
+	  },
+	  "natives": {
+	    "native0": {"minOffset": 4, "maxOffset": 4, "write": true, "managedRace": true}
+	  }
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Analyze("")
+	if len(res.Temporal) != 1 || res.Temporal[0].Class != WindowGuardedCopyBlindSpot {
+		t.Fatalf("want one blind-spot finding, got %+v", res.Temporal)
+	}
+	if res.Elision != nil {
+		for _, pr := range res.Elision.Proofs() {
+			if pr.Op == "callnative" {
+				t.Fatalf("exposed call site holds an elision proof: %+v", pr)
+			}
+		}
+	}
+	for _, f := range res.Temporal {
+		notes := TemporalAnnotations(res)[f.PC]
+		if len(notes) == 0 {
+			t.Fatalf("no disassembly annotation for exposed pc %d", f.PC)
+		}
+	}
+}

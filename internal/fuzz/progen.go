@@ -134,9 +134,12 @@ func genSummary(rng *rand.Rand, arrLen int) analysis.NativeSummary {
 	switch rng.Intn(7) {
 	case 0: // no heap access at all
 		s.MinOff, s.MaxOff = 1, 0
-	case 1: // in-payload, safe
+	case 1: // in-payload, safe (occasionally racing a managed mutator)
 		a, b := rng.Int63n(se), rng.Int63n(se)
 		s.MinOff, s.MaxOff = min64(a, b), max64(a, b)
+		if s.Write && rng.Intn(8) == 0 {
+			s.ManagedRace = true
+		}
 	case 2: // past the end, inside the deterministic window
 		s.MaxOff = se + rng.Int63n(window)
 		s.MinOff = rng.Int63n(s.MaxOff + 1)
@@ -147,10 +150,19 @@ func genSummary(rng *rand.Rand, arrLen int) analysis.NativeSummary {
 		s.UseAfterRelease = true
 		s.MinOff = rng.Int63n(se+window) - window
 		s.MaxOff = s.MinOff + rng.Int63n(se+window-s.MinOff)
+		if rng.Intn(2) == 0 {
+			s.DamageOps = rng.Intn(8) + 1
+		}
 	case 5: // forged tag bits, in-payload
 		s.ForgeTag = true
 		a, b := rng.Int63n(se), rng.Int63n(se)
 		s.MinOff, s.MaxOff = min64(a, b), max64(a, b)
+		if rng.Intn(2) == 0 {
+			s.DamageOps = rng.Intn(8) + 1
+		}
+		if rng.Intn(4) == 0 {
+			s.ConcurrentScan = true
+		}
 	default: // @CriticalNative touching the payload unchecked
 		s.Kind = jni.CriticalNative
 		a, b := rng.Int63n(se), rng.Int63n(se)

@@ -1,0 +1,58 @@
+package fuzz
+
+import (
+	"strings"
+
+	"mte4jni"
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/interp"
+)
+
+// Scheme-parameterized execution for the temporal-screening differential.
+// Where Execute pins the deterministic MTE+Sync configuration, ExecuteScheme
+// runs a program the way a pooled session would under any protection scheme
+// — which is what lets the temporal tests falsify a blind-spot claim: a
+// program statically flagged as a guarded-copy blind spot must actually slip
+// past guarded copy when run under it.
+
+// ExecuteScheme runs the program under the given protection scheme with
+// neighbour exclusion, materialising each NativeSummary into a real native
+// body (mirroring pool.Session.RunProgram). The returned error reports
+// harness failures only; program-level failures land in the Outcome.
+func ExecuteScheme(p *analysis.Program, scheme mte4jni.Scheme, seed int64) (*Outcome, error) {
+	rt, err := mte4jni.New(mte4jni.Config{
+		Scheme:               scheme,
+		HeapSize:             8 << 20,
+		Seed:                 seed,
+		TagNeighborExclusion: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.VM().Close()
+	env, err := rt.AttachEnv("temporal-differential")
+	if err != nil {
+		return nil, err
+	}
+	defer rt.DetachEnv(env)
+
+	ip := interp.New(env)
+	for name, sum := range p.Natives {
+		ip.RegisterNative(name, interp.NativeMethod{Kind: sum.Kind, Body: sum.Materialize()})
+	}
+	out := &Outcome{}
+	out.Ret, out.Fault, out.Err = ip.Invoke(p.Method)
+	out.LiveObjects = rt.VM().LiveObjects()
+	return out, nil
+}
+
+// GuardedCopyDetected reports whether a guarded-copy run detected anything:
+// an MTE-style fault (never raised by guarded copy itself) or a release-time
+// red-zone violation, which the interpreter surfaces as a managed throw
+// carrying the checker's corruption message.
+func GuardedCopyDetected(out *Outcome) bool {
+	if out.Fault != nil {
+		return true
+	}
+	return out.Err != nil && strings.Contains(out.Err.Error(), "memory corruption at offset")
+}

@@ -1,0 +1,205 @@
+package fuzz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mte4jni"
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/interp"
+	"mte4jni/internal/mte"
+	"mte4jni/internal/redteam"
+)
+
+// schemeByName maps the CorpusProgram scheme vocabulary to runtime schemes.
+func schemeByName(t *testing.T, name string) mte4jni.Scheme {
+	t.Helper()
+	switch name {
+	case "mte-async":
+		return mte4jni.MTEAsync
+	case "guarded-copy":
+		return mte4jni.GuardedCopy
+	}
+	t.Fatalf("unknown corpus scheme %q", name)
+	return 0
+}
+
+// screenWire screens a program through the JSON wire form, the way the
+// serving layer does, so the temporal metadata round-trip is part of what is
+// tested.
+func screenWire(t *testing.T, p *analysis.Program) *analysis.ScreenVerdict {
+	t.Helper()
+	raw, err := analysis.MarshalProgram(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	wire, err := analysis.ParseProgram(raw)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	return analysis.Screen(wire)
+}
+
+// TestTemporalCorpusStatic: every red-team corpus attack program must be
+// statically flagged with the matching exposure class, each finding carrying
+// the alloc → acquire → interfering-write → late-check provenance chain and
+// the abstract event window that justifies it.
+func TestTemporalCorpusStatic(t *testing.T) {
+	attacks := redteam.Corpus()
+	progs := redteam.CorpusPrograms()
+	if len(progs) != len(attacks) {
+		t.Fatalf("CorpusPrograms()=%d entries, Corpus()=%d", len(progs), len(attacks))
+	}
+	for i, cp := range progs {
+		if cp.Name != attacks[i].Name() || cp.Class != attacks[i].Class() {
+			t.Fatalf("entry %d: static corpus %q/%q misaligned with attack %q/%q",
+				i, cp.Name, cp.Class, attacks[i].Name(), attacks[i].Class())
+		}
+		v := screenWire(t, cp.Program)
+		if len(v.Temporal) != 1 {
+			t.Fatalf("%s: want exactly 1 temporal finding, got %d (%+v)", cp.Name, len(v.Temporal), v.Temporal)
+		}
+		f := v.Temporal[0]
+		if f.Class != cp.WantClass {
+			t.Errorf("%s: class %q, want %q (%s)", cp.Name, f.Class, cp.WantClass, f.Reason)
+		}
+		if f.Reason == "" || f.Native == "" || f.PC < 0 {
+			t.Errorf("%s: incomplete finding: %+v", cp.Name, f)
+		}
+		if len(f.Events) == 0 {
+			t.Errorf("%s: finding carries no event window", cp.Name)
+		}
+		wantKinds := []analysis.ProvKind{analysis.ProvAlloc, analysis.ProvAcquire, analysis.ProvWrite, analysis.ProvCheck}
+		if len(f.Chain) != len(wantKinds) {
+			t.Fatalf("%s: chain %v, want kinds %v", cp.Name, f.Chain, wantKinds)
+		}
+		for j, k := range wantKinds {
+			if f.Chain[j].Kind != k {
+				t.Errorf("%s: chain step %d is %q, want %q", cp.Name, j, f.Chain[j].Kind, k)
+			}
+		}
+		rendered := f.Chain.String()
+		for _, want := range []string{"alloc@", "acquire@", "interfering-write@", "late-check@"} {
+			if !strings.Contains(rendered, want) {
+				t.Errorf("%s: chain %q missing %q", cp.Name, rendered, want)
+			}
+		}
+	}
+}
+
+// TestTemporalDynamicMissesAreStaticCatches runs one trial of every corpus
+// attack under the scheme its static restatement declares risky, and
+// requires (a) dynamic evidence the exposure is real — an undetected
+// success, a documented known miss, landed damage, or a report deferred past
+// the first probe — and (b) the static flag that catches it at admission.
+func TestTemporalDynamicMissesAreStaticCatches(t *testing.T) {
+	attacks := redteam.Corpus()
+	progs := redteam.CorpusPrograms()
+	for i, cp := range progs {
+		h, err := redteam.NewHarness(schemeByName(t, cp.Scheme), 1000+int64(i), 0, 0)
+		if err != nil {
+			t.Fatalf("%s: harness: %v", cp.Name, err)
+		}
+		tr, err := attacks[i].Run(h)
+		h.Close()
+		if err != nil {
+			t.Fatalf("%s: trial: %v", cp.Name, err)
+		}
+		exposed := tr.Success || tr.KnownMiss || tr.Landed > 0 || tr.FirstDetect > 1
+		if !exposed {
+			t.Errorf("%s under %s: no dynamic exposure (trial %+v) — corpus entry is stale", cp.Name, cp.Scheme, tr)
+		}
+		if cp.WantClass == analysis.WindowClean {
+			t.Errorf("%s: dynamically exposed under %s but statically expected clean", cp.Name, cp.Scheme)
+		}
+	}
+}
+
+// TestTemporalGeneratedNoFalseFlags is the zero-false-flag gate over the
+// generated corpus. Structurally clean programs must never be flagged; every
+// structurally-blind guarded-copy flag (an out-of-bounds read) is falsified
+// dynamically — the program must actually slip past guarded copy when run
+// under it — and every window-risk flag on a provably-faulting program must
+// see its deferred report under async TCF.
+func TestTemporalGeneratedNoFalseFlags(t *testing.T) {
+	const programs = 250
+	var flagged, blind, risky, clean int
+	for seed := int64(0); seed < programs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := GenProgram(rng)
+		sum := p.Natives["native0"]
+		v := screenWire(t, p)
+
+		if len(v.Temporal) == 0 {
+			clean++
+			continue
+		}
+		flagged++
+		// Structurally clean natives must never be flagged: no temporal
+		// metadata, no forged/stale pointers, and either no heap access, an
+		// unchecked @CriticalNative body, a single-offset write (nothing can
+		// interfere with itself), or accesses inside the payload.
+		if sum.DamageOps == 0 && !sum.ConcurrentScan && !sum.ManagedRace &&
+			!sum.ForgeTag && !sum.UseAfterRelease {
+			single := sum.MinOff == sum.MaxOff && sum.Write
+			inPayload := sum.MinOff >= 0 && sum.MaxOff < payloadEnd(p)
+			if !sum.Touches() || single || inPayload {
+				t.Fatalf("seed %d: false flag on structurally clean native %+v: %+v",
+					seed, sum, v.Temporal)
+			}
+		}
+		for _, f := range v.Temporal {
+			switch f.Class {
+			case analysis.WindowGuardedCopyBlindSpot:
+				blind++
+				if !sum.Write && !sum.ManagedRace {
+					// The flag claims guarded copy is structurally blind to
+					// this read. Falsify: run it under guarded copy — any
+					// detection makes the flag false.
+					out, err := ExecuteScheme(p, mte4jni.GuardedCopy, seed)
+					if err != nil {
+						t.Fatalf("seed %d: guarded-copy run: %v", seed, err)
+					}
+					if GuardedCopyDetected(out) {
+						t.Fatalf("seed %d: flagged blind spot, but guarded copy detected it: %v\n%s",
+							seed, out.Err, interp.Disassemble(p.Method))
+					}
+				}
+			case analysis.WindowRisk:
+				risky++
+				if v.Rejected() {
+					// The flag claims damage lands before the deferred
+					// report. On a provably-faulting program the native is
+					// always reached, so async TCF must surface the latched
+					// fault at the trampoline exit.
+					out, err := ExecuteScheme(p, mte4jni.MTEAsync, seed)
+					if err != nil {
+						t.Fatalf("seed %d: async run: %v", seed, err)
+					}
+					if !out.Faulted() {
+						t.Fatalf("seed %d: window-risk flag on provably-faulting program, but async run saw no fault\n%s",
+							seed, interp.Disassemble(p.Method))
+					}
+				}
+			}
+		}
+	}
+	t.Logf("generated corpus: clean=%d flagged=%d (blindspot=%d windowrisk=%d)",
+		clean, flagged, blind, risky)
+	if flagged == 0 || clean == 0 {
+		t.Errorf("corpus degenerated: clean=%d flagged=%d", clean, flagged)
+	}
+}
+
+// payloadEnd returns the tag-rounded payload end of the spine array the
+// generated program allocates (the OpConst feeding its OpNewArray).
+func payloadEnd(p *analysis.Program) int64 {
+	code := p.Method.Code
+	for i := 1; i < len(code); i++ {
+		if code[i].Op == interp.OpNewArray && code[i-1].Op == interp.OpConst {
+			return int64(mte.Addr(uint64(code[i-1].A) * 4).AlignUp(mte.GranuleSize))
+		}
+	}
+	return 0
+}

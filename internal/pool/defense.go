@@ -45,6 +45,13 @@ type DefenseConfig struct {
 	// Delay is the admission penalty in the delay tier (default 1ms when
 	// the tier is enabled).
 	Delay time.Duration
+	// DecayInterval, when positive, lets an escalated tenant earn its way
+	// back down the ladder: after each full interval with the policy
+	// consulted, the tenant's tier steps down one level (quarantine → delay
+	// → admit) and its banked fault count drops to the floor of the new
+	// tier, so re-escalation requires fresh faults. Zero (the default)
+	// keeps escalation permanent for the pool's lifetime.
+	DecayInterval time.Duration
 }
 
 // Enabled reports whether any escalation tier is configured.
@@ -70,6 +77,33 @@ const (
 type tenantState struct {
 	faults int
 	tier   int
+	// tierSince anchors the decay clock: the instant the tenant last
+	// changed tier (in either direction). Zero until first escalation.
+	tierSince time.Time
+}
+
+// decayTenant applies time-based tier decay lazily, with the pool mutex
+// held: the policy is consulted only at observation and admission time, so
+// decay is computed then rather than by a background timer. Each elapsed
+// DecayInterval steps the tier down one level and drops the fault count to
+// the new tier's floor (delay keeps DelayThreshold banked faults, admit
+// resets to zero) — a reformed tenant re-escalates only on fresh faults.
+func (p *Pool) decayTenant(ts *tenantState, now time.Time) {
+	d := p.cfg.Defense.DecayInterval
+	if d <= 0 || ts == nil || ts.tier == tierAdmit || ts.tierSince.IsZero() {
+		return
+	}
+	for ts.tier > tierAdmit && now.Sub(ts.tierSince) >= d {
+		ts.tierSince = ts.tierSince.Add(d)
+		ts.tier--
+		switch ts.tier {
+		case tierDelay:
+			ts.faults = p.cfg.Defense.DelayThreshold
+		case tierAdmit:
+			ts.faults = 0
+		}
+		p.stats.DecaysTotal++
+	}
 }
 
 // ObserveFault attributes one detected fault to tenant and applies the
@@ -90,6 +124,7 @@ func (p *Pool) ObserveFault(tenant string) bool {
 		ts = &tenantState{}
 		p.tenants[tenant] = ts
 	}
+	p.decayTenant(ts, time.Now())
 	ts.faults++
 	tier := ts.tier
 	if t := p.cfg.Defense.QuarantineThreshold; t > 0 && ts.faults >= t {
@@ -101,6 +136,7 @@ func (p *Pool) ObserveFault(tenant string) bool {
 		return false
 	}
 	ts.tier = tier
+	ts.tierSince = time.Now()
 	// Suspicion invalidates learned tags: the next lease of every warm
 	// session re-seeds its tag RNG and resets its heap tags.
 	p.reseedEpoch++
@@ -132,6 +168,7 @@ func (p *Pool) admitTenant(ctx context.Context, tenant string) error {
 	p.mu.Lock()
 	tier := tierAdmit
 	if ts := p.tenants[tenant]; ts != nil {
+		p.decayTenant(ts, time.Now())
 		tier = ts.tier
 	}
 	if tier == tierQuarantine {

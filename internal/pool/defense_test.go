@@ -253,3 +253,82 @@ func TestDefenseDelayRespectsContext(t *testing.T) {
 		t.Fatalf("delayed admission with canceled context: %v, want context.Canceled", err)
 	}
 }
+
+// Time-based tier decay: a quarantined tenant steps back down the ladder
+// after each DecayInterval — quarantine to delay to admit — with the banked
+// fault count dropped to the new tier's floor so re-escalation needs fresh
+// faults.
+func TestDefenseTierDecay(t *testing.T) {
+	const interval = 20 * time.Millisecond
+	p := New(Config{
+		MaxSessions: 1,
+		HeapSize:    1 << 20,
+		Defense: DefenseConfig{
+			DelayThreshold:      2,
+			QuarantineThreshold: 4,
+			Delay:               100 * time.Microsecond,
+			DecayInterval:       interval,
+		},
+	})
+	defer p.Close()
+	ctx := context.Background()
+
+	// Walk the tenant into quarantine.
+	for i := 0; i < 4; i++ {
+		p.ObserveFault("evil")
+	}
+	if _, err := p.AcquireFor(ctx, mte4jni.MTESync, "evil"); !errors.Is(err, ErrTenantQuarantined) {
+		t.Fatalf("freshly quarantined tenant admission: %v, want ErrTenantQuarantined", err)
+	}
+	if st := p.Stats(); st.DecaysTotal != 0 {
+		t.Fatalf("defense_decays_total = %d before any interval elapsed, want 0", st.DecaysTotal)
+	}
+
+	// One interval later the tenant is back in the delay tier: admitted, but
+	// paying the penalty, with faults reset to the delay floor.
+	time.Sleep(interval + interval/2)
+	throttledBefore := p.Stats().ThrottledTotal
+	s, err := p.AcquireFor(ctx, mte4jni.MTESync, "evil")
+	if err != nil {
+		t.Fatalf("decayed tenant admission: %v, want delay-tier admit", err)
+	}
+	p.Release(s)
+	st := p.Stats()
+	if st.DecaysTotal != 1 {
+		t.Fatalf("defense_decays_total = %d after one interval, want 1", st.DecaysTotal)
+	}
+	if st.ThrottledTotal != throttledBefore+1 {
+		t.Fatalf("throttled_total = %d, want %d (delay-tier admission)", st.ThrottledTotal, throttledBefore+1)
+	}
+	if f := p.TenantFaults("evil"); f != 2 {
+		t.Fatalf("tenant faults after decay = %d, want delay floor 2", f)
+	}
+
+	// Another interval: fully reformed — admitted without throttling, fault
+	// count zero.
+	time.Sleep(interval)
+	s, err = p.AcquireFor(ctx, mte4jni.MTESync, "evil")
+	if err != nil {
+		t.Fatalf("reformed tenant admission: %v", err)
+	}
+	p.Release(s)
+	st = p.Stats()
+	if st.DecaysTotal != 2 {
+		t.Fatalf("defense_decays_total = %d after two intervals, want 2", st.DecaysTotal)
+	}
+	if st.ThrottledTotal != throttledBefore+1 {
+		t.Fatalf("throttled_total = %d, want unchanged %d (admit tier pays no delay)", st.ThrottledTotal, throttledBefore+1)
+	}
+	if f := p.TenantFaults("evil"); f != 0 {
+		t.Fatalf("tenant faults after full decay = %d, want 0", f)
+	}
+
+	// Fresh faults re-escalate from the floor: two more trip quarantine
+	// again only after crossing the full distance from zero.
+	for i := 0; i < 4; i++ {
+		p.ObserveFault("evil")
+	}
+	if _, err := p.AcquireFor(ctx, mte4jni.MTESync, "evil"); !errors.Is(err, ErrTenantQuarantined) {
+		t.Fatalf("re-escalated tenant admission: %v, want ErrTenantQuarantined", err)
+	}
+}

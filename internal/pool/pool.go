@@ -104,11 +104,13 @@ type Stats struct {
 	// reseed-epoch bumps (tier crossings), SessionsReseeded counts warm
 	// sessions that actually re-seeded at lease time, ThrottledTotal counts
 	// delay-tier admissions, TenantsQuarantined counts tenants escalated to
-	// outright refusal. All zero unless Config.Defense is enabled.
+	// outright refusal, DecaysTotal counts time-based tier step-downs
+	// (DecayInterval). All zero unless Config.Defense is enabled.
 	ReseedsTotal       uint64 `json:"reseeds_total"`
 	SessionsReseeded   uint64 `json:"sessions_reseeded_total"`
 	ThrottledTotal     uint64 `json:"throttled_total"`
 	TenantsQuarantined uint64 `json:"tenants_quarantined_total"`
+	DecaysTotal        uint64 `json:"defense_decays_total"`
 }
 
 // QuarantineRecord remembers why a session left the pool.

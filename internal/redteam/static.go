@@ -1,0 +1,104 @@
+package redteam
+
+import (
+	"fmt"
+
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/interp"
+	"mte4jni/internal/mte"
+)
+
+// The corpus as inline programs: every attack in Corpus() restated as the
+// program an attacker would submit to the serving tier — the same
+// allocate/hand-out/native spine the canned serving programs use, with a
+// behavioural summary carrying the attack's temporal shape (post-violation
+// damage ops, concurrent scan, managed-race hold). The temporal screening
+// differential in internal/fuzz requires analysis.Screen to flag each one
+// with the matching exposure class: every dynamic known-miss of the runtime
+// checkers must be a static catch at admission.
+
+// CorpusProgram is one attack restated as an inline program with its
+// expected static classification.
+type CorpusProgram struct {
+	// Name matches the Attack.Name() of the Corpus() entry at the same
+	// index.
+	Name string
+	// Class matches Attack.Class().
+	Class string
+	// WantClass is the exposure class analysis.Screen must assign.
+	WantClass analysis.WindowClass
+	// Scheme is the request scheme under which the exposure is live — the
+	// scheme the load generator submits the program against.
+	Scheme string
+	// Program is the inline program.
+	Program *analysis.Program
+}
+
+// attackProgram builds the 5-instruction attack spine: allocate a
+// targetLen-int array, hand it to the attack native, return.
+func attackProgram(name string, sum analysis.NativeSummary) *analysis.Program {
+	return &analysis.Program{
+		Method: &interp.Method{
+			Name: name,
+			Code: []interp.Inst{
+				{Op: interp.OpConst, A: targetLen},
+				{Op: interp.OpNewArray, A: 0},
+				{Op: interp.OpCallNative, A: 0, B: 0},
+				{Op: interp.OpConst, A: 0},
+				{Op: interp.OpReturn},
+			},
+			MaxLocals:   1,
+			MaxRefs:     1,
+			NativeNames: []string{name},
+		},
+		Natives: map[string]analysis.NativeSummary{name: sum},
+	}
+}
+
+// CorpusPrograms returns the static restatement of Corpus(), index-aligned:
+// CorpusPrograms()[i] is the inline-program form of Corpus()[i].
+func CorpusPrograms() []CorpusProgram {
+	defaultProbes := mte.NumTags // the default per-trial probe budget
+	progs := []CorpusProgram{}
+	add := func(name, class string, want analysis.WindowClass, scheme string, sum analysis.NativeSummary) {
+		progs = append(progs, CorpusProgram{
+			Name: name, Class: class, WantClass: want, Scheme: scheme,
+			Program: attackProgram(fmt.Sprintf("attack_%02d", len(progs)), sum),
+		})
+	}
+	// The four brute-force variants: maxProbes forged stores at element 0 —
+	// one latched violation plus maxProbes-1 interfering writes inside the
+	// deferred window.
+	brute := analysis.NativeSummary{
+		MinOff: 0, MaxOff: 0, Write: true, ForgeTag: true, DamageOps: defaultProbes - 1,
+	}
+	add("bruteforce/seq", "bruteforce", analysis.WindowRisk, "mte-async", brute)
+	add("bruteforce/rand", "bruteforce", analysis.WindowRisk, "mte-async", brute)
+	add("bruteforce/seq+retry", "bruteforce", analysis.WindowRisk, "mte-async", brute)
+	add("bruteforce/rand+retry", "bruteforce", analysis.WindowRisk, "mte-async", brute)
+	// Async damage window: forged stores at elements 0..4, every one after
+	// the first landing between the latched fault and its report.
+	add("async-window/damage", "async-window", analysis.WindowRisk, "mte-async",
+		analysis.NativeSummary{MinOff: 0, MaxOff: 16, Write: true, ForgeTag: true, DamageOps: 4})
+	// GC-scan race: forged probing concurrent with the collector's scan of
+	// the same heap.
+	add("gc-race/scan-window", "gc-race", analysis.WindowScanRace, "mte-async",
+		analysis.NativeSummary{MinOff: 0, MaxOff: 0, Write: true, ForgeTag: true,
+			DamageOps: defaultProbes - 1, ConcurrentScan: true})
+	// §2.3 blind spot 1: the out-of-bounds read inside the trailing red
+	// zone — corrupts no canary, structurally invisible at release.
+	add("guardedcopy/oob-read", "guardedcopy", analysis.WindowGuardedCopyBlindSpot, "guarded-copy",
+		analysis.NativeSummary{MinOff: oobReadOff, MaxOff: oobReadOff})
+	// §2.3 blind spot 2: the write that jumps clean over both red zones.
+	add("guardedcopy/far-jump", "guardedcopy", analysis.WindowGuardedCopyBlindSpot, "guarded-copy",
+		analysis.NativeSummary{MinOff: farJumpOff, MaxOff: farJumpOff, Write: true})
+	// §2.3 blind spot 3: the lost update — a managed write committed during
+	// the hold, erased by the release copy-back.
+	add("guardedcopy/lost-update", "guardedcopy", analysis.WindowGuardedCopyBlindSpot, "guarded-copy",
+		analysis.NativeSummary{MinOff: 4, MaxOff: 4, Write: true, ManagedRace: true})
+	// §2.3 blind spot 4: deferred detection — one canary write, then
+	// in-bounds damage ops banked before the release-time verdict.
+	add("guardedcopy/deferred", "guardedcopy", analysis.WindowGuardedCopyBlindSpot, "guarded-copy",
+		analysis.NativeSummary{MinOff: 0, MaxOff: canaryOff, Write: true, DamageOps: 4})
+	return progs
+}

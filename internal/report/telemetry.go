@@ -174,6 +174,15 @@ type TelemetrySnapshot struct {
 	// back to checked access (digest mismatch, remap, release retirement).
 	ElidedSitesTotal        uint64 `json:"elided_sites_total"`
 	ElisionInvalidatedTotal uint64 `json:"elision_invalidated_total"`
+	// Temporal-screening counters: screened programs the temporal effect
+	// domain flagged with at least one exposed window, the per-class
+	// breakdown (set semantics: one per class present in the verdict), and
+	// how many admissions the -temporal-policy rejected outright.
+	TemporalFlaggedTotal  uint64 `json:"temporal_flagged_total"`
+	TemporalWindowRisk    uint64 `json:"temporal_window_risk_total"`
+	TemporalBlindSpot     uint64 `json:"temporal_guardedcopy_blindspot_total"`
+	TemporalScanRace      uint64 `json:"temporal_scan_race_total"`
+	TemporalRejectedTotal uint64 `json:"temporal_rejected_total"`
 	// TagTableStats surfaces the hierarchical tag-storage counters when a
 	// provider is wired (SetTagStatsProvider); flat zeros otherwise.
 	TagTableStats
@@ -219,6 +228,11 @@ type Sink struct {
 	// Elision counters: proven guard-free sites bound into runs, and runs
 	// whose proofs were invalidated back to checked access.
 	elidedSites, elisionInvalidated uint64
+
+	// Temporal-screening counters: verdicts flagged by the temporal effect
+	// domain, per-class breakdown, and policy rejections.
+	temporalFlagged, temporalRejected uint64
+	temporalByClass                   map[string]uint64
 
 	// Adversarial counters: attack probes served, detections, per-scheme
 	// scorecards, and the probes/time-to-detect histograms.
@@ -379,6 +393,33 @@ func (s *Sink) ObserveScreen(rejected, cacheHit bool) {
 	}
 }
 
+// ObserveTemporal records one screened verdict the temporal effect domain
+// flagged: classes is the set of exposure classes present (duplicates are
+// collapsed by the caller passing distinct classes, or tolerated here by set
+// semantics), rejected whether the admission policy 422-rejected the
+// program. A verdict with no findings never reaches here.
+func (s *Sink) ObserveTemporal(classes []string, rejected bool) {
+	if len(classes) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.temporalFlagged++
+	if s.temporalByClass == nil {
+		s.temporalByClass = make(map[string]uint64)
+	}
+	seen := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		if !seen[c] {
+			seen[c] = true
+			s.temporalByClass[c]++
+		}
+	}
+	if rejected {
+		s.temporalRejected++
+	}
+}
+
 // ObserveElision records one proof-carrying run: how many proven guard-free
 // sites its elision mask bound, and whether the proofs were invalidated back
 // to checked access (bind-time digest mismatch, remap between prime and arm,
@@ -471,6 +512,11 @@ func (s *Sink) Snapshot() TelemetrySnapshot {
 		StepsExceededTotal:      s.aborts[exec.AbortSteps],
 		ElidedSitesTotal:        s.elidedSites,
 		ElisionInvalidatedTotal: s.elisionInvalidated,
+		TemporalFlaggedTotal:    s.temporalFlagged,
+		TemporalWindowRisk:      s.temporalByClass["window-risk"],
+		TemporalBlindSpot:       s.temporalByClass["guardedcopy-blindspot"],
+		TemporalScanRace:        s.temporalByClass["scan-race"],
+		TemporalRejectedTotal:   s.temporalRejected,
 		UniqueFaultSignatures:   len(s.sigs),
 		DroppedFaultRecords:     s.seq - uint64(len(s.ring)),
 		Latency:                 s.latency,

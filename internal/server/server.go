@@ -30,6 +30,7 @@ import (
 	"mte4jni"
 	"mte4jni/internal/analysis"
 	"mte4jni/internal/exec"
+	"mte4jni/internal/jni"
 	"mte4jni/internal/pool"
 	"mte4jni/internal/report"
 	"mte4jni/internal/workloads"
@@ -60,6 +61,12 @@ type Config struct {
 	// returns 200 with abort="steps_exceeded" and the session is recycled,
 	// not quarantined. Zero uses the interpreter's own default (1<<24).
 	StepBudget int64
+	// TemporalPolicy decides what to do with an inline program whose
+	// temporal exposure class is live under the requested scheme's check
+	// placement: reject (422, the default), force-sync (transparently
+	// downgrade the run to MTE sync — per-access checking closes the
+	// window), or log (count only). Empty means reject.
+	TemporalPolicy analysis.TemporalPolicy
 }
 
 // Server is the serving daemon. Create with New, mount via Handler, stop
@@ -84,6 +91,9 @@ func New(cfg Config) *Server {
 	if cfg.AcquireTimeout <= 0 {
 		cfg.AcquireTimeout = 5 * time.Second
 	}
+	if cfg.TemporalPolicy == "" {
+		cfg.TemporalPolicy = analysis.TemporalReject
+	}
 	s := &Server{
 		cfg:    cfg,
 		pool:   pool.New(cfg.Pool),
@@ -91,6 +101,9 @@ func New(cfg Config) *Server {
 		screen: analysis.NewScreenCache(cfg.ScreenCacheSize),
 		start:  time.Now(),
 	}
+	// The admission policy is part of the screen-cache key: a verdict
+	// computed under one policy is never served under another.
+	s.screen.SetTemporalPolicy(cfg.TemporalPolicy)
 	// /metrics pulls the hierarchical tag-storage gauges straight from the
 	// pool's session spaces at snapshot time.
 	s.sink.SetTagStatsProvider(func() report.TagTableStats {
@@ -181,6 +194,22 @@ func ParseScheme(text string) (mte4jni.Scheme, error) {
 		return 0, fmt.Errorf("server: unknown scheme %q (try none, guarded, sync, async)", text)
 	}
 	return sc, nil
+}
+
+// placementForScheme maps a requested protection scheme to where its checks
+// actually run — the placement the temporal exposure matrix is evaluated
+// against. Sync checks per access and NoProtection never checks; neither is
+// ever downgraded or rejected on temporal grounds.
+func placementForScheme(sc mte4jni.Scheme) jni.CheckPlacement {
+	switch sc {
+	case mte4jni.MTESync:
+		return jni.PlacePerAccess
+	case mte4jni.MTEAsync:
+		return jni.PlaceTrampolineExit
+	case mte4jni.GuardedCopy:
+		return jni.PlaceAtRelease
+	}
+	return jni.PlaceNever
 }
 
 // RunRequest is the POST /run body. Exactly one of Workload, Program or
@@ -313,12 +342,47 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.sink.ObserveScreen(verdict.Rejected(), cacheHit)
+		// Temporal enforcement: findings whose exposure class is live under
+		// the requested scheme's check placement. Counted for every flagged
+		// verdict (cache hits included); the policy acts only on admitted
+		// programs — a provably-faulting program is the screen 422's to
+		// reject, with the temporal findings riding along in the verdict.
+		var exposedFinding *analysis.TemporalFinding
+		if len(verdict.Temporal) > 0 {
+			place := placementForScheme(scheme)
+			classes := make([]string, 0, len(verdict.Temporal))
+			for i := range verdict.Temporal {
+				f := &verdict.Temporal[i]
+				classes = append(classes, string(f.Class))
+				if exposedFinding == nil && f.Class.ExposedUnder(place) {
+					exposedFinding = f
+				}
+			}
+			temporalReject := exposedFinding != nil && !verdict.Rejected() &&
+				s.cfg.TemporalPolicy == analysis.TemporalReject
+			s.sink.ObserveTemporal(classes, temporalReject)
+		}
 		if verdict.Rejected() {
 			writeJSON(w, http.StatusUnprocessableEntity, RejectResponse{
 				Error:   fmt.Sprintf("program rejected by static admission screen: %s", verdict.Reason),
 				Verdict: verdict,
 			})
 			return
+		}
+		if exposedFinding != nil {
+			switch s.cfg.TemporalPolicy {
+			case analysis.TemporalReject:
+				writeJSON(w, http.StatusUnprocessableEntity, RejectResponse{
+					Error: fmt.Sprintf("program rejected by temporal screening (%s under %s): %s",
+						exposedFinding.Class, scheme, exposedFinding.Reason),
+					Verdict: verdict,
+				})
+				return
+			case analysis.TemporalForceSync:
+				// Per-access checking closes the window; the response's
+				// scheme field reports the downgrade.
+				scheme = mte4jni.MTESync
+			}
 		}
 		prog, err = analysis.ParseProgram(req.Program)
 		if err != nil {

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mte4jni"
+	"mte4jni/internal/analysis"
+	"mte4jni/internal/redteam"
+)
+
+// postProgramScheme submits an inline program under the given scheme and
+// decodes the 422 rejection when one comes back.
+func postProgramScheme(t *testing.T, ts *httptest.Server, scheme string, raw []byte) (int, *RejectResponse) {
+	t.Helper()
+	body, _ := json.Marshal(RunRequest{Scheme: scheme, Program: raw})
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		return resp.StatusCode, nil
+	}
+	var rej RejectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, &rej
+}
+
+// blindSpotPrograms returns the four guarded-copy blind-spot entries of the
+// red-team corpus in wire form, keyed by name.
+func blindSpotPrograms(t *testing.T) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, cp := range redteam.CorpusPrograms() {
+		if cp.WantClass != analysis.WindowGuardedCopyBlindSpot {
+			continue
+		}
+		raw, err := analysis.MarshalProgram(cp.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[cp.Name] = raw
+	}
+	if len(out) != 4 {
+		t.Fatalf("want 4 blind-spot corpus programs, got %d", len(out))
+	}
+	return out
+}
+
+// TestTemporalGoldenRejectionChains: every guarded-copy blind-spot program
+// submitted under the guarded scheme comes back 422 — by the fault screen or
+// by the temporal policy — and the payload carries the human-readable
+// alloc → acquire → interfering-write → late-check chain that justifies it.
+func TestTemporalGoldenRejectionChains(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	// The attack spine is const@0, newarray@1, callnative@2: the chain
+	// renders identically for all four programs.
+	const goldenChain = "alloc@1 → acquire@2 → interfering-write@2 → late-check@2"
+	wantReason := map[string]string{
+		"guardedcopy/oob-read":    "out-of-bounds read at offset 72 corrupts no canary",
+		"guardedcopy/far-jump":    "far out-of-bounds write at offset 4192 lands beyond both red zones",
+		"guardedcopy/lost-update": "lost update: the release copy-back overwrites a managed write",
+		"guardedcopy/deferred":    "deferred detection: 4 damage writes are banked",
+	}
+	for name, raw := range blindSpotPrograms(t) {
+		code, rej := postProgramScheme(t, ts, "guarded", raw)
+		if code != http.StatusUnprocessableEntity || rej == nil {
+			t.Errorf("%s: status %d, want 422", name, code)
+			continue
+		}
+		if rej.Error == "" || rej.Verdict == nil || len(rej.Verdict.Temporal) != 1 {
+			t.Errorf("%s: incomplete rejection: %+v", name, rej)
+			continue
+		}
+		f := rej.Verdict.Temporal[0]
+		if f.Class != analysis.WindowGuardedCopyBlindSpot {
+			t.Errorf("%s: class %q, want guardedcopy-blindspot", name, f.Class)
+		}
+		if !strings.Contains(f.Reason, wantReason[name]) {
+			t.Errorf("%s: reason %q missing %q", name, f.Reason, wantReason[name])
+		}
+		if got := f.Chain.String(); got != goldenChain {
+			t.Errorf("%s: chain %q, want %q", name, got, goldenChain)
+		}
+		for _, step := range f.Chain {
+			if step.Detail == "" {
+				t.Errorf("%s: chain step %s@%d has no human-readable detail", name, step.Kind, step.PC)
+			}
+		}
+		if len(f.Events) == 0 {
+			t.Errorf("%s: no event window in the 422 payload", name)
+		}
+	}
+
+	var m MetricsResponse
+	getJSON(t, ts, "/metrics", &m)
+	if m.TemporalFlaggedTotal != 4 || m.TemporalBlindSpot != 4 {
+		t.Fatalf("temporal counters flagged=%d blindspot=%d, want 4/4",
+			m.TemporalFlaggedTotal, m.TemporalBlindSpot)
+	}
+	// oob-read and deferred are provable faults (screen 422s); far-jump and
+	// lost-update are admitted by the fault screen and rejected by the
+	// temporal policy.
+	if m.TemporalRejectedTotal != 2 {
+		t.Fatalf("temporal_rejected_total = %d, want 2", m.TemporalRejectedTotal)
+	}
+	if m.ScreenRejectedTotal != 2 {
+		t.Fatalf("screen_rejected_total = %d, want 2", m.ScreenRejectedTotal)
+	}
+	if m.RequestsTotal != 0 || m.Pool.Created != 0 {
+		t.Fatalf("rejected programs consumed sessions: requests=%d created=%d",
+			m.RequestsTotal, m.Pool.Created)
+	}
+}
+
+// lostUpdateRaw returns the one blind-spot program the fault screen admits
+// cleanly (safe verdict): the managed-race lost update.
+func lostUpdateRaw(t *testing.T) []byte {
+	t.Helper()
+	return blindSpotPrograms(t)["guardedcopy/lost-update"]
+}
+
+func TestTemporalPolicyForceSyncDowngrades(t *testing.T) {
+	_, ts := testServer(t, Config{TemporalPolicy: analysis.TemporalForceSync})
+	code, out := postRun(t, ts, RunRequest{Scheme: "guarded", Program: lostUpdateRaw(t)})
+	if code != http.StatusOK || !out.OK {
+		t.Fatalf("force-sync admission: code=%d %+v", code, out)
+	}
+	if out.Scheme != mte4jni.MTESync.String() {
+		t.Fatalf("scheme = %q, want downgrade to %q", out.Scheme, mte4jni.MTESync.String())
+	}
+	var m MetricsResponse
+	getJSON(t, ts, "/metrics", &m)
+	if m.TemporalFlaggedTotal != 1 || m.TemporalRejectedTotal != 0 {
+		t.Fatalf("temporal counters flagged=%d rejected=%d, want 1/0",
+			m.TemporalFlaggedTotal, m.TemporalRejectedTotal)
+	}
+}
+
+func TestTemporalPolicyLogAdmitsUnchanged(t *testing.T) {
+	_, ts := testServer(t, Config{TemporalPolicy: analysis.TemporalLog})
+	code, out := postRun(t, ts, RunRequest{Scheme: "guarded", Program: lostUpdateRaw(t)})
+	if code != http.StatusOK || !out.OK {
+		t.Fatalf("log admission: code=%d %+v", code, out)
+	}
+	if out.Scheme != mte4jni.GuardedCopy.String() {
+		t.Fatalf("scheme = %q, want unchanged %q", out.Scheme, mte4jni.GuardedCopy.String())
+	}
+	var m MetricsResponse
+	getJSON(t, ts, "/metrics", &m)
+	if m.TemporalFlaggedTotal != 1 || m.TemporalRejectedTotal != 0 {
+		t.Fatalf("temporal counters flagged=%d rejected=%d, want 1/0",
+			m.TemporalFlaggedTotal, m.TemporalRejectedTotal)
+	}
+}
+
+// TestTemporalExposureIsSchemeRelative: the same blind-spot program is only
+// rejected when the requested scheme actually has the blind spot — under
+// sync's per-access checking it runs.
+func TestTemporalExposureIsSchemeRelative(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	raw := lostUpdateRaw(t)
+
+	code, out := postRun(t, ts, RunRequest{Scheme: "sync", Program: raw})
+	if code != http.StatusOK || !out.OK {
+		t.Fatalf("sync admission: code=%d %+v", code, out)
+	}
+	if code, _ := postProgramScheme(t, ts, "guarded", raw); code != http.StatusUnprocessableEntity {
+		t.Fatalf("guarded admission: code=%d, want 422", code)
+	}
+	var m MetricsResponse
+	getJSON(t, ts, "/metrics", &m)
+	// Both submissions were flagged (the finding is scheme-independent);
+	// only the guarded one was rejected.
+	if m.TemporalFlaggedTotal != 2 || m.TemporalRejectedTotal != 1 {
+		t.Fatalf("temporal counters flagged=%d rejected=%d, want 2/1",
+			m.TemporalFlaggedTotal, m.TemporalRejectedTotal)
+	}
+}

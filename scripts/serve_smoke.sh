@@ -73,8 +73,14 @@ URL="http://$(cat "$ADDR_FILE")"
 if command -v curl >/dev/null 2>&1; then
 	METRICS="$TMP/metrics.json"
 	curl -fsS "$URL/metrics" >"$METRICS"
+	# Of the 15 screenings, the 5 reject_forge submissions each carry a
+	# window-risk temporal finding (the forged store's damage window); under
+	# the default reject policy none is a *temporal* rejection because the
+	# fault screen already turned them away.
 	for want in '"requests_total":287' '"faults_total":20' '"quarantined":20' \
 		'"screened_total":15' '"screen_rejected_total":15' \
+		'"temporal_flagged_total":5' '"temporal_window_risk_total":5' \
+		'"temporal_rejected_total":0' \
 		'"elided_sites_total":267' '"elision_invalidated_total":0'; do
 		if ! grep -q "$want" "$METRICS"; then
 			echo "serve-smoke: /metrics missing $want:" >&2
@@ -182,4 +188,63 @@ if ! wait "$SERVE_PID"; then
 fi
 SERVE_PID=""
 
-echo "serve-smoke: ok (287 + 37 requests, 24 injected faults detected, 18 bad programs screened out, 8 cancels + 4 deadlines reconciled, 267 + 21 guard-free sites with zero proof invalidations, tag residency >=10x under flat, clean shutdown)"
+# --- Temporal screening: admission-policy run -------------------------------
+# A third instance under the default -temporal-policy reject, driven purely
+# with the red-team temporal corpus (-temporal-rate 1): 12 submissions cycle
+# 3x through async-window/damage and gc-race/scan-window (under async) and
+# guardedcopy/oob-read and guardedcopy/lost-update (under guarded). All 12
+# are flagged with their window class; 9 are provable faults the screen
+# rejects, and the 3 lost-update submissions — clean to the fault screen —
+# are rejected by the temporal policy with the full provenance chain. The
+# load generator reconciles every temporal counter delta exactly; the greps
+# below pin the cumulative values.
+ADDR_FILE3="$TMP/addr3"
+LOG3="$TMP/serve3.log"
+"$BIN" serve -addr 127.0.0.1:0 -addr-file "$ADDR_FILE3" -sessions 4 -heap-mb 16 \
+	-temporal-policy reject >"$LOG3" 2>&1 &
+SERVE_PID=$!
+
+i=0
+while [ ! -s "$ADDR_FILE3" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "serve-smoke: temporal server never published its address" >&2
+		cat "$LOG3" >&2
+		exit 1
+	fi
+	if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+		echo "serve-smoke: temporal server exited during startup" >&2
+		cat "$LOG3" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+URL3="http://$(cat "$ADDR_FILE3")"
+
+"$BIN" load -url "$URL3" -n 12 -c 4 -temporal-rate 1
+
+if command -v curl >/dev/null 2>&1; then
+	METRICS3="$TMP/metrics3.json"
+	curl -fsS "$URL3/metrics" >"$METRICS3"
+	for want in '"temporal_flagged_total":12' '"temporal_window_risk_total":3' \
+		'"temporal_scan_race_total":3' '"temporal_guardedcopy_blindspot_total":6' \
+		'"temporal_rejected_total":3' \
+		'"screened_total":12' '"screen_rejected_total":9' \
+		'"requests_total":0' '"faults_total":0'; do
+		if ! grep -q "$want" "$METRICS3"; then
+			echo "serve-smoke: temporal /metrics missing $want:" >&2
+			cat "$METRICS3" >&2
+			exit 1
+		fi
+	done
+fi
+
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+	echo "serve-smoke: temporal server did not shut down cleanly" >&2
+	cat "$LOG3" >&2
+	exit 1
+fi
+SERVE_PID=""
+
+echo "serve-smoke: ok (287 + 37 requests, 24 injected faults detected, 18 bad programs screened out, 8 cancels + 4 deadlines reconciled, 267 + 21 guard-free sites with zero proof invalidations, tag residency >=10x under flat, 12 temporal corpus programs flagged with 3 policy rejections, clean shutdown)"

@@ -32,6 +32,7 @@ func runPasses(fset *token.FileSet, importPath string, files []*ast.File) []diag
 	diags = append(diags, checkUnguardedGate(importPath, files)...)
 	diags = append(diags, checkTagTableEncapsulation(fset, importPath, files)...)
 	diags = append(diags, checkRedteamEncapsulation(importPath, files)...)
+	diags = append(diags, checkTemporalEncapsulation(importPath, files)...)
 	return diags
 }
 
@@ -636,6 +637,58 @@ func checkRedteamEncapsulation(importPath string, files []*ast.File) []diagnosti
 				}
 			case *ast.Ident:
 				if isAttackCtor(fun.Name) {
+					flag(call.Pos(), fun.Name)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// ---------------------------------------------------------------------------
+// Pass 10: temporal-encapsulation.
+//
+// A TemporalFinding is an admission verdict — "this call site's critical
+// window is exposed under that checker's placement" — and a WindowEvent is a
+// step in the happens-before trace that justifies it. Both are only
+// meaningful when derived by the temporal effect domain in internal/analysis
+// from a native summary; one minted anywhere else (a handler fabricating a
+// finding to force a 422, a test conjuring events that never happened) is an
+// unproven claim dressed up as analysis output. Same discipline as the
+// elision-mask pass: only the analyzer may construct them, everything else
+// receives them through a ScreenVerdict.
+
+// temporalCtors are the constructors reserved for the temporal effect domain.
+var temporalCtors = map[string]bool{
+	"NewTemporalFinding": true,
+	"NewWindowEvent":     true,
+}
+
+func checkTemporalEncapsulation(importPath string, files []*ast.File) []diagnostic {
+	if importPath == modulePath+"/internal/analysis" {
+		return nil
+	}
+	var diags []diagnostic
+	flag := func(pos token.Pos, name string) {
+		diags = append(diags, diagnostic{
+			pos: pos,
+			msg: fmt.Sprintf("call to %s outside internal/analysis: temporal findings and window events are verdicts only the temporal effect domain may derive; consume them through the ScreenVerdict instead of constructing them", name),
+		})
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				if temporalCtors[fun.Sel.Name] {
+					flag(call.Pos(), fun.Sel.Name)
+				}
+			case *ast.Ident:
+				if temporalCtors[fun.Name] {
 					flag(call.Pos(), fun.Name)
 				}
 			}

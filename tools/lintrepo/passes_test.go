@@ -205,6 +205,20 @@ func TestRedteamEncapsulationAllowsRedteam(t *testing.T) {
 	wantDiags(t, lintFixture(t, "mte4jni/internal/redteam", "redteam_bad.go"))
 }
 
+func TestTemporalEncapsulationPass(t *testing.T) {
+	got := lintFixture(t, "mte4jni/internal/server", "temporal_bad.go")
+	wantDiags(t, got,
+		"call to NewTemporalFinding outside internal/analysis",
+		"call to NewWindowEvent outside internal/analysis",
+		"call to NewWindowEvent outside internal/analysis",
+	)
+}
+
+// The temporal effect domain itself may mint findings and events freely.
+func TestTemporalEncapsulationAllowsAnalysis(t *testing.T) {
+	wantDiags(t, lintFixture(t, "mte4jni/internal/analysis", "temporal_bad.go"))
+}
+
 // TestLintConfigDriver exercises the vet-tool protocol driver end to end on
 // a written vet.cfg: diagnostics rendered as file:line:col, the facts file
 // recorded, and exit-worthy count returned.

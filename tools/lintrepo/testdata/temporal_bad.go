@@ -1,0 +1,27 @@
+// Fixture for the temporal-encapsulation pass: fabricating temporal
+// verdicts and window events outside the effect domain. Parsed, never
+// compiled.
+package fixture
+
+import "mte4jni/internal/analysis"
+
+func forgeVerdict() analysis.TemporalFinding {
+	f := analysis.NewTemporalFinding("window-risk", 2, "damage", "fabricated") // flagged: unproven admission claim
+	f.Events = append(f.Events,
+		analysis.NewWindowEvent("write", 1, "never happened"), // flagged: fabricated happens-before event
+		NewWindowEvent("check", 2, "shadowed"),                // flagged: bare-identifier call
+	)
+	return f
+}
+
+// NewWindowEvent shadows the analyzer's constructor locally; the pass is
+// syntactic and flags the call above regardless — the name is the contract.
+func NewWindowEvent(kind string, seq int, detail string) analysis.WindowEvent {
+	return analysis.WindowEvent{}
+}
+
+// Consuming findings off a screening verdict is the sanctioned shape;
+// nothing here constructs one, so nothing is flagged.
+func readSanctioned(v *analysis.ScreenVerdict) int {
+	return len(v.Temporal)
+}
