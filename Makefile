@@ -53,7 +53,11 @@ bench-smoke:
 # End-to-end gate for the serving layer: `mte4jni serve` with the full
 # 64-session pool on an ephemeral port, driven by `mte4jni load` (mixed
 # faulting traffic, then a 64-worker full-capacity burst), /metrics
-# reconciliation, clean SIGTERM shutdown. See scripts/serve_smoke.sh.
+# reconciliation, clean SIGTERM shutdown. Also runs the sharded-admission
+# section (8 shards, exact per-shard lease reconciliation + balance check),
+# the cluster section (2 daemons behind the built-in L7 balancer, open-loop
+# Poisson load gated on p99 SLO, drain-aware SIGTERM), and the shard-scaling
+# bench gate. See scripts/serve_smoke.sh.
 serve-smoke:
 	GO="$(GO)" sh ./scripts/serve_smoke.sh
 

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"mte4jni"
 	"mte4jni/internal/bench"
+	"mte4jni/internal/pool"
 )
 
 // runBench is the benchmark-snapshot subcommand. Three modes:
@@ -113,6 +115,15 @@ func runBench(args []string) error {
 		snap, err = mte4jni.RunBenchSuite(mte4jni.BenchSuiteOptions{Quick: *quick, Note: *note})
 		if err != nil {
 			return err
+		}
+		// The pool throughput rows live in internal/pool (which the root
+		// package's suite cannot import back); append them here.
+		rows, err := pool.ThroughputBench(context.Background(), *quick)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			snap.Add(r)
 		}
 	}
 

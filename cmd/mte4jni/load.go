@@ -12,9 +12,12 @@ import (
 	"sync"
 	"time"
 
+	"math/rand"
+
 	"mte4jni/internal/analysis"
 	"mte4jni/internal/pool"
 	"mte4jni/internal/redteam"
+	"mte4jni/internal/report"
 	"mte4jni/internal/server"
 )
 
@@ -46,6 +49,11 @@ func runLoad(args []string) error {
 	attackDelayThreshold := fs.Int("attack-delay-threshold", 0, "mirror of the server's -attack-delay-threshold so the client replicates the escalation state machine for exact reconciliation")
 	attackQuarantineThreshold := fs.Int("attack-quarantine-threshold", 0, "mirror of the server's -attack-quarantine-threshold")
 	noReconcile := fs.Bool("no-reconcile", false, "skip the /metrics reconciliation (server is shared with other clients)")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate in req/s: requests launch on Poisson inter-arrival times regardless of completions, the queueing discipline real traffic applies (0 = closed loop over -c workers)")
+	sloP99 := fs.Duration("slo-p99", 0, "fail (exit nonzero) when the run's p99 latency exceeds this budget (0 = no SLO gate)")
+	reportFile := fs.String("report", "", "write a JSON report (throughput, HDR latency percentiles, SLO verdict) to this file")
+	tenantCount := fs.Int("tenants", 0, "spread requests across K tenants (load-tenant-*) so the server's affinity router exercises every shard (0 = no tenant attribution)")
+	expectShards := fs.Int("expect-shards", 0, "reconcile the per-shard /metrics ledgers against a server running -shards=N: shard leases must sum to created+reused exactly, sheds to rejected, and — with -tenants set — no shard may serve more than 2x the mean (tenants are picked shard-affine so uniform load is uniform by construction)")
 	fs.Parse(args)
 	parsedScheme, err := server.ParseScheme(*scheme)
 	if err != nil {
@@ -53,6 +61,12 @@ func runLoad(args []string) error {
 	}
 	if *n <= 0 || *c <= 0 {
 		return fmt.Errorf("load: -n and -c must be positive")
+	}
+	if *rate > 0 && *attackRate > 0 {
+		return fmt.Errorf("load: -rate (open loop) and -attack-rate (order-dependent escalation) cannot be combined")
+	}
+	if *expectShards < 0 || (*expectShards > 0 && *tenantCount > 0 && *tenantCount%*expectShards != 0) {
+		return fmt.Errorf("load: -tenants must be a multiple of -expect-shards for an exactly uniform spread")
 	}
 	// The escalation state machine is sequential by nature — which probe
 	// trips which tier depends on strict request order — so attack injection
@@ -62,6 +76,35 @@ func runLoad(args []string) error {
 	}
 	// The attack probe is detected exactly when the scheme is an MTE one.
 	expectDetect := parsedScheme.MTE()
+
+	// Tenant spread: K distinct tenants round-robined over the requests.
+	// When -expect-shards is set the names are picked shard-affine — probe
+	// the shared affinity hash (the same FNV the server routes with) until
+	// K/N tenants home on each shard — so a uniform request spread is a
+	// uniform shard spread by construction, and the 2x-mean balance check
+	// below cannot be failed by hash luck.
+	var tenantNames []string
+	if *tenantCount > 0 {
+		if *expectShards > 0 {
+			for shard := 0; shard < *expectShards; shard++ {
+				need := *tenantCount / *expectShards
+				for probe := 0; need > 0; probe++ {
+					name := fmt.Sprintf("load-tenant-%d", probe)
+					if int(pool.AffinityKey(name, parsedScheme.String())%uint64(*expectShards)) == shard {
+						tenantNames = append(tenantNames, name)
+						need--
+					}
+					if probe > 1<<20 {
+						return fmt.Errorf("load: no tenant name hashes to shard %d", shard)
+					}
+				}
+			}
+		} else {
+			for i := 0; i < *tenantCount; i++ {
+				tenantNames = append(tenantNames, fmt.Sprintf("load-tenant-%d", i))
+			}
+		}
+	}
 
 	// Marshal the reject corpus once; workers round-robin through it.
 	var badProgs [][]byte
@@ -127,81 +170,112 @@ func runLoad(args []string) error {
 	}
 
 	outcomes := make([]loadOutcome, *n)
-	jobs := make(chan int)
 	var wg sync.WaitGroup
 	// attackFaults is the client's replica of the server's per-tenant fault
 	// count for tenant "redteam". Only touched when -attack-rate is set,
 	// which forces a single worker, so plain state is race-free.
 	attackFaults := 0
-	start := time.Now()
-	for w := 0; w < *c; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				req := server.RunRequest{Scheme: *scheme}
-				// Injection precedence: reject > cancel > deadline > attack >
-				// fault.
-				reject := *rejectRate > 0 && (i+1)%*rejectRate == 0
-				temporal := !reject && *temporalRate > 0 && (i+1)%*temporalRate == 0
-				canceled := !reject && !temporal && *cancelRate > 0 && (i+1)%*cancelRate == 0
-				deadlined := !reject && !temporal && !canceled && *deadlineRate > 0 && (i+1)%*deadlineRate == 0
-				attacked := !reject && !temporal && !canceled && !deadlined && *attackRate > 0 && (i+1)%*attackRate == 0
-				injected := !reject && !temporal && !canceled && !deadlined && !attacked && *faultEvery > 0 && (i+1)%*faultEvery == 0
-				var te temporalEntry
-				if temporal {
-					// Round-robin by injection ordinal so every corpus shape
-					// gets an even share regardless of the rate.
-					te = temporalProgs[((i+1) / *temporalRate - 1)%len(temporalProgs)]
-				}
-				switch {
-				case reject:
-					req.Program = badProgs[i%len(badProgs)]
-				case temporal:
-					req.Scheme = te.scheme
-					req.Program = te.raw
-				case canceled, deadlined:
-					req.Program = spinProg
-				case attacked:
-					req.Canned = "attack"
-					req.Tenant = "redteam"
-				case injected:
-					req.Canned = "oob"
-				case *workload != "":
-					req.Workload = *workload
-					req.Iterations = *iters
-				default:
-					req.Canned = "safe"
-				}
-				switch {
-				case temporal:
-					outcomes[i] = fireTemporal(client, *url, req, te)
-				case canceled:
-					outcomes[i] = fireCancel(client, *url, req, *cancelAfter)
-				case deadlined:
-					outcomes[i] = fireDeadline(client, *url, req)
-				case attacked:
-					// Replicate the server's escalation state machine: the
-					// tier in force for this admission follows from the
-					// detected-fault count so far.
-					expect429 := *attackQuarantineThreshold > 0 && attackFaults >= *attackQuarantineThreshold
-					throttled := !expect429 && *attackDelayThreshold > 0 && attackFaults >= *attackDelayThreshold
-					o := fireAttack(client, *url, req, expectDetect, expect429)
-					o.throttled = throttled && o.err == nil && !o.refused
-					if o.attackDetected {
-						attackFaults++
-					}
-					outcomes[i] = o
-				default:
-					outcomes[i] = fire(client, *url, req, injected, reject)
-				}
+	doRequest := func(i int) {
+		req := server.RunRequest{Scheme: *scheme}
+		// Injection precedence: reject > cancel > deadline > attack >
+		// fault.
+		reject := *rejectRate > 0 && (i+1)%*rejectRate == 0
+		temporal := !reject && *temporalRate > 0 && (i+1)%*temporalRate == 0
+		canceled := !reject && !temporal && *cancelRate > 0 && (i+1)%*cancelRate == 0
+		deadlined := !reject && !temporal && !canceled && *deadlineRate > 0 && (i+1)%*deadlineRate == 0
+		attacked := !reject && !temporal && !canceled && !deadlined && *attackRate > 0 && (i+1)%*attackRate == 0
+		injected := !reject && !temporal && !canceled && !deadlined && !attacked && *faultEvery > 0 && (i+1)%*faultEvery == 0
+		var te temporalEntry
+		if temporal {
+			// Round-robin by injection ordinal so every corpus shape
+			// gets an even share regardless of the rate.
+			te = temporalProgs[((i+1) / *temporalRate - 1)%len(temporalProgs)]
+		}
+		switch {
+		case reject:
+			req.Program = badProgs[i%len(badProgs)]
+		case temporal:
+			req.Scheme = te.scheme
+			req.Program = te.raw
+		case canceled, deadlined:
+			req.Program = spinProg
+		case attacked:
+			req.Canned = "attack"
+			req.Tenant = "redteam"
+		case injected:
+			req.Canned = "oob"
+		case *workload != "":
+			req.Workload = *workload
+			req.Iterations = *iters
+		default:
+			req.Canned = "safe"
+		}
+		// Attribute the request to its round-robin tenant so the
+		// server's affinity router spreads the run across shards;
+		// the attack probe keeps its fixed red-team identity.
+		if req.Tenant == "" && len(tenantNames) > 0 {
+			req.Tenant = tenantNames[i%len(tenantNames)]
+		}
+		switch {
+		case temporal:
+			outcomes[i] = fireTemporal(client, *url, req, te)
+		case canceled:
+			outcomes[i] = fireCancel(client, *url, req, *cancelAfter)
+		case deadlined:
+			outcomes[i] = fireDeadline(client, *url, req)
+		case attacked:
+			// Replicate the server's escalation state machine: the
+			// tier in force for this admission follows from the
+			// detected-fault count so far.
+			expect429 := *attackQuarantineThreshold > 0 && attackFaults >= *attackQuarantineThreshold
+			throttled := !expect429 && *attackDelayThreshold > 0 && attackFaults >= *attackDelayThreshold
+			o := fireAttack(client, *url, req, expectDetect, expect429)
+			o.throttled = throttled && o.err == nil && !o.refused
+			if o.attackDetected {
+				attackFaults++
 			}
-		}()
+			outcomes[i] = o
+		default:
+			outcomes[i] = fire(client, *url, req, injected, reject)
+		}
 	}
-	for i := 0; i < *n; i++ {
-		jobs <- i
+
+	start := time.Now()
+	if *rate > 0 {
+		// Open loop: arrivals follow a Poisson process at -rate regardless
+		// of completions — a slow server faces a growing backlog exactly as
+		// it would behind real traffic, which is what makes the measured
+		// percentiles honest SLO inputs (a closed loop slows its own
+		// arrivals down when the server lags and flatters the tail).
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		next := start
+		for i := 0; i < *n; i++ {
+			next = next.Add(time.Duration(rng.ExpFloat64() / *rate * float64(time.Second)))
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				doRequest(i)
+			}(i)
+		}
+	} else {
+		jobs := make(chan int)
+		for w := 0; w < *c; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					doRequest(i)
+				}
+			}()
+		}
+		for i := 0; i < *n; i++ {
+			jobs <- i
+		}
+		close(jobs)
 	}
-	close(jobs)
 	wg.Wait()
 	wall := time.Since(start)
 
@@ -212,6 +286,7 @@ func runLoad(args []string) error {
 	var temporalFlagged, temporalPolicyRejected int
 	temporalByClass := make(map[string]int)
 	lats := make([]time.Duration, 0, *n)
+	var hist report.Histogram
 	for i, o := range outcomes {
 		if o.err != nil {
 			failed++
@@ -263,6 +338,7 @@ func runLoad(args []string) error {
 			ok++
 		}
 		lats = append(lats, o.latency)
+		hist.Observe(o.latency)
 		if o.injected {
 			injected++
 		}
@@ -295,6 +371,42 @@ func runLoad(args []string) error {
 		fmt.Printf("  latency: p50=%v p95=%v p99=%v max=%v\n",
 			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	latRep := hist.Report()
+	if *rate > 0 {
+		fmt.Printf("  open-loop: target=%.0f req/s achieved=%.0f req/s hdr-p99=%v hdr-p999=%v\n",
+			*rate, float64(*n)/wall.Seconds(),
+			time.Duration(latRep.P99NS).Round(time.Microsecond),
+			time.Duration(latRep.P999NS).Round(time.Microsecond))
+	}
+	if *reportFile != "" {
+		rep := loadReport{
+			Requests:        *n,
+			Workers:         *c,
+			OpenLoop:        *rate > 0,
+			RateTargetRPS:   *rate,
+			RateAchievedRPS: float64(*n) / wall.Seconds(),
+			WallNS:          wall.Nanoseconds(),
+			OK:              ok,
+			Faulted:         faulted,
+			Rejected:        rejected,
+			Canceled:        canceled,
+			Deadlined:       deadlined,
+			TransportErrors: failed,
+			Latency:         latRep,
+		}
+		if *sloP99 > 0 {
+			rep.SLOP99NS = sloP99.Nanoseconds()
+			met := time.Duration(latRep.P99NS) <= *sloP99
+			rep.SLOP99Met = &met
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportFile, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("load: writing report: %w", err)
+		}
 	}
 
 	if failed > 0 {
@@ -488,8 +600,90 @@ func runLoad(args []string) error {
 			return fmt.Errorf("load: screen cache ineffective: +%d hits for %d screenings over %d distinct programs",
 				dCacheHits, dScreened, distinct)
 		}
+		// Per-shard ledger reconciliation. The pool accounts every lease to
+		// exactly one shard's tokens (shard_leases_total moves only where
+		// created/reused moves), so the shard sums must reproduce the
+		// pool-level counters to the unit — and, with no aborts in flight,
+		// match the served request count exactly. Shedding is decided at a
+		// shard's queue, so shard_shed_total sums to the pool's rejected.
+		if *expectShards > 0 {
+			sh := after.Pool.Shards
+			if len(sh) != *expectShards {
+				return fmt.Errorf("load: server reports %d shards, -expect-shards %d", len(sh), *expectShards)
+			}
+			var dLeases, dSteals, dShed, dCreated, dReused, maxLeases uint64
+			leaseDeltas := make([]uint64, len(sh))
+			for i, a := range sh {
+				var b pool.ShardStats
+				if i < len(before.Pool.Shards) {
+					b = before.Pool.Shards[i]
+				}
+				if a.Leased != 0 || a.Waiters != 0 {
+					return fmt.Errorf("load: shard %d not drained: leased=%d waiters=%d", i, a.Leased, a.Waiters)
+				}
+				leaseDeltas[i] = a.Leases - b.Leases
+				dLeases += leaseDeltas[i]
+				dSteals += a.Steals - b.Steals
+				dShed += a.Shed - b.Shed
+				dCreated += a.Created - b.Created
+				dReused += a.Reused - b.Reused
+				if leaseDeltas[i] > maxLeases {
+					maxLeases = leaseDeltas[i]
+				}
+			}
+			fmt.Printf("  shards: leases=%v steals=%d shed=%d (created+reused=%d)\n",
+				leaseDeltas, dSteals, dShed, dCreated+dReused)
+			if dLeases != dCreated+dReused {
+				return fmt.Errorf("load: shard lease ledger off: shards sum +%d leases, pool counted +%d created and +%d reused", dLeases, dCreated, dReused)
+			}
+			dPoolRejected := after.Pool.Rejected - before.Pool.Rejected
+			if dShed != dPoolRejected {
+				return fmt.Errorf("load: shard shed ledger off: shards sum +%d, pool rejected +%d", dShed, dPoolRejected)
+			}
+			if canceled == 0 && deadlined == 0 && attackRefused == 0 && dLeases != dRequests {
+				return fmt.Errorf("load: +%d shard leases for +%d served requests", dLeases, dRequests)
+			}
+			// Balance: the affine tenant spread puts the same number of
+			// tenants on every shard, so uniform traffic must spread within
+			// 2x of the mean — skew here means routing or stealing is
+			// hoarding leases on one shard.
+			if *tenantCount > 0 {
+				mean := float64(dLeases) / float64(len(sh))
+				if mean > 0 && float64(maxLeases) > 2*mean {
+					return fmt.Errorf("load: shard imbalance: max +%d leases against mean %.1f (uniform affine load must stay within 2x)", maxLeases, mean)
+				}
+			}
+		}
+	}
+	// The SLO gate reads the HDR histogram's conservative p99 (bucket upper
+	// bound), so a borderline run fails rather than squeaking by.
+	if *sloP99 > 0 {
+		if p99 := time.Duration(latRep.P99NS); p99 > *sloP99 {
+			return fmt.Errorf("load: p99 SLO violated: %v against a %v budget", p99, *sloP99)
+		}
+		fmt.Printf("  slo: p99=%v within the %v budget\n", time.Duration(latRep.P99NS), *sloP99)
 	}
 	return nil
+}
+
+// loadReport is the -report JSON artifact: the run's shape, throughput and
+// HDR latency summary, plus the SLO verdict when a budget was set.
+type loadReport struct {
+	Requests        int                  `json:"requests"`
+	Workers         int                  `json:"workers"`
+	OpenLoop        bool                 `json:"open_loop"`
+	RateTargetRPS   float64              `json:"rate_target_rps,omitempty"`
+	RateAchievedRPS float64              `json:"rate_achieved_rps"`
+	WallNS          int64                `json:"wall_ns"`
+	OK              int                  `json:"ok"`
+	Faulted         int                  `json:"faulted"`
+	Rejected        int                  `json:"rejected"`
+	Canceled        int                  `json:"canceled"`
+	Deadlined       int                  `json:"deadlined"`
+	TransportErrors int                  `json:"transport_errors"`
+	Latency         report.LatencyReport `json:"latency"`
+	SLOP99NS        int64                `json:"slo_p99_ns,omitempty"`
+	SLOP99Met       *bool                `json:"slo_p99_met,omitempty"`
 }
 
 // loadOutcome is one request's client-side classification.

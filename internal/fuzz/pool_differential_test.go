@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -16,10 +17,21 @@ import (
 // managed-exception behaviour, and the Java heap state the run leaves
 // behind. Divergence means pooled reuse is not transparent: a recycled
 // session leaked state into the next program, or quarantine let a tainted
-// runtime serve again.
+// runtime serve again. The oracle must hold at any shard count — routing,
+// overflow stealing and per-shard free lists may move a lease between
+// shards but never change what a program observes — so the corpus runs at
+// shards 1 (the monolithic layout) and 4 (every session on its own shard).
 func TestPoolDifferential(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			testPoolDifferential(t, shards)
+		})
+	}
+}
+
+func testPoolDifferential(t *testing.T, shards int) {
 	const programs = 48
-	p := pool.New(pool.Config{MaxSessions: 2, HeapSize: 8 << 20})
+	p := pool.New(pool.Config{MaxSessions: 2 * shards, Shards: shards, HeapSize: 8 << 20})
 	defer p.Close()
 
 	rng := rand.New(rand.NewSource(0xC0FFEE))

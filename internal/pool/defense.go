@@ -138,8 +138,9 @@ func (p *Pool) ObserveFault(tenant string) bool {
 	ts.tier = tier
 	ts.tierSince = time.Now()
 	// Suspicion invalidates learned tags: the next lease of every warm
-	// session re-seeds its tag RNG and resets its heap tags.
-	p.reseedEpoch++
+	// session — on every shard, tenant standing being pool-global — re-seeds
+	// its tag RNG and resets its heap tags.
+	p.reseedEpoch.Add(1)
 	p.stats.ReseedsTotal++
 	if tier == tierQuarantine {
 		p.stats.TenantsQuarantined++

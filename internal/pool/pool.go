@@ -11,6 +11,12 @@
 // serve many mutually untrusting workloads the way a fleet of Android
 // processes would, with the fault localized exactly as the paper's Figure 4
 // localizes it within one process.
+//
+// Admission is sharded (Config.Shards): capacity tokens, warm free lists
+// and waiter queues are split into per-shard domains behind a {tenant,
+// scheme} affinity hash, with cross-shard work stealing in both directions
+// so the split stays work-conserving under skew — see shard.go. One shard
+// (the default) reproduces the monolithic pool exactly.
 package pool
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mte4jni"
@@ -42,8 +49,14 @@ type Config struct {
 	MaxSessions int
 	// MaxWaiters bounds Acquire calls allowed to queue when every session
 	// slot is leased; further calls fail fast with ErrOverloaded (default
-	// 4×MaxSessions).
+	// 4×MaxSessions). The bound is applied per shard (MaxWaiters/Shards
+	// each) with the pool-wide total as a backstop.
 	MaxWaiters int
+	// Shards is the admission shard count (default 1). Capacity tokens,
+	// warm free lists and waiter queues split evenly across shards;
+	// requests route by the {tenant, scheme} affinity hash and spill over
+	// through work stealing.
+	Shards int
 	// HeapSize is each session's Java heap capacity (default 32 MiB, enough
 	// for every built-in workload at serving scale while keeping 64
 	// sessions' worth of simulated memory modest).
@@ -58,7 +71,8 @@ type Config struct {
 	// accounting rely on.
 	DisableNeighborExclusion bool
 	// Defense is the escalating per-tenant defense policy (see defense.go).
-	// Disabled by default.
+	// Disabled by default. Tenant standing is pool-global: escalation
+	// follows a tenant across shards.
 	Defense DefenseConfig
 }
 
@@ -69,6 +83,9 @@ func (c *Config) defaults() {
 	if c.MaxWaiters <= 0 {
 		c.MaxWaiters = 4 * c.MaxSessions
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.HeapSize == 0 {
 		c.HeapSize = 32 << 20
 	}
@@ -78,7 +95,8 @@ func (c *Config) defaults() {
 	c.Defense.defaults()
 }
 
-// Stats is a point-in-time view of pool accounting.
+// Stats is a point-in-time view of pool accounting. The lease-path counters
+// (Created, Reused, Rejected, Leased, Idle, Waiters) are sums over Shards.
 type Stats struct {
 	// Capacity and Leased describe the slot semaphore; Idle counts warm
 	// sessions parked per scheme (summed).
@@ -111,6 +129,9 @@ type Stats struct {
 	ThrottledTotal     uint64 `json:"throttled_total"`
 	TenantsQuarantined uint64 `json:"tenants_quarantined_total"`
 	DecaysTotal        uint64 `json:"defense_decays_total"`
+	// Shards is the per-shard breakdown: admission, stealing and shedding
+	// counters for each admission domain.
+	Shards []ShardStats `json:"shards,omitempty"`
 }
 
 // QuarantineRecord remembers why a session left the pool.
@@ -123,35 +144,33 @@ type QuarantineRecord struct {
 
 // Pool is the leased session pool. All methods are safe for concurrent use.
 type Pool struct {
-	cfg Config
+	cfg             Config
+	shards          []*shard
+	perShardWaiters int
 
-	// slots is the capacity semaphore: one token per live-or-creatable
-	// session. Acquire takes a token (possibly waiting), Release and
-	// quarantine return it.
-	slots chan struct{}
+	closed  atomic.Bool
+	waiting atomic.Int64 // queued Acquires pool-wide (the shed backstop)
+	nextID  atomic.Uint64
+	// reseedEpoch is bumped on every defense tier crossing (under mu, in
+	// ObserveFault) and read lock-free on the warm-lease path; warm
+	// sessions re-seed lazily when their own epoch lags it.
+	reseedEpoch      atomic.Uint64
+	sessionsReseeded atomic.Uint64
 
-	mu       sync.Mutex
-	idle     map[mte4jni.Scheme][]*Session
-	live     map[uint64]*Session // every non-closed session, idle or leased
-	waiters  int
-	nextID   uint64
-	closed   bool
-	stats    Stats
-	recent   []QuarantineRecord // bounded at quarantineLog entries
-	leasedCt int
+	// mu guards the pool-global cold state: retirement accounting, the
+	// quarantine ring, departed-session tag carry-over, and the per-tenant
+	// defense ledger (tenant standing is deliberately not sharded — an
+	// attacker's escalation follows it to every shard).
+	mu     sync.Mutex
+	stats  Stats              // only the pool-global counters
+	recent []QuarantineRecord // bounded at quarantineLog entries
 	// retiredTags carries forward the monotonic tag-storage counters of
 	// sessions that have left the pool, so the pool-wide totals in
 	// TagStats never go backwards when a session is retired. Gauge fields
 	// (resident/dir/freelist bytes) die with the session's space and are
 	// not accumulated.
 	retiredTags mem.TagStats
-
-	// tenants tracks each tenant's standing with the escalating defense
-	// policy; reseedEpoch is bumped on every tier crossing, and warm
-	// sessions re-seed lazily when their own epoch lags it. Both guarded
-	// by mu.
 	tenants     map[string]*tenantState
-	reseedEpoch uint64
 }
 
 // quarantineLog bounds the retained quarantine history.
@@ -163,15 +182,27 @@ func New(cfg Config) *Pool {
 	cfg.defaults()
 	p := &Pool{
 		cfg:     cfg,
-		slots:   make(chan struct{}, cfg.MaxSessions),
-		idle:    make(map[mte4jni.Scheme][]*Session),
-		live:    make(map[uint64]*Session),
 		tenants: make(map[string]*tenantState),
 	}
-	for i := 0; i < cfg.MaxSessions; i++ {
-		p.slots <- struct{}{}
+	p.perShardWaiters = cfg.MaxWaiters / cfg.Shards
+	if p.perShardWaiters < 1 {
+		p.perShardWaiters = 1
 	}
-	p.stats.Capacity = cfg.MaxSessions
+	p.shards = make([]*shard, cfg.Shards)
+	for i := range p.shards {
+		sh := &shard{
+			p:        p,
+			idx:      i,
+			capacity: cfg.MaxSessions / cfg.Shards,
+			warmIdle: make(map[mte4jni.Scheme][]*Session),
+			liveHere: make(map[uint64]*Session),
+		}
+		if i < cfg.MaxSessions%cfg.Shards {
+			sh.capacity++
+		}
+		sh.freeTokens = sh.capacity
+		p.shards[i] = sh
+	}
 	return p
 }
 
@@ -185,7 +216,8 @@ func (p *Pool) Acquire(ctx context.Context, scheme mte4jni.Scheme) (*Session, er
 	return p.AcquireFor(ctx, scheme, "")
 }
 
-// AcquireFor is Acquire with tenant attribution for the escalating defense
+// AcquireFor is Acquire with tenant attribution, which picks the home shard
+// (affinity hash over {tenant, scheme}) and feeds the escalating defense
 // policy: a quarantined tenant is refused with ErrTenantQuarantined before
 // any capacity token is taken (so a locked-out attacker can neither hold a
 // slot nor grow the quarantine ring), and a delay-tier tenant pays the
@@ -194,90 +226,74 @@ func (p *Pool) AcquireFor(ctx context.Context, scheme mte4jni.Scheme, tenant str
 	if err := p.admitTenant(ctx, tenant); err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	p.mu.Unlock()
-
-	select {
-	case <-p.slots:
-	default:
-		// Full: join the bounded wait queue.
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
+	home := p.shards[p.HomeShard(tenant, scheme)]
+	if home.tryTakeToken() {
+		return p.wrapLease(p.leaseOn(home, scheme, false))
+	}
+	// Home saturated: overflow onto any shard with a free token
+	// (acquire-side work stealing).
+	for i := 1; i < len(p.shards); i++ {
+		sh := p.shards[(home.idx+i)%len(p.shards)]
+		if sh.tryTakeToken() {
+			return p.wrapLease(p.leaseOn(sh, scheme, true))
+		}
+	}
+	// Every shard saturated: park on the home queue and wait for a token
+	// grant from any shard.
+	w, err := p.enqueueWaiter(home, scheme)
+	if err != nil {
+		return nil, err
+	}
+	// A token may have freed between the saturation scan and the enqueue,
+	// with no queued waiter visible to dispatch it to. Re-scan now that we
+	// are visible: either this scan finds that token, or the freer's
+	// dispatch/steal path finds us (offerToken re-checks symmetrically).
+	for i := 0; i < len(p.shards); i++ {
+		sh := p.shards[(home.idx+i)%len(p.shards)]
+		if !sh.tryTakeToken() {
+			continue
+		}
+		if home.removeWaiter(w) {
+			return p.wrapLease(p.leaseOn(sh, scheme, sh != home))
+		}
+		// Granted concurrently: keep the granted token, free the scanned one.
+		p.returnToken(sh)
+		g := <-w.ready
+		if g.from == nil {
 			return nil, ErrClosed
 		}
-		if p.waiters >= p.cfg.MaxWaiters {
-			p.stats.Rejected++
-			p.mu.Unlock()
-			return nil, ErrOverloaded
+		return p.wrapLease(p.leaseOn(g.from, scheme, g.from != home))
+	}
+	select {
+	case g := <-w.ready:
+		if g.from == nil {
+			return nil, ErrClosed
 		}
-		p.waiters++
-		p.mu.Unlock()
-		defer func() {
-			p.mu.Lock()
-			p.waiters--
-			p.mu.Unlock()
-		}()
-		select {
-		case <-p.slots:
-		case <-ctx.Done():
+		return p.wrapLease(p.leaseOn(g.from, scheme, g.from != home))
+	case <-ctx.Done():
+		if home.removeWaiter(w) {
 			return nil, ctx.Err()
 		}
-	}
-
-	// Token in hand: serve warm if a session of this scheme is parked,
-	// otherwise build a fresh one.
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		p.slots <- struct{}{}
-		return nil, ErrClosed
-	}
-	if list := p.idle[scheme]; len(list) > 0 {
-		s := list[len(list)-1]
-		p.idle[scheme] = list[:len(list)-1]
-		s.leases++
-		p.stats.Reused++
-		p.leasedCt++
-		epoch := p.reseedEpoch
-		needReseed := s.seedEpoch != epoch
-		if needReseed {
-			p.stats.SessionsReseeded++
+		// Granted concurrently with the cancellation: the grant is already
+		// buffered (popWaiterLocked sends under the queue lock). Give the
+		// token back so it cannot leak.
+		g := <-w.ready
+		if g.from != nil {
+			p.returnToken(g.from)
 		}
-		p.mu.Unlock()
-		if needReseed {
-			// Tag-reseed-on-suspicion: the session was parked before the
-			// last tier crossing, so whatever tags an attacker learned from
-			// it are about to go stale. The lease is exclusively ours here —
-			// reseed outside the pool lock.
-			s.reseed(p.cfg.Seed, epoch)
-		}
-		return s, nil
+		return nil, ctx.Err()
 	}
-	p.nextID++
-	id := p.nextID
-	seed := p.cfg.Seed + int64(id)
-	p.mu.Unlock()
+}
 
-	s, err := p.newSession(id, scheme, seed)
-	if err != nil {
-		p.slots <- struct{}{}
+// wrapLease decorates session-creation failures from leaseOn.
+func (p *Pool) wrapLease(s *Session, err error) (*Session, error) {
+	if err != nil && !errors.Is(err, ErrClosed) {
 		return nil, fmt.Errorf("pool: creating session: %w", err)
 	}
-	p.mu.Lock()
-	p.live[id] = s
-	p.stats.Created++
-	p.leasedCt++
-	s.leases++
-	// A fresh session's tags are brand new: it is born at the current
-	// reseed epoch.
-	s.seedEpoch = p.reseedEpoch
-	p.mu.Unlock()
-	return s, nil
+	return s, err
 }
 
 // Release returns a leased session. A session whose lease saw an MTE fault
@@ -287,11 +303,13 @@ func (p *Pool) AcquireFor(ctx context.Context, scheme mte4jni.Scheme, tenant str
 // acquisitions outstanding retires the session outright (detaching a thread
 // with live handouts would tear pinned objects out from under the ledger).
 // A healthy session is recycled (thread detached, garbage collected,
-// hygiene-checked) back into the warm pool. The capacity token is returned
-// in every path.
+// hygiene-checked) back into the warm pool — unless the lease never ran and
+// never touched the heap, in which case the recycle is skipped outright (the
+// no-op-lease fast path: there is nothing to detach, collect or
+// hygiene-check, so admission stays the only cost of an empty lease). The
+// capacity token is returned to the session's shard in every path.
 func (p *Pool) Release(s *Session) {
-	defer func() { p.slots <- struct{}{} }()
-
+	sh := s.home
 	if f := s.TaintFault(); f != nil {
 		p.retire(s, true, fmt.Sprintf("MTE fault: %v", f))
 		return
@@ -305,33 +323,37 @@ func (p *Pool) Release(s *Session) {
 			return
 		}
 	}
-	if err := s.recycle(); err != nil {
-		p.retire(s, false, err.Error())
-		return
+	if !s.noopLease() {
+		if err := s.recycle(); err != nil {
+			p.retire(s, false, err.Error())
+			return
+		}
 	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	sh.mu.Lock()
+	if sh.closed {
+		delete(sh.liveHere, s.id)
+		sh.mu.Unlock()
 		s.close()
 		p.mu.Lock()
 		p.accumulateTagsLocked(s)
-		delete(p.live, s.id)
-		p.leasedCt--
 		p.mu.Unlock()
+		p.returnToken(sh)
 		return
 	}
-	p.idle[s.scheme] = append(p.idle[s.scheme], s)
-	p.leasedCt--
-	p.mu.Unlock()
+	sh.warmIdle[s.scheme] = append(sh.warmIdle[s.scheme], s)
+	sh.mu.Unlock()
+	p.returnToken(sh)
 }
 
 // retire closes a session and records why.
 func (p *Pool) retire(s *Session, quarantine bool, reason string) {
 	s.close()
+	sh := s.home
+	sh.mu.Lock()
+	delete(sh.liveHere, s.id)
+	sh.mu.Unlock()
 	p.mu.Lock()
 	p.accumulateTagsLocked(s)
-	delete(p.live, s.id)
-	p.leasedCt--
 	if quarantine {
 		p.stats.Quarantined++
 	} else {
@@ -345,6 +367,7 @@ func (p *Pool) retire(s *Session, quarantine bool, reason string) {
 		p.recent = p.recent[len(p.recent)-quarantineLog:]
 	}
 	p.mu.Unlock()
+	p.returnToken(sh)
 }
 
 // accumulateTagsLocked folds a departing session's monotonic tag-storage
@@ -368,13 +391,18 @@ func (p *Pool) accumulateTagsLocked(s *Session) {
 func (p *Pool) TagStats() mem.TagStats {
 	p.mu.Lock()
 	agg := p.retiredTags
-	sessions := make([]*Session, 0, len(p.live))
-	for _, s := range p.live {
-		sessions = append(sessions, s)
-	}
 	p.mu.Unlock()
-	// Per-session reads happen outside p.mu: Space.TagStats is atomics plus
-	// the space's own freelist lock, safe against the session running.
+	var sessions []*Session
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, s := range sh.liveHere {
+			sessions = append(sessions, s)
+		}
+		sh.mu.Unlock()
+	}
+	// Per-session reads happen outside the shard locks: Space.TagStats is
+	// atomics plus the space's own freelist lock, safe against the session
+	// running.
 	for _, s := range sessions {
 		st := s.rt.VM().Space.TagStats()
 		agg.PagesMaterialized += st.PagesMaterialized
@@ -390,17 +418,44 @@ func (p *Pool) TagStats() mem.TagStats {
 	return agg
 }
 
-// Stats returns a snapshot of the accounting counters.
+// Stats returns a snapshot of the accounting counters, including the
+// per-shard breakdown.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	st := p.stats
-	st.Leased = p.leasedCt
-	for _, list := range p.idle {
-		st.Idle += len(list)
+	p.mu.Unlock()
+	st.Capacity = p.cfg.MaxSessions
+	st.SessionsReseeded = p.sessionsReseeded.Load()
+	st.Shards = make([]ShardStats, len(p.shards))
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		ss := sh.snapshotLocked()
+		sh.mu.Unlock()
+		st.Shards[i] = ss
+		st.Leased += ss.Leased
+		st.Idle += ss.Idle
+		st.Waiters += ss.Waiters
+		st.Created += ss.Created
+		st.Reused += ss.Reused
+		st.Rejected += ss.Shed
 	}
-	st.Waiters = p.waiters
 	return st
+}
+
+// AssertDrained verifies the per-shard lease ledgers are balanced: no
+// tokens held by leases or in-flight grants anywhere. The graceful-shutdown
+// path calls it after the HTTP server has drained and the pool has closed —
+// a nonzero ledger there means a lease escaped the drain.
+func (p *Pool) AssertDrained() error {
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		leased, free, cap := sh.leasedCt, sh.freeTokens, sh.capacity
+		sh.mu.Unlock()
+		if leased != 0 || free != cap {
+			return fmt.Errorf("pool: shard %d drain imbalance: %d leases outstanding, %d/%d tokens free", i, leased, free, cap)
+		}
+	}
+	return nil
 }
 
 // Quarantined returns the retained retirement history, oldest first.
@@ -414,6 +469,7 @@ func (p *Pool) Quarantined() []QuarantineRecord {
 type SessionInfo struct {
 	Session    string `json:"session"`
 	Scheme     string `json:"scheme"`
+	Shard      int    `json:"shard"`
 	State      string `json:"state"`
 	Leases     uint64 `json:"leases"`
 	Runs       uint64 `json:"runs"`
@@ -423,56 +479,82 @@ type SessionInfo struct {
 
 // Sessions lists every live session, leased and idle, ordered by id.
 func (p *Pool) Sessions() []SessionInfo {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ids := make([]uint64, 0, len(p.live))
-	for id := range p.live {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]SessionInfo, 0, len(ids))
-	for _, id := range ids {
-		s := p.live[id]
-		state := "leased"
-		for _, idleS := range p.idle[s.scheme] {
-			if idleS == s {
-				state = "idle"
-				break
+	var out []SessionInfo
+	var ids []uint64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for id, s := range sh.liveHere {
+			state := "leased"
+			for _, idleS := range sh.warmIdle[s.scheme] {
+				if idleS == s {
+					state = "idle"
+					break
+				}
 			}
+			out = append(out, SessionInfo{
+				Session: s.Name(), Scheme: s.scheme.String(), Shard: sh.idx,
+				State: state, Leases: s.leases, Runs: s.runs.Load(),
+				Generation: int(s.gen.Load()), CreatedNS: s.created.UnixNano(),
+			})
+			ids = append(ids, id)
 		}
-		out = append(out, SessionInfo{
-			Session: s.Name(), Scheme: s.scheme.String(), State: state,
-			Leases: s.leases, Runs: s.runs.Load(), Generation: int(s.gen.Load()),
-			CreatedNS: s.created.UnixNano(),
-		})
+		sh.mu.Unlock()
 	}
+	sort.Sort(&sessionsByID{ids: ids, infos: out})
 	return out
 }
 
-// Close drains the pool: idle sessions are closed immediately, new Acquires
-// fail with ErrClosed, and leased sessions are closed as they are released.
+// sessionsByID sorts SessionInfo records by their numeric session id.
+type sessionsByID struct {
+	ids   []uint64
+	infos []SessionInfo
+}
+
+func (s *sessionsByID) Len() int           { return len(s.ids) }
+func (s *sessionsByID) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *sessionsByID) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.infos[i], s.infos[j] = s.infos[j], s.infos[i]
+}
+
+// Close drains the pool: every shard is drained concurrently — idle
+// sessions closed, queued waiters failed with ErrClosed — new Acquires fail
+// with ErrClosed, and leased sessions are closed as they are released.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
-	p.closed = true
-	var toClose []*Session
-	for scheme, list := range p.idle {
-		toClose = append(toClose, list...)
-		p.idle[scheme] = nil
+	var wg sync.WaitGroup
+	for _, sh := range p.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			sh.closed = true
+			var toClose []*Session
+			for scheme, list := range sh.warmIdle {
+				toClose = append(toClose, list...)
+				sh.warmIdle[scheme] = nil
+			}
+			for _, s := range toClose {
+				delete(sh.liveHere, s.id)
+			}
+			parked := sh.waitq
+			sh.waitq = nil
+			p.waiting.Add(-int64(len(parked)))
+			for _, w := range parked {
+				w.ready <- grant{} // nil from: ErrClosed
+			}
+			sh.mu.Unlock()
+			for _, s := range toClose {
+				s.close()
+			}
+			p.mu.Lock()
+			for _, s := range toClose {
+				p.accumulateTagsLocked(s)
+			}
+			p.mu.Unlock()
+		}(sh)
 	}
-	for _, s := range toClose {
-		delete(p.live, s.id)
-	}
-	p.mu.Unlock()
-	for _, s := range toClose {
-		s.close()
-	}
-	p.mu.Lock()
-	for _, s := range toClose {
-		p.accumulateTagsLocked(s)
-	}
-	p.mu.Unlock()
+	wg.Wait()
 }

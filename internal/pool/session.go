@@ -45,9 +45,38 @@ type Session struct {
 
 	// seedEpoch is the pool reseed epoch this session's tag state was drawn
 	// at; when it lags the pool's, the warm-reuse path re-seeds before the
-	// lease is handed out. Guarded by the pool mutex (read/written only at
-	// lease boundaries).
+	// lease is handed out. Guarded by the owning shard's mutex (read/written
+	// only at lease boundaries).
 	seedEpoch uint64
+
+	// home is the shard whose capacity token backs this session. Fixed at
+	// creation: warm handoffs keep a session on its shard, so the per-shard
+	// lease ledger always balances.
+	home *shard
+
+	// runsAtLease snapshots the run counter at lease handout. Written and
+	// read only by the leaseholder (lease boundaries synchronize through the
+	// shard mutex); Release uses it to detect a no-op lease.
+	runsAtLease uint64
+}
+
+// beginLease marks the start of a lease, after the session has left the
+// shard's warm list (or been created) and belongs exclusively to the caller.
+func (s *Session) beginLease() {
+	s.runsAtLease = s.runs.Load()
+}
+
+// noopLease reports that the current lease has nothing to recycle: it never
+// ran a program or workload, left no objects on the heap, holds no JNI
+// handouts, and was not aborted. Such a lease can skip the detach/GC/attach
+// recycle entirely — admission bookkeeping stays the only cost of an empty
+// lease, which is what the pool throughput bench measures.
+func (s *Session) noopLease() bool {
+	return s.taint == nil &&
+		s.abort == exec.AbortNone &&
+		s.runs.Load() == s.runsAtLease &&
+		s.env.OutstandingAcquisitions() == 0 &&
+		s.rt.VM().LiveObjects() == 0
 }
 
 // newSession builds a fresh runtime for one pool slot. Each session gets its

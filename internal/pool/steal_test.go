@@ -1,0 +1,270 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mte4jni"
+)
+
+// hotTenantFor finds a tenant name whose {tenant, scheme} affinity hash
+// lands on the given shard, so tests can aim load at one shard
+// deterministically.
+func hotTenantFor(t *testing.T, p *Pool, scheme mte4jni.Scheme, shard int) string {
+	t.Helper()
+	for _, name := range []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11"} {
+		if p.HomeShard(name, scheme) == shard {
+			return name
+		}
+	}
+	t.Fatalf("no probe tenant routes to shard %d", shard)
+	return ""
+}
+
+// TestWorkStealingStarvation is the starvation proof for cross-shard work
+// stealing, meant to run under -race: every goroutine targets one hot shard
+// (same tenant, same scheme — maximally skewed affinity) while the other
+// shards sit idle. Without stealing, 3/4 of the pool's capacity would be
+// unreachable and the hot shard's waiters would crawl through 2 tokens;
+// with it, every queued waiter must complete (no ctx deadline here: a
+// starved waiter hangs the test) and afterwards every token must be back on
+// its shard.
+func TestWorkStealingStarvation(t *testing.T) {
+	const (
+		goroutines = 32
+		leases     = 4
+	)
+	p := testPool(t, Config{MaxSessions: 8, Shards: 4, MaxWaiters: 128})
+	hot := hotTenantFor(t, p, mte4jni.NoProtection, 0)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*leases)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := 0; l < leases; l++ {
+				s, err := p.AcquireFor(context.Background(), mte4jni.NoProtection, hot)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Hold the lease long enough that the 32 goroutines
+				// actually overlap: the pool must saturate (8 tokens, 32
+				// contenders) for the waiter queue and both steal
+				// directions to be exercised.
+				time.Sleep(500 * time.Microsecond)
+				p.Release(s)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("hot-shard acquire failed: %v", err)
+	}
+
+	st := p.Stats()
+	if st.Leased != 0 || st.Waiters != 0 {
+		t.Fatalf("stats after storm: %+v", st)
+	}
+	var leasesTotal, stealsTotal uint64
+	foreign := 0
+	home := p.HomeShard(hot, mte4jni.NoProtection)
+	for _, ss := range st.Shards {
+		leasesTotal += ss.Leases
+		stealsTotal += ss.Steals
+		if ss.Shard != home && ss.Leases > 0 {
+			foreign++
+		}
+	}
+	if leasesTotal != goroutines*leases {
+		t.Fatalf("shard lease ledger sums to %d, want %d (every lease accounted to exactly one shard)", leasesTotal, goroutines*leases)
+	}
+	if stealsTotal == 0 {
+		t.Fatal("no cross-shard steals under maximally skewed load")
+	}
+	if foreign == 0 {
+		t.Fatal("no foreign shard served the hot tenant: stealing never spread the load")
+	}
+
+	// No token leaked across any steal: the full capacity is concurrently
+	// acquirable, and the ledger drains to zero.
+	var held []*Session
+	for i := 0; i < p.Config().MaxSessions; i++ {
+		s, err := p.AcquireFor(context.Background(), mte4jni.NoProtection, hot)
+		if err != nil {
+			t.Fatalf("capacity not restored after steals: slot %d: %v", i, err)
+		}
+		held = append(held, s)
+	}
+	for _, s := range held {
+		p.Release(s)
+	}
+	if err := p.AssertDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardAffinityWarmReuse pins what the affinity hash is for: the same
+// {tenant, scheme} lands on the same shard every time, so a recycled
+// session is found warm again even with many shards.
+func TestShardAffinityWarmReuse(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 8, Shards: 4})
+	ctx := context.Background()
+
+	s1, err := p.AcquireFor(ctx, mte4jni.MTESync, "tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := s1.Name()
+	shard := p.HomeShard("tenant-a", mte4jni.MTESync)
+	p.Release(s1)
+	s2, err := p.AcquireFor(ctx, mte4jni.MTESync, "tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release(s2)
+	if s2.Name() != name {
+		t.Fatalf("warm reuse broke across shards: got %s, want %s", s2.Name(), name)
+	}
+	st := p.Stats()
+	if st.Created != 1 || st.Reused != 1 {
+		t.Fatalf("stats = %+v, want created=1 reused=1", st)
+	}
+	if got := st.Shards[shard].Leases; got != 2 {
+		t.Fatalf("home shard %d served %d leases, want 2", shard, got)
+	}
+}
+
+// TestShardOverflowSteal pins acquire-side stealing: with one token per
+// shard and all traffic on one tenant, leases 2..4 must overflow onto
+// foreign shards' tokens instead of queueing behind the home shard.
+func TestShardOverflowSteal(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 4, Shards: 4})
+	ctx := context.Background()
+
+	var held []*Session
+	for i := 0; i < 4; i++ {
+		s, err := p.AcquireFor(ctx, mte4jni.NoProtection, "one-tenant")
+		if err != nil {
+			t.Fatalf("lease %d should have overflowed, got %v", i, err)
+		}
+		held = append(held, s)
+	}
+	st := p.Stats()
+	var steals uint64
+	for _, ss := range st.Shards {
+		if ss.Leases != 1 {
+			t.Fatalf("shard %d served %d leases, want exactly 1 (its single token): %+v", ss.Shard, ss.Leases, st.Shards)
+		}
+		steals += ss.Steals
+	}
+	if steals != 3 {
+		t.Fatalf("steals = %d, want 3 (every non-home token was borrowed)", steals)
+	}
+	for _, s := range held {
+		p.Release(s)
+	}
+	if err := p.AssertDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerShardShedWithGlobalBackstop pins the new 503 geometry: shedding is
+// decided at the home shard's queue slice (MaxWaiters/Shards each), with
+// the pool-wide MaxWaiters as a backstop.
+func TestPerShardShedWithGlobalBackstop(t *testing.T) {
+	p := testPool(t, Config{MaxSessions: 2, Shards: 2, MaxWaiters: 2})
+	ctx := context.Background()
+	hot := hotTenantFor(t, p, mte4jni.NoProtection, 0)
+
+	// Saturate the whole pool.
+	a, err := p.AcquireFor(ctx, mte4jni.NoProtection, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.AcquireFor(ctx, mte4jni.NoProtection, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter fits the home shard's slice (2/2 = 1 each).
+	wctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	waiterErr := make(chan error, 1)
+	go func() {
+		s, err := p.AcquireFor(wctx, mte4jni.NoProtection, hot)
+		if err == nil {
+			p.Release(s)
+		}
+		waiterErr <- err
+	}()
+	waitForWaiters(t, p, 1)
+
+	// The second waiter on the same home shard sheds even though the global
+	// bound (2) has room: per-shard decision.
+	if _, err := p.AcquireFor(ctx, mte4jni.NoProtection, hot); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second hot waiter: err = %v, want ErrOverloaded", err)
+	}
+	st := p.Stats()
+	home := p.HomeShard(hot, mte4jni.NoProtection)
+	if st.Shards[home].Shed != 1 || st.Rejected != 1 {
+		t.Fatalf("shed accounting: home shed=%d rejected=%d, want 1/1", st.Shards[home].Shed, st.Rejected)
+	}
+
+	// Drain: the queued waiter must still be served.
+	p.Release(a)
+	select {
+	case err := <-waiterErr:
+		if err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter starved")
+	}
+	p.Release(b)
+	if err := p.AssertDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseFailsQueuedWaitersPerShard pins the shard-aware drain: Close
+// fails every parked waiter on every shard with ErrClosed, concurrently,
+// and the ledger balances once leased sessions come back.
+func TestCloseFailsQueuedWaitersPerShard(t *testing.T) {
+	p := New(Config{MaxSessions: 2, Shards: 2, MaxWaiters: 8, HeapSize: 8 << 20})
+	ctx := context.Background()
+	hot := hotTenantFor(t, p, mte4jni.NoProtection, 0)
+
+	a, err := p.AcquireFor(ctx, mte4jni.NoProtection, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.AcquireFor(ctx, mte4jni.NoProtection, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := p.AcquireFor(ctx, mte4jni.NoProtection, hot)
+		waiterErr <- err
+	}()
+	waitForWaiters(t, p, 1)
+
+	p.Close()
+	if err := <-waiterErr; !errors.Is(err, ErrClosed) {
+		t.Fatalf("waiter after Close: err = %v, want ErrClosed", err)
+	}
+	p.Release(a)
+	p.Release(b)
+	if err := p.AssertDrained(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(p.Sessions()); n != 0 {
+		t.Fatalf("%d sessions survive Close, want 0", n)
+	}
+}

@@ -1,0 +1,146 @@
+package report
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Latency histogram for the load harness: HDR-style log-spaced buckets with
+// a fixed memory footprint, so an open-loop run can record every sample —
+// no reservoir, no sorting buffer that grows with -n — and still answer
+// tail quantiles (p99, p999) within a bounded relative error.
+//
+// Layout: values below 2^histSubBits nanoseconds land in exact unit
+// buckets; above that, each power-of-two octave is split into
+// 2^histSubBits sub-buckets, bounding the relative quantization error at
+// 1/2^histSubBits (~3% at the default 5 bits). Quantile reads report a
+// bucket's inclusive upper bound, so an SLO gate errs toward rejecting a
+// borderline run, never toward waving one through.
+
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits
+	// 59 octave groups cover every int64 nanosecond value (~292 years).
+	histBuckets = histSubBuckets * 59
+)
+
+// Histogram is a concurrency-safe HDR-style duration histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [histBuckets]uint64
+	total  uint64
+	sum    int64
+	max    int64
+}
+
+// histIndex maps a nanosecond value to its bucket.
+func histIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubBuckets {
+		return int(v)
+	}
+	h := bits.Len64(uint64(v)) // >= histSubBits+1
+	shift := uint(h - histSubBits - 1)
+	idx := histSubBuckets*(h-histSubBits) + int(v>>shift) - histSubBuckets
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// histUpperBound is the largest nanosecond value the bucket holds.
+func histUpperBound(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	e := idx / histSubBuckets // octave group, >= 1
+	s := idx % histSubBuckets
+	return (int64(histSubBuckets+s+1) << uint(e-1)) - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.mu.Lock()
+	h.counts[histIndex(ns)]++
+	h.total++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) as a duration: the upper
+// bound of the bucket holding the ceil(q*total)-th smallest sample. The
+// recorded maximum caps the answer, so Quantile(1) is exact.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			ub := histUpperBound(i)
+			if ub > h.max {
+				ub = h.max
+			}
+			return time.Duration(ub)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// LatencyReport is the histogram's JSON summary, embedded in the load
+// harness's -report output and consumed by the SLO gate in serve-smoke.
+type LatencyReport struct {
+	Count  uint64 `json:"count"`
+	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P90NS  int64  `json:"p90_ns"`
+	P99NS  int64  `json:"p99_ns"`
+	P999NS int64  `json:"p999_ns"`
+	MaxNS  int64  `json:"max_ns"`
+}
+
+// Report summarizes the histogram.
+func (h *Histogram) Report() LatencyReport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := LatencyReport{Count: h.total, MaxNS: h.max}
+	if h.total > 0 {
+		r.MeanNS = h.sum / int64(h.total)
+	}
+	r.P50NS = h.quantileLocked(0.50).Nanoseconds()
+	r.P90NS = h.quantileLocked(0.90).Nanoseconds()
+	r.P99NS = h.quantileLocked(0.99).Nanoseconds()
+	r.P999NS = h.quantileLocked(0.999).Nanoseconds()
+	return r
+}

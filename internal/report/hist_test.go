@@ -1,0 +1,97 @@
+package report
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Below the sub-bucket threshold every nanosecond value has its own bucket,
+// so small-value quantiles are exact.
+func TestHistogramExactUnitBuckets(t *testing.T) {
+	var h Histogram
+	for v := 0; v < histSubBuckets; v++ {
+		h.Observe(time.Duration(v))
+	}
+	if got := h.Quantile(1); got != time.Duration(histSubBuckets-1) {
+		t.Fatalf("Quantile(1) = %v, want %v", got, time.Duration(histSubBuckets-1))
+	}
+	if got := h.Quantile(0.5); got != time.Duration(histSubBuckets/2-1) {
+		t.Fatalf("Quantile(0.5) = %v, want %v", got, time.Duration(histSubBuckets/2-1))
+	}
+}
+
+// The bucket mapping must be monotone and its upper bound must bracket the
+// value with the advertised relative error: v <= ub(v) < v*(1+2^-histSubBits)
+// plus one for the inclusive bound.
+func TestHistogramBucketError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prev := -1
+	for i := 0; i < 200000; i++ {
+		v := rng.Int63n(int64(2 * time.Hour))
+		idx := histIndex(v)
+		ub := histUpperBound(idx)
+		if ub < v {
+			t.Fatalf("upper bound %d below value %d (bucket %d)", ub, v, idx)
+		}
+		if slack := ub - v; slack > v>>histSubBits+1 {
+			t.Fatalf("bucket %d overestimates %d by %d (> %d)", idx, v, slack, v>>histSubBits+1)
+		}
+		_ = prev
+	}
+	// Monotonicity over a dense small range and octave boundaries.
+	for v := int64(0); v < 1<<14; v++ {
+		if idx := histIndex(v); idx < prev {
+			t.Fatalf("histIndex not monotone at %d: %d < %d", v, idx, prev)
+		} else {
+			prev = idx
+		}
+	}
+}
+
+// Quantiles of a known uniform ladder land within the quantization error,
+// and Quantile(1) is exactly the recorded maximum.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	check := func(q float64, want time.Duration) {
+		t.Helper()
+		got := h.Quantile(q)
+		if got < want || float64(got) > float64(want)*1.05 {
+			t.Fatalf("Quantile(%v) = %v, want within [%v, %v*1.05]", q, got, want, want)
+		}
+	}
+	check(0.50, 500*time.Millisecond)
+	check(0.99, 990*time.Millisecond)
+	check(0.999, 999*time.Millisecond)
+	if got := h.Quantile(1); got != 1000*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want exactly 1s (max is tracked exactly)", got)
+	}
+}
+
+func TestHistogramReport(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	r := h.Report()
+	if r.Count != 100 {
+		t.Fatalf("count = %d, want 100", r.Count)
+	}
+	if r.MaxNS != (100 * time.Microsecond).Nanoseconds() {
+		t.Fatalf("max = %d, want 100µs", r.MaxNS)
+	}
+	wantMean := (5050 * time.Microsecond / 100).Nanoseconds()
+	if r.MeanNS != wantMean {
+		t.Fatalf("mean = %d, want %d", r.MeanNS, wantMean)
+	}
+	if r.P50NS <= 0 || r.P99NS < r.P50NS || r.P999NS < r.P99NS || r.MaxNS < r.P999NS {
+		t.Fatalf("percentiles not ordered: %+v", r)
+	}
+	var empty Histogram
+	if r := empty.Report(); r.Count != 0 || r.P99NS != 0 || r.MaxNS != 0 {
+		t.Fatalf("empty histogram report = %+v, want zeros", r)
+	}
+}

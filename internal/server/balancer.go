@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mte4jni/internal/pool"
+)
+
+// Balancer is the built-in L7 front for `mte4jni serve -cluster`: several
+// independent serve daemons (each its own process, pool and tag space)
+// behind one address. Routing reuses the pool's affinity hash — a /run
+// request's {tenant, scheme} picks the backend the same way it picks a
+// shard inside one daemon — so a tenant's warm sessions, primed elision
+// state and defense-ladder standing all live on one backend instead of
+// being smeared across the cluster. The hash is consistent: backend k
+// serves key%N, and an unhealthy backend's keys advance to the next
+// healthy one (and return home when it recovers).
+//
+// Health is observed two ways: a background /health probe every
+// HealthInterval demotes and restores backends, and a transport error on a
+// forwarded request demotes the backend immediately and retries the next
+// one — the probe loop alone would let every request between failure and
+// detection die with the backend.
+type Balancer struct {
+	cfg     BalancerConfig
+	client  *http.Client
+	http    *http.Server
+	healthy []atomic.Bool
+	routed  []atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	probes   sync.WaitGroup
+}
+
+// BalancerConfig configures a Balancer.
+type BalancerConfig struct {
+	// Backends are the daemons' base URLs ("http://127.0.0.1:PORT").
+	Backends []string
+	// HealthInterval paces the background /health probe (default 500ms).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+}
+
+// NewBalancer builds a Balancer over the given backends. Every backend
+// starts healthy: a dead one is demoted by the first probe or the first
+// forwarded request to hit it, whichever comes first.
+func NewBalancer(cfg BalancerConfig) (*Balancer, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("balancer: no backends")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	b := &Balancer{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: 120 * time.Second},
+		healthy: make([]atomic.Bool, len(cfg.Backends)),
+		routed:  make([]atomic.Uint64, len(cfg.Backends)),
+		stop:    make(chan struct{}),
+	}
+	for i := range b.healthy {
+		b.healthy[i].Store(true)
+	}
+	b.http = &http.Server{
+		Handler:           b.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return b, nil
+}
+
+// Handler returns the balancer's route table.
+func (b *Balancer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", b.handleRun)
+	mux.HandleFunc("/health", b.handleHealth)
+	mux.HandleFunc("/metrics", b.handleMetrics)
+	return mux
+}
+
+// Serve starts the health-probe loop and accepts connections on l until
+// Shutdown.
+func (b *Balancer) Serve(l net.Listener) error {
+	b.probes.Add(1)
+	go b.probeLoop()
+	err := b.http.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops probing and gracefully drains in-flight forwards. The
+// backends are separate processes and are not stopped here — the cluster
+// entrypoint owns their lifecycle (serve.go forwards SIGTERM and waits).
+func (b *Balancer) Shutdown(ctx context.Context) error {
+	b.stopOnce.Do(func() { close(b.stop) })
+	err := b.http.Shutdown(ctx)
+	b.probes.Wait()
+	return err
+}
+
+// probeLoop polls every backend's /health on the configured cadence,
+// demoting the unreachable and restoring the recovered.
+func (b *Balancer) probeLoop() {
+	defer b.probes.Done()
+	probe := &http.Client{Timeout: b.cfg.ProbeTimeout}
+	tick := time.NewTicker(b.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-tick.C:
+		}
+		for i, base := range b.cfg.Backends {
+			resp, err := probe.Get(base + "/health")
+			ok := err == nil && resp.StatusCode == http.StatusOK
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			b.healthy[i].Store(ok)
+		}
+	}
+}
+
+// handleRun decodes just enough of the body to compute the affinity key,
+// then forwards the raw bytes to the key's backend, walking forward past
+// unhealthy ones. A transport failure demotes the backend and retries the
+// next; only with every backend down does the client see a 503.
+func (b *Balancer) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		jsonError(w, StatusClientClosedRequest, "reading request body: %v", err)
+		return
+	}
+	var req RunRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	scheme, err := ParseScheme(req.Scheme)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The same key the backend's own shard router will hash — one routing
+	// function end to end, whether the hop is a backend pick or a shard
+	// index (see pool.AffinityKey).
+	key := pool.AffinityKey(req.Tenant, scheme.String())
+	n := len(b.cfg.Backends)
+	for off := 0; off < n; off++ {
+		idx := int((key + uint64(off)) % uint64(n))
+		if !b.healthy[idx].Load() {
+			continue
+		}
+		fwd, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			b.cfg.Backends[idx]+"/run", bytes.NewReader(body))
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, "forward: %v", err)
+			return
+		}
+		fwd.Header.Set("Content-Type", "application/json")
+		resp, err := b.client.Do(fwd)
+		if err != nil {
+			if r.Context().Err() != nil {
+				// The client walked away, not the backend: do not demote.
+				jsonError(w, StatusClientClosedRequest, "client canceled")
+				return
+			}
+			b.healthy[idx].Store(false)
+			continue
+		}
+		b.routed[idx].Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	jsonError(w, http.StatusServiceUnavailable, "no healthy backend")
+}
+
+// BalancerHealth is the balancer's GET /health reply.
+type BalancerHealth struct {
+	Status   string `json:"status"`
+	Backends int    `json:"backends"`
+	Healthy  int    `json:"healthy"`
+}
+
+func (b *Balancer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := 0
+	for i := range b.healthy {
+		if b.healthy[i].Load() {
+			h++
+		}
+	}
+	status, code := "ok", http.StatusOK
+	if h == 0 {
+		status, code = "down", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, BalancerHealth{Status: status, Backends: len(b.cfg.Backends), Healthy: h})
+}
+
+// handleMetrics aggregates the cluster's counters: every backend's /metrics
+// document, summed field by field (mergeNumeric), plus the balancer's own
+// routing accounting under "balancer". Load generators reconcile against
+// this exactly as against one daemon — every counter they check is a sum of
+// per-backend sums.
+func (b *Balancer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	merged := map[string]any{}
+	reached := 0
+	for i, base := range b.cfg.Backends {
+		if !b.healthy[i].Load() {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, base+"/metrics", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := b.client.Do(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if err == nil {
+				resp.Body.Close()
+			}
+			continue
+		}
+		var doc map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		merged = mergeNumeric(merged, doc).(map[string]any)
+		reached++
+	}
+	if reached == 0 {
+		jsonError(w, http.StatusServiceUnavailable, "no healthy backend")
+		return
+	}
+	routed := make([]uint64, len(b.cfg.Backends))
+	var total uint64
+	for i := range b.routed {
+		routed[i] = b.routed[i].Load()
+		total += routed[i]
+	}
+	merged["balancer"] = map[string]any{
+		"backends":         len(b.cfg.Backends),
+		"backends_reached": reached,
+		"routed_total":     total,
+		"backend_routed":   routed,
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// mergeNumeric folds src into dst: numbers add, objects merge recursively,
+// arrays merge element-wise (a cluster of equal-shard backends yields the
+// per-index sum of their shard tables), and non-numeric scalars keep the
+// first value seen. Returns the merged value.
+func mergeNumeric(dst, src any) any {
+	switch s := src.(type) {
+	case float64:
+		if d, ok := dst.(float64); ok {
+			return d + s
+		}
+		return s
+	case map[string]any:
+		d, ok := dst.(map[string]any)
+		if !ok {
+			d = map[string]any{}
+		}
+		for k, v := range s {
+			d[k] = mergeNumeric(d[k], v)
+		}
+		return d
+	case []any:
+		d, ok := dst.([]any)
+		if !ok {
+			return s
+		}
+		for i, v := range s {
+			if i < len(d) {
+				d[i] = mergeNumeric(d[i], v)
+			} else {
+				d = append(d, v)
+			}
+		}
+		return d
+	default:
+		if dst != nil {
+			return dst
+		}
+		return src
+	}
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mte4jni"
+	"mte4jni/internal/pool"
+)
+
+// balancerFixture stands up n real backend servers (each with its own pool)
+// behind a Balancer and returns the balancer's test server plus the backends,
+// so tests can observe both the aggregated and the per-backend counters.
+func balancerFixture(t *testing.T, n int, cfg Config) (*Balancer, *httptest.Server, []*httptest.Server) {
+	t.Helper()
+	backends := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range backends {
+		_, ts := testServer(t, cfg)
+		backends[i] = ts
+		urls[i] = ts.URL
+	}
+	bal, err := NewBalancer(BalancerConfig{Backends: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(bal.Handler())
+	t.Cleanup(func() {
+		front.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = bal.Shutdown(ctx)
+	})
+	return bal, front, backends
+}
+
+// A tenant's requests must all land on the backend its affinity key selects —
+// the balancer reuses the pool's shard hash, so homing is checkable from the
+// outside: every request for one tenant increments exactly one backend's
+// requests_total.
+func TestBalancerAffinityConsistency(t *testing.T) {
+	_, front, backends := balancerFixture(t, 2, Config{})
+
+	const tenant = "affinity-tenant"
+	const reqs = 6
+	for i := 0; i < reqs; i++ {
+		code, out := postRun(t, front, RunRequest{
+			Scheme: "sync", Workload: "PDF Renderer", Iterations: 1, Tenant: tenant,
+		})
+		if code != 200 || !out.OK {
+			t.Fatalf("request %d: status %d, %+v", i, code, out)
+		}
+	}
+
+	home := int(pool.AffinityKey(tenant, mte4jni.MTESync.String()) % uint64(len(backends)))
+	for i, ts := range backends {
+		var m map[string]any
+		getJSON(t, ts, "/metrics", &m)
+		got, _ := m["requests_total"].(float64)
+		want := 0.0
+		if i == home {
+			want = reqs
+		}
+		if got != want {
+			t.Fatalf("backend %d requests_total = %v, want %v (home=%d)", i, got, want, home)
+		}
+	}
+}
+
+// The balancer's /metrics is the field-wise sum of the healthy backends'
+// documents: spread traffic over tenants homed on both backends and check the
+// aggregate reconciles exactly, including the balancer's own routed counters.
+func TestBalancerMetricsAggregation(t *testing.T) {
+	_, front, _ := balancerFixture(t, 2, Config{})
+
+	tenants := []string{"agg-a", "agg-b", "agg-c", "agg-d"}
+	total := 0
+	for _, tenant := range tenants {
+		for i := 0; i < 3; i++ {
+			code, _ := postRun(t, front, RunRequest{
+				Scheme: "sync", Workload: "PDF Renderer", Iterations: 1, Tenant: tenant,
+			})
+			if code != 200 {
+				t.Fatalf("tenant %s: status %d", tenant, code)
+			}
+			total++
+		}
+	}
+
+	var m map[string]any
+	getJSON(t, front, "/metrics", &m)
+	if got, _ := m["requests_total"].(float64); got != float64(total) {
+		t.Fatalf("aggregated requests_total = %v, want %d", got, total)
+	}
+	balMap, ok := m["balancer"].(map[string]any)
+	if !ok {
+		t.Fatalf("no balancer section in aggregated metrics: %v", m)
+	}
+	if got, _ := balMap["routed_total"].(float64); got != float64(total) {
+		t.Fatalf("routed_total = %v, want %d", got, total)
+	}
+	if got, _ := balMap["backends_reached"].(float64); got != 2 {
+		t.Fatalf("backends_reached = %v, want 2", got)
+	}
+}
+
+// Killing a backend must not strand the tenants homed on it: the first
+// forwarded request hits the transport error, demotes the backend, and
+// retries the survivor — the client still sees a 200.
+func TestBalancerFailover(t *testing.T) {
+	bal, front, backends := balancerFixture(t, 2, Config{})
+
+	// Find a tenant homed on backend 0, then kill backend 0.
+	tenant := ""
+	for i := 0; i < 1000; i++ {
+		name := "failover-" + string(rune('a'+i%26)) + "-" + time.Duration(i).String()
+		if pool.AffinityKey(name, mte4jni.MTESync.String())%2 == 0 {
+			tenant = name
+			break
+		}
+	}
+	if tenant == "" {
+		t.Fatal("no tenant hashes to backend 0")
+	}
+	backends[0].Close()
+
+	code, out := postRun(t, front, RunRequest{
+		Scheme: "sync", Workload: "PDF Renderer", Iterations: 1, Tenant: tenant,
+	})
+	if code != 200 || !out.OK {
+		t.Fatalf("failover request: status %d, %+v", code, out)
+	}
+	if bal.healthy[0].Load() {
+		t.Fatal("backend 0 not demoted after transport error")
+	}
+
+	// Aggregated metrics must still answer from the survivor alone.
+	var m map[string]any
+	getJSON(t, front, "/metrics", &m)
+	balMap := m["balancer"].(map[string]any)
+	if got, _ := balMap["backends_reached"].(float64); got != 1 {
+		t.Fatalf("backends_reached = %v, want 1 after failover", got)
+	}
+}
+
+// A sharded pool behind the server reports one stats row per shard, the rows
+// reconcile with the pool totals, and graceful shutdown's per-shard drain
+// assertion passes once traffic stops.
+func TestServerShardedMetricsAndDrain(t *testing.T) {
+	s, ts := testServer(t, Config{Pool: pool.Config{MaxSessions: 4, Shards: 2, HeapSize: 8 << 20}})
+
+	for i := 0; i < 8; i++ {
+		tenant := "shard-tenant-" + string(rune('a'+i))
+		code, _ := postRun(t, ts, RunRequest{
+			Scheme: "sync", Workload: "PDF Renderer", Iterations: 1, Tenant: tenant,
+		})
+		if code != 200 {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+
+	var m MetricsResponse
+	getJSON(t, ts, "/metrics", &m)
+	if len(m.Pool.Shards) != 2 {
+		t.Fatalf("shard rows = %d, want 2", len(m.Pool.Shards))
+	}
+	var leases, created, reused uint64
+	for _, sh := range m.Pool.Shards {
+		leases += sh.Leases
+		created += sh.Created
+		reused += sh.Reused
+	}
+	if leases != 8 {
+		t.Fatalf("sum of shard leases = %d, want 8", leases)
+	}
+	if leases != created+reused {
+		t.Fatalf("lease ledger broken: leases=%d created=%d reused=%d", leases, created, reused)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("sharded shutdown drain: %v", err)
+	}
+}

@@ -169,11 +169,17 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // Shutdown gracefully drains in-flight requests, then closes the pool
-// (unmapping every session's heaps).
+// (unmapping every session's heaps; shards drain concurrently). After a
+// clean HTTP drain every lease has been released, so the per-shard token
+// ledgers must balance exactly — a drain imbalance is reported as a
+// shutdown error rather than silently leaking a session.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.http.Shutdown(ctx)
 	s.pool.Close()
-	return err
+	if err != nil {
+		return err
+	}
+	return s.pool.AssertDrained()
 }
 
 // ParseScheme accepts both the paper's display names ("MTE4JNI+Sync") and

@@ -33,6 +33,7 @@ func runPasses(fset *token.FileSet, importPath string, files []*ast.File) []diag
 	diags = append(diags, checkTagTableEncapsulation(fset, importPath, files)...)
 	diags = append(diags, checkRedteamEncapsulation(importPath, files)...)
 	diags = append(diags, checkTemporalEncapsulation(importPath, files)...)
+	diags = append(diags, checkShardEncapsulation(importPath, files)...)
 	return diags
 }
 
@@ -692,6 +693,49 @@ func checkTemporalEncapsulation(importPath string, files []*ast.File) []diagnost
 					flag(call.Pos(), fun.Name)
 				}
 			}
+			return true
+		})
+	}
+	return diags
+}
+
+// ---------------------------------------------------------------------------
+// Pass 11: shard-encapsulation.
+//
+// An admission shard's internals — its slice of the token semaphore
+// (freeTokens), its parked-Acquire FIFO (waitq) and its per-scheme warm
+// free lists (warmIdle) — are guarded by the shard mutex and tied together
+// by the lease-ledger invariant (sum of shard leases == pool created +
+// reused, exactly). The waiter-grant protocol depends on "absent from
+// waitq implies granted or abandoned" holding under that one lock; a
+// handler or bench reaching for these fields directly could drop a token,
+// double-grant a waiter, or resurrect a retired session past the drain
+// assertion. This pass reserves the three names for internal/pool: any
+// selector expression naming them in another package is flagged, even
+// through a wrapper that re-exposes the shard struct.
+
+// shardInternalFields are the shard fields reserved for internal/pool.
+var shardInternalFields = map[string]bool{
+	"freeTokens": true,
+	"waitq":      true,
+	"warmIdle":   true,
+}
+
+func checkShardEncapsulation(importPath string, files []*ast.File) []diagnostic {
+	if importPath == modulePath+"/internal/pool" {
+		return nil
+	}
+	var diags []diagnostic
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !shardInternalFields[sel.Sel.Name] {
+				return true
+			}
+			diags = append(diags, diagnostic{
+				pos: sel.Sel.Pos(),
+				msg: fmt.Sprintf("selector .%s reaches into admission-shard internals outside internal/pool: the token semaphore, waiter queue and warm free lists are guarded by the shard mutex and must be driven through Pool methods (AcquireFor/Release/Close) so the lease ledger stays exact", sel.Sel.Name),
+			})
 			return true
 		})
 	}

@@ -309,3 +309,17 @@ func TestLintConfigTestVariant(t *testing.T) {
 		t.Fatalf("test variant: n=%d err=%v out=%q", n, err, buf.String())
 	}
 }
+
+func TestShardEncapsulationPass(t *testing.T) {
+	// Outside internal/pool every shard-internal selector is flagged; the
+	// method-based goodAcquire shape is not.
+	got := lintFixture(t, "mte4jni/internal/server", "shard_bad.go")
+	wantDiags(t, got,
+		"selector .freeTokens reaches into admission-shard internals",
+		"selector .waitq reaches into admission-shard internals",
+		"selector .warmIdle reaches into admission-shard internals",
+	)
+	// internal/pool is where the shard mutex discipline lives: the same
+	// source is clean there.
+	wantDiags(t, lintFixture(t, "mte4jni/internal/pool", "shard_bad.go"))
+}

@@ -1,0 +1,38 @@
+// Fixture for the shard-encapsulation pass. Linted under any package other
+// than internal/pool, every selector naming a shard-internal field —
+// freeTokens, waitq, warmIdle — is flagged; under internal/pool itself the
+// same source is clean, since the pool package is where the shard mutex
+// discipline and the lease-ledger invariant are maintained. The sanctioned
+// shape — driving admission through Pool methods — is never flagged.
+// Parsed, never compiled, so the pool types need no definitions here.
+package fixture
+
+type fixtureShard struct {
+	freeTokens int
+	waitq      []int
+	warmIdle   map[int][]int
+}
+
+// goodAcquire is the sanctioned shape: admission goes through the pool's
+// own methods, which take the shard lock and keep the ledger exact.
+func goodAcquire(p interface{ AcquireFor(int) int }) int {
+	return p.AcquireFor(0)
+}
+
+// badToken hands itself a token without the shard lock or the ledger:
+// flagged everywhere outside internal/pool.
+func badToken(sh *fixtureShard) {
+	sh.freeTokens--
+}
+
+// badSteal pops a parked waiter directly, bypassing the grant protocol
+// that makes "absent from waitq" mean "granted or abandoned".
+func badSteal(sh *fixtureShard) int {
+	return sh.waitq[0]
+}
+
+// badWarm lifts a session off the warm free list without marking it
+// leased, so the drain assertion would later find the ledger short.
+func badWarm(sh *fixtureShard) []int {
+	return sh.warmIdle[0]
+}
